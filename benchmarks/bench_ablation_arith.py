@@ -1,0 +1,67 @@
+"""Ablation -- exact Fraction arithmetic versus floats.
+
+DESIGN.md commits to exact rationals end-to-end.  This ablation measures
+what exactness costs on a representative workload (the induced-space
+construction plus knowledge-interval queries) and demonstrates why floats
+were rejected: the theorem verifiers compare probabilities with ``==``,
+and float probability chains drift off the exact values.
+"""
+
+from fractions import Fraction
+
+from repro.core import PostAssignment, ProbabilityAssignment
+from repro.examples_lib import repeated_coin_system
+from repro.reporting import print_table
+
+
+def exact_workload():
+    example = repeated_coin_system(6)
+    post = ProbabilityAssignment(example.post_toss_assignment())
+    anchor = next(iter(example.post_toss_points))
+    return post.probability_interval(0, anchor, example.most_recent_heads)
+
+
+def float_simulation():
+    """The same inner/outer computation with float arithmetic."""
+    example = repeated_coin_system(6)
+    tree = example.psys.trees[0]
+    runs = list(tree.runs)
+    probabilities = [float(tree.run_probability(run)) for run in runs]
+    total = sum(probabilities)
+    inner = 0.0
+    outer = 0.0
+    for run, probability in zip(runs, probabilities):
+        values = [
+            example.most_recent_heads.holds_at(point)
+            for point in run.points()
+            if point.time >= 1  # post-toss points, as in the exact path
+        ]
+        if all(values):
+            inner += probability / total
+        if any(values):
+            outer += probability / total
+    return inner, outer
+
+
+def test_ablation_exact_arithmetic(benchmark):
+    interval = benchmark(exact_workload)
+    float_interval = float_simulation()
+    print_table(
+        "ABLATION  exact rationals vs floats (6-toss system)",
+        ["arithmetic", "inner", "outer", "inner == 1/64 exactly?"],
+        [
+            ("Fraction", str(interval[0]), str(interval[1]), interval[0] == Fraction(1, 64)),
+            (
+                "float",
+                f"{float_interval[0]:.17f}",
+                f"{float_interval[1]:.17f}",
+                float_interval[0] == 1 / 64,
+            ),
+        ],
+    )
+    assert interval == (Fraction(1, 64), Fraction(63, 64))
+    # floats happen to be exact for dyadic values; the design point is that
+    # equality-based theorem checking is only *guaranteed* for Fractions
+    # (non-dyadic probabilities break float equality immediately):
+    assert 0.1 + 0.2 != 0.3
+    assert Fraction(1, 10) + Fraction(1, 5) == Fraction(3, 10)

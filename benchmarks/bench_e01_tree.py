@@ -1,0 +1,36 @@
+"""E01 -- Figure 1 / Section 3: the labeled computation tree.
+
+Regenerates Figure 1's object: a computation tree with transition
+probabilities on the edges, the induced run probabilities (products along
+paths), and the ASCII rendering.
+"""
+
+from fractions import Fraction
+
+from repro.probability import format_fraction
+from repro.reporting import print_table
+from repro.testing import random_tree
+
+
+def build_and_measure():
+    tree = random_tree(seed=17, num_agents=2, depth=3, max_branching=3)
+    space = tree.run_space()
+    total = space.measure(space.outcomes)
+    return tree, total
+
+
+def test_e01_computation_tree(benchmark):
+    tree, total = benchmark(build_and_measure)
+    assert total == 1
+    rows = [
+        (index, run.horizon - 1, format_fraction(tree.run_probability(run)))
+        for index, run in enumerate(tree.runs)
+    ]
+    print_table(
+        "E01  computation tree: run probabilities are edge-label products",
+        ["run", "depth", "probability"],
+        rows,
+    )
+    print("\n" + tree.ascii_render())
+    assert sum(tree.run_probability(run) for run in tree.runs) == 1
+    assert all(tree.run_probability(run) > 0 for run in tree.runs)

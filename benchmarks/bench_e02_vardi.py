@@ -1,0 +1,57 @@
+"""E02 -- Section 3: the Vardi input-coin example and footnote 5.
+
+Paper claims: conditional P(heads | bit=0) = 1/2, P(heads | bit=1) = 2/3,
+no unconditional probability of heads; and (footnote 5) the event "action a
+is performed" is non-measurable in the unfactored system, while making it
+measurable would force probabilities onto the nondeterministic input bit.
+"""
+
+from fractions import Fraction
+
+from repro.core import standard_assignments
+from repro.examples_lib import footnote5_demonstration, input_coin_system
+from repro.reporting import print_table
+
+
+def run_experiment():
+    example = input_coin_system()
+    post = standard_assignments(example.psys)["post"]
+    per_tree = {
+        example.psys.adversary_of(point): post.probability(1, point, example.heads)
+        for point in example.psys.system.points_at_time(1)
+    }
+    footnote = footnote5_demonstration()
+    return per_tree, footnote
+
+
+def test_e02_vardi_input_coin(benchmark):
+    per_tree, footnote = benchmark(run_experiment)
+    print_table(
+        "E02  Vardi input-coin: P(heads) per type-1 adversary",
+        ["adversary", "paper", "measured"],
+        [
+            ("bit=0", Fraction(1, 2), per_tree["bit=0"]),
+            ("bit=1", Fraction(2, 3), per_tree["bit=1"]),
+        ],
+    )
+    print_table(
+        "E02  footnote 5: measurability in the unfactored system",
+        ["event", "paper", "measured"],
+        [
+            ("action a measurable", "no", "yes" if footnote.action_measurable_before else "no"),
+            (
+                "bit events measurable",
+                "no",
+                "yes" if footnote.bit_events_measurable_before else "no",
+            ),
+            (
+                "bit events measurable after adding a",
+                "yes",
+                "yes" if footnote.bit_events_measurable_after else "no",
+            ),
+        ],
+    )
+    assert per_tree == {"bit=0": Fraction(1, 2), "bit=1": Fraction(2, 3)}
+    assert not footnote.action_measurable_before
+    assert not footnote.bit_events_measurable_before
+    assert footnote.bit_events_measurable_after

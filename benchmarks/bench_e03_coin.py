@@ -1,0 +1,52 @@
+"""E03 -- the introduction's coin: P_post vs P_fut vs opponents.
+
+Paper claims (Sections 1, 5, 6): at time 1, P_post gives p1
+K(Pr(heads)=1/2); P_fut gives K(Pr=1 or Pr=0); the 2-for-1 bet is safe
+against p2 and unsafe against p3.
+"""
+
+from fractions import Fraction
+
+from repro.core import opponent_assignment, standard_assignments
+from repro.examples_lib import three_agent_coin_system
+from repro.logic import Model, parse
+from repro.reporting import print_table
+
+
+def run_experiment():
+    example = three_agent_coin_system()
+    named = standard_assignments(example.psys)
+    c = example.psys.system.points_at_time(1)[0]
+    model = Model(named["post"], {"heads": example.heads})
+    fut_model = model.with_assignment(named["fut"])
+    results = {
+        "post_half": model.holds(parse("K0^[1/2,1/2] heads"), c),
+        "fut_zero_one": fut_model.holds(
+            parse("K0 ((Pr0(heads) >= 1) | (Pr0(heads) <= 0))"), c
+        ),
+        "fut_half": fut_model.holds(parse("K0^1/2 heads"), c),
+        "safe_vs_p2": opponent_assignment(example.psys, 1).knows_probability_at_least(
+            0, c, example.heads, Fraction(1, 2)
+        ),
+        "safe_vs_p3": opponent_assignment(example.psys, 2).knows_probability_at_least(
+            0, c, example.heads, Fraction(1, 2)
+        ),
+    }
+    return results
+
+
+def test_e03_three_agent_coin(benchmark):
+    results = benchmark(run_experiment)
+    print_table(
+        "E03  the introduction's coin at time 1",
+        ["claim", "paper", "measured"],
+        [
+            ("P_post |= K1(Pr=1/2)", True, results["post_half"]),
+            ("P_fut  |= K1(Pr=1 or Pr=0)", True, results["fut_zero_one"]),
+            ("P_fut  |= K1^1/2 heads", False, results["fut_half"]),
+            ("Bet(heads,1/2) safe vs p2", True, results["safe_vs_p2"]),
+            ("Bet(heads,1/2) safe vs p3", False, results["safe_vs_p3"]),
+        ],
+    )
+    assert results["post_half"] and results["fut_zero_one"] and results["safe_vs_p2"]
+    assert not results["fut_half"] and not results["safe_vs_p3"]

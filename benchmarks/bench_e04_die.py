@@ -1,0 +1,46 @@
+"""E04 -- the Section 5 die: whole space vs split sample spaces.
+
+Paper claims: with S1 (all six points), p2 knows Pr(even) = 1/2; with S2
+(split into {c1,c2,c3} / {c4,c5,c6}), p2 only knows Pr(even) is 1/3 or 2/3.
+Subdividing the sample space makes the agent's knowledge *less* precise.
+"""
+
+from fractions import Fraction
+
+from repro.core import ProbabilityAssignment
+from repro.examples_lib import die_assignments, die_system
+from repro.reporting import print_table
+
+
+def run_experiment():
+    psys, even = die_system()
+    assignments = die_assignments(psys)
+    whole = ProbabilityAssignment(assignments.whole)
+    split = ProbabilityAssignment(assignments.split)
+    c = assignments.time2_points[0]
+    return {
+        "whole_values": sorted(
+            {whole.probability(1, point, even) for point in assignments.time2_points}
+        ),
+        "split_values": sorted(
+            {split.probability(1, point, even) for point in assignments.time2_points}
+        ),
+        "whole_interval": whole.knowledge_interval(1, c, even),
+        "split_interval": split.knowledge_interval(1, c, even),
+    }
+
+
+def test_e04_die(benchmark):
+    results = benchmark(run_experiment)
+    print_table(
+        "E04  the die: sample-space subdivision weakens knowledge",
+        ["assignment", "Pr(even) values", "K-interval (paper)", "K-interval (measured)"],
+        [
+            ("S1 whole", results["whole_values"], "[1/2, 1/2]", results["whole_interval"]),
+            ("S2 split", results["split_values"], "[1/3, 2/3]", results["split_interval"]),
+        ],
+    )
+    assert results["whole_values"] == [Fraction(1, 2)]
+    assert results["split_values"] == [Fraction(1, 3), Fraction(2, 3)]
+    assert results["whole_interval"] == (Fraction(1, 2), Fraction(1, 2))
+    assert results["split_interval"] == (Fraction(1, 3), Fraction(2, 3))

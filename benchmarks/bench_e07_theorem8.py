@@ -1,0 +1,69 @@
+"""E07 -- Theorem 8: S^j is the maximum assignment determining safe bets.
+
+Part (a): any S <= S^j determines safe bets against p_j, for every
+transition labeling.  Part (b): an assignment escaping S^j admits a
+transition labeling, a fact and a strategy under which the "safe" bet
+loses money -- the witness is constructed exactly as in the proof.
+"""
+
+from fractions import Fraction
+
+from repro.betting import theorem8_witness, verify_theorem8_part_a
+from repro.core import Fact, FutureAssignment, PostAssignment
+from repro.examples_lib import three_agent_coin_system
+from repro.probability import format_fraction
+from repro.reporting import print_table
+from repro.trees import ProbabilisticSystem
+
+
+def relabelings(psys, divisors=(2, 3, 5)):
+    variants = [psys]
+    for divisor in divisors:
+        trees = []
+        for tree in psys.trees:
+            def labeling(parent, child, tree=tree, divisor=divisor):
+                kids = tree.children(parent)
+                weights = [divisor + k for k in range(len(kids))]
+                return Fraction(weights[kids.index(child)], sum(weights))
+
+            trees.append(tree.relabel(labeling))
+        variants.append(ProbabilisticSystem(trees))
+    return variants
+
+
+def run_experiment():
+    coin = three_agent_coin_system()
+    heads_fact = Fact.about_local_state(2, lambda local: local[0] == "saw-heads")
+    part_a = verify_theorem8_part_a(
+        relabelings(coin.psys),
+        lambda psys: FutureAssignment(psys),
+        agent=0,
+        opponent=2,
+        facts_factory=lambda psys: [heads_fact],
+    )
+    witness = theorem8_witness(
+        coin.psys, lambda psys: PostAssignment(psys), agent=0, opponent=2
+    )
+    return part_a, witness
+
+
+def test_e07_theorem8(benchmark):
+    part_a, witness = benchmark(run_experiment)
+    print_table(
+        "E07  Theorem 8(a): assignments below S^j determine safe bets",
+        ["labelings checked", "paper", "measured"],
+        [(part_a.checked, "all safe", "all safe" if part_a.holds else "FAILS")],
+    )
+    print_table(
+        "E07  Theorem 8(b): the adversarial construction against S_post > S^j",
+        ["quantity", "value"],
+        [
+            ("alpha accepted under S (too big)", format_fraction(witness.alpha)),
+            ("alpha justified by S^j", format_fraction(witness.alpha_opponent)),
+            ("expected loss per bet", format_fraction(witness.expected_loss)),
+        ],
+    )
+    assert part_a.holds
+    assert witness is not None
+    assert witness.alpha > witness.alpha_opponent
+    assert witness.expected_loss < 0

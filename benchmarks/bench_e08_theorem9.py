@@ -1,0 +1,53 @@
+"""E08 -- Theorem 9: interval monotonicity along the lattice.
+
+Part (a): moving up the lattice (weaker opponent) can only sharpen the
+K^[a,b] interval.  Part (b): the sharpening can be strict -- the witness
+fact is the proof's own construction.
+"""
+
+from repro.betting import theorem9_witness, verify_theorem9_part_a
+from repro.core import standard_assignments
+from repro.examples_lib import three_agent_coin_system
+from repro.logic import state_generated_valuation
+from repro.probability import format_fraction
+from repro.reporting import print_table
+
+
+def run_experiment():
+    coin = three_agent_coin_system()
+    named = standard_assignments(coin.psys)
+    facts = [coin.heads, ~coin.heads]
+    facts.extend(state_generated_valuation(coin.psys.system).values())
+    part_a = verify_theorem9_part_a(named["fut"], named["post"], facts)
+    witness = theorem9_witness(named["fut"], named["post"])
+    c = coin.psys.system.points_at_time(1)[0]
+    intervals = {
+        "fut": named["fut"].knowledge_interval(0, c, coin.heads),
+        "post": named["post"].knowledge_interval(0, c, coin.heads),
+    }
+    return part_a, witness, intervals
+
+
+def test_e08_theorem9(benchmark):
+    part_a, witness, intervals = benchmark(run_experiment)
+    print_table(
+        "E08  Theorem 9(a): K^[a,b] intervals shrink up the lattice",
+        ["triples checked", "paper", "measured"],
+        [(part_a.checked, "monotone", "monotone" if part_a.holds else "FAILS")],
+    )
+    print_table(
+        "E08  the coin's intervals (heads, p1, time 1)",
+        ["assignment", "interval"],
+        [("P_fut (opponent knows past)", intervals["fut"]), ("P_post", intervals["post"])],
+    )
+    print_table(
+        "E08  Theorem 9(b): strictness witness",
+        ["alpha under P_fut", "alpha under P_post"],
+        [(format_fraction(witness.alpha_low), format_fraction(witness.alpha_high))],
+    )
+    assert part_a.holds
+    assert witness.alpha_high > witness.alpha_low
+    assert intervals["fut"] == (0, 1)
+    from fractions import Fraction
+
+    assert intervals["post"] == (Fraction(1, 2), Fraction(1, 2))

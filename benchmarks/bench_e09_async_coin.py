@@ -1,0 +1,56 @@
+"""E09 -- Section 7's ten-toss asynchronous coin.
+
+Paper claims: for the clockless p1, "the most recent toss landed heads" has
+inner measure 1/2**10 and outer measure 1 - 1/2**10 (over the post-toss
+points); betting against the clocked p2 gives exactly 1/2 at every time.
+The paper's own inner bound silently ignores the pre-toss root point, where
+the fact is vacuously false; we report both readings.
+"""
+
+from fractions import Fraction
+
+from repro.core import (
+    PostAssignment,
+    ProbabilityAssignment,
+    opponent_assignment,
+)
+from repro.examples_lib import repeated_coin_system
+from repro.reporting import print_table
+
+TOSSES = 10
+
+
+def run_experiment():
+    example = repeated_coin_system(TOSSES)
+    phi = example.most_recent_heads
+    anchor = next(iter(example.post_toss_points))
+    restricted = ProbabilityAssignment(example.post_toss_assignment())
+    paper_interval = restricted.probability_interval(0, anchor, phi)
+    root_anchor = example.psys.system.points_at_time(0)[0]
+    full_post = ProbabilityAssignment(PostAssignment(example.psys))
+    root_inclusive = full_post.probability_interval(0, root_anchor, phi)
+    against = opponent_assignment(example.psys, 1)
+    one_run = example.psys.system.runs[0]
+    against_p2 = {
+        against.probability(0, point, phi)
+        for point in one_run.points()
+        if point.time >= 1  # S^2 is uniform per time slice; one point each
+    }
+    return paper_interval, root_inclusive, sorted(against_p2)
+
+
+def test_e09_ten_toss_coin(benchmark):
+    paper_interval, root_inclusive, against_p2 = benchmark(run_experiment)
+    low = Fraction(1, 2**TOSSES)
+    print_table(
+        "E09  ten tosses, clockless p1: inner/outer measures of 'latest heads'",
+        ["reading", "paper", "measured"],
+        [
+            ("post-toss points (paper's)", f"[{low}, {1 - low}]", paper_interval),
+            ("root included", f"[0, {1 - low}]", root_inclusive),
+            ("vs clocked p2 (S^2)", "1/2 at every time", against_p2),
+        ],
+    )
+    assert paper_interval == (low, 1 - low)
+    assert root_inclusive == (Fraction(0), 1 - low)
+    assert against_p2 == [Fraction(1, 2)]

@@ -1,0 +1,30 @@
+"""E10 -- Section 7's closing example: P_pts versus Fischer-Zuck P_state.
+
+Paper claims: on the 0.99-biased coin with p2's odd information structure,
+P_pts |= K_2^[0.99, 0.99] heads while P_state |= K_2^[0, 0.99] heads -- the
+state-cut {T} only ever tests on the tails run.
+"""
+
+from fractions import Fraction
+
+from repro.examples_lib import biased_async_system, pts_versus_state_intervals
+from repro.reporting import print_table
+
+
+def run_experiment():
+    example = biased_async_system()
+    return pts_versus_state_intervals(example)
+
+
+def test_e10_pts_versus_state(benchmark):
+    pts, state = benchmark(run_experiment)
+    print_table(
+        "E10  0.99 coin: sharpest K_2^[a,b](heads) at time 0",
+        ["adversary class", "paper", "measured"],
+        [
+            ("pts (one point per run)", "[99/100, 99/100]", pts),
+            ("state (Fischer-Zuck)", "[0, 99/100]", state),
+        ],
+    )
+    assert pts == (Fraction(99, 100), Fraction(99, 100))
+    assert state == (Fraction(0), Fraction(99, 100))

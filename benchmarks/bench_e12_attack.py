@@ -1,0 +1,72 @@
+"""E12 -- Proposition 11: the coordinated-attack matrix.
+
+Paper claims (Sections 4 and 8): both CA1 and CA2 coordinate in
+1 - 2**-11 of the runs; CA1 achieves C^0.99 phi_CA at all points w.r.t.
+P_prior but not P_post (there is a point where A is certain of failure yet
+attacks); CA2 achieves it w.r.t. P_post (and P_prior) but not P_fut;
+P_fut-level achievement is equivalent to deterministic coordinated attack.
+Our adaptive CA1 extension (end of Section 8) is included as a fourth row.
+"""
+
+from fractions import Fraction
+
+from repro.attack import (
+    b_conditional_confidence,
+    build_ca1,
+    build_ca1_adaptive,
+    build_ca2,
+    build_never_attack,
+    conditional_coordination,
+    proposition11_table,
+    run_level_probability,
+)
+from repro.reporting import print_table
+
+EPSILON = Fraction(99, 100)
+
+
+def run_experiment():
+    attacks = [build_ca1(), build_ca2(), build_ca1_adaptive(), build_never_attack()]
+    rows = proposition11_table(attacks, EPSILON)
+    return (
+        rows,
+        run_level_probability(attacks[0]),
+        b_conditional_confidence(attacks[1]),
+        conditional_coordination(attacks[1]),
+    )
+
+
+def test_e12_proposition11(benchmark):
+    rows, run_level, confidence, fz_conditional = benchmark(run_experiment)
+    print_table(
+        "E12  Proposition 11: C^0.99(phi_CA) at all points?  (10 messengers)",
+        ["protocol", "run-level", "P_prior", "P_post", "P_fut", "doomed-but-attacking"],
+        [
+            (
+                row.protocol,
+                row.run_level,
+                row.prior,
+                row.post,
+                row.fut,
+                row.certain_failure_count,
+            )
+            for row in rows
+        ],
+    )
+    print_table(
+        "E12  supporting numbers",
+        ["quantity", "paper", "measured"],
+        [
+            ("run-level coordination", "2047/2048", run_level),
+            ("B's confidence after silence", "1024/1025 (>= .99)", confidence),
+            ("FZ conditional coordination", "1023/1024 (>= .99)", fz_conditional),
+        ],
+    )
+    matrix = {row.protocol: (row.prior, row.post, row.fut) for row in rows}
+    assert matrix["CA1"] == (True, False, False)
+    assert matrix["CA2"] == (True, True, False)
+    assert matrix["CA1-adaptive"] == (True, True, False)
+    assert matrix["CA0"] == (True, True, True)
+    assert run_level == Fraction(2047, 2048)
+    assert confidence == Fraction(1024, 1025)
+    assert fz_conditional == Fraction(1023, 1024)

@@ -1,0 +1,50 @@
+"""E13 -- Appendix B.1: Freund's puzzle of the two aces.
+
+Paper claims: Pr(both aces) moves 1/6 -> 1/5 -> 1/3 under the ask-then-ask
+protocol; stays at 1/5 when p1 reveals a random held suit; and (footnote
+20) drops to 0 on "spades" when p1 always says hearts holding both.
+P_post, computed over the protocol's computation tree, gets every case.
+"""
+
+from fractions import Fraction
+
+from repro.examples_lib import (
+    ask_then_ask,
+    posterior_after,
+    reveal_hearts_bias,
+    reveal_random,
+)
+from repro.reporting import print_table
+
+
+def run_experiment():
+    protocol1 = ask_then_ask()
+    protocol2 = reveal_random()
+    protocol3 = reveal_hearts_bias()
+    return {
+        "prior": posterior_after(protocol1, ("dealt",), protocol1.both_aces),
+        "p1_ace": posterior_after(protocol1, ("yes-ace",), protocol1.both_aces),
+        "p1_spades": posterior_after(protocol1, ("yes-spades",), protocol1.both_aces),
+        "p2_spades": posterior_after(protocol2, ("say-spades",), protocol2.both_aces),
+        "p3_spades": posterior_after(protocol3, ("say-spades",), protocol3.both_aces),
+    }
+
+
+def test_e13_two_aces(benchmark):
+    results = benchmark(run_experiment)
+    print_table(
+        "E13  two aces: p2's posterior for 'both aces'",
+        ["after hearing", "protocol", "paper", "measured"],
+        [
+            ("(deal only)", "any", Fraction(1, 6), results["prior"]),
+            ("'I have an ace'", "any", Fraction(1, 5), results["p1_ace"]),
+            ("'I have the ace of spades'", "ask-then-ask", Fraction(1, 3), results["p1_spades"]),
+            ("'a held suit: spades' (random)", "reveal-random", Fraction(1, 5), results["p2_spades"]),
+            ("'a held suit: spades' (hearts-biased)", "footnote 20", Fraction(0), results["p3_spades"]),
+        ],
+    )
+    assert results["prior"] == Fraction(1, 6)
+    assert results["p1_ace"] == Fraction(1, 5)
+    assert results["p1_spades"] == Fraction(1, 3)
+    assert results["p2_spades"] == Fraction(1, 5)
+    assert results["p3_spades"] == Fraction(0)

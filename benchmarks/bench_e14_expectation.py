@@ -1,0 +1,72 @@
+"""E14 -- Appendix B.2: inner/outer expectation for non-measurable facts.
+
+Paper claims: for a two-valued variable x > y,
+E_*(X) = x mu_*(X=x) + y mu^*(X=y) (dually for E^*); both bounds are
+attained by extensions of the space; and Theorem 7 survives with inner
+expectation in place of expectation.
+"""
+
+from fractions import Fraction
+
+from repro.betting import BettingRule, constant_strategy, expected_winnings
+from repro.core import PostAssignment, ProbabilityAssignment
+from repro.examples_lib import repeated_coin_system
+from repro.probability import (
+    FiniteProbabilitySpace,
+    attainability_witnesses,
+    scaled_indicator,
+)
+from repro.reporting import print_table
+
+
+def run_experiment():
+    # the coarse die space: atoms {1,2,3}, {4,5,6}; X = 2 on evens, -1 else
+    space = FiniteProbabilitySpace.from_atoms(
+        [{1, 2, 3}, {4, 5, 6}], [Fraction(1, 2), Fraction(1, 2)]
+    )
+    variable = scaled_indicator({2, 4, 6}, 2, -1)
+    inner = space.inner_expectation(variable)
+    outer = space.outer_expectation(variable)
+    inner_witness, outer_witness = attainability_witnesses(space, variable)
+
+    # the betting reading: winnings on a non-measurable fact
+    example = repeated_coin_system(3)
+    post = ProbabilityAssignment(PostAssignment(example.psys))
+    anchor = example.psys.system.points_at_time(1)[0]
+    rule = BettingRule(example.most_recent_heads, Fraction(1, 2))
+    winnings = rule.winnings(constant_strategy(1, 2))
+    point_space = post.space(0, anchor)
+    auto = expected_winnings(point_space, winnings, "auto")
+    lower = expected_winnings(point_space, winnings, "lower")
+    return {
+        "inner": inner,
+        "outer": outer,
+        "inner_attained": inner_witness.expectation(variable),
+        "outer_attained": outer_witness.expectation(variable),
+        "auto": auto,
+        "lower": lower,
+    }
+
+
+def test_e14_inner_outer_expectation(benchmark):
+    results = benchmark(run_experiment)
+    print_table(
+        "E14  Appendix B.2: two-valued inner/outer expectation",
+        ["quantity", "paper formula", "measured"],
+        [
+            ("E_*(X)", "2*mu_*(X=2) - mu^*(X=-1) = -1", results["inner"]),
+            ("E^*(X)", "2*mu^*(X=2) - mu_*(X=-1) = 2", results["outer"]),
+            ("attained by extension (inner)", "-1", results["inner_attained"]),
+            ("attained by extension (outer)", "2", results["outer_attained"]),
+        ],
+    )
+    print_table(
+        "E14  betting on a non-measurable fact uses the inner expectation",
+        ["semantics", "E[winnings]"],
+        [("auto (falls back to lower)", results["auto"]), ("lower", results["lower"])],
+    )
+    assert results["inner"] == Fraction(-1)
+    assert results["outer"] == Fraction(2)
+    assert results["inner_attained"] == results["inner"]
+    assert results["outer_attained"] == results["outer"]
+    assert results["auto"] == results["lower"]

@@ -1,0 +1,52 @@
+"""E15 -- Appendix B.3, Theorem 11: putting the betting game in the system.
+
+Paper claims: for propositional phi, (P^j, c) |= K_i^alpha phi iff
+(P^j, c_f) |= K_i^alpha phi in R^phi iff (P_post, c_f^+) |= K_i^alpha phi
+-- after hearing the offer, the agent's own posterior already accounts for
+the opponent's knowledge.
+"""
+
+from repro.betting import (
+    build_embedded_system,
+    constant_strategy,
+    targeted_strategy,
+    verify_theorem11,
+)
+from repro.examples_lib import three_agent_coin_system
+from repro.reporting import print_table
+
+
+def run_experiment():
+    coin = three_agent_coin_system()
+    tails_local = next(
+        point.local_state(2)
+        for point in coin.psys.system.points_at_time(1)
+        if point.local_state(2)[0] == "saw-tails"
+    )
+    results = {}
+    for name, opponent, seeds in (
+        ("vs p3, constant offers", 2, [constant_strategy(2, 2)]),
+        (
+            "vs p3, outcome-revealing offers",
+            2,
+            [constant_strategy(2, 2), targeted_strategy(2, [tails_local], 2, 100)],
+        ),
+        ("vs p2, constant offers", 1, [constant_strategy(1, 3)]),
+    ):
+        embedded = build_embedded_system(coin.psys, 0, opponent, seeds)
+        report = verify_theorem11(embedded, coin.heads)
+        results[name] = (len(embedded.strategies), report)
+    return results
+
+
+def test_e15_theorem11(benchmark):
+    results = benchmark(run_experiment)
+    print_table(
+        "E15  Theorem 11: (a) <=> (b) <=> (c) in R^phi",
+        ["strategy family", "strategies", "triples checked", "measured"],
+        [
+            (name, family_size, report.checked, "equivalent" if report.holds else "FAILS")
+            for name, (family_size, report) in results.items()
+        ],
+    )
+    assert all(report.holds for _, report in results.values())

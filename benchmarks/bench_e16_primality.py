@@ -1,0 +1,73 @@
+"""E16 -- Sections 1 and 3: probabilistic primality testing as a system.
+
+Paper claims: for every composite input at least 3/4 of Miller-Rabin
+candidates witness compositeness (1/2 for Solovay-Strassen), so for each
+fixed input the algorithm is correct with high probability over its coin
+tosses; while "n is prime" itself has probability 0 or 1 in every tree.
+"""
+
+from fractions import Fraction
+
+from repro.examples_lib import (
+    miller_rabin_witness,
+    per_input_correctness,
+    primality_probability_is_degenerate,
+    primality_system,
+    solovay_strassen_witness,
+    witness_density,
+)
+from repro.reporting import print_table
+
+INPUTS = [13, 15, 21, 25, 49]
+
+
+def run_experiment():
+    one_round = primality_system(INPUTS, rounds=1)
+    two_rounds = primality_system([9, 15], rounds=2)
+    return {
+        "one": per_input_correctness(one_round),
+        "two": per_input_correctness(two_rounds),
+        "degenerate": primality_probability_is_degenerate(one_round),
+        "mr_density": {n: witness_density(n, miller_rabin_witness) for n in INPUTS if n != 13},
+        "ss_density": {
+            n: witness_density(n, solovay_strassen_witness) for n in INPUTS if n != 13
+        },
+    }
+
+
+def test_e16_primality(benchmark):
+    results = benchmark(run_experiment)
+    print_table(
+        "E16  per-input correctness probability (one round of Miller-Rabin)",
+        ["input", "prime?", "paper bound", "measured"],
+        [
+            (n, n == 13, ">= 3/4" if n != 13 else "= 1", probability)
+            for n, probability in sorted(results["one"].items())
+        ],
+    )
+    print_table(
+        "E16  witness densities for composites",
+        ["n", "Miller-Rabin (>= 3/4)", "Solovay-Strassen (>= 1/2)"],
+        [
+            (n, results["mr_density"][n], results["ss_density"][n])
+            for n in sorted(results["mr_density"])
+        ],
+    )
+    print_table(
+        "E16  error squares with independent rounds",
+        ["input", "1-round error", "2-round error"],
+        [
+            (n, 1 - results["one"].get(n, results["two"][n]), 1 - results["two"][n])
+            for n in sorted(results["two"])
+            if n in results["two"]
+        ],
+    )
+    assert results["one"][13] == 1
+    for n, probability in results["one"].items():
+        assert probability >= Fraction(3, 4)
+    for n, density in results["mr_density"].items():
+        assert density >= Fraction(3, 4)
+    for n, density in results["ss_density"].items():
+        assert density >= Fraction(1, 2)
+    assert results["degenerate"]
+    assert 1 - results["two"][15] == (1 - witness_density(15, miller_rabin_witness)) ** 2

@@ -1,0 +1,69 @@
+"""E17 -- Section 8 / FH88: probabilistic common knowledge laws.
+
+Paper claims: C_G^alpha satisfies the fixed point axiom
+C == E(phi & C) and the induction rule; it implies every iterate
+(E^alpha)^k but is not their conjunction.
+"""
+
+from fractions import Fraction
+
+from repro.attack import build_ca1, build_ca2
+from repro.core import standard_assignments
+from repro.logic import (
+    Model,
+    Prop,
+    common_knowledge_points,
+    fixed_point_axiom_holds,
+    induction_rule_holds,
+    iterated_everyone_knows,
+    parse,
+)
+from repro.reporting import print_table
+
+EPS = Fraction(4, 5)
+
+
+def run_experiment():
+    results = {}
+    for name, attack in (("CA1", build_ca1(messengers=3)), ("CA2", build_ca2(messengers=3))):
+        post = standard_assignments(attack.psys)["post"]
+        model = Model(post, {"coord": attack.coordinated})
+        target = model.extension(Prop("coord"))
+        common = common_knowledge_points(model, attack.group, target, EPS)
+        chain = iterated_everyone_knows(model, attack.group, target, 3, alpha=EPS)
+        results[name] = {
+            "fixed_point": fixed_point_axiom_holds(model, attack.group, Prop("coord"), alpha=EPS),
+            "induction": induction_rule_holds(
+                model, attack.group, parse("true"), Prop("coord"), alpha=EPS
+            ),
+            "common_size": len(common),
+            "chain_sizes": [len(level) for level in chain],
+            "common_below_chain": all(common <= level for level in chain),
+            "total_points": len(model.system.points),
+        }
+    return results
+
+
+def test_e17_common_knowledge(benchmark):
+    results = benchmark(run_experiment)
+    rows = []
+    for name, data in results.items():
+        rows.append(
+            (
+                name,
+                data["fixed_point"],
+                data["induction"],
+                f"{data['common_size']}/{data['total_points']}",
+                "-".join(map(str, data["chain_sizes"])),
+            )
+        )
+    print_table(
+        "E17  probabilistic common knowledge (alpha = 4/5, 3 messengers)",
+        ["protocol", "fixed-point axiom", "induction rule", "|C^a| / points", "|E^a|,|E^a E^a|,..."],
+        rows,
+    )
+    for data in results.values():
+        assert data["fixed_point"] and data["induction"] and data["common_below_chain"]
+    # CA2 has C^a everywhere; CA1 does not
+    assert results["CA2"]["common_size"] == results["CA2"]["total_points"]
+    assert results["CA1"]["common_size"] < results["CA1"]["total_points"]

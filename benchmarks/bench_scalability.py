@@ -1,0 +1,57 @@
+"""Scalability -- how the core pipeline grows with system size.
+
+Times the full stack (simulate -> trees -> knowledge index -> induced
+spaces -> interval query) on the repeated-coin family, whose run count
+doubles per toss.  This is the workload-generator sweep backing the
+engineering claims in DESIGN.md (indexed knowledge, cached hashes, cached
+events): the pipeline stays polynomial in the number of points.
+"""
+
+import time
+
+from repro.core import ProbabilityAssignment, opponent_assignment
+from repro.examples_lib import repeated_coin_system
+from repro.reporting import print_table
+
+
+def pipeline(tosses: int):
+    example = repeated_coin_system(tosses)
+    pa = ProbabilityAssignment(example.post_toss_assignment())
+    anchor = next(iter(example.post_toss_points))
+    interval = pa.probability_interval(0, anchor, example.most_recent_heads)
+    against = opponent_assignment(example.psys, 1)
+    one_run = example.psys.system.runs[0]
+    clocked = {
+        against.probability(0, point, example.most_recent_heads)
+        for point in one_run.points()
+        if point.time >= 1
+    }
+    return len(example.psys.system.points), interval, clocked
+
+
+def test_scalability_pipeline(benchmark):
+    points, interval, clocked = benchmark(pipeline, 8)
+    rows = []
+    for tosses in (4, 6, 8, 10):
+        start = time.perf_counter()
+        size, measured_interval, measured_clocked = pipeline(tosses)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            (
+                tosses,
+                2**tosses,
+                size,
+                measured_interval,
+                f"{elapsed:.2f}s",
+            )
+        )
+    print_table(
+        "SCALABILITY  repeated-coin pipeline",
+        ["tosses", "runs", "points", "inner/outer", "wall time"],
+        rows,
+    )
+    from fractions import Fraction
+
+    assert points == 2**8 * 9
+    assert interval == (Fraction(1, 2**8), 1 - Fraction(1, 2**8))
+    assert clocked == {Fraction(1, 2)}

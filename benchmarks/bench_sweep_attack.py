@@ -1,0 +1,59 @@
+"""Sweep -- coordinated-attack guarantees across the design space.
+
+Extends E12 with the full parameter sweep: per protocol, messenger count
+and loss probability, the run-level coordination probability and the
+largest ``eps`` for which ``C^eps phi_CA`` holds at all points under
+``P_post``.  The crossover for the paper's eps = 0.99 (CA2 first achieves
+it with 7 messengers at loss 1/2) falls out of the table.
+"""
+
+from fractions import Fraction
+
+from repro.attack import build_ca2, crossover_messengers, guarantee_sweep
+from repro.reporting import print_table
+
+
+def run_experiment():
+    rows = guarantee_sweep(
+        messenger_counts=[1, 2, 4, 7, 10],
+        losses=[Fraction(1, 2)],
+        epsilon=Fraction(99, 100),
+    )
+    crossover = crossover_messengers(
+        lambda k, loss: build_ca2(k, loss), Fraction(99, 100)
+    )
+    loss_rows = guarantee_sweep(
+        messenger_counts=[4],
+        losses=[Fraction(1, 4), Fraction(1, 2), Fraction(3, 4)],
+        epsilon=Fraction(99, 100),
+    )
+    return rows, crossover, loss_rows
+
+
+def test_sweep_attack(benchmark):
+    rows, crossover, loss_rows = benchmark(run_experiment)
+    print_table(
+        "SWEEP  coordinated attack, loss = 1/2",
+        ["protocol", "messengers", "run-level", "post threshold", "achieves eps=.99"],
+        [
+            (row.protocol, row.messengers, row.run_level, row.post_threshold, row.achieves_99_post)
+            for row in rows
+        ],
+    )
+    print_table(
+        "SWEEP  CA-protocols at 4 messengers, varying loss",
+        ["protocol", "loss", "run-level", "post threshold"],
+        [
+            (row.protocol, row.loss, row.run_level, row.post_threshold)
+            for row in loss_rows
+        ],
+    )
+    print(f"\ncrossover: CA2 first achieves eps = 99/100 at {crossover} messengers")
+    assert crossover == 7
+    ca1_rows = [row for row in rows if row.protocol == "CA1"]
+    assert all(row.post_threshold == 0 for row in ca1_rows)
+    ca2_by_k = {row.messengers: row for row in rows if row.protocol == "CA2"}
+    assert not ca2_by_k[4].achieves_99_post
+    assert ca2_by_k[7].achieves_99_post
+    adaptive = {row.messengers: row for row in rows if row.protocol == "CA1-adaptive"}
+    assert all(row.post_threshold > 0 for row in adaptive.values())

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Aumann agreement and the announcement dialogue (Appendix B.3's coda).
+
+The appendix closes by invoking Aumann: if the betting dialogue runs until
+the odds stabilise, both parties must assign the fact the same probability
+-- rational agents cannot agree to disagree.  We check the theorem itself
+on a system time slice, then run the announcement dialogue that realises
+the convergence.
+
+Run:  python examples/agreeing_to_disagree.py
+"""
+
+from repro.core import agreement_dialogue, aumann_agreement
+from repro.examples_lib import three_agent_coin_system
+from repro.probability import format_fraction
+from repro.testing import parity_fact, random_psys
+
+
+def coin_demo() -> None:
+    print("--- the coin: informed p3 vs ignorant p1 ---")
+    example = three_agent_coin_system()
+    tree = example.psys.trees[0]
+
+    report = aumann_agreement(example.psys, tree, 1, (0, 1, 2), example.heads)
+    print(f"Aumann's theorem on the time-1 slice: holds = {report.holds} "
+          f"({report.meet_cells} meet cell(s))")
+    print("note: p1 (1/2) and p3 (0 or 1) hold different posteriors -- no")
+    print("contradiction, because the posterior profile is NOT common knowledge.")
+    print()
+
+    heads_point = next(
+        point
+        for point in example.psys.system.points_at_time(1)
+        if example.heads.holds_at(point)
+    )
+    result = agreement_dialogue(
+        example.psys, tree, 1, (2, 0), example.heads, heads_point
+    )
+    print("announcement dialogue between p3 and p1 at the heads point:")
+    for index, round_ in enumerate(result.rounds):
+        print(f"  round {index}: p{round_.speaker + 1} announces "
+              f"Pr(heads) = {format_fraction(round_.announced)}")
+    finals = {f"p{agent + 1}": format_fraction(value)
+              for agent, value in result.final_posteriors.items()}
+    print(f"  final posteriors: {finals}  agreed = {result.agreed}")
+    print()
+
+
+def random_demo() -> None:
+    print("--- a richer random system ---")
+    psys = random_psys(seed=7, depth=2, observability=("full", "full"))
+    tree = psys.trees[0]
+    fact = parity_fact()
+    start = [point for point in tree.points if point.time == 1][0]
+    result = agreement_dialogue(psys, tree, 1, (0, 1), fact, start)
+    for index, round_ in enumerate(result.rounds):
+        print(f"  round {index}: p{round_.speaker + 1} announces "
+              f"{format_fraction(round_.announced)}; partition sizes "
+              f"{round_.partitions_after}")
+    print(f"  agreed = {result.agreed}")
+
+
+def main() -> None:
+    coin_demo()
+    random_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Interactive proofs through the paper's lens (Section 9's application).
+
+A prover convinces a verifier that x is a quadratic residue mod n without
+revealing its square root.  Inside the paper's semantics: completeness and
+soundness are per-adversary (per-tree) probability statements, and "the
+verifier learns nothing about the witness" is a statement about the
+verifier's knowledge -- its view distribution is identical whichever root
+the honest prover holds.
+
+Run:  python examples/interactive_proof_demo.py
+"""
+
+from fractions import Fraction
+
+from repro.examples_lib import (
+    completeness,
+    zero_knowledge,
+    qr_proof_system,
+    quadratic_residues,
+    soundness_error,
+    square_roots,
+    verifier_cannot_identify_witness,
+    verifier_view_distribution,
+    witness_indistinguishable,
+)
+from repro.probability import format_fraction
+
+
+def main() -> None:
+    n = 15
+    print(f"Working over Z_{n}*: quadratic residues = {sorted(quadratic_residues(n))}")
+    print(f"square roots of 4 mod {n}: {square_roots(4, n)}")
+    print()
+
+    print("rounds  completeness  soundness error  (= 2^-t)")
+    for rounds in (1, 2, 3, 4):
+        proof = qr_proof_system(rounds=rounds, randomness=(1, 14))
+        print(
+            f"{rounds:>6}  {str(completeness(proof)):>12}  "
+            f"{format_fraction(soundness_error(proof)):>15}  "
+            f"({format_fraction(Fraction(1, 2 ** rounds))})"
+        )
+    print()
+
+    proof = qr_proof_system(rounds=1)
+    print("Zero-knowledge flavour (witness indistinguishability):")
+    print(f"  verifier view distributions identical for witnesses w and n-w: "
+          f"{witness_indistinguishable(proof)}")
+    print(f"  at every point the verifier considers the other witness possible: "
+          f"{verifier_cannot_identify_witness(proof)}")
+    print(f"  GMR simulator (no witness) reproduces the view exactly: "
+          f"{zero_knowledge(proof)}")
+    print()
+    first, second = proof.honest_adversaries
+    distribution = verifier_view_distribution(proof, first)
+    print(f"  the common view distribution has {len(distribution)} transcripts, e.g.:")
+    for view, probability in list(sorted(distribution.items(), key=repr))[:4]:
+        print(f"    {format_fraction(probability):>6}  {view}")
+    print()
+    print("Soundness is only probabilistic: an accepting transcript is")
+    print("consistent with a lucky cheater, which is why the verifier's")
+    print("*knowledge* that x is a residue only holds with probability 1-2^-t.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Probabilistic primality testing, read through the paper's lens.
+
+The input n is a type-1 adversary: we refuse to put a distribution on it.
+The random witnesses are the probabilistic choices.  "The algorithm is
+correct with probability >= 3/4" is a statement about each input's own
+computation tree; "n is prime with probability p" is not a statement at
+all -- within every tree it is 0 or 1.
+
+Run:  python examples/primality_demo.py
+"""
+
+from fractions import Fraction
+
+from repro.examples_lib import (
+    is_prime,
+    miller_rabin_witness,
+    per_input_correctness,
+    primality_probability_is_degenerate,
+    primality_system,
+    probable_prime,
+    solovay_strassen_witness,
+    witness_density,
+)
+from repro.probability import format_fraction
+
+
+def main() -> None:
+    print("Real algorithms first: Miller-Rabin with bases {2, 3, 5}")
+    for n in (97, 91, 561, 1009, 1001):
+        verdict = "prime" if probable_prime(n, [2, 3, 5]) else "composite"
+        truth = "prime" if is_prime(n) else "composite"
+        print(f"  n = {n:>5}: algorithm says {verdict:<9} (truth: {truth})")
+    print()
+
+    print("Exact witness densities for small composites:")
+    print(f"{'n':>5}  {'Miller-Rabin':>14}  {'Solovay-Strassen':>17}")
+    for n in (9, 15, 21, 25, 49, 561):
+        mr = witness_density(n, miller_rabin_witness)
+        ss = witness_density(n, solovay_strassen_witness)
+        print(f"{n:>5}  {format_fraction(mr):>14}  {format_fraction(ss):>17}")
+    print("(paper bounds: >= 3/4 and >= 1/2 respectively)")
+    print()
+
+    print("The systems reading (Section 3): one tree per input")
+    example = primality_system([13, 15, 21], rounds=1)
+    for n, probability in sorted(per_input_correctness(example).items()):
+        kind = "prime" if is_prime(n) else "composite"
+        print(f"  input {n} ({kind:<9}): P(correct output) = {format_fraction(probability)}")
+    print()
+    print("And the point the paper insists on:")
+    print(f"  'n is prime' has probability 0 or 1 in every tree: "
+          f"{primality_probability_is_degenerate(example)}")
+    print()
+
+    print("Independent rounds square the error:")
+    one = per_input_correctness(primality_system([15], rounds=1))[15]
+    two = per_input_correctness(primality_system([15], rounds=2))[15]
+    print(f"  1 round : error = {format_fraction(1 - one)}")
+    print(f"  2 rounds: error = {format_fraction(1 - two)} = ({format_fraction(1 - one)})^2")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: the introduction's coin-toss betting story, end to end.
+
+Three agents: p3 tosses a fair coin at time 0 and observes the outcome at
+time 1; p1 and p2 never learn it.  What probability should p1 assign to
+"heads" at time 1?  The paper's answer: it depends who is offering the bet.
+
+Run:  python examples/quickstart.py
+"""
+
+from fractions import Fraction
+
+from repro.betting import BettingRule, constant_strategy, expected_winnings, verify_theorem7
+from repro.core import opponent_assignment, standard_assignments
+from repro.examples_lib import three_agent_coin_system
+from repro.logic import Model, parse
+
+P1, P2, P3 = 0, 1, 2
+
+
+def main() -> None:
+    example = three_agent_coin_system()
+    psys = example.psys
+    heads = example.heads
+
+    print("The computation tree (p3's view):")
+    print(psys.trees[0].ascii_render(lambda state: str(state.local_states[P3][0])))
+    print()
+
+    named = standard_assignments(psys)
+    time1 = psys.system.points_at_time(1)
+    c = time1[0]
+
+    print("p1's probability of heads at time 1:")
+    print(f"  P_post (betting a copy of itself): {named['post'].probability(P1, c, heads)}")
+    fut_values = sorted(named["fut"].probability(P1, point, heads) for point in time1)
+    print(f"  P_fut  (opponent knows the past):  0 or 1 -- {fut_values}")
+    print()
+
+    print("The same story in the logic L(Phi):")
+    model = Model(named["post"], {"heads": heads})
+    print(f"  P_post |= K0^1/2 heads           : {model.holds(parse('K0^1/2 heads'), c)}")
+    fut_model = model.with_assignment(named["fut"])
+    formula = parse("K0 ((Pr0(heads) >= 1) | (Pr0(heads) <= 0))")
+    print(f"  P_fut  |= K0(Pr=1 or Pr=0)       : {fut_model.holds(formula, c)}")
+    print()
+
+    print("Betting at 2-for-1 on heads (Bet(heads, 1/2)):")
+    rule = BettingRule(heads, Fraction(1, 2))
+    for opponent, name in ((P2, "p2 (never learns)"), (P3, "p3 (saw the coin)")):
+        assignment = opponent_assignment(psys, opponent)
+        safe = assignment.knows_probability_at_least(P1, c, heads, Fraction(1, 2))
+        print(f"  against {name:<20}: safe = {safe}")
+    print()
+
+    print("Why: expected winnings at the tails point against p3's sneaky")
+    print("strategy (offer the bet only after seeing tails):")
+    tails_point = next(point for point in time1 if not heads.holds_at(point))
+    tails_local = tails_point.local_state(P3)
+    from repro.betting import Strategy
+
+    sneaky = Strategy(P3, {tails_local: Fraction(2)})
+    against_p3 = opponent_assignment(psys, P3)
+    value = expected_winnings(against_p3.space(P1, tails_point), rule.winnings(sneaky))
+    print(f"  E[winnings] = {value}  (you only ever bet when you lose)")
+    print()
+
+    print("Theorem 7, machine-checked on this system:")
+    for opponent in (P2, P3):
+        report = verify_theorem7(psys, P1, opponent, heads)
+        print(f"  opponent p{opponent + 1}: {report.details[-1]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Freund's puzzle of the two aces (Appendix B.1).
+
+Two cards from {ace/deuce x hearts/spades} are dealt to p1.  Should p2's
+probability that p1 holds both aces rise from 1/5 to 1/3 on hearing "I
+hold the ace of spades"?  Shafer's (and the paper's) answer: it depends on
+the protocol -- and P_post over the protocol's computation tree computes
+the right value in every case.
+
+Run:  python examples/two_aces.py
+"""
+
+from repro.examples_lib import (
+    ask_then_ask,
+    posterior_after,
+    reveal_hearts_bias,
+    reveal_random,
+)
+from repro.probability import format_fraction
+
+
+def show(example, transcripts) -> None:
+    print(f"--- protocol: {example.name} ---")
+    for label, suffix in transcripts:
+        value = posterior_after(example, suffix, example.both_aces)
+        print(f"  Pr(both aces | {label:<28}) = {format_fraction(value)}")
+    print()
+
+
+def main() -> None:
+    protocol1 = ask_then_ask()
+    show(
+        protocol1,
+        [
+            ("just dealt", ("dealt",)),
+            ("'I have an ace'", ("yes-ace",)),
+            ("'I have the ace of spades'", ("yes-spades",)),
+            ("'not the ace of spades'", ("yes-ace", "no-spades")),
+        ],
+    )
+
+    protocol2 = reveal_random()
+    show(
+        protocol2,
+        [
+            ("'I have an ace'", ("yes-ace",)),
+            ("'a held ace: spades'", ("say-spades",)),
+            ("'a held ace: hearts'", ("say-hearts",)),
+        ],
+    )
+
+    protocol3 = reveal_hearts_bias()
+    show(
+        protocol3,
+        [
+            ("'a held ace: spades'", ("say-spades",)),
+            ("'a held ace: hearts'", ("say-hearts",)),
+        ],
+    )
+
+    print("Moral (Shafer, endorsed by Appendix B.1): 'conditioning on")
+    print("everything the agent knows' is only meaningful once the protocol")
+    print("generating the announcements is part of the system.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,209 @@
+"""Analysis of probabilistic coordinated attack (Proposition 11).
+
+The specification: ``C_G^eps phi_CA`` holds at all points -- probabilistic
+common knowledge, among the two generals, that "A attacks iff B attacks".
+Which protocols meet it depends entirely on the probability assignment:
+
+=============  =========  =========  =========
+protocol       P_prior    P_post     P_fut
+=============  =========  =========  =========
+CA1            achieves   fails      fails
+CA2            achieves   achieves   fails
+CA0 (silent)   achieves   achieves   achieves (but never attacks)
+=============  =========  =========  =========
+
+This module computes every cell of that table, the run-level coordination
+probability (``1 - 2**-(k+1)`` for ``k`` messengers), and the Section 4
+pathology: the CA1 point at which general A is *certain* the attack will
+fail yet attacks anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from ..core.assignments import ProbabilityAssignment
+from ..core.facts import Fact
+from ..core.model import Point
+from ..core.standard import standard_assignments
+from ..logic.common_knowledge import common_knowledge_points, everyone_knows_points
+from ..logic.semantics import Model
+from ..probability.fractionutil import ONE, ZERO, FractionLike, as_fraction
+from .protocols import GENERAL_A, AttackSystem
+
+
+def run_level_probability(attack: AttackSystem) -> Fraction:
+    """The probability, over the runs, that the attack is coordinated."""
+    total = ZERO
+    for adversary in attack.psys.adversaries:
+        tree = attack.psys.tree(adversary)
+        for run in tree.runs:
+            if attack.coordinated.holds_at(next(iter(run.points()))):
+                total += tree.run_probability(run)
+    return total / len(attack.psys.adversaries)
+
+
+def conditional_coordination(attack: AttackSystem) -> Fraction:
+    """FZ88a's stronger run-level condition (end of Section 8).
+
+    The conditional probability, over the runs, that both parties attack
+    together given that at least one attacks.  For CA1/CA2 with ``k``
+    messengers this is ``P(B learned | heads) = 1 - 2**-k``.
+    """
+    someone = ZERO
+    both = ZERO
+    for adversary in attack.psys.adversaries:
+        tree = attack.psys.tree(adversary)
+        for run in tree.runs:
+            point = next(iter(run.points()))
+            a_attacks = attack.a_attacks.holds_at(point)
+            b_attacks = attack.b_attacks.holds_at(point)
+            probability = tree.run_probability(run)
+            if a_attacks or b_attacks:
+                someone += probability
+            if a_attacks and b_attacks:
+                both += probability
+    if someone == ZERO:
+        raise ValueError("nobody ever attacks; the conditional is undefined")
+    return both / someone
+
+
+def assignment_for(attack: AttackSystem, name: str) -> ProbabilityAssignment:
+    """The named standard probability assignment over the attack system."""
+    return standard_assignments(attack.psys)[name]
+
+
+def achieves(
+    attack: AttackSystem,
+    assignment: ProbabilityAssignment,
+    epsilon: FractionLike = Fraction(99, 100),
+) -> bool:
+    """Does ``C_G^eps phi_CA`` hold at every point under this assignment?"""
+    threshold = as_fraction(epsilon)
+    model = Model(assignment, {})
+    target = attack.coordinated.points(attack.psys.system)
+    common = common_knowledge_points(model, attack.group, target, threshold)
+    return common == frozenset(attack.psys.system.points)
+
+
+def everyone_knows_at_all_points(
+    attack: AttackSystem,
+    assignment: ProbabilityAssignment,
+    epsilon: FractionLike = Fraction(99, 100),
+) -> bool:
+    """Does ``E_G^eps phi_CA`` hold at every point?  (With the induction
+    rule, this is how the paper argues ``C_G^eps`` holds everywhere.)"""
+    threshold = as_fraction(epsilon)
+    model = Model(assignment, {})
+    target = attack.coordinated.points(attack.psys.system)
+    everyone = everyone_knows_points(model, attack.group, target, threshold)
+    return everyone == frozenset(attack.psys.system.points)
+
+
+def certain_failure_points(
+    attack: AttackSystem, agent: int = GENERAL_A
+) -> Tuple[Point, ...]:
+    """Points where the agent *knows* the attack will not be coordinated.
+
+    For CA1 these are the Section 4 states: A has decided to attack but has
+    heard from B that B never learned the outcome.  For CA2 the tuple is
+    empty -- that is the protocol's entire selling point.
+    """
+    system = attack.psys.system
+    bad = []
+    for point in system.points:
+        if system.knows(agent, point, ~attack.coordinated):
+            bad.append(point)
+    return tuple(bad)
+
+
+def doomed_but_attacking_points(attack: AttackSystem) -> Tuple[Point, ...]:
+    """Certain-failure points lying on runs where A does attack."""
+    return tuple(
+        point
+        for point in certain_failure_points(attack)
+        if attack.a_attacks.holds_at(point)
+    )
+
+
+@dataclass
+class Proposition11Row:
+    """One row of the Proposition 11 table."""
+
+    protocol: str
+    run_level: Fraction
+    prior: bool
+    post: bool
+    fut: bool
+    certain_failure_count: int
+
+
+def proposition11_row(
+    attack: AttackSystem, epsilon: FractionLike = Fraction(99, 100)
+) -> Proposition11Row:
+    """Evaluate one protocol against all three named assignments."""
+    assignments = standard_assignments(attack.psys)
+    return Proposition11Row(
+        protocol=attack.name,
+        run_level=run_level_probability(attack),
+        prior=achieves(attack, assignments["prior"], epsilon),
+        post=achieves(attack, assignments["post"], epsilon),
+        fut=achieves(attack, assignments["fut"], epsilon),
+        certain_failure_count=len(doomed_but_attacking_points(attack)),
+    )
+
+
+def proposition11_table(
+    attacks: List[AttackSystem], epsilon: FractionLike = Fraction(99, 100)
+) -> List[Proposition11Row]:
+    """The full Proposition 11 comparison across protocols."""
+    return [proposition11_row(attack, epsilon) for attack in attacks]
+
+
+def prior_inconsistency_witness(attack: AttackSystem) -> Optional[Point]:
+    """A point where ``P_prior`` says coordination is highly probable while
+    the agent knows coordination fails -- the inconsistent-assignment
+    pathology the end of Section 8 warns about (``K^eps phi`` and
+    ``K ~phi`` simultaneously)."""
+    prior = assignment_for(attack, "prior")
+    system = attack.psys.system
+    for point in doomed_but_attacking_points(attack):
+        if prior.knows_probability_at_least(
+            GENERAL_A, point, attack.coordinated, Fraction(99, 100)
+        ):
+            return point
+    return None
+
+
+def b_conditional_confidence(attack: AttackSystem) -> Fraction:
+    """B's posterior confidence in coordination after hearing nothing.
+
+    The Section 4 computation for CA2: either the coin landed tails
+    (probability 1/2) or it landed heads and every messenger was lost
+    (probability ``2**-(k+1)``), so the conditional probability of
+    coordination given silence is ``(1/2) / (1/2 + 2**-(k+1))``.
+    """
+    post = assignment_for(attack, "post")
+    system = attack.psys.system
+    candidates = [
+        point
+        for point in system.points
+        if point.time >= 1
+        and _protocol_state(point.local_state(1)) == "no-news"
+    ]
+    if not candidates:
+        raise ValueError("no silent-B points in this system")
+    values = {
+        post.inner_probability(1, point, attack.coordinated) for point in candidates
+    }
+    if len(values) != 1:
+        raise ValueError(f"B's silent confidence is not uniform: {values}")
+    return values.pop()
+
+
+def _protocol_state(local) -> object:
+    if isinstance(local, tuple) and len(local) == 2 and isinstance(local[1], int):
+        return local[0]
+    return local

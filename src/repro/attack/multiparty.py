@@ -1,0 +1,129 @@
+"""Coordinated attack with more than two generals.
+
+A natural stress test of the Section 8 analysis: general A tosses the coin
+and sends messenger bundles to each of ``n - 1`` lieutenants; everyone
+attacks iff they believe the coin landed heads.  Coordination now requires
+*all* generals to agree, the run-level probability degrades with the number
+of lieutenants, and probabilistic common knowledge must hold for the whole
+group -- the lattice story (prior achieved, post achieved by the silent
+protocol, fut never) is unchanged, which is exactly the point.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Hashable, List, Sequence, Tuple
+
+from ..core.facts import Fact
+from ..core.model import Run
+from ..errors import SimulationError
+from ..probability.fractionutil import FractionLike, ONE, ZERO, as_fraction
+from ..systems.agents import Agent, ActionDistribution, act, certainly, chance
+from ..systems.channels import CollapsingLossyChannel
+from ..systems.messages import Message
+from ..systems.synchronous import SyncProtocol, protocol_system
+from .protocols import COIN_NEWS, AttackSystem
+
+
+class CommandingGeneral(Agent):
+    """General A: tosses, broadcasts messenger bundles, decides."""
+
+    def __init__(self, messengers: int, lieutenants: int) -> None:
+        self.messengers = messengers
+        self.lieutenants = lieutenants
+
+    def initial_state(self, input_value):
+        return "init"
+
+    def step(self, state, inbox, round_number: int) -> ActionDistribution:
+        if round_number == 0:
+            bundle = tuple(
+                Message(0, lieutenant, COIN_NEWS)
+                for lieutenant in range(1, self.lieutenants + 1)
+                for _ in range(self.messengers)
+            )
+            return chance(
+                [
+                    (Fraction(1, 2), act("heads", *bundle)),
+                    (Fraction(1, 2), act("tails")),
+                ]
+            )
+        if round_number == 1:
+            decision = "attack" if state == "heads" else "no-attack"
+            return certainly((state, decision))
+        return certainly(state)
+
+
+class Lieutenant(Agent):
+    """A lieutenant: attacks iff at least one messenger got through."""
+
+    def initial_state(self, input_value):
+        return "init"
+
+    def step(self, state, inbox, round_number: int) -> ActionDistribution:
+        if round_number == 0:
+            return certainly(state)
+        if round_number == 1:
+            learned = any(message.content == COIN_NEWS for message in inbox)
+            decision = "attack" if learned else "no-attack"
+            return certainly(("learned" if learned else "no-news", decision))
+        return certainly(state)
+
+
+def _attacks(run: Run, agent: int) -> bool:
+    final = run.states[-1].local_states[agent]
+    state = final[0] if isinstance(final, tuple) and isinstance(final[-1], int) else final
+    return isinstance(state, tuple) and "attack" in state
+
+
+def build_multiparty(
+    lieutenants: int = 2,
+    messengers: int = 4,
+    loss: FractionLike = Fraction(1, 2),
+) -> AttackSystem:
+    """The silent (CA2-style) protocol with ``lieutenants + 1`` generals.
+
+    Horizon 2: round 0 tosses and broadcasts, round 1 decides.  Everyone
+    stays silent afterwards, so -- like CA2 -- nobody ever *knows* the
+    attack fails, and the protocol achieves the ``P_post`` guarantee at the
+    level of the weakest confidence in the group.
+    """
+    if lieutenants < 1:
+        raise SimulationError("need at least one lieutenant")
+    agents: List[Agent] = [CommandingGeneral(messengers, lieutenants)]
+    agents.extend(Lieutenant() for _ in range(lieutenants))
+    protocol = SyncProtocol(
+        agents=agents,
+        channel=CollapsingLossyChannel(as_fraction(loss)),
+        horizon=2,
+    )
+    psys = protocol_system(protocol, {"the-enemy": [None] * (lieutenants + 1)})
+
+    member_attacks = [
+        Fact.about_run(lambda run, agent=agent: _attacks(run, agent), name=f"g{agent}_attacks")
+        for agent in range(lieutenants + 1)
+    ]
+    coordinated = Fact.about_run(
+        lambda run: len({_attacks(run, agent) for agent in range(lieutenants + 1)}) == 1,
+        name="all_coordinated",
+    )
+    attack = AttackSystem(
+        name=f"multi({lieutenants + 1} generals)",
+        psys=psys,
+        a_attacks=member_attacks[0],
+        b_attacks=member_attacks[1],
+        coordinated=coordinated,
+        group=tuple(range(lieutenants + 1)),
+    )
+    return attack
+
+
+def multiparty_run_level(lieutenants: int, messengers: int, loss: FractionLike) -> Fraction:
+    """Closed form: ``1/2 + 1/2 * (1 - loss**messengers) ** lieutenants``.
+
+    Tails coordinates always; heads coordinates iff every lieutenant got at
+    least one messenger, independently per lieutenant.
+    """
+    capture = as_fraction(loss)
+    delivered = ONE - capture**messengers
+    return Fraction(1, 2) + Fraction(1, 2) * delivered**lieutenants

@@ -1,0 +1,204 @@
+"""The probabilistic coordinated attack protocols of Sections 4 and 8.
+
+Two generals A (agent 0) and B (agent 1) must coordinate an attack; the
+only communication is by messengers, each captured by the enemy
+independently with probability 1/2.  General A tosses a fair coin to decide
+whether to attack.
+
+* **CA1**: at round 0, A tosses and sends ``k`` messengers to B iff heads;
+  at round 1, B sends a messenger telling A whether it learned the outcome;
+  at round 2, A attacks iff heads (regardless of what it heard) and B
+  attacks iff it learned heads.
+* **CA2**: identical except B never reports back -- which is exactly what
+  restores every agent's confidence at every point.
+* **CA0** ("never attack"): the degenerate protocol showing part 3 of
+  Proposition 11 is not vacuous -- it achieves even the ``P_fut`` level of
+  coordination, but the generals never actually attack.
+
+Both generals' decisions live in their local states, so "A attacks" and
+"B attacks" are facts about the run readable from the final global state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Hashable, Tuple
+
+from ..core.facts import Fact
+from ..core.model import Run
+from ..probability.fractionutil import FractionLike, as_fraction
+from ..systems.agents import Agent, ActionDistribution, act, certainly, chance
+from ..systems.channels import CollapsingLossyChannel
+from ..systems.messages import Message
+from ..systems.synchronous import SyncProtocol, protocol_system
+from ..trees.probabilistic_system import ProbabilisticSystem
+
+GENERAL_A = 0
+GENERAL_B = 1
+
+COIN_NEWS = "coin-landed-heads"
+B_LEARNED = "b-learned"
+B_NO_NEWS = "b-no-news"
+
+
+class GeneralA(Agent):
+    """General A: tosses the coin, maybe sends messengers, then decides.
+
+    With ``adaptive=True``, A implements the end-of-Section-8 suggestion:
+    it refrains from attacking when the information in its local state
+    (B's "no news" report) guarantees the attack would be uncoordinated.
+    """
+
+    def __init__(
+        self, messengers: int, attack_on_heads: bool = True, adaptive: bool = False
+    ) -> None:
+        self.messengers = messengers
+        self.attack_on_heads = attack_on_heads
+        self.adaptive = adaptive
+
+    def initial_state(self, input_value: Hashable) -> Hashable:
+        return "init"
+
+    def step(self, state, inbox, round_number: int) -> ActionDistribution:
+        if round_number == 0:
+            to_b = tuple(
+                Message(GENERAL_A, GENERAL_B, COIN_NEWS) for _ in range(self.messengers)
+            )
+            return chance(
+                [
+                    (Fraction(1, 2), act("heads", *to_b)),
+                    (Fraction(1, 2), act("tails")),
+                ]
+            )
+        if round_number == 2:
+            coin = state if isinstance(state, str) else state[0]
+            heard = _hearing(inbox)
+            attacking = coin == "heads" and self.attack_on_heads
+            if self.adaptive and heard == "heard-b-no-news":
+                attacking = False
+            decision = "attack" if attacking else "no-attack"
+            return certainly((coin, decision, heard))
+        return certainly(state)
+
+
+def _hearing(inbox) -> str:
+    contents = {message.content for message in inbox}
+    if B_LEARNED in contents:
+        return "heard-b-learned"
+    if B_NO_NEWS in contents:
+        return "heard-b-no-news"
+    return "heard-nothing"
+
+
+class GeneralB(Agent):
+    """General B: listens for messengers, optionally reports, then decides."""
+
+    def __init__(self, reports_back: bool, attacks: bool = True) -> None:
+        self.reports_back = reports_back
+        self.attacks = attacks
+
+    def initial_state(self, input_value: Hashable) -> Hashable:
+        return "init"
+
+    def step(self, state, inbox, round_number: int) -> ActionDistribution:
+        if round_number == 1:
+            learned = any(message.content == COIN_NEWS for message in inbox)
+            new_state = "learned-heads" if learned else "no-news"
+            if self.reports_back:
+                content = B_LEARNED if learned else B_NO_NEWS
+                return certainly(new_state, Message(GENERAL_B, GENERAL_A, content))
+            return certainly(new_state)
+        if round_number == 2:
+            decision = (
+                "attack" if (state == "learned-heads" and self.attacks) else "no-attack"
+            )
+            return certainly((state, decision))
+        return certainly(state)
+
+
+@dataclass
+class AttackSystem:
+    """A coordinated-attack protocol unfolded into a probabilistic system."""
+
+    name: str
+    psys: ProbabilisticSystem
+    a_attacks: Fact
+    b_attacks: Fact
+    coordinated: Fact
+    group: Tuple[int, int] = (GENERAL_A, GENERAL_B)
+
+
+def _decision_of(run: Run, agent: int) -> str:
+    final = run.states[-1].local_states[agent]
+    state = final[0] if isinstance(final, tuple) and isinstance(final[1], int) else final
+    if isinstance(state, tuple):
+        for component in state:
+            if component in ("attack", "no-attack"):
+                return component
+    return "no-attack"
+
+
+def _build(name: str, general_a: GeneralA, general_b: GeneralB, loss: FractionLike) -> AttackSystem:
+    protocol = SyncProtocol(
+        agents=[general_a, general_b],
+        channel=CollapsingLossyChannel(as_fraction(loss)),
+        horizon=3,
+    )
+    psys = protocol_system(protocol, {"the-enemy": [None, None]})
+    a_attacks = Fact.about_run(
+        lambda run: _decision_of(run, GENERAL_A) == "attack", name="a_attacks"
+    )
+    b_attacks = Fact.about_run(
+        lambda run: _decision_of(run, GENERAL_B) == "attack", name="b_attacks"
+    )
+    return AttackSystem(
+        name=name,
+        psys=psys,
+        a_attacks=a_attacks,
+        b_attacks=b_attacks,
+        coordinated=a_attacks.iff(b_attacks),
+    )
+
+
+def build_ca1(messengers: int = 10, loss: FractionLike = Fraction(1, 2)) -> AttackSystem:
+    """CA1: B reports back whether it learned the outcome."""
+    return _build(
+        "CA1", GeneralA(messengers), GeneralB(reports_back=True), loss
+    )
+
+
+def build_ca2(messengers: int = 10, loss: FractionLike = Fraction(1, 2)) -> AttackSystem:
+    """CA2: B stays silent -- the adaptive-confidence protocol."""
+    return _build(
+        "CA2", GeneralA(messengers), GeneralB(reports_back=False), loss
+    )
+
+
+def build_ca1_adaptive(
+    messengers: int = 10, loss: FractionLike = Fraction(1, 2)
+) -> AttackSystem:
+    """CA1 made adaptive: A aborts on hearing B's "no news" report.
+
+    The end of Section 8 suggests converting algorithms to *adaptive* ones
+    that modify their actions in light of what they have learned.  Turning
+    A's certain-failure state into an abort removes the Section 4 pathology
+    and lifts CA1 from the ``P_prior`` level to the ``P_post`` level of
+    guarantee -- with B's report round as the only overhead relative to CA2.
+    """
+    return _build(
+        "CA1-adaptive",
+        GeneralA(messengers, adaptive=True),
+        GeneralB(reports_back=True),
+        loss,
+    )
+
+
+def build_never_attack(messengers: int = 10, loss: FractionLike = Fraction(1, 2)) -> AttackSystem:
+    """CA0: nobody ever attacks; trivially coordinated at every point."""
+    return _build(
+        "CA0",
+        GeneralA(messengers, attack_on_heads=False),
+        GeneralB(reports_back=False, attacks=False),
+        loss,
+    )

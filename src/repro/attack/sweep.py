@@ -1,0 +1,141 @@
+"""Parameter sweeps over the coordinated-attack design space.
+
+Proposition 11 is a single point in a family: the guarantee a protocol
+gives depends on the messenger count ``k``, the capture probability, and
+the confidence level ``eps`` demanded.  This module computes:
+
+* :func:`post_threshold` -- the *largest* ``eps`` for which ``C^eps
+  phi_CA`` holds at all points under ``P_post``.  Because ``phi_CA`` is a
+  fact about the run and the induction rule applies, this is exactly the
+  minimum, over agents and points, of the inner probability of coordination
+  -- for CA2 it is ``min`` of B's silent confidence and A's delivery
+  confidence.
+* :func:`guarantee_sweep` -- the full protocol x parameters table the
+  benchmark prints, exposing the crossover where a demanded ``eps``
+  stops being achievable as the messenger count shrinks or the loss rate
+  grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.standard import standard_assignments
+from ..probability.fractionutil import FractionLike, ONE, as_fraction
+from .analysis import achieves, run_level_probability
+from .protocols import AttackSystem, build_ca1, build_ca1_adaptive, build_ca2
+
+
+def post_threshold(attack: AttackSystem) -> Fraction:
+    """The supremum of ``eps`` with ``C^eps phi_CA`` at all points (P_post).
+
+    Since ``phi_CA`` is a fact about the run, ``E^eps`` at all points is
+    equivalent to ``eps <= min inner-probability`` across all agents and
+    points; by the induction rule that already gives ``C^eps`` everywhere,
+    and conversely ``C^eps`` implies ``E^eps``.  So the threshold is the
+    pointwise minimum.
+    """
+    post = standard_assignments(attack.psys)["post"]
+    system = attack.psys.system
+    return min(
+        post.inner_probability(agent, point, attack.coordinated)
+        for agent in attack.group
+        for point in system.points
+    )
+
+
+def prior_threshold(attack: AttackSystem) -> Fraction:
+    """The analogous threshold for ``P_prior`` (= the run-level probability,
+    since prior spaces are time slices and phi_CA is a run fact)."""
+    prior = standard_assignments(attack.psys)["prior"]
+    system = attack.psys.system
+    return min(
+        prior.inner_probability(agent, point, attack.coordinated)
+        for agent in attack.group
+        for point in system.points
+    )
+
+
+@dataclass
+class SweepRow:
+    """One protocol/parameter combination of the sweep."""
+
+    protocol: str
+    messengers: int
+    loss: Fraction
+    run_level: Fraction
+    post_threshold: Fraction
+    achieves_99_post: bool
+
+
+Builder = Callable[[int, FractionLike], AttackSystem]
+
+DEFAULT_BUILDERS: Dict[str, Builder] = {
+    "CA1": build_ca1,
+    "CA2": build_ca2,
+    "CA1-adaptive": build_ca1_adaptive,
+}
+
+
+def guarantee_sweep(
+    messenger_counts: Sequence[int],
+    losses: Sequence[FractionLike],
+    builders: Optional[Dict[str, Builder]] = None,
+    epsilon: FractionLike = Fraction(99, 100),
+) -> List[SweepRow]:
+    """Sweep protocols over messenger counts and loss probabilities."""
+    builders = builders or DEFAULT_BUILDERS
+    threshold = as_fraction(epsilon)
+    rows: List[SweepRow] = []
+    for name, builder in builders.items():
+        for messengers in messenger_counts:
+            for loss in losses:
+                attack = builder(messengers, as_fraction(loss))
+                post = post_threshold(attack)
+                rows.append(
+                    SweepRow(
+                        protocol=name,
+                        messengers=messengers,
+                        loss=as_fraction(loss),
+                        run_level=run_level_probability(attack),
+                        post_threshold=post,
+                        achieves_99_post=post >= threshold,
+                    )
+                )
+    return rows
+
+
+def crossover_messengers(
+    builder: Builder,
+    epsilon: FractionLike,
+    loss: FractionLike = Fraction(1, 2),
+    max_messengers: int = 16,
+) -> Optional[int]:
+    """The least messenger count whose ``P_post`` threshold reaches ``eps``.
+
+    The threshold is monotone in the messenger count (more messengers can
+    only increase every conditional confidence), so this is the crossover
+    of the sweep.  Returns ``None`` if not reached by ``max_messengers``.
+    """
+    target = as_fraction(epsilon)
+    for messengers in range(1, max_messengers + 1):
+        attack = builder(messengers, as_fraction(loss))
+        if post_threshold(attack) >= target:
+            return messengers
+    return None
+
+
+def threshold_is_exact(attack: AttackSystem, samples: int = 3) -> bool:
+    """Cross-check :func:`post_threshold` against the gfp-based
+    :func:`~repro.attack.analysis.achieves` on both sides of the value."""
+    post = standard_assignments(attack.psys)["post"]
+    threshold = post_threshold(attack)
+    if not achieves(attack, post, threshold):
+        return False
+    if threshold < ONE:
+        nudged = threshold + (ONE - threshold) / (samples + 1)
+        if achieves(attack, post, nudged):
+            return False
+    return True

@@ -1,0 +1,88 @@
+"""The betting game: the paper's operational reading of probability.
+
+``strategies`` models the opponent; ``game`` the rule ``Bet(phi, alpha)``;
+``safety`` the break-even/safety definitions with both enumerated and
+closed-form evaluation; ``theorems`` the executable Theorems 7-9 and
+Proposition 6; ``embedded`` the Appendix B.3 construction and Theorem 11.
+"""
+
+from .embedded import (
+    EmbeddedSystem,
+    build_embedded_system,
+    theorem11_closure,
+    verify_theorem11,
+)
+from .game import BettingRule, acceptance_set_rule
+from .safety import (
+    breaks_even,
+    breaks_even_analytic,
+    breaks_even_with,
+    expected_winnings,
+    is_safe,
+    is_safe_analytic,
+    refuting_strategy,
+    worst_expected_winnings,
+)
+from .strategies import (
+    NO_BET,
+    Strategy,
+    constant_strategy,
+    enumerate_strategies,
+    injective_strategy,
+    opponent_states,
+    targeted_strategy,
+)
+from .theorems import (
+    Theorem8Witness,
+    Theorem9Witness,
+    VerificationReport,
+    acceptance_rule_is_safe,
+    boost_path_labeling,
+    determines_safe_bets,
+    footnote13_threshold_optimality,
+    relevant_alphas,
+    theorem8_witness,
+    theorem9_witness,
+    verify_proposition6,
+    verify_theorem7,
+    verify_theorem8_part_a,
+    verify_theorem9_part_a,
+)
+
+__all__ = [
+    "Strategy",
+    "NO_BET",
+    "enumerate_strategies",
+    "targeted_strategy",
+    "constant_strategy",
+    "injective_strategy",
+    "opponent_states",
+    "BettingRule",
+    "acceptance_set_rule",
+    "expected_winnings",
+    "breaks_even",
+    "breaks_even_with",
+    "breaks_even_analytic",
+    "is_safe",
+    "is_safe_analytic",
+    "refuting_strategy",
+    "worst_expected_winnings",
+    "VerificationReport",
+    "relevant_alphas",
+    "verify_theorem7",
+    "verify_proposition6",
+    "determines_safe_bets",
+    "verify_theorem8_part_a",
+    "boost_path_labeling",
+    "theorem8_witness",
+    "Theorem8Witness",
+    "verify_theorem9_part_a",
+    "theorem9_witness",
+    "Theorem9Witness",
+    "acceptance_rule_is_safe",
+    "footnote13_threshold_optimality",
+    "EmbeddedSystem",
+    "build_embedded_system",
+    "theorem11_closure",
+    "verify_theorem11",
+]

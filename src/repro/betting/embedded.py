@@ -1,0 +1,296 @@
+"""Putting the betting game into the system (Appendix B.3, Theorem 11).
+
+Given a synchronous system ``R``, a propositional fact ``phi``, a bettor
+``p_i`` and an opponent ``p_j`` with a family of strategies, the paper
+builds a system ``R^phi`` that inserts a betting round after every round of
+``R``: each time-``m`` state of a run splits into a time-``2m`` state where
+``p_i``'s local state is ``(s, ?)`` and a time-``2m+1`` state where it is
+``(s, beta)`` -- ``beta`` being the payoff the opponent's strategy offers
+(or a no-bet marker).  Everyone else's local state is untouched, so the
+opponent cannot even tell the two phases apart; the probability of
+corresponding runs is preserved; and propositional facts keep their truth
+values across a pair of phases.
+
+Theorem 11 then says the following are equivalent for propositional
+``phi``:
+
+(a) ``(P^j, c)      |= K_i^alpha phi``  in ``R``;
+(b) ``(P^j, c_f)    |= K_i^alpha phi``  in ``R^phi``;
+(c) ``(P_post, c_f^+) |= K_i^alpha phi``  in ``R^phi``.
+
+The punchline is (c): *after hearing the offer*, conditioning on the
+agent's own knowledge alone (``P_post``) already accounts for the
+opponent's knowledge -- the offered payoff reveals enough about ``p_j``'s
+state and strategy.
+
+The theorem quantifies over all strategies; the executable version works
+with a finite family closed under the construction the (c)=>(b) direction
+needs -- for every strategy ``g`` and opponent state ``t``, an *injective*
+strategy agreeing with ``g`` at ``t`` (:func:`theorem11_closure`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.assignments import ProbabilityAssignment
+from ..core.facts import Fact, is_fact_about_global_state
+from ..core.model import GlobalState, Point
+from ..core.standard import PostAssignment, opponent_assignment
+from ..errors import BettingError
+from ..probability.fractionutil import ONE, ZERO, as_fraction
+from ..trees.probabilistic_system import ProbabilisticSystem
+from ..trees.tree import ComputationTree
+from .strategies import NO_BET, Strategy, injective_strategy, opponent_states
+from .theorems import VerificationReport, relevant_alphas
+
+NO_OFFER = "no-bet"
+AWAITING = "?"
+
+
+@dataclass(frozen=True)
+class _EmbedEnv:
+    """Environment of an ``R^phi`` state: strategy id + base env + phase."""
+
+    adversary: object
+    strategy_index: int
+    base_environment: object
+    phase: int
+
+
+class EmbeddedSystem:
+    """``R^phi`` together with the correspondences Theorem 11 needs."""
+
+    def __init__(
+        self,
+        base: ProbabilisticSystem,
+        agent: int,
+        opponent: int,
+        strategies: Sequence[Strategy],
+    ) -> None:
+        base.system.require_synchronous()
+        self.base = base
+        self.agent = agent
+        self.opponent = opponent
+        self.strategies: Tuple[Strategy, ...] = tuple(strategies)
+        if not self.strategies:
+            raise BettingError("the embedded system needs at least one strategy")
+        trees: List[ComputationTree] = []
+        for index, strategy in enumerate(self.strategies):
+            for tree in base.trees:
+                trees.append(self._embed_tree(tree, index, strategy))
+        self.psys = ProbabilisticSystem(trees)
+        self._phase_points: Dict[Tuple[int, GlobalState, int], Point] = {}
+        for point in self.psys.system.points:
+            env: _EmbedEnv = point.global_state.environment  # type: ignore[assignment]
+            base_state = self._base_state_of(point.global_state)
+            self._phase_points[(env.strategy_index, base_state, env.phase)] = point
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _embed_locals(
+        self, state: GlobalState, strategy: Strategy, phase: int
+    ) -> Tuple[object, ...]:
+        locals_ = list(state.local_states)
+        mine = locals_[self.agent]
+        if phase == 0:
+            locals_[self.agent] = (mine, AWAITING)
+        else:
+            payoff = strategy.payoff(state.local_states[self.opponent])
+            locals_[self.agent] = (mine, NO_OFFER if payoff is NO_BET else payoff)
+        return tuple(locals_)
+
+    def _embed_state(
+        self, state: GlobalState, tree_adversary, index: int, strategy: Strategy, phase: int
+    ) -> GlobalState:
+        return GlobalState(
+            _EmbedEnv(tree_adversary, index, state.environment, phase),
+            self._embed_locals(state, strategy, phase),
+        )
+
+    def _embed_tree(
+        self, tree: ComputationTree, index: int, strategy: Strategy
+    ) -> ComputationTree:
+        children: Dict[GlobalState, Tuple[GlobalState, ...]] = {}
+        probabilities: Dict[tuple, Fraction] = {}
+
+        def embed(node: GlobalState) -> GlobalState:
+            ask = self._embed_state(node, tree.adversary, index, strategy, 0)
+            offered = self._embed_state(node, tree.adversary, index, strategy, 1)
+            children[ask] = (offered,)
+            probabilities[(ask, offered)] = ONE
+            kids = tree.children(node)
+            if kids:
+                embedded_kids = tuple(embed(child) for child in kids)
+                children[offered] = embedded_kids
+                for child, embedded_child in zip(kids, embedded_kids):
+                    probabilities[(offered, embedded_child)] = tree.edge_probability(
+                        node, child
+                    )
+            return ask
+
+        root = embed(tree.root)
+        return ComputationTree((tree.adversary, index), root, children, probabilities)
+
+    # ------------------------------------------------------------------
+    # Correspondences
+    # ------------------------------------------------------------------
+
+    def _base_state_of(self, state: GlobalState) -> GlobalState:
+        env: _EmbedEnv = state.environment  # type: ignore[assignment]
+        locals_ = list(state.local_states)
+        locals_[self.agent] = locals_[self.agent][0]
+        return GlobalState(env.base_environment, tuple(locals_))
+
+    def embed_fact(self, fact: Fact) -> Fact:
+        """Pull a propositional (state-determined) base fact back to ``R^phi``.
+
+        Condition 3 of the construction: the truth value at ``(r_f, 2m)``
+        and ``(r_f, 2m+1)`` equals the value at ``(r, m)``.
+        """
+        if not is_fact_about_global_state(self.base.system, fact):
+            raise BettingError(
+                "Theorem 11 is stated for propositional facts; "
+                f"{fact.name} is not determined by the global state"
+            )
+        base_system = self.base.system
+        truth: Dict[GlobalState, bool] = {}
+        for point in base_system.points:
+            truth.setdefault(point.global_state, fact.holds_at(point))
+        return Fact(
+            lambda point: truth[self._base_state_of(point.global_state)],
+            name=f"embed({fact.name})",
+        )
+
+    def phase_point(self, base_point: Point, strategy_index: int, phase: int) -> Point:
+        """``c_f`` (phase 0) or ``c_f^+`` (phase 1) for a base point ``c``."""
+        key = (strategy_index, base_point.global_state, phase)
+        try:
+            return self._phase_points[key]
+        except KeyError:
+            raise BettingError("base point has no embedded counterpart") from None
+
+
+def theorem11_closure(
+    base: ProbabilisticSystem, opponent: int, seed_strategies: Sequence[Strategy]
+) -> Tuple[Strategy, ...]:
+    """Close a strategy family as the (c)=>(b) direction of the proof needs.
+
+    The proof picks, for a point ``d_g`` whose opponent state is ``t`` and a
+    payoff ``beta`` the agent may hear, an *injective* strategy ``h`` with
+    ``h(t) = beta``.  The theorem quantifies over all strategies, so in the
+    paper every such ``h`` exists; for a finite family we must add them:
+    for every payoff realized by a seed strategy at any state (including the
+    no-bet outcome) and every opponent state ``t``, an injective strategy
+    offering exactly that payoff at ``t``.
+    """
+    locals_ = opponent_states(base.system, opponent, base.system.points)
+    realized = {
+        strategy.payoff(local) for strategy in seed_strategies for local in locals_
+    }
+    no_bet_realized = NO_BET in realized
+    alphabet = sorted(payoff for payoff in realized if payoff is not NO_BET)
+    filler = Fraction(2)
+    while len(alphabet) < max(len(locals_), 1):
+        if filler not in alphabet:
+            alphabet.append(filler)
+        filler += 1
+    alphabet.sort()
+
+    def injective_from_alphabet(states, pinned_state=None, pinned_payoff=None):
+        table: dict = {}
+        if pinned_state is not None:
+            table[pinned_state] = pinned_payoff
+        pool = [payoff for payoff in alphabet if payoff != pinned_payoff]
+        index = 0
+        for state in states:
+            if state in table:
+                continue
+            table[state] = pool[index]
+            index += 1
+        return Strategy(opponent, table, default=NO_BET, name="closure-injective")
+
+    closed: List[Strategy] = list(seed_strategies)
+    for payoff in alphabet:
+        for local in locals_:
+            closed.append(injective_from_alphabet(locals_, local, payoff))
+    if no_bet_realized:
+        for local in locals_:
+            others = [other for other in locals_ if other != local]
+            closed.append(injective_from_alphabet(others))
+    return tuple(closed)
+
+
+def build_embedded_system(
+    base: ProbabilisticSystem,
+    agent: int,
+    opponent: int,
+    strategies: Sequence[Strategy],
+    close_family: bool = True,
+) -> EmbeddedSystem:
+    """Construct ``R^phi`` over the given (optionally closed) family."""
+    family = (
+        theorem11_closure(base, opponent, strategies) if close_family else tuple(strategies)
+    )
+    return EmbeddedSystem(base, agent, opponent, family)
+
+
+def verify_theorem11(
+    embedded: EmbeddedSystem,
+    fact: Fact,
+    alphas: Optional[Sequence] = None,
+) -> VerificationReport:
+    """Check the three-way equivalence of Theorem 11 exhaustively.
+
+    Quantifies over every base point ``c``, every strategy ``f`` in the
+    family, and a grid of thresholds ``alpha``.
+    """
+    base_opponent_pa = opponent_assignment(embedded.base, embedded.opponent)
+    embedded_opponent_pa = opponent_assignment(embedded.psys, embedded.opponent)
+    embedded_post_pa = ProbabilityAssignment(PostAssignment(embedded.psys))
+    embedded_fact = embedded.embed_fact(fact)
+    report = VerificationReport("Theorem 11", True, 0)
+    base_points = embedded.base.system.points
+    grid = (
+        tuple(as_fraction(alpha) for alpha in alphas)
+        if alphas is not None
+        else relevant_alphas(
+            base_opponent_pa, embedded.agent, fact, base_points
+        )
+    )
+    for base_point in base_points:
+        statement_a_cache: Dict[Fraction, bool] = {}
+        for strategy_index in range(len(embedded.strategies)):
+            ask = embedded.phase_point(base_point, strategy_index, 0)
+            offered = embedded.phase_point(base_point, strategy_index, 1)
+            for alpha in grid:
+                if not ZERO < alpha <= ONE:
+                    continue
+                if alpha not in statement_a_cache:
+                    statement_a_cache[alpha] = base_opponent_pa.knows_probability_at_least(
+                        embedded.agent, base_point, fact, alpha
+                    )
+                statement_a = statement_a_cache[alpha]
+                statement_b = embedded_opponent_pa.knows_probability_at_least(
+                    embedded.agent, ask, embedded_fact, alpha
+                )
+                statement_c = embedded_post_pa.knows_probability_at_least(
+                    embedded.agent, offered, embedded_fact, alpha
+                )
+                report.checked += 1
+                if not statement_a == statement_b == statement_c:
+                    report.holds = False
+                    report.add(
+                        f"MISMATCH at time-{base_point.time} point, strategy "
+                        f"{strategy_index}, alpha={alpha}: "
+                        f"(a)={statement_a} (b)={statement_b} (c)={statement_c}"
+                    )
+    report.add(
+        f"checked {report.checked} (point, strategy, alpha) triples; equivalence "
+        f"{'holds' if report.holds else 'FAILS'}"
+    )
+    return report

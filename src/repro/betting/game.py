@@ -1,0 +1,90 @@
+"""The betting game of Section 6.
+
+At a point ``c``, the opponent ``p_j`` offers agent ``p_i`` a payoff
+``beta`` for a bet on the fact ``phi``.  If ``p_i`` accepts, it pays one
+dollar and receives ``beta`` dollars if ``phi`` is true at ``c``; its net
+gain is ``beta - 1`` or ``-1``.  If it rejects (or no bet is offered), the
+gain is 0.
+
+``Bet(phi, alpha)`` is the rule "accept any bet on ``phi`` with a payoff of
+at least ``1/alpha``" -- the threshold family footnote 13 shows is without
+loss of generality.  :class:`BettingRule` packages the rule; the *winnings
+random variable* ``W_f`` of a rule against a strategy ``f`` is produced by
+:meth:`BettingRule.winnings`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Optional
+
+from ..core.facts import Fact
+from ..core.model import Point
+from ..errors import BettingError
+from ..probability.fractionutil import FractionLike, ONE, ZERO, as_fraction
+from .strategies import NO_BET, Payoff, Strategy
+
+
+class BettingRule:
+    """``Bet(phi, alpha)``: accept any bet on ``phi`` with payoff >= 1/alpha.
+
+    ``alpha`` must lie in ``(0, 1]``; intuitively it is the probability at
+    which the agent is willing to regard ``1/alpha`` as fair odds.
+    """
+
+    __slots__ = ("fact", "alpha", "threshold")
+
+    def __init__(self, fact: Fact, alpha: FractionLike) -> None:
+        self.fact = fact
+        self.alpha = as_fraction(alpha)
+        if not ZERO < self.alpha <= ONE:
+            raise BettingError(f"Bet(phi, alpha) needs alpha in (0, 1], got {self.alpha}")
+        self.threshold = ONE / self.alpha
+
+    def accepts(self, payoff: Payoff) -> bool:
+        """Does the rule accept an offered payoff (None = no bet offered)?"""
+        return payoff is not NO_BET and payoff >= self.threshold
+
+    def gain(self, point: Point, payoff: Payoff) -> Fraction:
+        """The agent's net gain at ``point`` given the offered payoff."""
+        if not self.accepts(payoff):
+            return ZERO
+        if self.fact.holds_at(point):
+            return payoff - ONE
+        return -ONE
+
+    def winnings(self, strategy: Strategy) -> Callable[[Point], Fraction]:
+        """The random variable ``W_f = W_f(phi, alpha)`` on points.
+
+        ``W_f(d)`` is the agent's profit at ``d`` when it follows this rule
+        and the opponent follows ``strategy``.
+        """
+
+        def variable(point: Point) -> Fraction:
+            return self.gain(point, strategy.payoff_at(point))
+
+        return variable
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Bet({self.fact.name}, {self.alpha})"
+
+
+def acceptance_set_rule(
+    fact: Fact, accepted: Callable[[Fraction], bool]
+) -> Callable[[Point, Payoff], Fraction]:
+    """A generalized (non-threshold) acceptance rule, for footnote 13.
+
+    ``accepted(payoff)`` decides acceptance; the return value is a gain
+    function ``(point, payoff) -> Fraction``.  Footnote 13's claim -- any
+    safe acceptance set is equivalent to a threshold rule -- is verified in
+    :func:`repro.betting.theorems.footnote13_threshold_optimality`.
+    """
+
+    def gain(point: Point, payoff: Payoff) -> Fraction:
+        if payoff is NO_BET or not accepted(payoff):
+            return ZERO
+        if fact.holds_at(point):
+            return payoff - ONE
+        return -ONE
+
+    return gain

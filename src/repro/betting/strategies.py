@@ -1,0 +1,169 @@
+"""Opponent strategies in the betting game (Section 6).
+
+A *strategy* for the opponent ``p_j`` is a function from ``p_j``'s local
+state to the payoff it offers for a bet on ``phi`` (or no offer at all).
+This locality is the only assumption the paper makes about the opponent --
+given two points ``p_j`` cannot distinguish, it must offer the same payoff.
+
+The module provides the strategy type, bounded exhaustive enumeration over
+finite payoff menus (for brute-force verification of the theorems), and the
+targeted adversarial constructions used in the proofs of Proposition 6 and
+Theorems 7 and 8 (offer ``1/alpha`` on ``K_j(d)``, a harmless payoff
+everywhere else).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import product
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.model import LocalState, Point, System
+from ..errors import BettingError
+from ..probability.fractionutil import FractionLike, as_fraction
+
+NO_BET = None
+Payoff = Optional[Fraction]
+
+
+class Strategy:
+    """A betting strategy for opponent ``p_j``: local state -> payoff.
+
+    ``table`` maps local states to positive payoffs; states absent from the
+    table get ``default`` (``NO_BET`` unless overridden).  Payoffs must be
+    positive -- the bet costs one dollar and pays the payoff if the fact is
+    true.
+    """
+
+    __slots__ = ("agent", "_table", "_default", "name")
+
+    def __init__(
+        self,
+        agent: int,
+        table: Dict[LocalState, FractionLike],
+        default: Optional[FractionLike] = NO_BET,
+        name: Optional[str] = None,
+    ) -> None:
+        self.agent = agent
+        self._table: Dict[LocalState, Fraction] = {}
+        for local, payoff in table.items():
+            value = as_fraction(payoff)
+            if value <= 0:
+                raise BettingError(f"payoff {value} is not positive")
+            self._table[local] = value
+        self._default: Payoff = None if default is NO_BET else as_fraction(default)
+        if self._default is not None and self._default <= 0:
+            raise BettingError(f"default payoff {self._default} is not positive")
+        self.name = name or f"strategy(p{agent})"
+
+    def payoff(self, local: LocalState) -> Payoff:
+        """The payoff offered when the opponent's local state is ``local``."""
+        return self._table.get(local, self._default)
+
+    def payoff_at(self, point: Point) -> Payoff:
+        """The payoff offered at a point (reads the opponent's local state)."""
+        return self.payoff(point.local_state(self.agent))
+
+    def constant_on(self, points: Iterable[Point]) -> Payoff:
+        """The single payoff offered across a set of points.
+
+        Raises if the opponent distinguishes some of the points -- useful in
+        the Theorem 7 computation, where the opponent's local state is
+        constant on ``Tree^j_ic``.
+        """
+        payoffs = {self.payoff_at(point) for point in points}
+        if len(payoffs) != 1:
+            raise BettingError("opponent offers different payoffs across these points")
+        return payoffs.pop()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        entries = ", ".join(f"{local!r}: {payoff}" for local, payoff in self._table.items())
+        return f"Strategy(p{self.agent}, {{{entries}}}, default={self._default})"
+
+
+def opponent_states(system: System, agent: int, points: Iterable[Point]) -> Tuple[LocalState, ...]:
+    """The opponent's distinct local states across ``points`` (sorted)."""
+    states = {point.local_state(agent) for point in points}
+    return tuple(sorted(states, key=repr))
+
+
+def enumerate_strategies(
+    agent: int,
+    locals_: Sequence[LocalState],
+    menu: Sequence[FractionLike],
+    include_no_bet: bool = True,
+    limit: int = 200_000,
+) -> Iterator[Strategy]:
+    """Every strategy assigning each local state a payoff from the menu.
+
+    With ``include_no_bet`` the opponent may also decline to offer a bet in
+    a state.  Total count is ``(len(menu) + include_no_bet) ** len(locals_)``;
+    exceeding ``limit`` raises rather than silently truncating coverage.
+    """
+    options: List[Payoff] = [as_fraction(payoff) for payoff in menu]
+    if include_no_bet:
+        options = [NO_BET] + options
+    count = len(options) ** len(locals_)
+    if count > limit:
+        raise BettingError(
+            f"{count} strategies exceed the enumeration limit {limit}; "
+            "shrink the menu or the local-state set"
+        )
+    for combination in product(options, repeat=len(locals_)):
+        table = {
+            local: payoff
+            for local, payoff in zip(locals_, combination)
+            if payoff is not NO_BET
+        }
+        yield Strategy(agent, table, default=NO_BET, name="enumerated")
+
+
+def targeted_strategy(
+    agent: int,
+    special_locals: Iterable[LocalState],
+    special_payoff: FractionLike,
+    elsewhere_payoff: FractionLike = 1,
+) -> Strategy:
+    """The proofs' adversarial strategy: ``special_payoff`` on the given
+    local states (typically ``K_j(d)``), ``elsewhere_payoff`` (typically the
+    harmless payoff 1) everywhere else."""
+    table = {local: special_payoff for local in special_locals}
+    return Strategy(
+        agent,
+        table,
+        default=elsewhere_payoff,
+        name=f"targeted({special_payoff} on {len(table)} states)",
+    )
+
+
+def constant_strategy(agent: int, payoff: FractionLike) -> Strategy:
+    """Offer the same payoff in every state (the 'always $2' example)."""
+    return Strategy(agent, {}, default=payoff, name=f"constant({payoff})")
+
+
+def injective_strategy(
+    agent: int,
+    locals_: Sequence[LocalState],
+    pin_local: Optional[LocalState] = None,
+    pin_payoff: Optional[FractionLike] = None,
+) -> Strategy:
+    """A strategy mapping distinct local states to distinct payoffs.
+
+    Theorem 11's proof needs, for any strategy ``g`` and state ``t``, a
+    strategy ``h`` with ``h(t) = g(t)`` that is injective elsewhere; pin the
+    required value via ``pin_local`` / ``pin_payoff`` and the rest get fresh
+    integer payoffs ``2, 3, 4, ...`` skipping the pinned value.
+    """
+    table: Dict[LocalState, Fraction] = {}
+    pinned = as_fraction(pin_payoff) if pin_payoff is not None else None
+    if pin_local is not None and pinned is not None:
+        table[pin_local] = pinned
+    next_payoff = Fraction(2)
+    for local in locals_:
+        if local in table:
+            continue
+        while pinned is not None and next_payoff == pinned or next_payoff in table.values():
+            next_payoff += 1
+        table[local] = next_payoff
+        next_payoff += 1
+    return Strategy(agent, table, default=NO_BET, name="injective")

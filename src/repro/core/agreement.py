@@ -1,0 +1,288 @@
+"""Aumann's agreement theorem, executable (Appendix B.3's closing remark).
+
+The appendix observes that if the betting dialogue continues until the
+offered odds stabilise, Aumann's theorem [Aum76] applies: rational agents
+with a common prior "cannot agree to disagree" -- if their posterior
+probabilities for a fact are common knowledge, the posteriors are equal.
+
+Our systems provide exactly Aumann's setting once we fix a computation tree
+and a time ``k`` in a synchronous system: the state space is the set of
+time-``k`` points, the common prior is the tree's run measure, each agent's
+information partition is its knowledge partition restricted to the slice,
+and the posterior is ``P_post``.  The *meet* (finest common coarsening) of
+the partitions is the carrier of common knowledge; the theorem says that on
+any meet cell where every agent's posterior is constant, all those
+constants coincide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..errors import ModelError
+from ..trees.probabilistic_system import ProbabilisticSystem
+from ..trees.tree import ComputationTree
+from .assignments import ProbabilityAssignment
+from .facts import Fact
+from .model import Point
+from .standard import PostAssignment
+
+PointSet = FrozenSet[Point]
+
+
+def knowledge_partition(
+    psys: ProbabilisticSystem, agent: int, slice_points: Sequence[Point]
+) -> List[PointSet]:
+    """The agent's information partition restricted to a point slice.
+
+    Requires the slice to be closed under the agent's indistinguishability
+    (true for time slices of a synchronous system).
+    """
+    slice_set = frozenset(slice_points)
+    cells: List[PointSet] = []
+    seen: set = set()
+    for point in slice_points:
+        if point in seen:
+            continue
+        cell = psys.system.knowledge_set(agent, point)
+        if not cell <= slice_set:
+            raise ModelError(
+                "slice is not closed under the agent's indistinguishability; "
+                "use a time slice of a synchronous system"
+            )
+        cells.append(cell)
+        seen |= cell
+    return cells
+
+
+def meet_partition(partitions: Sequence[Sequence[PointSet]]) -> List[PointSet]:
+    """The meet: the finest partition coarser than every given partition.
+
+    Its cells are the connected components of the graph joining any two
+    points that share a cell in *some* partition -- exactly the reachability
+    notion underlying common knowledge (HM90).
+    """
+    parent: Dict[Point, Point] = {}
+
+    def find(point: Point) -> Point:
+        root = point
+        while parent[root] != root:
+            root = parent[root]
+        while parent[point] != root:
+            parent[point], point = root, parent[point]
+        return root
+
+    def union(first: Point, second: Point) -> None:
+        parent[find(first)] = find(second)
+
+    for partition in partitions:
+        for cell in partition:
+            for point in cell:
+                parent.setdefault(point, point)
+    for partition in partitions:
+        for cell in partition:
+            members = list(cell)
+            for other in members[1:]:
+                union(members[0], other)
+    components: Dict[Point, set] = {}
+    for point in parent:
+        components.setdefault(find(point), set()).add(point)
+    return [frozenset(component) for component in components.values()]
+
+
+@dataclass
+class AgreementReport:
+    """Outcome of checking Aumann's theorem on one time slice."""
+
+    holds: bool
+    slice_size: int
+    meet_cells: int
+    disagreements: List[Tuple[PointSet, Dict[int, Fraction]]]
+
+
+def aumann_agreement(
+    psys: ProbabilisticSystem,
+    tree: ComputationTree,
+    time: int,
+    group: Sequence[int],
+    fact: Fact,
+    assignment: Optional[ProbabilityAssignment] = None,
+) -> AgreementReport:
+    """Check Aumann's agreement theorem on one tree's time-``k`` slice.
+
+    For every meet cell on which each group member's posterior probability
+    of ``fact`` is constant (i.e. the posteriors are common knowledge
+    there), those constants must all be equal.  Returns the verification
+    report; ``disagreements`` is empty exactly when the theorem holds.
+    """
+    psys.system.require_synchronous()
+    posterior = assignment or ProbabilityAssignment(PostAssignment(psys))
+    slice_points = [point for point in tree.points if point.time == time]
+    if not slice_points:
+        raise ModelError(f"tree has no points at time {time}")
+    partitions = [
+        knowledge_partition(psys, agent, slice_points) for agent in group
+    ]
+    meet = meet_partition(partitions)
+    disagreements: List[Tuple[PointSet, Dict[int, Fraction]]] = []
+    for cell in meet:
+        constants: Dict[int, Fraction] = {}
+        all_constant = True
+        for agent in group:
+            values = {
+                posterior.inner_probability(agent, point, fact) for point in cell
+            }
+            if len(values) == 1:
+                constants[agent] = values.pop()
+            else:
+                all_constant = False
+        if all_constant and len(set(constants.values())) > 1:
+            disagreements.append((cell, constants))
+    return AgreementReport(
+        holds=not disagreements,
+        slice_size=len(slice_points),
+        meet_cells=len(meet),
+        disagreements=disagreements,
+    )
+
+
+@dataclass
+class DialogueRound:
+    """One round of the posterior-announcement dialogue."""
+
+    speaker: int
+    announced: Fraction
+    partitions_after: Dict[int, int]  # agent -> number of cells
+
+
+@dataclass
+class DialogueResult:
+    """Outcome of :func:`agreement_dialogue`."""
+
+    rounds: List[DialogueRound]
+    final_posteriors: Dict[int, Fraction]
+    agreed: bool
+
+
+def agreement_dialogue(
+    psys: ProbabilisticSystem,
+    tree: ComputationTree,
+    time: int,
+    agents: Sequence[int],
+    fact: Fact,
+    start: Point,
+    max_rounds: int = 32,
+) -> DialogueResult:
+    """The Geanakoplos-Polemarchakis announcement process behind Appendix
+    B.3's closing remark.
+
+    Agents take turns announcing their current posterior for ``fact``.
+    Each announcement is public, so every listener refines its information
+    partition by the set of points where the speaker would have announced
+    that same value.  With a common prior (the tree's run measure) the
+    process converges, and at convergence the posteriors are common
+    knowledge -- hence, by Aumann's theorem, equal: "rational agents cannot
+    agree to disagree".
+
+    Returns the round-by-round transcript and the final posteriors at the
+    ``start`` point.
+    """
+    psys.system.require_synchronous()
+    slice_points = [point for point in tree.points if point.time == time]
+    if start not in slice_points:
+        raise ModelError("start point must lie on the chosen slice")
+    prior_space = tree.run_space()
+    total = prior_space.measure(prior_space.outcomes)
+
+    def point_mass(point: Point) -> Fraction:
+        return prior_space.measure({point.run}) / total
+
+    fact_points = {point for point in slice_points if fact.holds_at(point)}
+
+    def posterior(cell: PointSet) -> Fraction:
+        weight = sum((point_mass(point) for point in cell), Fraction(0))
+        if weight == 0:
+            raise ModelError("zero-prior cell in the dialogue")
+        hit = sum((point_mass(point) for point in cell if point in fact_points), Fraction(0))
+        return hit / weight
+
+    # current information: per agent, the partition of the slice
+    partitions: Dict[int, List[PointSet]] = {
+        agent: knowledge_partition(psys, agent, slice_points) for agent in agents
+    }
+
+    def cell_of(agent: int, point: Point) -> PointSet:
+        return next(cell for cell in partitions[agent] if point in cell)
+
+    rounds: List[DialogueRound] = []
+    stable = 0
+    turn = 0
+    last_announced: Dict[int, Optional[Fraction]] = {agent: None for agent in agents}
+    while stable < len(agents) and len(rounds) < max_rounds:
+        speaker = agents[turn % len(agents)]
+        value = posterior(cell_of(speaker, start))
+        # the event "speaker announces `value`": all points whose speaker
+        # cell has that posterior
+        announcement = frozenset(
+            point
+            for cell in partitions[speaker]
+            if posterior(cell) == value
+            for point in cell
+        )
+        for agent in agents:
+            refined: List[PointSet] = []
+            for cell in partitions[agent]:
+                inside = cell & announcement
+                outside = cell - announcement
+                if inside:
+                    refined.append(inside)
+                if outside:
+                    refined.append(outside)
+            partitions[agent] = refined
+        if last_announced[speaker] == value:
+            stable += 1
+        else:
+            stable = 1
+        last_announced[speaker] = value
+        rounds.append(
+            DialogueRound(
+                speaker=speaker,
+                announced=value,
+                partitions_after={agent: len(partitions[agent]) for agent in agents},
+            )
+        )
+        turn += 1
+    final = {agent: posterior(cell_of(agent, start)) for agent in agents}
+    return DialogueResult(
+        rounds=rounds,
+        final_posteriors=final,
+        agreed=len(set(final.values())) == 1,
+    )
+
+
+def common_knowledge_of_posteriors(
+    psys: ProbabilisticSystem,
+    tree: ComputationTree,
+    time: int,
+    group: Sequence[int],
+    fact: Fact,
+    point: Point,
+    assignment: Optional[ProbabilityAssignment] = None,
+) -> bool:
+    """Is the profile of posteriors at ``point`` common knowledge there?
+
+    True iff every agent's posterior is constant on the meet cell containing
+    the point -- the hypothesis of Aumann's theorem at a specific point.
+    """
+    posterior = assignment or ProbabilityAssignment(PostAssignment(psys))
+    slice_points = [candidate for candidate in tree.points if candidate.time == time]
+    partitions = [knowledge_partition(psys, agent, slice_points) for agent in group]
+    meet = meet_partition(partitions)
+    cell = next(cell for cell in meet if point in cell)
+    for agent in group:
+        values = {posterior.inner_probability(agent, member, fact) for member in cell}
+        if len(values) != 1:
+            return False
+    return True

@@ -1,0 +1,178 @@
+"""Facts: sets of points, with the paper's classification predicates.
+
+Section 2 identifies a fact ``phi`` with the set of points at which it is
+true.  :class:`Fact` wraps a predicate on points (plus a printable name) and
+supports the boolean combinators.  The module also provides the paper's two
+classification notions:
+
+* a *fact about the run* -- same truth value at every point of a run;
+* a *fact about the global state* -- same truth value at every point with
+  the same global state.
+
+Primitive propositions of a *state-generated* language (Section 5) must be
+facts about the global state; :func:`is_fact_about_global_state` is the
+checker Proposition 3's hypotheses rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Hashable, Iterable, Optional
+
+from .model import GlobalState, Point, Run, System
+
+Predicate = Callable[[Point], bool]
+
+
+class Fact:
+    """A fact: a predicate on points, identified with its extension.
+
+    Facts are composable with ``&``, ``|``, ``~`` and ``>>`` (implication),
+    mirroring how the logic's boolean connectives act on extensions.
+    """
+
+    __slots__ = ("_predicate", "name")
+
+    def __init__(self, predicate: Predicate, name: Optional[str] = None) -> None:
+        self._predicate = predicate
+        self.name = name or "<fact>"
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def holds_at(self, point: Point) -> bool:
+        """``(r, k) |= phi``."""
+        return bool(self._predicate(point))
+
+    def __call__(self, point: Point) -> bool:
+        return self.holds_at(point)
+
+    def points(self, system: System) -> FrozenSet[Point]:
+        """The extension of the fact within ``system``."""
+        return frozenset(point for point in system.points if self.holds_at(point))
+
+    def restricted_to(self, points: Iterable[Point]) -> FrozenSet[Point]:
+        """``S(phi)``: the subset of ``points`` satisfying the fact."""
+        return frozenset(point for point in points if self.holds_at(point))
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+
+    def __and__(self, other: "Fact") -> "Fact":
+        return Fact(
+            lambda point: self.holds_at(point) and other.holds_at(point),
+            name=f"({self.name} & {other.name})",
+        )
+
+    def __or__(self, other: "Fact") -> "Fact":
+        return Fact(
+            lambda point: self.holds_at(point) or other.holds_at(point),
+            name=f"({self.name} | {other.name})",
+        )
+
+    def __invert__(self) -> "Fact":
+        return Fact(lambda point: not self.holds_at(point), name=f"~{self.name}")
+
+    def __rshift__(self, other: "Fact") -> "Fact":
+        return Fact(
+            lambda point: (not self.holds_at(point)) or other.holds_at(point),
+            name=f"({self.name} -> {other.name})",
+        )
+
+    def iff(self, other: "Fact") -> "Fact":
+        """Material biconditional (used for ``phi_CA``: A attacks iff B attacks)."""
+        return Fact(
+            lambda point: self.holds_at(point) == other.holds_at(point),
+            name=f"({self.name} <-> {other.name})",
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Fact({self.name})"
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_points(cls, points: Iterable[Point], name: Optional[str] = None) -> "Fact":
+        """The fact whose extension is exactly ``points``."""
+        point_set = frozenset(points)
+        return cls(point_set.__contains__, name=name or "<point set>")
+
+    @classmethod
+    def about_global_state(
+        cls, predicate: Callable[[GlobalState], bool], name: Optional[str] = None
+    ) -> "Fact":
+        """A fact determined by the global state (always state-generated)."""
+        return cls(lambda point: predicate(point.global_state), name=name)
+
+    @classmethod
+    def about_local_state(
+        cls, agent: int, predicate: Callable[[Hashable], bool], name: Optional[str] = None
+    ) -> "Fact":
+        """A fact determined by one agent's local state."""
+        return cls(lambda point: predicate(point.local_state(agent)), name=name)
+
+    @classmethod
+    def about_run(
+        cls, predicate: Callable[[Run], bool], name: Optional[str] = None
+    ) -> "Fact":
+        """A fact determined by the run (same value at all its points)."""
+        return cls(lambda point: predicate(point.run), name=name)
+
+    @classmethod
+    def at_global_state(cls, state: GlobalState, name: Optional[str] = None) -> "Fact":
+        """The "sufficient richness" primitive: true exactly at points with
+        global state ``state`` (Section 5)."""
+        return cls(
+            lambda point: point.global_state == state,
+            name=name or f"@{state!r}",
+        )
+
+    @classmethod
+    def always_true(cls) -> "Fact":
+        """The trivially true fact."""
+        return cls(lambda point: True, name="true")
+
+    @classmethod
+    def always_false(cls) -> "Fact":
+        """The trivially false fact."""
+        return cls(lambda point: False, name="false")
+
+
+# ----------------------------------------------------------------------
+# Classification (Section 2)
+# ----------------------------------------------------------------------
+
+
+def is_fact_about_run(system: System, fact: Fact) -> bool:
+    """True iff the fact has the same value at every point of each run."""
+    for run in system.runs:
+        values = {fact.holds_at(point) for point in run.points()}
+        if len(values) > 1:
+            return False
+    return True
+
+
+def is_fact_about_global_state(system: System, fact: Fact) -> bool:
+    """True iff points sharing a global state agree on the fact."""
+    value_by_state: dict = {}
+    for point in system.points:
+        state = point.global_state
+        value = fact.holds_at(point)
+        if state in value_by_state and value_by_state[state] != value:
+            return False
+        value_by_state[state] = value
+    return True
+
+
+def state_generated_point_set(system: System, points: Iterable[Point]) -> bool:
+    """Section 5: a point set is *state generated* if it contains every
+    point sharing a global state with one of its members."""
+    point_set = frozenset(points)
+    states = {point.global_state for point in point_set}
+    for point in system.points:
+        if point.global_state in states and point not in point_set:
+            return False
+    return True

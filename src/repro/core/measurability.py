@@ -1,0 +1,72 @@
+"""Measurability of facts with respect to probability assignments.
+
+Section 5 defines ``phi`` to be *measurable with respect to* ``S`` if
+``S_ic(phi)`` is measurable in every induced space ``P_ic``.  Proposition 3
+shows that in a synchronous system, with a consistent standard assignment
+and a state-generated language, *every* fact of ``L(Phi)`` is measurable --
+and Section 7 shows this fails in asynchronous systems (the "most recent
+coin toss landed heads" example).  This module provides the checkers; the
+logic package feeds them formula extensions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from .assignments import ProbabilityAssignment
+from .facts import Fact
+from .model import Point, System
+
+
+def non_measurable_sites(
+    assignment: ProbabilityAssignment, fact: Fact
+) -> Tuple[Tuple[int, Point], ...]:
+    """Every (agent, point) at which ``S_ic(phi)`` fails to be measurable."""
+    system = assignment.psys.system
+    failures: List[Tuple[int, Point]] = []
+    for agent in system.agents:
+        for point in system.points:
+            if not assignment.is_measurable_at(agent, point, fact):
+                failures.append((agent, point))
+    return tuple(failures)
+
+
+def measurability_report(
+    assignment: ProbabilityAssignment, facts: Mapping[str, Fact]
+) -> Dict[str, bool]:
+    """Map each named fact to whether it is measurable w.r.t. the assignment."""
+    return {name: assignment.is_measurable(fact) for name, fact in facts.items()}
+
+
+def proposition3_instance(
+    assignment: ProbabilityAssignment, facts: Iterable[Fact]
+) -> bool:
+    """Check Proposition 3's conclusion for the given facts.
+
+    The caller is responsible for the hypotheses (synchronous system,
+    consistent standard assignment, state-generated language); this function
+    verifies the conclusion -- every supplied fact is measurable.  The logic
+    package's :func:`~repro.logic.language.generate_language` produces the
+    fact set from primitive propositions, closing under the paper's
+    connectives.
+    """
+    return all(assignment.is_measurable(fact) for fact in facts)
+
+
+def sufficient_richness_propositions(system: System) -> Dict[str, Fact]:
+    """The primitive propositions making ``L(Phi)`` *sufficiently rich*.
+
+    Section 5: for every global state ``g`` there is a primitive proposition
+    true at precisely the points with global state ``g``.  Returns one
+    ``Fact`` per global state, keyed by a stable name.
+    """
+    propositions: Dict[str, Fact] = {}
+    seen: set = set()
+    for index, point in enumerate(system.points):
+        state = point.global_state
+        if state in seen:
+            continue
+        seen.add(state)
+        name = f"at_state_{len(propositions)}"
+        propositions[name] = Fact.at_global_state(state, name=name)
+    return propositions

@@ -1,0 +1,86 @@
+"""Exception hierarchy shared by every subsystem of the reproduction.
+
+Keeping the exceptions in one flat module lets callers catch broad classes
+(``ReproError``) or precise ones (``NotMeasurableError``) without importing
+the subsystem that raised them.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ProbabilityError(ReproError):
+    """Base class for errors raised by the measure-theory substrate."""
+
+
+class NotMeasurableError(ProbabilityError):
+    """An event (or random variable) is not measurable in the given space.
+
+    The paper handles non-measurable events with inner and outer measures
+    (Section 5 and Section 7); this error signals that a caller asked for an
+    exact probability where only bounds exist.
+    """
+
+
+class NotAPartitionError(ProbabilityError):
+    """A proposed atom collection does not partition the sample space."""
+
+
+class InvalidMeasureError(ProbabilityError):
+    """Atom probabilities are negative or do not sum to one."""
+
+
+class ZeroMeasureConditioningError(ProbabilityError):
+    """Conditioning on an event of measure zero is undefined."""
+
+
+class ModelError(ReproError):
+    """Base class for errors in the runs/points/knowledge model."""
+
+
+class SynchronyError(ModelError):
+    """An operation that requires a synchronous system was applied to an
+    asynchronous one (or vice versa)."""
+
+
+class TreeError(ReproError):
+    """Base class for errors in the computation-tree substrate."""
+
+
+class TechnicalAssumptionError(TreeError):
+    """The paper's technical assumption is violated: the environment state
+    must encode the adversary and the full history, so a global state may
+    appear in at most one computation tree and at most once per tree."""
+
+
+class AssignmentError(ReproError):
+    """Base class for errors about sample-space / probability assignments."""
+
+
+class Req1Error(AssignmentError):
+    """REQ1 violated: a sample space contains points from more than one
+    computation tree (Section 5)."""
+
+
+class Req2Error(AssignmentError):
+    """REQ2 violated: the runs through a sample space are not a measurable
+    set of positive measure (Section 5)."""
+
+
+class LogicError(ReproError):
+    """Base class for errors in the logic L(Phi)."""
+
+
+class ParseError(LogicError):
+    """A formula string could not be parsed."""
+
+
+class BettingError(ReproError):
+    """Base class for errors in the betting-game engine."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors in the distributed-system simulator."""

@@ -1,0 +1,186 @@
+"""Freund's puzzle of the two aces (Appendix B.1, after Shafer).
+
+A four-card deck -- the ace and deuce of hearts and spades -- is shuffled
+and two cards are dealt to ``p_1``.  What probability should ``p_2`` assign
+to "``p_1`` holds both aces" as ``p_1`` makes announcements?  Shafer's
+point, which the appendix endorses: *it depends on the protocol ``p_1`` is
+following*, and ``P_post`` computes the right answer once the protocol is
+part of the system.
+
+Three protocols are modeled:
+
+* **ask-then-ask** -- ``p_1`` first says whether it holds an ace, then
+  whether it holds the ace of spades.  Hearing "yes, yes" takes ``p_2``'s
+  probability from 1/6 to 1/5 to **1/3**.
+* **reveal-random** -- ``p_1`` says whether it holds an ace, then names the
+  suit of an ace it holds, choosing *at random* if it holds both.  Hearing
+  "spades" now teaches nothing: the probability stays **1/5**.
+* **reveal-hearts-bias** (footnote 20) -- as above but ``p_1`` always says
+  hearts when it holds both aces; hearing "spades" then drops the
+  probability of both aces to **0**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from itertools import combinations
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..core.assignments import ProbabilityAssignment
+from ..core.facts import Fact
+from ..core.model import Point
+from ..core.standard import PostAssignment
+from ..trees.builder import build_tree
+from ..trees.probabilistic_system import ProbabilisticSystem, single_tree_system
+
+P1, P2 = 0, 1
+
+ACE_SPADES = "AS"
+ACE_HEARTS = "AH"
+DEUCE_SPADES = "2S"
+DEUCE_HEARTS = "2H"
+DECK = (ACE_SPADES, ACE_HEARTS, DEUCE_SPADES, DEUCE_HEARTS)
+
+Hand = FrozenSet[str]
+HANDS: Tuple[Hand, ...] = tuple(
+    frozenset(hand) for hand in combinations(DECK, 2)
+)
+
+
+def _has_ace(hand: Hand) -> bool:
+    return bool(hand & {ACE_SPADES, ACE_HEARTS})
+
+
+@dataclass
+class AcesExample:
+    """One protocol's system, plus the events of the puzzle."""
+
+    name: str
+    psys: ProbabilisticSystem
+    both_aces: Fact          # A
+    at_least_one_ace: Fact   # B
+    has_ace_of_spades: Fact  # C
+    has_ace_of_hearts: Fact  # D
+
+
+def _hand_fact(predicate, name: str) -> Fact:
+    return Fact.about_local_state(
+        P1, lambda local: predicate(frozenset(local[0])), name=name
+    )
+
+
+def _build(name: str, protocol: str) -> AcesExample:
+    """Unfold a protocol into a tree.
+
+    Time 0: nothing dealt.  Time 1: the hand is dealt (chance, uniform over
+    the six hands).  Time 2: the first announcement.  Time 3: the second
+    announcement.  ``p_1``'s local state is its hand; ``p_2``'s local state
+    is the transcript of announcements heard.  Both are clock-stamped by
+    construction (states grow each round), so the system is synchronous.
+    """
+
+    def step(time, locals_, extra):
+        hand_state, transcript = locals_
+        if time == 0:
+            return tuple(
+                (
+                    Fraction(1, 6),
+                    tuple(sorted(hand)),
+                    ((tuple(sorted(hand)), 1), (transcript[0] + ("dealt",), 1)),
+                    None,
+                )
+                for hand in HANDS
+            )
+        hand = frozenset(hand_state[0])
+        if time == 1:
+            answer = "yes-ace" if _has_ace(hand) else "no-ace"
+            return (
+                (
+                    Fraction(1),
+                    answer,
+                    ((hand_state[0], 2), (transcript[0] + (answer,), 2)),
+                    None,
+                ),
+            )
+        if time == 2:
+            return _second_announcement(protocol, hand, hand_state, transcript)
+        return ()
+
+    tree = build_tree(name, (("undealt", 0), ((), 0)), step, max_depth=4)
+    psys = single_tree_system(tree)
+    return AcesExample(
+        name=name,
+        psys=psys,
+        both_aces=_hand_fact(
+            lambda hand: hand == {ACE_SPADES, ACE_HEARTS}, "both_aces"
+        ),
+        at_least_one_ace=_hand_fact(_has_ace, "at_least_one_ace"),
+        has_ace_of_spades=_hand_fact(lambda hand: ACE_SPADES in hand, "has_AS"),
+        has_ace_of_hearts=_hand_fact(lambda hand: ACE_HEARTS in hand, "has_AH"),
+    )
+
+
+def _second_announcement(protocol: str, hand: Hand, hand_state, transcript):
+    def branch(probability, answer):
+        return (
+            probability,
+            answer,
+            ((hand_state[0], 3), (transcript[0] + (answer,), 3)),
+            None,
+        )
+
+    if protocol == "ask-then-ask":
+        answer = "yes-spades" if ACE_SPADES in hand else "no-spades"
+        return (branch(Fraction(1), answer),)
+    if not _has_ace(hand):
+        return (branch(Fraction(1), "silent"),)
+    holds_spades = ACE_SPADES in hand
+    holds_hearts = ACE_HEARTS in hand
+    if protocol == "reveal-random":
+        if holds_spades and holds_hearts:
+            return (
+                branch(Fraction(1, 2), "say-spades"),
+                branch(Fraction(1, 2), "say-hearts"),
+            )
+    if protocol == "reveal-hearts-bias":
+        if holds_spades and holds_hearts:
+            return (branch(Fraction(1), "say-hearts"),)
+    answer = "say-spades" if holds_spades else "say-hearts"
+    return (branch(Fraction(1), answer),)
+
+
+def ask_then_ask() -> AcesExample:
+    """Protocol I: announce "ace?", then "ace of spades?"."""
+    return _build("aces/ask-then-ask", "ask-then-ask")
+
+
+def reveal_random() -> AcesExample:
+    """Protocol II: announce "ace?", then reveal a held ace's suit, random
+    tie-break."""
+    return _build("aces/reveal-random", "reveal-random")
+
+
+def reveal_hearts_bias() -> AcesExample:
+    """Protocol III (footnote 20): always say hearts when holding both."""
+    return _build("aces/reveal-hearts-bias", "reveal-hearts-bias")
+
+
+def posterior_after(
+    example: AcesExample, transcript_suffix: Tuple[str, ...], fact: Fact
+) -> Fraction:
+    """``p_2``'s ``P_post`` probability of ``fact`` at the (unique class of)
+    points whose announcement transcript ends with the given suffix."""
+    post = ProbabilityAssignment(PostAssignment(example.psys))
+    system = example.psys.system
+    candidates = []
+    for point in system.points:
+        transcript = point.local_state(P2)[0]
+        if tuple(transcript[-len(transcript_suffix):]) == tuple(transcript_suffix):
+            candidates.append(point)
+    if not candidates:
+        raise ValueError(f"no point matches transcript suffix {transcript_suffix!r}")
+    values = {post.inner_probability(P2, point, fact) for point in candidates}
+    if len(values) != 1:
+        raise ValueError(f"posterior not uniform across matching points: {values}")
+    return values.pop()

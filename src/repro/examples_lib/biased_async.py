@@ -1,0 +1,95 @@
+"""The Section 7 closing example: ``P_pts`` versus Fischer-Zuck ``P_state``.
+
+``p_1`` tosses a coin biased 0.99 towards heads.  The system has two runs
+``h`` and ``t`` and four points; the computation tree has three nodes: the
+root ``R`` (carrying the points ``(h,0)`` and ``(t,0)``), ``H`` = ``(h,1)``
+and ``T`` = ``(t,1)``.  Agent ``p_2`` can distinguish *only* ``(h,1)`` from
+the other three points.
+
+For the fact "the coin lands heads" at a time-0 point:
+
+* a ``pts`` adversary picks one point per run from ``p_2``'s region
+  {(h,0),(t,0),(t,1)} -- either {(h,0),(t,0)} or {(h,0),(t,1)} -- and heads
+  has probability 0.99 under both, so ``P_pts |= K_2^[0.99, 0.99] heads``;
+* a Fischer-Zuck ``state`` adversary picks an antichain of *global states*
+  -- {R} or {T}; the choice {T} yields probability 0, so
+  ``P_state |= K_2^[0, 0.99] heads`` and nothing sharper.
+
+The paper's verdict: ``P_pts`` gives the more reasonable answer, since
+``p_2`` has learned nothing that should shake its 0.99 prior.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Tuple
+
+from ..core.facts import Fact
+from ..core.model import Point
+from ..core.standard import OpponentAssignment, PostAssignment
+from ..probability.fractionutil import FractionLike, as_fraction
+from ..trees.builder import build_tree, chance_step
+from ..trees.probabilistic_system import ProbabilisticSystem, single_tree_system
+
+P1, P2 = 0, 1
+
+
+@dataclass
+class BiasedAsyncExample:
+    """The 0.99-coin system, its fact, and the anchor points."""
+
+    psys: ProbabilisticSystem
+    heads: Fact
+    time0_points: Tuple[Point, ...]
+    region_owner: int = P2
+
+
+def biased_async_system(
+    heads_probability: FractionLike = Fraction(99, 100)
+) -> BiasedAsyncExample:
+    """Build the two-run system with ``p_2``'s odd information structure.
+
+    ``p_1`` sees the outcome at time 1.  ``p_2``'s local state is ``"blind"``
+    everywhere except at ``(h,1)``, where it is ``"saw-h1"`` -- realised
+    directly via the tree builder (no protocol generates exactly this
+    structure, and the paper specifies it pointwise).
+    """
+    probability = as_fraction(heads_probability)
+
+    def step(time, locals_, extra):
+        if time == 0:
+            return chance_step(
+                [
+                    (probability, "heads", ("p1-saw-heads", "saw-h1")),
+                    (1 - probability, "tails", ("p1-saw-tails", "blind")),
+                ]
+            )
+        return ()
+
+    tree = build_tree("biased", ("p1-ready", "blind"), step)
+    psys = single_tree_system(tree)
+    heads = Fact.about_run(
+        lambda run: "heads" in run.states[-1].environment.history, name="heads"
+    )
+    time0 = tuple(point for point in psys.system.points if point.time == 0)
+    return BiasedAsyncExample(psys, heads, time0)
+
+
+def pts_versus_state_intervals(
+    example: BiasedAsyncExample,
+) -> Tuple[Tuple[Fraction, Fraction], Tuple[Fraction, Fraction]]:
+    """The sharpest ``K_2^[a,b] heads`` intervals under the two adversary
+    classes, at a time-0 point.  Expected: ``(0.99, 0.99)`` for ``pts`` and
+    ``(0, 0.99)`` for ``state``."""
+    from ..core.cuts import interval_over_cuts
+
+    post = PostAssignment(example.psys)
+    anchor = example.time0_points[0]
+    pts = interval_over_cuts(
+        example.psys, post, P2, anchor, example.heads, cut_class="pts"
+    )
+    state = interval_over_cuts(
+        example.psys, post, P2, anchor, example.heads, cut_class="state"
+    )
+    return pts, state

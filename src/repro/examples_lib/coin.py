@@ -1,0 +1,131 @@
+"""The paper's running coin-toss examples, ready-made.
+
+* :func:`single_coin_system` -- Section 3's opener: one agent tosses a fair
+  coin once and halts; two runs with probability 1/2 each.
+* :func:`three_agent_coin_system` -- the introduction's example: ``p_3``
+  tosses at time 0 and observes the outcome at time 1; ``p_1`` and ``p_2``
+  never learn it.  The probability ``p_1`` should assign to heads at time 1
+  is 1/2 against ``p_2`` and "0 or 1, I don't know which" against ``p_3``.
+* :func:`repeated_coin_system` -- Section 7's asynchronous example: ``p_3``
+  tosses once per tick for ``tosses`` ticks; ``p_1`` has no clock (its local
+  state never changes), ``p_2`` has a clock.  The fact "the most recent coin
+  toss landed heads" is non-measurable for ``p_1``, with inner measure
+  ``2**-tosses`` and outer measure ``1 - 2**-tosses`` over the post-toss
+  points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import FrozenSet, Tuple
+
+from ..core.assignments import FunctionAssignment, SampleSpaceAssignment
+from ..core.facts import Fact
+from ..core.model import Point
+from ..probability.fractionutil import FractionLike
+from ..systems.agents import CoinTossingAgent, IdleAgent, RepeatedCoinTosser
+from ..systems.synchronous import SyncProtocol, protocol_system
+from ..trees.probabilistic_system import ProbabilisticSystem
+
+P1, P2, P3 = 0, 1, 2
+
+
+@dataclass
+class CoinExample:
+    """A coin system plus the facts its analysis needs."""
+
+    psys: ProbabilisticSystem
+    heads: Fact
+
+
+def single_coin_system() -> CoinExample:
+    """One agent, one fair coin, two runs of probability 1/2 each."""
+    protocol = SyncProtocol(agents=[CoinTossingAgent(Fraction(1, 2))], horizon=1)
+    psys = protocol_system(protocol, {"only": [None]})
+    heads = Fact.about_local_state(
+        0, lambda local: local[0] == "saw-heads", name="heads"
+    )
+    return CoinExample(psys, heads)
+
+
+def three_agent_coin_system(
+    heads_probability: FractionLike = Fraction(1, 2)
+) -> CoinExample:
+    """The introduction's betting scenario (synchronous, all clocked).
+
+    ``p_3`` (agent 2) tosses at round 0 and sees the outcome from time 1 on;
+    ``p_1`` (agent 0) and ``p_2`` (agent 1) are idle observers.
+    """
+    protocol = SyncProtocol(
+        agents=[IdleAgent(), IdleAgent(), CoinTossingAgent(heads_probability)],
+        horizon=1,
+    )
+    psys = protocol_system(protocol, {"only": [None, None, None]})
+    heads = Fact.about_local_state(
+        P3,
+        lambda local: local[0] == "saw-heads",
+        name="heads",
+    )
+    return CoinExample(psys, heads)
+
+
+@dataclass
+class RepeatedCoinExample:
+    """Section 7's ten-toss system and its analysis ingredients."""
+
+    psys: ProbabilisticSystem
+    most_recent_heads: Fact
+    post_toss_points: FrozenSet[Point]
+    tosses: int
+
+    def post_toss_assignment(self) -> SampleSpaceAssignment:
+        """``Tree_ic`` restricted to post-toss points (times >= 1).
+
+        The paper computes the inner measure ``2**-tosses`` treating every
+        point of the system as a possible test point *after a toss has
+        happened*; the time-0 root, where "the most recent toss landed
+        heads" is vacuously false, is excluded.  This is an instance of the
+        generalized type-3 adversary that "does not give p_i the chance to
+        bet in certain runs" -- here, at the pre-toss instant.
+        """
+        post = self.post_toss_points
+
+        def sample(agent: int, point: Point):
+            tree = self.psys.tree_of(point)
+            local = point.local_state(agent)
+            return frozenset(
+                candidate
+                for candidate in tree.points
+                if candidate in post and candidate.local_state(agent) == local
+            )
+
+        return FunctionAssignment(self.psys, sample, name="post-toss")
+
+
+def repeated_coin_system(tosses: int = 10) -> RepeatedCoinExample:
+    """Section 7's asynchronous coin system.
+
+    Agent 0 (``p_1``) is idle and *unclocked* -- it cannot distinguish any
+    two global states.  Agent 1 (``p_2``) is idle but clocked.  Agent 2
+    (``p_3``) tosses a fair coin every tick, its local state recording the
+    outcome sequence (so it is implicitly clocked).
+    """
+    protocol = SyncProtocol(
+        agents=[IdleAgent(), IdleAgent(), RepeatedCoinTosser()],
+        horizon=tosses,
+        clocked=(False, True, True),
+    )
+    psys = protocol_system(protocol, {"only": [None, None, None]})
+
+    def latest_heads(state) -> bool:
+        outcomes = state.local_states[P3]
+        if isinstance(outcomes, tuple) and outcomes and isinstance(outcomes[-1], int):
+            outcomes = outcomes[0]
+        return bool(outcomes) and outcomes[-1] == "H"
+
+    fact = Fact.about_global_state(latest_heads, name="most_recent_heads")
+    post_toss = frozenset(
+        point for point in psys.system.points if point.time >= 1
+    )
+    return RepeatedCoinExample(psys, fact, post_toss, tosses)

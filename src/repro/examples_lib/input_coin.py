@@ -1,0 +1,130 @@
+"""The Vardi input-bit example (Section 3) and footnote 5.
+
+``p_1`` has an input bit and two coins.  If the bit is 0 it tosses the fair
+coin; if the bit is 1 it tosses the coin biased 2/3 towards heads.  There
+is no distribution on the input -- the bit is the type-1 adversary's
+choice -- so the system is two computation trees, with P(heads) = 1/2 in
+one and 2/3 in the other, and *no* unconditional probability of heads.
+
+Footnote 5's subtlety is also made executable: even when the coin is fair
+regardless of the input, the "natural" distribution on the unfactored
+four-run space (assigning 1/2 to heads and 1/2 to tails) cannot measure the
+event "the agent performs action a" (bit=1 & heads, or bit=0 & tails) --
+and *adding* that event to the measurable sets forces the input-bit events
+to become measurable, contradicting their nondeterminism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, FrozenSet, Tuple
+
+from ..core.facts import Fact
+from ..probability.algebra import atoms_from_generators, explicit_closure
+from ..probability.fractionutil import FractionLike
+from ..probability.space import FiniteProbabilitySpace
+from ..systems.agents import CoinTossingAgent, FunctionAgent, IdleAgent, certainly, chance
+from ..systems.synchronous import SyncProtocol, protocol_system
+from ..trees.probabilistic_system import ProbabilisticSystem
+
+
+@dataclass
+class InputCoinExample:
+    """The two-tree Vardi system and its analysis facts."""
+
+    psys: ProbabilisticSystem
+    heads: Fact
+    bit_is_one: Fact
+
+
+class _InputCoinAgent(CoinTossingAgent):
+    """Tosses the fair or the biased coin depending on its input bit."""
+
+    def __init__(self, biased_heads: FractionLike = Fraction(2, 3)) -> None:
+        super().__init__(Fraction(1, 2))
+        self.biased_heads = Fraction(biased_heads) if not isinstance(
+            biased_heads, Fraction
+        ) else biased_heads
+
+    def initial_state(self, input_value):
+        return ("ready", input_value)
+
+    def step(self, state, inbox, round_number: int):
+        if round_number == 0 and state[0] == "ready":
+            bit = state[1]
+            probability = self.biased_heads if bit == 1 else Fraction(1, 2)
+            return chance(
+                [
+                    (probability, (("saw-heads", bit), ())),
+                    (1 - probability, (("saw-tails", bit), ())),
+                ]
+            )
+        return certainly(state)
+
+
+def input_coin_system(biased_heads: FractionLike = Fraction(2, 3)) -> InputCoinExample:
+    """Two trees: adversary "bit=0" (fair coin) and "bit=1" (biased coin).
+
+    Agent 0 is ``p_1`` (sees the bit and the outcome); agent 1 is ``p_2``
+    (sees nothing, and so considers points of *both* trees possible --
+    which is exactly why REQ1 forbids using all of ``K_2(c)`` as a sample
+    space).
+    """
+    protocol = SyncProtocol(
+        agents=[_InputCoinAgent(biased_heads), IdleAgent()], horizon=1
+    )
+    psys = protocol_system(
+        protocol, {"bit=0": [0, None], "bit=1": [1, None]}
+    )
+    heads = Fact.about_local_state(
+        0, lambda local: local[0][0] == "saw-heads", name="heads"
+    )
+    bit_is_one = Fact.about_local_state(
+        0, lambda local: local[0][1] == 1, name="bit_is_one"
+    )
+    return InputCoinExample(psys, heads, bit_is_one)
+
+
+@dataclass
+class Footnote5Report:
+    """The executable content of footnote 5."""
+
+    space: FiniteProbabilitySpace
+    action_event: FrozenSet[Tuple[int, str]]
+    action_measurable_before: bool
+    bit_events_measurable_before: bool
+    bit_events_measurable_after: bool
+    closure_size_after: int
+
+
+def footnote5_demonstration() -> Footnote5Report:
+    """The unfactored four-run space where "action a" is non-measurable.
+
+    Outcomes are ``(bit, coin)`` pairs.  The coin is fair regardless of the
+    bit, so the natural measurable events are "heads" = {(1,h),(0,h)} and
+    "tails" = {(1,t),(0,t)}, each of probability 1/2.  The action event
+    ``a`` = {(1,h),(0,t)} splits both atoms; and the sigma-algebra generated
+    by adding it contains the bit events {(1,h),(1,t)} and {(0,h),(0,t)},
+    which would force probabilities onto the nondeterministic input.
+    """
+    outcomes = [(1, "h"), (1, "t"), (0, "h"), (0, "t")]
+    heads_event = frozenset({(1, "h"), (0, "h")})
+    tails_event = frozenset({(1, "t"), (0, "t")})
+    atoms = atoms_from_generators(outcomes, [heads_event, tails_event])
+    space = FiniteProbabilitySpace(
+        atoms, {atom: Fraction(1, 2) for atom in atoms}
+    )
+    action_event = frozenset({(1, "h"), (0, "t")})
+    bit_one = frozenset({(1, "h"), (1, "t")})
+    bit_zero = frozenset({(0, "h"), (0, "t")})
+    closure = explicit_closure(outcomes, [heads_event, action_event])
+    return Footnote5Report(
+        space=space,
+        action_event=action_event,
+        action_measurable_before=space.is_measurable(action_event),
+        bit_events_measurable_before=space.is_measurable(bit_one)
+        or space.is_measurable(bit_zero),
+        bit_events_measurable_after=bit_one in closure and bit_zero in closure,
+        closure_size_after=len(closure),
+    )

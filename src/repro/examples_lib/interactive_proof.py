@@ -1,0 +1,373 @@
+"""An interactive proof of quadratic residuosity, in the paper's framework.
+
+Section 9 names the analysis of cryptographic protocols -- interactive and
+zero-knowledge proofs [FZ87, HMT88, GMR89] -- as the most promising
+application of knowledge-and-probability semantics.  This module builds the
+classic Goldwasser-Micali-Rackoff-style protocol for quadratic residuosity
+as a probabilistic system and makes its three guarantees executable:
+
+* **completeness** -- an honest prover (who knows a square root) convinces
+  the verifier in every run of its tree;
+* **soundness** -- for a non-residue input, every cheating strategy wins
+  each round with probability exactly 1/2, so the verifier accepts ``t``
+  rounds with probability ``2**-t`` -- a per-adversary (per-tree) statement,
+  exactly like primality testing in Section 3;
+* **zero knowledge (witness indistinguishability)** -- when ``x`` has two
+  essentially different roots ``w`` and ``n - w``, the verifier's local
+  state has identical distributions in the two honest-prover trees: nothing
+  in the interaction reveals which witness the prover holds.
+
+The protocol, per round (all arithmetic mod ``n``):
+the prover picks a random ``r`` and sends ``y = r**2``; the verifier flips
+a coin ``b``; the prover answers ``z`` with ``z**2 = y * x**b``.  The
+honest prover answers ``z = r * w**b``.  The cheating prover (no root
+exists) commits in advance to the challenge ``g`` it can answer: for
+``g = 0`` it sends ``y = r**2`` (and can answer ``b = 0``); for ``g = 1``
+it sends ``y = r**2 / x`` (and can answer ``b = 1``); it wins iff
+``b = g``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..core.facts import Fact
+from ..errors import SimulationError
+from ..probability.fractionutil import ONE, ZERO
+from ..trees.builder import build_tree
+from ..trees.probabilistic_system import ProbabilisticSystem
+
+VERIFIER = 0
+PROVER = 1
+
+
+# ----------------------------------------------------------------------
+# Number theory over Z_n*
+# ----------------------------------------------------------------------
+
+
+def units(n: int) -> Tuple[int, ...]:
+    """The multiplicative group ``Z_n*``."""
+    from math import gcd
+
+    return tuple(a for a in range(1, n) if gcd(a, n) == 1)
+
+
+def quadratic_residues(n: int) -> FrozenSet[int]:
+    """The squares of ``Z_n*``."""
+    return frozenset(pow(a, 2, n) for a in units(n))
+
+
+def square_roots(x: int, n: int) -> Tuple[int, ...]:
+    """All unit square roots of ``x`` modulo ``n``."""
+    return tuple(w for w in units(n) if pow(w, 2, n) == x % n)
+
+
+def modular_inverse(a: int, n: int) -> int:
+    """The inverse of a unit modulo ``n``."""
+    result = pow(a, -1, n)
+    return result
+
+
+# ----------------------------------------------------------------------
+# The protocol as a probabilistic system
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class QRProofExample:
+    """The interactive-proof system and the facts of its analysis."""
+
+    psys: ProbabilisticSystem
+    modulus: int
+    rounds: int
+    accepted: Fact        # the verifier accepted every round
+    honest_adversaries: Tuple[object, ...]
+    cheating_adversaries: Tuple[object, ...]
+
+
+def _honest_tree(n: int, x: int, w: int, rounds: int, randomness: Sequence[int], adversary):
+    """The tree of an honest prover holding the specific root ``w``."""
+
+    def step(time, locals_, extra):
+        verifier_state, prover_state = locals_
+        round_index = time
+        if round_index >= rounds:
+            return ()
+        branches = []
+        mass = Fraction(1, len(randomness) * 2)
+        for r in randomness:
+            y = pow(r, 2, n)
+            for challenge in (0, 1):
+                z = (r * pow(w, challenge, n)) % n
+                valid = pow(z, 2, n) == (y * pow(x, challenge, n)) % n
+                verdict = "ok" if valid else "reject"
+                new_verifier = verifier_state + ((y, challenge, z, verdict),)
+                new_prover = prover_state  # witness + transcript index only
+                label = (r, challenge)
+                branches.append(
+                    (mass, label, (new_verifier, new_prover), None)
+                )
+        return branches
+
+    return build_tree(
+        adversary,
+        ((), ("holds-root",)),
+        step,
+        max_depth=rounds + 1,
+    )
+
+
+def _cheating_tree(n: int, x: int, rounds: int, randomness: Sequence[int], adversary):
+    """The tree of the optimal cheating prover for a non-residue ``x``.
+
+    Each round it guesses the challenge ``g`` uniformly (any deterministic
+    guessing rule does equally well; the uniform mix keeps the tree
+    symmetric) and prepares ``y`` so it can answer exactly that challenge.
+    """
+    x_inverse = modular_inverse(x, n)
+
+    def step(time, locals_, extra):
+        verifier_state, prover_state = locals_
+        if time >= rounds:
+            return ()
+        branches = []
+        mass = Fraction(1, len(randomness) * 4)
+        for r in randomness:
+            for guess in (0, 1):
+                y = pow(r, 2, n) if guess == 0 else (pow(r, 2, n) * x_inverse) % n
+                for challenge in (0, 1):
+                    if challenge == guess:
+                        z = r % n
+                        valid = pow(z, 2, n) == (y * pow(x, challenge, n)) % n
+                        verdict = "ok" if valid else "reject"
+                    else:
+                        z = 0  # cannot answer; sends garbage
+                        verdict = "reject"
+                    new_verifier = verifier_state + ((y, challenge, z, verdict),)
+                    label = (r, guess, challenge)
+                    branches.append(
+                        (mass, label, (new_verifier, prover_state), None)
+                    )
+        return branches
+
+    return build_tree(
+        adversary,
+        ((), ("no-root",)),
+        step,
+        max_depth=rounds + 1,
+    )
+
+
+def qr_proof_system(
+    modulus: int = 15,
+    residue: Optional[int] = None,
+    non_residue: Optional[int] = None,
+    rounds: int = 1,
+    randomness: Optional[Sequence[int]] = None,
+) -> QRProofExample:
+    """Build the interactive-proof system over ``Z_modulus*``.
+
+    Type-1 adversaries: one honest prover per essentially-different root of
+    the residue (for the zero-knowledge comparison) and one cheating prover
+    for the non-residue.  Defaults for modulus 15: residue 4 (roots
+    2, 7, 8, 13), non-residue 2.
+    """
+    n = modulus
+    residues = quadratic_residues(n)
+    if residue is None:
+        residue = sorted(residues - {1})[0] if len(residues) > 1 else 1
+    if residue not in residues:
+        raise SimulationError(f"{residue} is not a quadratic residue mod {n}")
+    if non_residue is None:
+        non_residue = sorted(set(units(n)) - residues)[0]
+    if non_residue in residues:
+        raise SimulationError(f"{non_residue} is a quadratic residue mod {n}")
+    roots = square_roots(residue, n)
+    if randomness is None:
+        # The prover's coin must be uniform over a set closed under
+        # negation: the bijection r <-> n-r is what makes the transcripts
+        # of the two witnesses w and n-w identically distributed.
+        randomness = units(n)
+    closed = {r % n for r in randomness}
+    if {(n - r) % n for r in closed} != closed:
+        raise SimulationError(
+            "prover randomness must be closed under negation mod n "
+            "(otherwise witness indistinguishability fails by construction)"
+        )
+    witness_pair = (roots[0], (n - roots[0]) % n)
+    trees = []
+    honest_names = []
+    for w in witness_pair:
+        name = ("honest", w)
+        honest_names.append(name)
+        trees.append(_honest_tree(n, residue, w, rounds, randomness, name))
+    cheat_name = ("cheating", non_residue)
+    trees.append(_cheating_tree(n, non_residue, rounds, randomness, cheat_name))
+    psys = ProbabilisticSystem(trees)
+
+    def all_ok(local) -> bool:
+        transcript = local
+        return len(transcript) > 0 and all(entry[3] == "ok" for entry in transcript)
+
+    accepted = Fact.about_local_state(VERIFIER, all_ok, name="verifier_accepts")
+    return QRProofExample(
+        psys=psys,
+        modulus=n,
+        rounds=rounds,
+        accepted=accepted,
+        honest_adversaries=tuple(honest_names),
+        cheating_adversaries=(cheat_name,),
+    )
+
+
+# ----------------------------------------------------------------------
+# The three guarantees
+# ----------------------------------------------------------------------
+
+
+def acceptance_probability(example: QRProofExample, adversary) -> Fraction:
+    """P(verifier accepts all rounds) within one adversary's tree."""
+    tree = example.psys.tree(adversary)
+    total = ZERO
+    final_time = example.rounds
+    for run in tree.runs:
+        last = list(run.points())[-1]
+        if example.accepted.holds_at(last):
+            total += tree.run_probability(run)
+    return total
+
+
+def completeness(example: QRProofExample) -> bool:
+    """Honest provers convince the verifier with probability 1."""
+    return all(
+        acceptance_probability(example, adversary) == ONE
+        for adversary in example.honest_adversaries
+    )
+
+
+def soundness_error(example: QRProofExample) -> Fraction:
+    """The cheating prover's acceptance probability (expected ``2**-t``)."""
+    (cheat,) = example.cheating_adversaries
+    return acceptance_probability(example, cheat)
+
+
+def verifier_view_distribution(
+    example: QRProofExample, adversary
+) -> Dict[object, Fraction]:
+    """The distribution of the verifier's final local state in one tree."""
+    tree = example.psys.tree(adversary)
+    distribution: Dict[object, Fraction] = {}
+    for run in tree.runs:
+        view = run.states[-1].local_states[VERIFIER]
+        distribution[view] = distribution.get(view, ZERO) + tree.run_probability(run)
+    return distribution
+
+
+def witness_indistinguishable(example: QRProofExample) -> bool:
+    """Zero-knowledge flavour: the verifier's view distribution is identical
+    whichever root the honest prover holds.
+
+    Consequently the verifier's knowledge can never separate the two
+    honest trees: it learns *that* ``x`` is a residue, and nothing about
+    *which* witness the prover used.
+    """
+    first, second = example.honest_adversaries
+    return verifier_view_distribution(example, first) == verifier_view_distribution(
+        example, second
+    )
+
+
+def simulated_view_distribution(
+    example: QRProofExample,
+) -> Dict[object, Fraction]:
+    """The GMR simulator: sample the verifier's view *without any witness*.
+
+    Per round, pick the answer ``z`` uniformly from the prover's randomness
+    and the challenge ``b`` uniformly, then set ``y = z**2 / x**b``.  The
+    resulting transcript distribution is exactly the honest view -- the
+    protocol is zero knowledge, not merely witness-indistinguishable: a
+    poly-time simulator ignorant of the root reproduces everything the
+    verifier sees.
+    """
+    n = example.modulus
+    residues = quadratic_residues(n)
+    x = None
+    for adversary in example.honest_adversaries:
+        x = adversary[1] ** 2 % n  # the root is recorded in the adversary id
+        break
+    if x is None:  # pragma: no cover - systems always have honest trees
+        raise SimulationError("no honest adversary to read the statement from")
+    # recover the actual statement: the square of either recorded root
+    root = example.honest_adversaries[0][1]
+    x = pow(root, 2, n)
+    x_inverse = modular_inverse(x, n)
+    randomness = _randomness_of(example)
+    distribution: Dict[object, Fraction] = {}
+    mass = Fraction(1, len(randomness) * 2)
+
+    def extend(prefix: tuple, depth: int, probability: Fraction) -> None:
+        if depth == example.rounds:
+            distribution[prefix] = distribution.get(prefix, ZERO) + probability
+            return
+        for z in randomness:
+            for challenge in (0, 1):
+                y = pow(z, 2, n) if challenge == 0 else (pow(z, 2, n) * x_inverse) % n
+                entry = (y, challenge, z % n, "ok")
+                extend(prefix + (entry,), depth + 1, probability * mass)
+
+    extend((), 0, ONE)
+    return distribution
+
+
+def _randomness_of(example: QRProofExample) -> Tuple[int, ...]:
+    """Recover the prover-randomness support from an honest tree."""
+    tree = example.psys.tree(example.honest_adversaries[0])
+    root_children = tree.children(tree.root)
+    coins = sorted(
+        {child.environment.history[-1][0] for child in root_children}
+    )
+    return tuple(coins)
+
+
+def zero_knowledge(example: QRProofExample) -> bool:
+    """The simulator's distribution equals the honest verifier's view.
+
+    This is the genuine (perfect) zero-knowledge property for the honest
+    verifier, strictly stronger than witness indistinguishability.  It
+    holds when the prover's coin set is the full unit group (the default):
+    the simulator's change of variable ``z = r * w**b`` is then a bijection
+    of the coin space.  Restricted coin sets that are merely closed under
+    negation still give witness indistinguishability, but the simulator --
+    which must work *without* the witness -- can no longer match the view
+    exactly; :class:`SimulationError` is raised for such systems rather
+    than returning a misleading ``False``.
+    """
+    n = example.modulus
+    randomness = set(_randomness_of(example))
+    root = example.honest_adversaries[0][1]
+    if {(r * root) % n for r in randomness} != randomness:
+        raise SimulationError(
+            "perfect simulation needs prover randomness closed under "
+            "multiplication by the witness (use the default full unit group)"
+        )
+    real = verifier_view_distribution(example, example.honest_adversaries[0])
+    simulated = simulated_view_distribution(example)
+    return real == simulated
+
+
+def verifier_cannot_identify_witness(example: QRProofExample) -> bool:
+    """The knowledge-level reading: at every point of an honest tree, the
+    verifier considers a point of the *other* honest tree possible."""
+    system = example.psys.system
+    first, second = example.honest_adversaries
+    for adversary, other in ((first, second), (second, first)):
+        for point in example.psys.points_of_tree(adversary):
+            knowledge = system.knowledge_set(VERIFIER, point)
+            if not any(
+                example.psys.adversary_of(candidate) == other for candidate in knowledge
+            ):
+                return False
+    return True

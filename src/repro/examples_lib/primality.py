@@ -1,0 +1,231 @@
+"""Probabilistic primality testing (Sections 1 and 3's motivating example).
+
+Real implementations of the two classic Monte-Carlo tests the paper cites:
+
+* **Miller-Rabin** [Rab80]: for composite ``n``, at least 3/4 of the
+  candidate witnesses ``a`` expose compositeness; for prime ``n``, none do.
+* **Solovay-Strassen** [SS77]: the Euler/Jacobi criterion; at least 1/2 of
+  the candidates expose a composite.
+
+Plus the paper's systems reading: the *input* ``n`` is a type-1 adversary
+(we refuse to put a distribution on it), while the random choices of ``a``
+are probabilistic.  :func:`primality_system` builds one computation tree
+per input; within each tree the algorithm errs with probability at most
+``4**-rounds`` (Miller-Rabin), and the fact "``n`` is prime" has
+probability 0 or 1 -- it never "becomes probable", exactly as Section 3
+insists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from ..core.facts import Fact
+from ..probability.fractionutil import ONE
+from ..systems.agents import Agent, act, certainly, chance
+from ..systems.synchronous import SyncProtocol, protocol_system
+from ..trees.probabilistic_system import ProbabilisticSystem
+
+# ----------------------------------------------------------------------
+# Number theory
+# ----------------------------------------------------------------------
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic trial-division primality (ground truth for tests)."""
+    if n < 2:
+        return False
+    if n % 2 == 0:
+        return n == 2
+    divisor = 3
+    while divisor * divisor <= n:
+        if n % divisor == 0:
+            return False
+        divisor += 2
+    return True
+
+
+def miller_rabin_witness(n: int, a: int) -> bool:
+    """True iff ``a`` witnesses that ``n`` is composite (Miller-Rabin).
+
+    Never true when ``n`` is an odd prime; for odd composite ``n`` at least
+    3/4 of ``a in [2, n-2]`` are witnesses.
+    """
+    if n < 3 or n % 2 == 0:
+        return n != 2
+    a %= n
+    if a in (0, 1, n - 1):
+        return False
+    d, s = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+    x = pow(a, d, n)
+    if x in (1, n - 1):
+        return False
+    for _ in range(s - 1):
+        x = x * x % n
+        if x == n - 1:
+            return False
+    return True
+
+
+def jacobi_symbol(a: int, n: int) -> int:
+    """The Jacobi symbol ``(a/n)`` for odd positive ``n``."""
+    if n <= 0 or n % 2 == 0:
+        raise ValueError("Jacobi symbol requires odd positive n")
+    a %= n
+    result = 1
+    while a != 0:
+        while a % 2 == 0:
+            a //= 2
+            if n % 8 in (3, 5):
+                result = -result
+        a, n = n, a
+        if a % 4 == 3 and n % 4 == 3:
+            result = -result
+        a %= n
+    return result if n == 1 else 0
+
+
+def solovay_strassen_witness(n: int, a: int) -> bool:
+    """True iff ``a`` witnesses that ``n`` is composite (Solovay-Strassen)."""
+    if n < 3 or n % 2 == 0:
+        return n != 2
+    a %= n
+    if a == 0:
+        return True
+    jacobi = jacobi_symbol(a, n)
+    euler = pow(a, (n - 1) // 2, n)
+    return jacobi % n != euler
+
+
+def witness_density(n: int, witness: Callable[[int, int], bool]) -> Fraction:
+    """The exact fraction of ``a in [1, n-1]`` witnessing compositeness."""
+    if n < 3:
+        raise ValueError("witness density needs n >= 3")
+    hits = sum(1 for a in range(1, n) if witness(n, a))
+    return Fraction(hits, n - 1)
+
+
+def probable_prime(n: int, bases: Iterable[int], witness=miller_rabin_witness) -> bool:
+    """Run the test with explicit bases; "prime" iff no base witnesses."""
+    if n == 2:
+        return True
+    return not any(witness(n, base) for base in bases)
+
+
+# ----------------------------------------------------------------------
+# The system view (Section 3)
+# ----------------------------------------------------------------------
+
+
+class _TesterAgent(Agent):
+    """Draws ``rounds`` uniform candidates and accumulates the verdict."""
+
+    def __init__(self, rounds: int, witness: Callable[[int, int], bool]) -> None:
+        self.rounds = rounds
+        self.witness = witness
+
+    def initial_state(self, input_value):
+        return ("testing", input_value, "no-witness-yet")
+
+    def step(self, state, inbox, round_number: int):
+        phase, n, verdict = state
+        if phase != "testing":
+            return certainly(state)
+        if round_number < self.rounds:
+            mass = Fraction(1, n - 1)
+            branches = []
+            for a in range(1, n):
+                found = verdict == "witnessed" or self.witness(n, a)
+                new_verdict = "witnessed" if found else "no-witness-yet"
+                branches.append((mass, act(("testing", n, new_verdict))))
+            merged: Dict[object, Fraction] = {}
+            for probability, action in branches:
+                merged[action[0]] = merged.get(action[0], Fraction(0)) + probability
+            return [(probability, (key, ())) for key, probability in merged.items()]
+        output = "composite" if verdict == "witnessed" else "prime"
+        return certainly(("done", n, output))
+
+
+@dataclass
+class PrimalityExample:
+    """One tree per input; the facts of the Section 3 discussion."""
+
+    psys: ProbabilisticSystem
+    inputs: Tuple[int, ...]
+    correct: Fact
+    says_prime: Fact
+    input_is_prime: Fact
+    rounds: int
+
+
+def primality_system(
+    inputs: Sequence[int],
+    rounds: int = 1,
+    witness: Callable[[int, int], bool] = miller_rabin_witness,
+) -> PrimalityExample:
+    """Build the probabilistic system of the primality-testing algorithm.
+
+    One computation tree per input ``n`` (the type-1 adversary); within a
+    tree, each round draws ``a`` uniformly from ``[1, n-1]``.
+    """
+    protocol = SyncProtocol(agents=[_TesterAgent(rounds, witness)], horizon=rounds + 1)
+    psys = protocol_system(
+        protocol, {f"input={n}": [n] for n in inputs}
+    )
+
+    def output_of(local) -> str:
+        state = local[0]
+        return state[2] if state[0] == "done" else "undecided"
+
+    says_prime = Fact.about_local_state(
+        0, lambda local: output_of(local) == "prime", name="says_prime"
+    )
+    input_is_prime = Fact.about_local_state(
+        0, lambda local: is_prime(local[0][1]), name="input_is_prime"
+    )
+    correct = Fact.about_local_state(
+        0,
+        lambda local: output_of(local) != "undecided"
+        and (output_of(local) == "prime") == is_prime(local[0][1]),
+        name="correct_output",
+    )
+    return PrimalityExample(
+        psys, tuple(inputs), correct, says_prime, input_is_prime, rounds
+    )
+
+
+def per_input_correctness(example: PrimalityExample) -> Dict[int, Fraction]:
+    """For each input, the probability (over that tree's runs) that the
+    final output is correct -- the statement that *does* make sense."""
+    results: Dict[int, Fraction] = {}
+    for n, adversary in zip(example.inputs, example.psys.adversaries):
+        tree = example.psys.tree(adversary)
+        total = Fraction(0)
+        for run in tree.runs:
+            final = run.points()
+            last = list(final)[-1]
+            if example.correct.holds_at(last):
+                total += tree.run_probability(run)
+        results[n] = total
+    return results
+
+
+def primality_probability_is_degenerate(example: PrimalityExample) -> bool:
+    """Section 3's point: within every tree, "``n`` is prime" has
+    probability exactly 0 or exactly 1 -- never anything in between."""
+    for adversary in example.psys.adversaries:
+        tree = example.psys.tree(adversary)
+        space = tree.run_space()
+        prime_runs = frozenset(
+            run
+            for run in tree.runs
+            if example.input_is_prime.holds_at(next(iter(run.points())))
+        )
+        if space.measure(prime_runs) not in (Fraction(0), ONE):
+            return False
+    return True

@@ -1,0 +1,226 @@
+"""Executable axiom checking for the logic of knowledge and probability.
+
+The paper leans on the Fagin-Halpern [FH88] axiomatics (and the S5
+properties of possible-worlds knowledge from [HM90]).  This module provides
+validity checkers for the schemes most relevant to the paper, instantiated
+over a model's primitive propositions:
+
+Knowledge (S5):
+  K   -- ``K_i(phi -> psi) -> (K_i phi -> K_i psi)``       (distribution)
+  T   -- ``K_i phi -> phi``                                 (veridicality)
+  4   -- ``K_i phi -> K_i K_i phi``                         (positive introspection)
+  5   -- ``!K_i phi -> K_i !K_i phi``                       (negative introspection)
+
+Probability (inner-measure semantics):
+  W1  -- ``Pr_i(true) >= 1``
+  W2  -- ``Pr_i(phi) >= 0``  (trivially; kept for completeness)
+  MONO -- if ``phi -> psi`` is valid then ``Pr_i(phi) >= a -> Pr_i(psi) >= a``
+  SUPER -- disjoint superadditivity of the inner measure:
+        ``Pr_i(phi & psi) >= a  &  Pr_i(phi & !psi) >= b  ->  Pr_i(phi) >= a+b``
+  CONS -- ``K_i phi -> Pr_i(phi) >= 1``  (consistent assignments only)
+
+These are *checkers*, not provers: each instantiates the scheme over the
+supplied formulas and model-checks the result, reporting any failing
+instance.  The additivity axiom of [FH88] (an equality) holds only for
+measurable facts; SUPER is the inequality form valid for inner measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..probability.fractionutil import FractionLike, ONE, ZERO, as_fraction
+from .semantics import Model
+from .syntax import (
+    TRUE,
+    And,
+    Formula,
+    Implies,
+    Knows,
+    Not,
+    Or,
+    PrAtLeast,
+)
+
+
+@dataclass
+class AxiomReport:
+    """Validity verdict for one axiom scheme over a formula family."""
+
+    name: str
+    instances: int
+    failures: List[Formula] = field(default_factory=list)
+
+    @property
+    def valid(self) -> bool:
+        return not self.failures
+
+    def __bool__(self) -> bool:
+        return self.valid
+
+
+def _check(model: Model, name: str, instances: Iterable[Formula]) -> AxiomReport:
+    report = AxiomReport(name, 0)
+    for instance in instances:
+        report.instances += 1
+        if not model.valid(instance):
+            report.failures.append(instance)
+    return report
+
+
+def check_distribution(
+    model: Model, agents: Sequence[int], formulas: Sequence[Formula]
+) -> AxiomReport:
+    """Axiom K over all ordered pairs of the given formulas."""
+    instances = [
+        Implies(
+            Knows(agent, Implies(left, right)),
+            Implies(Knows(agent, left), Knows(agent, right)),
+        )
+        for agent in agents
+        for left in formulas
+        for right in formulas
+    ]
+    return _check(model, "K (distribution)", instances)
+
+def check_veridicality(
+    model: Model, agents: Sequence[int], formulas: Sequence[Formula]
+) -> AxiomReport:
+    """Axiom T: knowledge is true."""
+    instances = [
+        Implies(Knows(agent, formula), formula)
+        for agent in agents
+        for formula in formulas
+    ]
+    return _check(model, "T (veridicality)", instances)
+
+
+def check_positive_introspection(
+    model: Model, agents: Sequence[int], formulas: Sequence[Formula]
+) -> AxiomReport:
+    """Axiom 4."""
+    instances = [
+        Implies(Knows(agent, formula), Knows(agent, Knows(agent, formula)))
+        for agent in agents
+        for formula in formulas
+    ]
+    return _check(model, "4 (positive introspection)", instances)
+
+
+def check_negative_introspection(
+    model: Model, agents: Sequence[int], formulas: Sequence[Formula]
+) -> AxiomReport:
+    """Axiom 5."""
+    instances = [
+        Implies(
+            Not(Knows(agent, formula)),
+            Knows(agent, Not(Knows(agent, formula))),
+        )
+        for agent in agents
+        for formula in formulas
+    ]
+    return _check(model, "5 (negative introspection)", instances)
+
+
+def check_probability_bounds(
+    model: Model, agents: Sequence[int], formulas: Sequence[Formula]
+) -> AxiomReport:
+    """W1/W2: the trivial bounds of the probability operator."""
+    instances: List[Formula] = []
+    for agent in agents:
+        instances.append(PrAtLeast(agent, TRUE, ONE))
+        for formula in formulas:
+            instances.append(PrAtLeast(agent, formula, ZERO))
+    return _check(model, "W1/W2 (bounds)", instances)
+
+
+def check_monotonicity(
+    model: Model,
+    agents: Sequence[int],
+    formulas: Sequence[Formula],
+    alphas: Sequence[FractionLike] = ("1/2",),
+) -> AxiomReport:
+    """MONO: valid implication lifts through ``Pr_i >= a``.
+
+    Only semantically-valid implications ``phi -> psi`` instantiate the
+    scheme (the rule has a validity premise).
+    """
+    thresholds = [as_fraction(alpha) for alpha in alphas]
+    instances: List[Formula] = []
+    for left in formulas:
+        for right in formulas:
+            if not model.valid(Implies(left, right)):
+                continue
+            for agent in agents:
+                for alpha in thresholds:
+                    instances.append(
+                        Implies(
+                            PrAtLeast(agent, left, alpha),
+                            PrAtLeast(agent, right, alpha),
+                        )
+                    )
+    return _check(model, "MONO", instances)
+
+
+def check_superadditivity(
+    model: Model,
+    agents: Sequence[int],
+    formulas: Sequence[Formula],
+    alphas: Sequence[FractionLike] = ("1/4", "1/2"),
+) -> AxiomReport:
+    """SUPER: inner measures are superadditive on disjoint pieces."""
+    thresholds = [as_fraction(alpha) for alpha in alphas]
+    instances: List[Formula] = []
+    for agent in agents:
+        for phi in formulas:
+            for psi in formulas:
+                for a in thresholds:
+                    for b in thresholds:
+                        if a + b > 1:
+                            continue
+                        instances.append(
+                            Implies(
+                                And(
+                                    PrAtLeast(agent, And(phi, psi), a),
+                                    PrAtLeast(agent, And(phi, Not(psi)), b),
+                                ),
+                                PrAtLeast(agent, phi, a + b),
+                            )
+                        )
+    return _check(model, "SUPER", instances)
+
+
+def check_consistency_axiom(
+    model: Model, agents: Sequence[int], formulas: Sequence[Formula]
+) -> AxiomReport:
+    """CONS: ``K_i phi -> Pr_i(phi) = 1``; characterises consistency.
+
+    Valid exactly when the probability assignment is consistent
+    (``S_ic subseteq K_i(c)``) -- Section 5's observation, so this checker
+    doubles as a semantic consistency test.
+    """
+    instances = [
+        Implies(Knows(agent, formula), PrAtLeast(agent, formula, ONE))
+        for agent in agents
+        for formula in formulas
+    ]
+    return _check(model, "CONS", instances)
+
+
+def full_audit(
+    model: Model,
+    agents: Sequence[int],
+    formulas: Sequence[Formula],
+) -> List[AxiomReport]:
+    """Run every checker; CONS is expected to fail for P_prior-style models."""
+    return [
+        check_distribution(model, agents, formulas),
+        check_veridicality(model, agents, formulas),
+        check_positive_introspection(model, agents, formulas),
+        check_negative_introspection(model, agents, formulas),
+        check_probability_bounds(model, agents, formulas),
+        check_monotonicity(model, agents, formulas),
+        check_superadditivity(model, agents, formulas),
+        check_consistency_axiom(model, agents, formulas),
+    ]

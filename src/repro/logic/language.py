@@ -1,0 +1,121 @@
+"""Bounded generation of languages ``L(Phi)``.
+
+Proposition 3 and Theorems 8/9 quantify over all formulas of a language;
+the verifiers make this executable by generating every formula of ``L(Phi)``
+up to a nesting depth (with a hard cap on count), optionally including the
+probability and temporal operators, and -- for "sufficient richness" -- one
+primitive proposition per global state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from ..core.facts import Fact
+from ..core.measurability import sufficient_richness_propositions
+from ..core.model import System
+from ..probability.fractionutil import FractionLike, as_fraction
+from .syntax import (
+    And,
+    Formula,
+    Knows,
+    Next,
+    Not,
+    PrAtLeast,
+    Prop,
+    Until,
+)
+
+
+def generate_language(
+    primitives: Sequence[str],
+    depth: int,
+    agents: Sequence[int] = (),
+    alphas: Sequence[FractionLike] = (),
+    include_temporal: bool = True,
+    max_formulas: int = 5_000,
+) -> List[Formula]:
+    """Every formula of ``L(Phi)`` up to ``depth``, capped at ``max_formulas``.
+
+    Closure follows the paper exactly: conjunction, negation, ``K_i``,
+    ``Pr_i(.) >= alpha`` (for the supplied thresholds), *next* and *until*.
+    Generation is level-by-level; binary operators pair the previous level
+    against depth-0 formulas to keep growth polynomial rather than doubly
+    exponential (the verifiers need coverage, not every syntactic variant).
+    """
+    level_zero: List[Formula] = [Prop(name) for name in primitives]
+    formulas: List[Formula] = list(level_zero)
+    previous: List[Formula] = list(level_zero)
+    thresholds = [as_fraction(alpha) for alpha in alphas]
+    for _ in range(depth):
+        fresh: List[Formula] = []
+        for formula in previous:
+            fresh.append(Not(formula))
+            for agent in agents:
+                fresh.append(Knows(agent, formula))
+                for alpha in thresholds:
+                    fresh.append(PrAtLeast(agent, formula, alpha))
+            if include_temporal:
+                fresh.append(Next(formula))
+            for base in level_zero:
+                fresh.append(And(formula, base))
+                if include_temporal:
+                    fresh.append(Until(formula, base))
+        seen = set(formulas)
+        deduplicated = [formula for formula in fresh if formula not in seen]
+        formulas.extend(deduplicated)
+        previous = deduplicated
+        if len(formulas) >= max_formulas:
+            return formulas[:max_formulas]
+    return formulas
+
+
+def state_generated_valuation(system: System) -> Dict[str, Fact]:
+    """A sufficiently rich, state-generated valuation for ``system``.
+
+    One primitive proposition per global state (Section 5's sufficient
+    richness condition); every proposition is trivially a fact about the
+    global state, so any language over this valuation is state-generated.
+    """
+    return sufficient_richness_propositions(system)
+
+
+def boolean_closure_extensions(
+    base_extensions: Iterable[frozenset], universe: frozenset, cap: int = 10_000
+) -> List[frozenset]:
+    """Close a family of extensions under complement and intersection.
+
+    Works at the level of point sets rather than syntax; used where a
+    theorem quantifies over "all facts expressible from these primitives"
+    and only extensions matter.
+    """
+    closed: List[frozenset] = []
+    seen: set = set()
+
+    def add(extension: frozenset) -> None:
+        if extension not in seen:
+            seen.add(extension)
+            closed.append(extension)
+
+    for extension in base_extensions:
+        add(frozenset(extension))
+    changed = True
+    while changed and len(closed) < cap:
+        changed = False
+        for extension in list(closed):
+            if len(closed) >= cap:
+                return closed[:cap]
+            complement = universe - extension
+            if complement not in seen:
+                add(complement)
+                changed = True
+        snapshot = list(closed)
+        for index, left in enumerate(snapshot):
+            for right in snapshot[index + 1 :]:
+                if len(closed) >= cap:
+                    return closed[:cap]
+                meet = left & right
+                if meet not in seen:
+                    add(meet)
+                    changed = True
+    return closed[:cap]

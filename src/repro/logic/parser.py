@@ -1,0 +1,246 @@
+"""A parser for ``L(Phi)`` formulas.
+
+Grammar (agents are 0-based integers; ``K0`` is the paper's ``K_{p_1}``)::
+
+    formula :=  iff
+    iff     :=  impl ('<->' impl)*
+    impl    :=  or ('->' impl)?                 -- right associative
+    or      :=  and ('|' and)*
+    and     :=  until ('&' until)*
+    until   :=  unary ('U' until)?              -- right associative
+    unary   :=  '!' unary
+             |  'X' unary | 'F' unary | 'G' unary
+             |  'K<i>' unary                    -- K0, K1, ...
+             |  'K<i>^' frac unary              -- K1^1/2 phi
+             |  'K<i>^[' frac ',' frac ']' unary
+             |  'E{i,j,...}' ('^' frac)? unary
+             |  'C{i,j,...}' ('^' frac)? unary
+             |  'Pr<i>' '(' formula ')' ('>='|'<=') frac
+             |  'true' | 'false' | IDENT | '(' formula ')'
+    frac    :=  NUMBER ('/' NUMBER)?            -- 1/2, 0.99, 1
+
+Examples::
+
+    parse("K0 (Pr0(heads) >= 1/2)")
+    parse("C{0,1}^0.99 attack_coordinated")
+    parse("G (a_attacks <-> b_attacks)")
+"""
+
+from __future__ import annotations
+
+import re
+from fractions import Fraction
+from typing import List, NamedTuple, Optional, Tuple
+
+from ..errors import ParseError
+from ..probability.fractionutil import as_fraction
+from .syntax import (
+    FALSE,
+    TRUE,
+    And,
+    CommonKnows,
+    CommonKnowsProb,
+    EveryoneKnows,
+    EveryoneKnowsProb,
+    Formula,
+    Iff,
+    Implies,
+    Knows,
+    Next,
+    Not,
+    Or,
+    PrAtLeast,
+    PrAtMost,
+    Prop,
+    Until,
+    eventually,
+    henceforth,
+    knows_prob_at_least,
+    knows_prob_interval,
+)
+
+
+class _Token(NamedTuple):
+    kind: str
+    text: str
+
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<SPACE>\s+)
+  | (?P<KNOWS>K\d+)
+  | (?P<PR>Pr\d+)
+  | (?P<NUMBER>\d+(\.\d+)?)
+  | (?P<IDENT>[a-z_][A-Za-z0-9_]*)
+  | (?P<NEXT>X\b) | (?P<FUTURE>F\b) | (?P<GLOBALLY>G\b) | (?P<UNTIL>U\b)
+  | (?P<EVERYONE>E\{) | (?P<COMMON>C\{)
+  | (?P<IFF><->) | (?P<IMPLIES>->) | (?P<GE>>=) | (?P<LE><=)
+  | (?P<LPAREN>\() | (?P<RPAREN>\)) | (?P<LBRACKET>\[) | (?P<RBRACKET>\])
+  | (?P<RBRACE>\}) | (?P<CARET>\^) | (?P<COMMA>,) | (?P<SLASH>/)
+  | (?P<NOT>!) | (?P<AND>&) | (?P<OR>\|)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"true", "false"}
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_PATTERN.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character {text[position]!r} at offset {position}")
+        kind = match.lastgroup or ""
+        if kind != "SPACE":
+            tokens.append(_Token(kind, match.group()))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    def _peek(self) -> Optional[_Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of formula")
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._advance()
+        if token.kind != kind:
+            raise ParseError(f"expected {kind}, found {token.text!r}")
+        return token
+
+    def _match(self, kind: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            self._index += 1
+            return True
+        return False
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse(self) -> Formula:
+        formula = self._iff()
+        if self._peek() is not None:
+            raise ParseError(f"trailing input starting at {self._peek().text!r}")
+        return formula
+
+    def _iff(self) -> Formula:
+        left = self._implies()
+        while self._match("IFF"):
+            left = Iff(left, self._implies())
+        return left
+
+    def _implies(self) -> Formula:
+        left = self._or()
+        if self._match("IMPLIES"):
+            return Implies(left, self._implies())
+        return left
+
+    def _or(self) -> Formula:
+        left = self._and()
+        while self._match("OR"):
+            left = Or(left, self._and())
+        return left
+
+    def _and(self) -> Formula:
+        left = self._until()
+        while self._match("AND"):
+            left = And(left, self._until())
+        return left
+
+    def _until(self) -> Formula:
+        left = self._unary()
+        if self._match("UNTIL"):
+            return Until(left, self._until())
+        return left
+
+    def _fraction(self) -> Fraction:
+        numerator = self._expect("NUMBER").text
+        if self._match("SLASH"):
+            denominator = self._expect("NUMBER").text
+            return Fraction(int(numerator), int(denominator))
+        return as_fraction(numerator)
+
+    def _group(self) -> Tuple[int, ...]:
+        agents = [int(self._expect("NUMBER").text)]
+        while self._match("COMMA"):
+            agents.append(int(self._expect("NUMBER").text))
+        self._expect("RBRACE")
+        return tuple(agents)
+
+    def _unary(self) -> Formula:
+        token = self._advance()
+        if token.kind == "NOT":
+            return Not(self._unary())
+        if token.kind == "NEXT":
+            return Next(self._unary())
+        if token.kind == "FUTURE":
+            return eventually(self._unary())
+        if token.kind == "GLOBALLY":
+            return henceforth(self._unary())
+        if token.kind == "KNOWS":
+            agent = int(token.text[1:])
+            if self._match("CARET"):
+                if self._match("LBRACKET"):
+                    low = self._fraction()
+                    self._expect("COMMA")
+                    high = self._fraction()
+                    self._expect("RBRACKET")
+                    return knows_prob_interval(agent, low, high, self._unary())
+                alpha = self._fraction()
+                return knows_prob_at_least(agent, alpha, self._unary())
+            return Knows(agent, self._unary())
+        if token.kind in ("EVERYONE", "COMMON"):
+            group = self._group()
+            alpha = None
+            if self._match("CARET"):
+                alpha = self._fraction()
+            sub = self._unary()
+            if token.kind == "EVERYONE":
+                if alpha is None:
+                    return EveryoneKnows(group, sub)
+                return EveryoneKnowsProb(group, alpha, sub)
+            if alpha is None:
+                return CommonKnows(group, sub)
+            return CommonKnowsProb(group, alpha, sub)
+        if token.kind == "PR":
+            agent = int(token.text[2:])
+            self._expect("LPAREN")
+            sub = self._iff()
+            self._expect("RPAREN")
+            comparison = self._advance()
+            bound = self._fraction()
+            if comparison.kind == "GE":
+                return PrAtLeast(agent, sub, bound)
+            if comparison.kind == "LE":
+                return PrAtMost(agent, sub, bound)
+            raise ParseError(f"expected >= or <= after Pr, found {comparison.text!r}")
+        if token.kind == "IDENT":
+            if token.text == "true":
+                return TRUE
+            if token.text == "false":
+                return FALSE
+            return Prop(token.text)
+        if token.kind == "LPAREN":
+            formula = self._iff()
+            self._expect("RPAREN")
+            return formula
+        raise ParseError(f"unexpected token {token.text!r}")
+
+
+def parse(text: str) -> Formula:
+    """Parse a formula of ``L(Phi)`` from its concrete syntax."""
+    return _Parser(_tokenize(text)).parse()

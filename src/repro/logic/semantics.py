@@ -1,0 +1,240 @@
+"""Model checking ``L(Phi)`` over finite probabilistic systems.
+
+A :class:`Model` bundles a probabilistic system, a probability assignment
+``P`` (needed to interpret ``Pr_i``), and a valuation mapping primitive
+proposition names to facts.  Checking computes formula *extensions* --
+the set of points where a formula holds -- bottom-up with memoisation; the
+greatest fixed points of (probabilistic) common knowledge iterate on
+extensions directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from ..core.assignments import ProbabilityAssignment
+from ..core.facts import Fact
+from ..core.model import Point, System
+from ..errors import LogicError
+from ..trees.probabilistic_system import ProbabilisticSystem
+from .syntax import (
+    And,
+    CommonKnows,
+    CommonKnowsProb,
+    EveryoneKnows,
+    EveryoneKnowsProb,
+    FalseFormula,
+    Formula,
+    Iff,
+    Implies,
+    Knows,
+    Next,
+    Not,
+    Or,
+    PrAtLeast,
+    PrAtMost,
+    Prop,
+    TrueFormula,
+    Until,
+)
+
+PointSet = FrozenSet[Point]
+
+
+class Model:
+    """An interpreted system: trees + probability assignment + valuation."""
+
+    def __init__(
+        self,
+        assignment: ProbabilityAssignment,
+        valuation: Mapping[str, Fact],
+    ) -> None:
+        self.assignment = assignment
+        self.psys: ProbabilisticSystem = assignment.psys
+        self.system: System = self.psys.system
+        self.valuation: Dict[str, Fact] = dict(valuation)
+        self._extensions: Dict[Formula, PointSet] = {}
+
+    # ------------------------------------------------------------------
+    # Core evaluation
+    # ------------------------------------------------------------------
+
+    def extension(self, formula: Formula) -> PointSet:
+        """The set of points satisfying ``formula`` (memoised)."""
+        if formula in self._extensions:
+            return self._extensions[formula]
+        result = self._compute_extension(formula)
+        self._extensions[formula] = result
+        return result
+
+    def holds(self, formula: Formula, point: Point) -> bool:
+        """``(P, c) |= formula``."""
+        return point in self.extension(formula)
+
+    def valid(self, formula: Formula) -> bool:
+        """True iff the formula holds at every point of the system."""
+        return self.extension(formula) == frozenset(self.system.points)
+
+    def fact_of(self, formula: Formula) -> Fact:
+        """The formula's extension wrapped as a :class:`Fact`."""
+        return Fact.from_points(self.extension(formula), name=str(formula))
+
+    def with_assignment(self, assignment: ProbabilityAssignment) -> "Model":
+        """The same valuation interpreted under a different assignment.
+
+        The probability assignment is exactly what Sections 6-8 vary; this
+        constructor is how the coordinated-attack analysis swaps ``P_prior``
+        / ``P_post`` / ``P_fut`` while holding everything else fixed.
+        """
+        return Model(assignment, self.valuation)
+
+    # ------------------------------------------------------------------
+    # Recursive cases
+    # ------------------------------------------------------------------
+
+    def _all_points(self) -> PointSet:
+        return frozenset(self.system.points)
+
+    def _compute_extension(self, formula: Formula) -> PointSet:
+        if isinstance(formula, Prop):
+            try:
+                fact = self.valuation[formula.name]
+            except KeyError:
+                raise LogicError(f"no valuation for proposition {formula.name!r}") from None
+            return frozenset(fact.restricted_to(self.system.points))
+        if isinstance(formula, TrueFormula):
+            return self._all_points()
+        if isinstance(formula, FalseFormula):
+            return frozenset()
+        if isinstance(formula, Not):
+            return self._all_points() - self.extension(formula.sub)
+        if isinstance(formula, And):
+            return self.extension(formula.left) & self.extension(formula.right)
+        if isinstance(formula, Or):
+            return self.extension(formula.left) | self.extension(formula.right)
+        if isinstance(formula, Implies):
+            return (self._all_points() - self.extension(formula.left)) | self.extension(
+                formula.right
+            )
+        if isinstance(formula, Iff):
+            left = self.extension(formula.left)
+            right = self.extension(formula.right)
+            both = left & right
+            neither = self._all_points() - (left | right)
+            return both | neither
+        if isinstance(formula, Knows):
+            return self._knowledge_extension(formula.agent, self.extension(formula.sub))
+        if isinstance(formula, PrAtLeast):
+            fact = Fact.from_points(self.extension(formula.sub))
+            return frozenset(
+                point
+                for point in self.system.points
+                if self.assignment.inner_probability(formula.agent, point, fact)
+                >= formula.alpha
+            )
+        if isinstance(formula, PrAtMost):
+            fact = Fact.from_points(self.extension(formula.sub))
+            return frozenset(
+                point
+                for point in self.system.points
+                if self.assignment.outer_probability(formula.agent, point, fact)
+                <= formula.beta
+            )
+        if isinstance(formula, Next):
+            sub = self.extension(formula.sub)
+            return frozenset(
+                point for point in self.system.points if point.successor() in sub
+            )
+        if isinstance(formula, Until):
+            return self._until_extension(formula)
+        if isinstance(formula, EveryoneKnows):
+            return self._everyone_extension(formula.group, self.extension(formula.sub))
+        if isinstance(formula, CommonKnows):
+            return self._gfp(
+                self.extension(formula.sub),
+                lambda target: self._everyone_extension(formula.group, target),
+            )
+        if isinstance(formula, EveryoneKnowsProb):
+            return self._everyone_prob_extension(
+                formula.group, formula.alpha, self.extension(formula.sub)
+            )
+        if isinstance(formula, CommonKnowsProb):
+            return self._gfp(
+                self.extension(formula.sub),
+                lambda target: self._everyone_prob_extension(
+                    formula.group, formula.alpha, target
+                ),
+            )
+        raise LogicError(f"unknown formula constructor {type(formula).__name__}")
+
+    # ------------------------------------------------------------------
+    # Knowledge helpers
+    # ------------------------------------------------------------------
+
+    def _knowledge_extension(self, agent: int, target: PointSet) -> PointSet:
+        return frozenset(
+            point
+            for point in self.system.points
+            if self.system.knowledge_set(agent, point) <= target
+        )
+
+    def _everyone_extension(self, group: Iterable[int], target: PointSet) -> PointSet:
+        result = self._all_points()
+        for agent in group:
+            result &= self._knowledge_extension(agent, target)
+        return result
+
+    def _prob_knowledge_extension(self, agent: int, alpha, target: PointSet) -> PointSet:
+        """Extension of ``K_i^alpha`` applied to an extension (not a formula)."""
+        fact = Fact.from_points(target)
+        satisfying = frozenset(
+            point
+            for point in self.system.points
+            if self.assignment.inner_probability(agent, point, fact) >= alpha
+        )
+        return self._knowledge_extension(agent, satisfying)
+
+    def _everyone_prob_extension(
+        self, group: Iterable[int], alpha, target: PointSet
+    ) -> PointSet:
+        result = self._all_points()
+        for agent in group:
+            result &= self._prob_knowledge_extension(agent, alpha, target)
+        return result
+
+    def _gfp(self, sub_extension: PointSet, everyone) -> PointSet:
+        """Greatest fixed point of ``X == E(phi & X)`` by downward iteration.
+
+        The operator is monotone and the lattice of point sets finite, so
+        iteration from the top converges; the result is the greatest fixed
+        point, matching the Section 8 definition of (probabilistic) common
+        knowledge.
+        """
+        current = self._all_points()
+        while True:
+            updated = everyone(sub_extension & current)
+            if updated == current:
+                return current
+            current = updated
+
+    # ------------------------------------------------------------------
+    # Until
+    # ------------------------------------------------------------------
+
+    def _until_extension(self, formula: Until) -> PointSet:
+        left = self.extension(formula.left)
+        right = self.extension(formula.right)
+        satisfied: set = set()
+        for run in self.system.runs:
+            run_points = list(run.points())
+            holds_from = [False] * len(run_points)
+            for index in range(len(run_points) - 1, -1, -1):
+                point = run_points[index]
+                if point in right:
+                    holds_from[index] = True
+                elif point in left and index + 1 < len(run_points):
+                    holds_from[index] = holds_from[index + 1]
+            satisfied.update(
+                point for index, point in enumerate(run_points) if holds_from[index]
+            )
+        return frozenset(satisfied)

@@ -1,0 +1,323 @@
+"""The language ``L(Phi)`` of knowledge, probability, and linear time.
+
+Section 5 fixes a set ``Phi`` of primitive propositions and closes under
+boolean connectives, the knowledge operators ``K_i``, probability formulas
+``Pr_i(phi) >= alpha``, and the temporal operators *next* and *until*.
+Derived forms -- ``K_i^alpha``, ``K_i^[alpha,beta]``, *eventually*,
+*henceforth*, ``E_G``, ``C_G`` and their probabilistic versions -- are
+provided as constructors so formulas stay readable.
+
+Formulas are immutable, hashable dataclasses; the model checker memoises on
+them directly.  Agent indices are 0-based (the paper's ``p_1`` is agent 0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Tuple
+
+from ..probability.fractionutil import ONE, as_fraction
+
+
+class Formula:
+    """Base class for formulas of ``L(Phi)``."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def __rshift__(self, other: "Formula") -> "Formula":
+        return Implies(self, other)
+
+
+@dataclass(frozen=True)
+class Prop(Formula):
+    """A primitive proposition, interpreted by the model's valuation."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TrueFormula(Formula):
+    """The constant ``true``."""
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseFormula(Formula):
+    """The constant ``false``."""
+
+    def __str__(self) -> str:
+        return "false"
+
+
+TRUE = TrueFormula()
+FALSE = FalseFormula()
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    sub: Formula
+
+    def __str__(self) -> str:
+        return f"!{self.sub}"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction."""
+
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} & {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Disjunction."""
+
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} | {self.right})"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    """Material implication."""
+
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} -> {self.right})"
+
+
+@dataclass(frozen=True)
+class Iff(Formula):
+    """Material biconditional (``phi_CA`` is one of these)."""
+
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} <-> {self.right})"
+
+
+@dataclass(frozen=True)
+class Knows(Formula):
+    """``K_i phi``: true at ``c`` iff ``phi`` holds throughout ``K_i(c)``."""
+
+    agent: int
+    sub: Formula
+
+    def __str__(self) -> str:
+        return f"K{self.agent} {self.sub}"
+
+
+@dataclass(frozen=True)
+class PrAtLeast(Formula):
+    """``Pr_i(phi) >= alpha``: inner measure of ``S_ic(phi)`` at least alpha.
+
+    Section 5: the inner measure is the best lower bound on the probability
+    of a possibly non-measurable fact, and is the paper's semantics for the
+    probability operator.
+    """
+
+    agent: int
+    sub: Formula
+    alpha: Fraction
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "alpha", as_fraction(self.alpha))
+
+    def __str__(self) -> str:
+        return f"Pr{self.agent}({self.sub}) >= {self.alpha}"
+
+
+@dataclass(frozen=True)
+class PrAtMost(Formula):
+    """``Pr_i(phi) <= beta``, i.e. ``Pr_i(!phi) >= 1 - beta``.
+
+    By inner/outer duality this says the *outer* measure of ``S_ic(phi)``
+    is at most ``beta`` -- exactly the second conjunct of ``K_i^[a,b]``.
+    """
+
+    agent: int
+    sub: Formula
+    beta: Fraction
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "beta", as_fraction(self.beta))
+
+    def __str__(self) -> str:
+        return f"Pr{self.agent}({self.sub}) <= {self.beta}"
+
+
+@dataclass(frozen=True)
+class Next(Formula):
+    """``o phi``: true at ``(r,k)`` iff ``phi`` holds at ``(r,k+1)``.
+
+    Finite-horizon semantics: at a run's last point, the successor is the
+    point itself (end-stuttering; see :meth:`repro.core.model.Run.state`).
+    """
+
+    sub: Formula
+
+    def __str__(self) -> str:
+        return f"X {self.sub}"
+
+
+@dataclass(frozen=True)
+class Until(Formula):
+    """``phi U psi``: ``psi`` eventually holds and ``phi`` holds until then."""
+
+    left: Formula
+    right: Formula
+
+    def __str__(self) -> str:
+        return f"({self.left} U {self.right})"
+
+
+# ----------------------------------------------------------------------
+# Group operators (Section 8)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EveryoneKnows(Formula):
+    """``E_G phi``: every agent in the group knows ``phi``."""
+
+    group: Tuple[int, ...]
+    sub: Formula
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "group", tuple(self.group))
+
+    def __str__(self) -> str:
+        return f"E{set(self.group)} {self.sub}"
+
+
+@dataclass(frozen=True)
+class CommonKnows(Formula):
+    """``C_G phi``: the greatest fixed point of ``X == E_G(phi & X)``."""
+
+    group: Tuple[int, ...]
+    sub: Formula
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "group", tuple(self.group))
+
+    def __str__(self) -> str:
+        return f"C{set(self.group)} {self.sub}"
+
+
+@dataclass(frozen=True)
+class EveryoneKnowsProb(Formula):
+    """``E_G^alpha phi``: every group member satisfies ``K_i^alpha phi``."""
+
+    group: Tuple[int, ...]
+    alpha: Fraction
+    sub: Formula
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "group", tuple(self.group))
+        object.__setattr__(self, "alpha", as_fraction(self.alpha))
+
+    def __str__(self) -> str:
+        return f"E^{self.alpha}{set(self.group)} {self.sub}"
+
+
+@dataclass(frozen=True)
+class CommonKnowsProb(Formula):
+    """``C_G^alpha phi``: greatest fixed point of ``X == E_G^alpha(phi & X)``.
+
+    This is Fagin and Halpern's probabilistic common knowledge, the notion
+    Section 8 uses to specify probabilistic coordinated attack.
+    """
+
+    group: Tuple[int, ...]
+    alpha: Fraction
+    sub: Formula
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "group", tuple(self.group))
+        object.__setattr__(self, "alpha", as_fraction(self.alpha))
+
+    def __str__(self) -> str:
+        return f"C^{self.alpha}{set(self.group)} {self.sub}"
+
+
+# ----------------------------------------------------------------------
+# Derived constructors
+# ----------------------------------------------------------------------
+
+
+def eventually(sub: Formula) -> Formula:
+    """``<> phi  ==  true U phi``."""
+    return Until(TRUE, sub)
+
+
+def henceforth(sub: Formula) -> Formula:
+    """``[] phi  ==  !<>!phi``."""
+    return Not(eventually(Not(sub)))
+
+
+def knows_prob_at_least(agent: int, alpha, sub: Formula) -> Formula:
+    """``K_i^alpha phi  ==  K_i(Pr_i(phi) >= alpha)`` (Section 5)."""
+    return Knows(agent, PrAtLeast(agent, sub, as_fraction(alpha)))
+
+
+def knows_prob_interval(agent: int, alpha, beta, sub: Formula) -> Formula:
+    """``K_i^[a,b] phi == K_i[(Pr_i(phi) >= a) & (Pr_i(!phi) >= 1-b)]``."""
+    return Knows(
+        agent,
+        And(
+            PrAtLeast(agent, sub, as_fraction(alpha)),
+            PrAtMost(agent, sub, as_fraction(beta)),
+        ),
+    )
+
+
+def certainty(agent: int, sub: Formula) -> Formula:
+    """``Pr_i(phi) = 1`` -- the consistency axiom's consequent."""
+    return PrAtLeast(agent, sub, ONE)
+
+
+def subformulas(formula: Formula):
+    """Yield the formula and all its subformulas (pre-order)."""
+    yield formula
+    for attribute in ("sub", "left", "right"):
+        child = getattr(formula, attribute, None)
+        if isinstance(child, Formula):
+            yield from subformulas(child)
+
+
+def formula_depth(formula: Formula) -> int:
+    """The operator-nesting depth of a formula."""
+    children = [
+        getattr(formula, attribute)
+        for attribute in ("sub", "left", "right")
+        if isinstance(getattr(formula, attribute, None), Formula)
+    ]
+    if not children:
+        return 0
+    return 1 + max(formula_depth(child) for child in children)

@@ -1,0 +1,138 @@
+"""Sigma-algebras over finite sample spaces.
+
+A sigma-algebra over a *finite* set is completely determined by its atoms:
+the minimal nonempty measurable sets, which partition the space.  The
+library therefore represents an algebra by its atom partition.  This module
+provides the conversions between the two views:
+
+* :func:`atoms_from_generators` -- the atoms of the smallest sigma-algebra
+  containing the given generating sets (used to build the run algebra of a
+  computation tree from its cones, and to reproduce footnote 5's
+  non-measurability argument).
+* :func:`explicit_closure` -- the full set-of-sets closure, exponential in
+  the number of atoms; kept for the sigma-algebra ablation benchmark and for
+  cross-checking the atom representation on small spaces.
+* :func:`is_partition`, :func:`generated_by_partition` -- validation
+  helpers.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Hashable, Iterable, List, Sequence, Set, Tuple
+
+from ..errors import NotAPartitionError
+
+Atom = FrozenSet[Hashable]
+
+
+def is_partition(space: Iterable[Hashable], atoms: Iterable[Atom]) -> bool:
+    """Return True iff ``atoms`` are disjoint, nonempty, and cover ``space``."""
+    space_set = frozenset(space)
+    seen: Set[Hashable] = set()
+    for atom in atoms:
+        if not atom:
+            return False
+        if not atom <= space_set:
+            return False
+        if seen & atom:
+            return False
+        seen |= atom
+    return seen == space_set
+
+
+def check_partition(space: Iterable[Hashable], atoms: Iterable[Atom]) -> Tuple[Atom, ...]:
+    """Validate and normalise an atom partition, raising on failure.
+
+    Atoms are returned in a deterministic order (sorted by their repr) so
+    that spaces built from the same data always iterate identically.
+    """
+    atom_tuple = tuple(frozenset(atom) for atom in atoms)
+    if not is_partition(frozenset().union(*atom_tuple) if atom_tuple else frozenset(), atom_tuple):
+        raise NotAPartitionError("atoms are empty, overlapping, or escape the space")
+    space_set = frozenset(space)
+    covered = frozenset().union(*atom_tuple) if atom_tuple else frozenset()
+    if covered != space_set:
+        raise NotAPartitionError(
+            f"atoms cover {len(covered)} outcomes but the space has {len(space_set)}"
+        )
+    return tuple(sorted(atom_tuple, key=_atom_sort_key))
+
+
+def _atom_sort_key(atom: Atom) -> tuple:
+    return tuple(sorted(repr(outcome) for outcome in atom))
+
+
+def atoms_from_generators(
+    space: Iterable[Hashable], generators: Iterable[Iterable[Hashable]]
+) -> Tuple[Atom, ...]:
+    """Atoms of the smallest sigma-algebra on ``space`` containing each generator.
+
+    Two outcomes land in the same atom iff no generator separates them, so
+    the atoms are the equivalence classes of the membership-signature
+    relation.  This is linear in ``len(space) * len(generators)`` -- compare
+    :func:`explicit_closure`, which is exponential.
+    """
+    space_tuple = tuple(space)
+    generator_sets = [frozenset(generator) for generator in generators]
+    signature_to_members: dict = {}
+    for outcome in space_tuple:
+        signature = tuple(outcome in generator for generator in generator_sets)
+        signature_to_members.setdefault(signature, []).append(outcome)
+    atoms = tuple(frozenset(members) for members in signature_to_members.values())
+    return tuple(sorted(atoms, key=_atom_sort_key))
+
+
+def explicit_closure(
+    space: Iterable[Hashable], generators: Iterable[Iterable[Hashable]]
+) -> FrozenSet[Atom]:
+    """The full sigma-algebra as an explicit set of measurable sets.
+
+    Closes the generators under complement and (finite = countable, here)
+    union.  Exponential in the number of atoms; only use on small spaces.
+    Used by the footnote-5 demonstration: adding one "natural looking" set
+    to the measurable sets forces the nondeterministic input-bit events to
+    become measurable too.
+    """
+    space_set = frozenset(space)
+    sets: Set[Atom] = {frozenset(), space_set}
+    for generator in generators:
+        sets.add(frozenset(generator))
+    changed = True
+    while changed:
+        changed = False
+        current = list(sets)
+        for measurable in current:
+            complement = space_set - measurable
+            if complement not in sets:
+                sets.add(complement)
+                changed = True
+        current = list(sets)
+        for left, right in combinations(current, 2):
+            union = left | right
+            if union not in sets:
+                sets.add(union)
+                changed = True
+    return frozenset(sets)
+
+
+def atoms_of_explicit_algebra(space: Iterable[Hashable], algebra: Iterable[Atom]) -> Tuple[Atom, ...]:
+    """Recover the atom partition from an explicit sigma-algebra."""
+    return atoms_from_generators(space, algebra)
+
+
+def common_refinement(
+    space: Iterable[Hashable], *partitions: Sequence[Atom]
+) -> Tuple[Atom, ...]:
+    """The coarsest partition refining every given partition."""
+    generators: List[Atom] = []
+    for partition in partitions:
+        generators.extend(frozenset(atom) for atom in partition)
+    return atoms_from_generators(space, generators)
+
+
+def restrict_partition(atoms: Sequence[Atom], event: Iterable[Hashable]) -> Tuple[Atom, ...]:
+    """Intersect every atom with ``event`` and drop empties (trace algebra)."""
+    event_set = frozenset(event)
+    restricted = tuple(atom & event_set for atom in atoms)
+    return tuple(atom for atom in restricted if atom)

@@ -1,0 +1,128 @@
+"""Expectation utilities layered over :class:`FiniteProbabilitySpace`.
+
+Most expectation logic lives on the space itself; this module adds the
+pieces the betting game needs:
+
+* :func:`indicator` -- the {0,1}-valued variable of an event.
+* :func:`conditional_expectation` -- ``E[X | B]`` and the law of total
+  expectation used in Proposition 6's proof.
+* :func:`attainability_witnesses` -- the Appendix B.2 claim that the inner
+  and outer expectations are *attained* by extensions of the space: builds
+  the extending spaces explicitly.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+from ..errors import NotMeasurableError
+from .algebra import Atom
+from .fractionutil import ZERO, as_fraction
+from .space import FiniteProbabilitySpace, RandomVariable
+
+
+def indicator(event: Iterable[Hashable]) -> RandomVariable:
+    """The indicator random variable of ``event``."""
+    event_set = frozenset(event)
+
+    def variable(outcome: Hashable) -> Fraction:
+        return Fraction(1) if outcome in event_set else Fraction(0)
+
+    return variable
+
+
+def scaled_indicator(
+    event: Iterable[Hashable], if_true, if_false
+) -> RandomVariable:
+    """A two-valued variable: ``if_true`` on the event, ``if_false`` off it.
+
+    This is exactly the shape of the betting game's winnings variable
+    ``W_f`` (payoff - 1 when the fact holds, -1 when it does not).
+    """
+    event_set = frozenset(event)
+    true_value = as_fraction(if_true)
+    false_value = as_fraction(if_false)
+
+    def variable(outcome: Hashable) -> Fraction:
+        return true_value if outcome in event_set else false_value
+
+    return variable
+
+
+def conditional_expectation(
+    space: FiniteProbabilitySpace,
+    variable: RandomVariable,
+    given: Iterable[Hashable],
+) -> Fraction:
+    """``E[X | B]`` for measurable ``X`` and measurable positive ``B``."""
+    conditioned = space.condition(given)
+    return conditioned.expectation(variable)
+
+
+def law_of_total_expectation_check(
+    space: FiniteProbabilitySpace,
+    variable: RandomVariable,
+    partition: Sequence[Iterable[Hashable]],
+) -> bool:
+    """Verify ``E[X] = sum_B E[X|B] mu(B)`` over a measurable partition.
+
+    This identity is the engine of Proposition 6's proof (Tree-safety and
+    Tree^j-safety agree in synchronous systems); exposing it as a checker
+    lets the test suite exercise the same argument computationally.
+    """
+    total = ZERO
+    for block in partition:
+        block_set = frozenset(block)
+        weight = space.measure(block_set)
+        if weight == ZERO:
+            continue
+        total += conditional_expectation(space, variable, block_set) * weight
+    return total == space.expectation(variable)
+
+
+def attainability_witnesses(
+    space: FiniteProbabilitySpace, variable: RandomVariable
+) -> Tuple[FiniteProbabilitySpace, FiniteProbabilitySpace]:
+    """Extensions of ``space`` attaining the inner and outer expectations.
+
+    Appendix B.2: for a two-valued variable ``X`` with values ``x > y``,
+    there are extensions of the space making ``X`` measurable whose (now
+    well-defined) expectations equal ``E_*(X)`` and ``E^*(X)``.  We build
+    them by splitting each mixed atom and pushing all of its mass onto the
+    low-value part (inner) or the high-value part (outer).
+
+    Returns ``(inner_witness, outer_witness)``.
+    """
+    classes: Dict[Fraction, set] = {}
+    for outcome in space.outcomes:
+        classes.setdefault(as_fraction(variable(outcome)), set()).add(outcome)
+    if len(classes) == 1:
+        return space, space
+    if len(classes) != 2:
+        raise NotMeasurableError("attainability witnesses need a two-valued variable")
+    high_value, low_value = sorted(classes, reverse=True)
+    high_set = frozenset(classes[high_value])
+    low_set = frozenset(classes[low_value])
+
+    def split(favour_low: bool) -> FiniteProbabilitySpace:
+        atoms: List[Atom] = []
+        probabilities: Dict[Atom, Fraction] = {}
+        for atom in space.atoms:
+            mass = space.atom_probability(atom)
+            high_part = atom & high_set
+            low_part = atom & low_set
+            if not high_part or not low_part:
+                atoms.append(atom)
+                probabilities[atom] = mass
+                continue
+            atoms.extend([high_part, low_part])
+            if favour_low:
+                probabilities[high_part] = ZERO
+                probabilities[low_part] = mass
+            else:
+                probabilities[high_part] = mass
+                probabilities[low_part] = ZERO
+        return FiniteProbabilitySpace(atoms, probabilities)
+
+    return split(favour_low=True), split(favour_low=False)

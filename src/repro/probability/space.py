@@ -1,0 +1,410 @@
+"""Finite probability spaces with exact rational measures.
+
+:class:`FiniteProbabilitySpace` is the workhorse of the whole reproduction:
+the probability space on the runs of a computation tree (Section 3), the
+induced space on the points of a sample-space assignment (Section 5), and
+every conditional space the paper constructs are all instances.
+
+A space is a triple ``(S, X, mu)`` exactly as in the paper: a finite sample
+space ``S``, a sigma-algebra ``X`` represented by its atom partition, and a
+measure ``mu`` given by one exact :class:`~fractions.Fraction` per atom.
+Inner and outer measures (Section 5) and the two-valued inner/outer
+expectations of Appendix B.2 are first-class operations.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Dict, FrozenSet, Hashable, Iterable, Mapping, Optional, Tuple
+
+from ..errors import (
+    InvalidMeasureError,
+    NotMeasurableError,
+    ZeroMeasureConditioningError,
+)
+from .algebra import Atom, check_partition, restrict_partition
+from .fractionutil import ONE, ZERO, FractionLike, as_fraction
+
+Outcome = Hashable
+Event = FrozenSet[Outcome]
+RandomVariable = Callable[[Outcome], Fraction]
+
+
+class FiniteProbabilitySpace:
+    """A probability space ``(S, X, mu)`` over a finite sample space.
+
+    Parameters
+    ----------
+    atoms:
+        The atom partition of the sigma-algebra ``X``.  A subset of ``S`` is
+        measurable iff it is a union of atoms.
+    atom_probabilities:
+        A mapping from each atom to its probability.  Probabilities must be
+        nonnegative and sum to exactly one.
+
+    Most callers use the classmethod constructors:
+    :meth:`from_point_masses` (full powerset algebra),
+    :meth:`uniform`, or :meth:`from_atoms`.
+    """
+
+    __slots__ = ("_atoms", "_probabilities", "_outcomes", "_atom_of")
+
+    def __init__(
+        self,
+        atoms: Iterable[Atom],
+        atom_probabilities: Mapping[Atom, FractionLike],
+    ) -> None:
+        atom_tuple = tuple(frozenset(atom) for atom in atoms)
+        outcomes = frozenset().union(*atom_tuple) if atom_tuple else frozenset()
+        self._atoms: Tuple[Atom, ...] = check_partition(outcomes, atom_tuple)
+        self._outcomes: Event = outcomes
+        probabilities: Dict[Atom, Fraction] = {}
+        for atom in self._atoms:
+            if atom not in atom_probabilities:
+                raise InvalidMeasureError(f"no probability supplied for atom {set(atom)!r}")
+            probability = as_fraction(atom_probabilities[atom])
+            if probability < ZERO:
+                raise InvalidMeasureError(f"negative probability {probability} for an atom")
+            probabilities[atom] = probability
+        total = sum(probabilities.values(), ZERO)
+        if total != ONE:
+            raise InvalidMeasureError(f"atom probabilities sum to {total}, not 1")
+        self._probabilities = probabilities
+        self._atom_of: Dict[Outcome, Atom] = {}
+        for atom in self._atoms:
+            for outcome in atom:
+                self._atom_of[outcome] = atom
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_point_masses(
+        cls, masses: Mapping[Outcome, FractionLike]
+    ) -> "FiniteProbabilitySpace":
+        """Space whose sigma-algebra is the full powerset (singleton atoms)."""
+        atoms = [frozenset([outcome]) for outcome in masses]
+        probabilities = {frozenset([outcome]): mass for outcome, mass in masses.items()}
+        return cls(atoms, probabilities)
+
+    @classmethod
+    def uniform(cls, outcomes: Iterable[Outcome]) -> "FiniteProbabilitySpace":
+        """Uniform distribution with the full powerset algebra."""
+        outcome_tuple = tuple(outcomes)
+        if not outcome_tuple:
+            raise InvalidMeasureError("a probability space needs at least one outcome")
+        mass = Fraction(1, len(outcome_tuple))
+        return cls.from_point_masses({outcome: mass for outcome in outcome_tuple})
+
+    @classmethod
+    def from_atoms(
+        cls,
+        atoms: Iterable[Iterable[Outcome]],
+        probabilities: Iterable[FractionLike],
+    ) -> "FiniteProbabilitySpace":
+        """Space from parallel sequences of atoms and their probabilities."""
+        atom_tuple = tuple(frozenset(atom) for atom in atoms)
+        probability_tuple = tuple(probabilities)
+        if len(atom_tuple) != len(probability_tuple):
+            raise InvalidMeasureError("atoms and probabilities differ in length")
+        return cls(atom_tuple, dict(zip(atom_tuple, probability_tuple)))
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @property
+    def outcomes(self) -> Event:
+        """The sample space ``S``."""
+        return self._outcomes
+
+    @property
+    def atoms(self) -> Tuple[Atom, ...]:
+        """The atom partition of the sigma-algebra ``X``."""
+        return self._atoms
+
+    def atom_probability(self, atom: Atom) -> Fraction:
+        """The measure of a single atom."""
+        try:
+            return self._probabilities[frozenset(atom)]
+        except KeyError:
+            raise NotMeasurableError(f"{set(atom)!r} is not an atom of this space") from None
+
+    def atom_containing(self, outcome: Outcome) -> Atom:
+        """The unique atom containing ``outcome``."""
+        try:
+            return self._atom_of[outcome]
+        except KeyError:
+            raise NotMeasurableError(f"{outcome!r} is not an outcome of this space") from None
+
+    def has_powerset_algebra(self) -> bool:
+        """True iff every subset is measurable (all atoms are singletons)."""
+        return all(len(atom) == 1 for atom in self._atoms)
+
+    def __len__(self) -> int:
+        return len(self._outcomes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FiniteProbabilitySpace({len(self._outcomes)} outcomes, "
+            f"{len(self._atoms)} atoms)"
+        )
+
+    # ------------------------------------------------------------------
+    # Measure
+    # ------------------------------------------------------------------
+
+    def is_measurable(self, event: Iterable[Outcome]) -> bool:
+        """True iff ``event`` is a union of atoms (and a subset of ``S``)."""
+        event_set = frozenset(event)
+        if not event_set <= self._outcomes:
+            return False
+        covered: set = set()
+        for outcome in event_set:
+            atom = self._atom_of[outcome]
+            if not atom <= event_set:
+                return False
+            covered |= atom
+        return covered == event_set
+
+    def measure(self, event: Iterable[Outcome]) -> Fraction:
+        """``mu(event)``; raises :class:`NotMeasurableError` if undefined."""
+        event_set = frozenset(event)
+        if not event_set <= self._outcomes:
+            raise NotMeasurableError("event contains outcomes outside the sample space")
+        total = ZERO
+        seen: set = set()
+        for outcome in event_set:
+            atom = self._atom_of[outcome]
+            if atom in seen:
+                continue
+            if not atom <= event_set:
+                raise NotMeasurableError(
+                    "event splits an atom; use inner_measure / outer_measure"
+                )
+            seen.add(atom)
+            total += self._probabilities[atom]
+        return total
+
+    def inner_measure(self, event: Iterable[Outcome]) -> Fraction:
+        """``mu_*(event) = sup { mu(T) : T subseteq event, T in X }``.
+
+        For a finite space this is the total mass of atoms contained in the
+        event.  Per Section 5, the inner measure is the best lower bound on
+        the probability of a (possibly non-measurable) fact.
+        """
+        event_set = frozenset(event) & self._outcomes
+        total = ZERO
+        for atom in self._atoms:
+            if atom <= event_set:
+                total += self._probabilities[atom]
+        return total
+
+    def outer_measure(self, event: Iterable[Outcome]) -> Fraction:
+        """``mu^*(event) = inf { mu(T) : T supseteq event, T in X }``.
+
+        Equals ``1 - mu_*(complement)`` -- the duality the paper states in
+        Section 5 -- and, atom-wise, the mass of atoms meeting the event.
+        """
+        event_set = frozenset(event) & self._outcomes
+        total = ZERO
+        for atom in self._atoms:
+            if atom & event_set:
+                total += self._probabilities[atom]
+        return total
+
+    def measure_interval(self, event: Iterable[Outcome]) -> Tuple[Fraction, Fraction]:
+        """``(mu_*(event), mu^*(event))`` in one pass."""
+        event_set = frozenset(event) & self._outcomes
+        inner = ZERO
+        outer = ZERO
+        for atom in self._atoms:
+            overlap = atom & event_set
+            if overlap:
+                outer += self._probabilities[atom]
+                if overlap == atom:
+                    inner += self._probabilities[atom]
+        return inner, outer
+
+    # ------------------------------------------------------------------
+    # Conditioning
+    # ------------------------------------------------------------------
+
+    def condition(self, event: Iterable[Outcome]) -> "FiniteProbabilitySpace":
+        """The conditional space given a measurable, positive-measure event.
+
+        The new sample space is ``event``; its algebra is the trace algebra;
+        the measure is ``mu(. | event)``.  This is the core operation behind
+        the induced probability assignments of Section 5 and the lattice
+        conditioning identity of Proposition 5.
+        """
+        event_set = frozenset(event)
+        denominator = self.measure(event_set)  # raises if non-measurable
+        if denominator == ZERO:
+            raise ZeroMeasureConditioningError("conditioning event has measure zero")
+        new_atoms = restrict_partition(self._atoms, event_set)
+        probabilities = {
+            atom: self._probabilities[self._atom_of[next(iter(atom))]] / denominator
+            for atom in new_atoms
+        }
+        return FiniteProbabilitySpace(new_atoms, probabilities)
+
+    def conditional_probability(
+        self, event: Iterable[Outcome], given: Iterable[Outcome]
+    ) -> Fraction:
+        """``mu(event | given)`` for measurable events."""
+        given_set = frozenset(given)
+        denominator = self.measure(given_set)
+        if denominator == ZERO:
+            raise ZeroMeasureConditioningError("conditioning event has measure zero")
+        return self.measure(frozenset(event) & given_set) / denominator
+
+    # ------------------------------------------------------------------
+    # Expectation (including Appendix B.2's inner/outer expectation)
+    # ------------------------------------------------------------------
+
+    def _value_classes(self, variable: RandomVariable) -> Dict[Fraction, set]:
+        classes: Dict[Fraction, set] = {}
+        for outcome in self._outcomes:
+            value = as_fraction(variable(outcome))
+            classes.setdefault(value, set()).add(outcome)
+        return classes
+
+    def expectation(self, variable: RandomVariable) -> Fraction:
+        """``E[X]`` for a measurable random variable.
+
+        The variable must be constant on atoms; otherwise it is not
+        measurable and callers should use :meth:`inner_expectation` /
+        :meth:`outer_expectation`.
+        """
+        total = ZERO
+        for atom in self._atoms:
+            values = {as_fraction(variable(outcome)) for outcome in atom}
+            if len(values) != 1:
+                raise NotMeasurableError(
+                    "random variable is not constant on an atom; "
+                    "use inner_expectation / outer_expectation"
+                )
+            total += values.pop() * self._probabilities[atom]
+        return total
+
+    def is_measurable_variable(self, variable: RandomVariable) -> bool:
+        """True iff the variable is constant on every atom."""
+        for atom in self._atoms:
+            values = {as_fraction(variable(outcome)) for outcome in atom}
+            if len(values) != 1:
+                return False
+        return True
+
+    def inner_expectation(self, variable: RandomVariable) -> Fraction:
+        """Appendix B.2's inner expectation for a two-valued variable.
+
+        For ``X`` taking values ``x > y``::
+
+            E_*(X) = x * mu_*(X = x) + y * mu^*(X = y)
+
+        This is the tightest lower bound on ``E[X]`` over all extensions of
+        the measure that make ``X`` measurable.  Degenerate (constant)
+        variables are handled directly.  More than two values raises, as the
+        paper only defines the two-valued case.
+        """
+        classes = self._value_classes(variable)
+        if len(classes) == 1:
+            (value,) = classes
+            return value
+        if len(classes) != 2:
+            raise NotMeasurableError(
+                "inner expectation is defined only for two-valued variables "
+                f"(got {len(classes)} distinct values)"
+            )
+        high, low = sorted(classes, reverse=True)
+        return high * self.inner_measure(classes[high]) + low * self.outer_measure(classes[low])
+
+    def outer_expectation(self, variable: RandomVariable) -> Fraction:
+        """Appendix B.2's outer expectation for a two-valued variable.
+
+        For ``X`` taking values ``x > y``::
+
+            E^*(X) = x * mu^*(X = x) + y * mu_*(X = y)
+        """
+        classes = self._value_classes(variable)
+        if len(classes) == 1:
+            (value,) = classes
+            return value
+        if len(classes) != 2:
+            raise NotMeasurableError(
+                "outer expectation is defined only for two-valued variables "
+                f"(got {len(classes)} distinct values)"
+            )
+        high, low = sorted(classes, reverse=True)
+        return high * self.outer_measure(classes[high]) + low * self.inner_measure(classes[low])
+
+    def lower_expectation(self, variable: RandomVariable) -> Fraction:
+        """The tightest lower bound on ``E[X]`` over measurable extensions.
+
+        For a finite space this is ``sum_atoms mu(atom) * min(X on atom)``.
+        It agrees with :meth:`expectation` on measurable variables and with
+        Appendix B.2's :meth:`inner_expectation` on two-valued ones, and
+        extends both to arbitrary variables -- the form the betting game's
+        safety check uses when winnings are non-measurable.
+        """
+        total = ZERO
+        for atom in self._atoms:
+            total += self._probabilities[atom] * min(
+                as_fraction(variable(outcome)) for outcome in atom
+            )
+        return total
+
+    def upper_expectation(self, variable: RandomVariable) -> Fraction:
+        """The tightest upper bound on ``E[X]``; dual of
+        :meth:`lower_expectation`."""
+        total = ZERO
+        for atom in self._atoms:
+            total += self._probabilities[atom] * max(
+                as_fraction(variable(outcome)) for outcome in atom
+            )
+        return total
+
+    # ------------------------------------------------------------------
+    # Derived spaces
+    # ------------------------------------------------------------------
+
+    def coarsen(self, partition: Iterable[Iterable[Outcome]]) -> "FiniteProbabilitySpace":
+        """Replace the algebra with a coarser one; measure is inherited.
+
+        Every block of ``partition`` must be measurable in this space.
+        """
+        blocks = tuple(frozenset(block) for block in partition)
+        probabilities = {block: self.measure(block) for block in blocks}
+        return FiniteProbabilitySpace(blocks, probabilities)
+
+    def product(self, other: "FiniteProbabilitySpace") -> "FiniteProbabilitySpace":
+        """Independent product space over pairs of outcomes."""
+        atoms = []
+        probabilities = {}
+        for left in self._atoms:
+            for right in other._atoms:
+                atom = frozenset(
+                    (left_outcome, right_outcome)
+                    for left_outcome in left
+                    for right_outcome in right
+                )
+                atoms.append(atom)
+                probabilities[atom] = (
+                    self._probabilities[left] * other._probabilities[right]
+                )
+        return FiniteProbabilitySpace(atoms, probabilities)
+
+    def extends(self, other: "FiniteProbabilitySpace") -> bool:
+        """True iff this space extends ``other`` in the Appendix B.2 sense:
+        same sample space, finer algebra, agreeing measure on the coarse
+        algebra."""
+        if self._outcomes != other._outcomes:
+            return False
+        for atom in other.atoms:
+            if not self.is_measurable(atom):
+                return False
+            if self.measure(atom) != other.atom_probability(atom):
+                return False
+        return True

@@ -1,0 +1,52 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every experiment bench regenerates one of the paper's worked results and
+prints it as a table; this module keeps the formatting in one place so the
+tables in ``bench_output.txt`` and EXPERIMENTS.md stay consistent.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Iterable, List, Sequence
+
+from .probability.fractionutil import format_fraction
+
+
+def render_cell(value) -> str:
+    """Format one table cell: exact fractions, booleans, plain text."""
+    if isinstance(value, Fraction):
+        return format_fraction(value)
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, tuple) and all(isinstance(item, Fraction) for item in value):
+        return "[" + ", ".join(format_fraction(item) for item in value) + "]"
+    return str(value)
+
+
+def render_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render a titled, width-aligned plain-text table."""
+    rendered_rows: List[List[str]] = [[render_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    separator = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    body = [line(list(headers)), separator]
+    body.extend(line(row) for row in rendered_rows)
+    return f"== {title} ==\n" + "\n".join(body)
+
+
+def print_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render, print, and return a table (benches print for the tee'd log)."""
+    text = render_table(title, headers, rows)
+    print("\n" + text)
+    return text

@@ -1,0 +1,66 @@
+"""A small distributed-system simulator generating probabilistic systems.
+
+Protocol code (agents + channels) unfolds into the labeled computation
+trees of Section 3: synchronous lockstep rounds in :mod:`synchronous`,
+scheduler-adversary interleavings in :mod:`scheduler`.  The coordinated
+attack protocols and the paper's coin examples are built on this substrate.
+"""
+
+from .agents import (
+    ActionDistribution,
+    Agent,
+    AgentAction,
+    CoinTossingAgent,
+    FunctionAgent,
+    IdleAgent,
+    RepeatedCoinTosser,
+    act,
+    certainly,
+    chance,
+)
+from .channels import (
+    Channel,
+    CollapsingLossyChannel,
+    LossyChannel,
+    PerfectChannel,
+)
+from .messages import Message, inbox_for, message_sort_key, sort_messages
+from .scheduler import (
+    ScheduleAdversary,
+    fixed_order,
+    round_robin,
+    run_scheduled,
+    scheduled_system,
+    starving,
+)
+from .synchronous import SyncProtocol, protocol_system, run_protocol
+
+__all__ = [
+    "Agent",
+    "FunctionAgent",
+    "IdleAgent",
+    "CoinTossingAgent",
+    "RepeatedCoinTosser",
+    "AgentAction",
+    "ActionDistribution",
+    "act",
+    "certainly",
+    "chance",
+    "Message",
+    "inbox_for",
+    "sort_messages",
+    "message_sort_key",
+    "Channel",
+    "PerfectChannel",
+    "LossyChannel",
+    "CollapsingLossyChannel",
+    "SyncProtocol",
+    "run_protocol",
+    "protocol_system",
+    "ScheduleAdversary",
+    "round_robin",
+    "fixed_order",
+    "starving",
+    "run_scheduled",
+    "scheduled_system",
+]

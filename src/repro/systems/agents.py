@@ -1,0 +1,142 @@
+"""Agents (protocols) for the round-based simulator.
+
+An agent is a *protocol* in the paper's sense: a deterministic-or-
+probabilistic function of its local state.  Each round it receives an inbox
+and returns a distribution over ``(new_state, outbox)`` actions -- the
+probabilistic branches are its coin tosses, and everything else about its
+behaviour must be a function of its local state (this is exactly the
+locality that the betting game demands of strategies).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from fractions import Fraction
+from typing import Callable, Hashable, List, Sequence, Tuple
+
+from ..probability.distributions import Distribution, point_mass, weighted
+from ..probability.fractionutil import FractionLike
+from .messages import Message
+
+AgentAction = Tuple[Hashable, Tuple[Message, ...]]
+ActionDistribution = List[Tuple[Fraction, AgentAction]]
+
+
+def act(state: Hashable, *messages: Message) -> AgentAction:
+    """Build a deterministic action: new state plus outgoing messages."""
+    return (state, tuple(messages))
+
+
+def certainly(state: Hashable, *messages: Message) -> ActionDistribution:
+    """The point-mass distribution on one action."""
+    return [(Fraction(1), act(state, *messages))]
+
+
+def chance(
+    branches: Sequence[Tuple[FractionLike, AgentAction]]
+) -> ActionDistribution:
+    """A probabilistic action (a coin toss inside the protocol)."""
+    return [
+        (probability, action)
+        for probability, action in weighted(branches)  # type: ignore[misc]
+    ]
+
+
+class Agent(ABC):
+    """A protocol for one agent of the system."""
+
+    @abstractmethod
+    def initial_state(self, input_value: Hashable) -> Hashable:
+        """The agent's local state at time 0, given its input."""
+
+    @abstractmethod
+    def step(
+        self, state: Hashable, inbox: Tuple[Message, ...], round_number: int
+    ) -> ActionDistribution:
+        """One round: return the distribution over (new state, outbox)."""
+
+
+class FunctionAgent(Agent):
+    """An agent assembled from two plain functions."""
+
+    def __init__(
+        self,
+        initial: Callable[[Hashable], Hashable],
+        step: Callable[[Hashable, Tuple[Message, ...], int], ActionDistribution],
+    ) -> None:
+        self._initial = initial
+        self._step = step
+
+    def initial_state(self, input_value: Hashable) -> Hashable:
+        return self._initial(input_value)
+
+    def step(
+        self, state: Hashable, inbox: Tuple[Message, ...], round_number: int
+    ) -> ActionDistribution:
+        return self._step(state, inbox, round_number)
+
+
+class IdleAgent(Agent):
+    """An agent that never changes state and never sends -- the passive
+    observers ``p_1`` and ``p_2`` of the coin-tossing examples."""
+
+    def __init__(self, state: Hashable = "idle") -> None:
+        self._state = state
+
+    def initial_state(self, input_value: Hashable) -> Hashable:
+        return self._state
+
+    def step(
+        self, state: Hashable, inbox: Tuple[Message, ...], round_number: int
+    ) -> ActionDistribution:
+        return certainly(state)
+
+
+class CoinTossingAgent(Agent):
+    """Tosses a (possibly biased) coin once at a given round and remembers
+    the outcome; used throughout the paper's running examples."""
+
+    def __init__(self, heads_probability: FractionLike, toss_round: int = 0) -> None:
+        from ..probability.fractionutil import as_fraction
+
+        self.heads_probability = as_fraction(heads_probability)
+        self.toss_round = toss_round
+
+    def initial_state(self, input_value: Hashable) -> Hashable:
+        return "ready"
+
+    def step(
+        self, state: Hashable, inbox: Tuple[Message, ...], round_number: int
+    ) -> ActionDistribution:
+        if round_number == self.toss_round and state == "ready":
+            return chance(
+                [
+                    (self.heads_probability, act("saw-heads")),
+                    (1 - self.heads_probability, act("saw-tails")),
+                ]
+            )
+        return certainly(state)
+
+
+class RepeatedCoinTosser(Agent):
+    """Tosses a fair coin every round, appending outcomes to its state --
+    the Section 7 ten-toss example's ``p_3``."""
+
+    def __init__(self, heads_probability: FractionLike = Fraction(1, 2)) -> None:
+        from ..probability.fractionutil import as_fraction
+
+        self.heads_probability = as_fraction(heads_probability)
+
+    def initial_state(self, input_value: Hashable) -> Hashable:
+        return ()
+
+    def step(
+        self, state: Hashable, inbox: Tuple[Message, ...], round_number: int
+    ) -> ActionDistribution:
+        outcomes: Tuple[str, ...] = state  # type: ignore[assignment]
+        return chance(
+            [
+                (self.heads_probability, act(outcomes + ("H",))),
+                (1 - self.heads_probability, act(outcomes + ("T",))),
+            ]
+        )

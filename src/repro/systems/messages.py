@@ -1,0 +1,39 @@
+"""Messages exchanged by simulated agents.
+
+Messages are immutable and totally ordered (via :func:`message_sort_key`)
+so that inboxes, outboxes, and in-flight buffers are deterministic -- a run
+of the simulator is a pure function of the protocol, inputs, and the
+probabilistic choices, as the paper's model requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Tuple
+
+
+@dataclass(frozen=True)
+class Message:
+    """A point-to-point message: sender and recipient are agent indices."""
+
+    sender: int
+    recipient: int
+    content: Hashable
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Message({self.sender}->{self.recipient}: {self.content!r})"
+
+
+def message_sort_key(message: Message) -> tuple:
+    """A deterministic total order on messages."""
+    return (message.sender, message.recipient, repr(message.content))
+
+
+def sort_messages(messages: Iterable[Message]) -> Tuple[Message, ...]:
+    """Normalise a collection of messages into sorted-tuple form."""
+    return tuple(sorted(messages, key=message_sort_key))
+
+
+def inbox_for(agent: int, messages: Iterable[Message]) -> Tuple[Message, ...]:
+    """The sorted messages addressed to ``agent``."""
+    return sort_messages(message for message in messages if message.recipient == agent)

@@ -1,0 +1,139 @@
+"""Interleaved execution under a scheduler adversary (Section 3).
+
+"In asynchronous distributed systems ... it is common to view the choice of
+the next processor to take a step or the next message to be delivered as a
+nondeterministic choice.  A common technique for factoring out these
+nondeterministic choices is to assume the existence of a scheduler
+deterministically choosing (as a function of the history of the system up
+to that point) the next processor to take a step."
+
+A :class:`ScheduleAdversary` is exactly that: a deterministic function of
+the visible history selecting which agent steps and which pending messages
+are delivered.  Each adversary yields one computation tree; the only
+branching left inside a tree is the agents' own coin tosses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from ..probability.fractionutil import ONE, ZERO
+from ..trees.builder import build_tree
+from ..trees.probabilistic_system import ProbabilisticSystem
+from ..trees.tree import ComputationTree
+from .agents import Agent
+from .messages import Message, inbox_for, sort_messages
+
+History = Tuple[Hashable, ...]
+ScheduleChoice = Tuple[int, Tuple[Message, ...]]
+
+
+@dataclass
+class ScheduleAdversary:
+    """A deterministic scheduler: history -> (agent to step, deliveries).
+
+    ``choose(time, states, pending)`` must return the index of the agent to
+    step next and the (sub)tuple of pending messages to deliver to it now.
+    Determinism is what makes the residual system purely probabilistic.
+    """
+
+    name: Hashable
+    choose: Callable[[int, Tuple[Hashable, ...], Tuple[Message, ...]], ScheduleChoice]
+
+
+def round_robin(name: Hashable = "round-robin", deliver_all: bool = True) -> ScheduleAdversary:
+    """The fair scheduler stepping agents cyclically, delivering eagerly."""
+
+    def choose(time, states, pending):
+        agent = time % len(states)
+        delivered = inbox_for(agent, pending) if deliver_all else ()
+        return agent, delivered
+
+    return ScheduleAdversary(name, choose)
+
+
+def fixed_order(order: Sequence[int], name: Hashable = None) -> ScheduleAdversary:
+    """A scheduler following an explicit agent order, delivering eagerly."""
+    order = tuple(order)
+
+    def choose(time, states, pending):
+        agent = order[time % len(order)]
+        return agent, inbox_for(agent, pending)
+
+    return ScheduleAdversary(name if name is not None else ("order",) + order, choose)
+
+
+def starving(victim: int, fallback: int, name: Hashable = None) -> ScheduleAdversary:
+    """An unfair scheduler that never steps ``victim`` (and starves its
+    messages); useful for exhibiting liveness-style sensitivity to the
+    scheduler class."""
+
+    def choose(time, states, pending):
+        return fallback, inbox_for(fallback, pending)
+
+    return ScheduleAdversary(name if name is not None else ("starve", victim), choose)
+
+
+def run_scheduled(
+    agents: Sequence[Agent],
+    inputs: Sequence[Hashable],
+    adversary: ScheduleAdversary,
+    horizon: int,
+) -> ComputationTree:
+    """Unfold an interleaved execution under one scheduler adversary.
+
+    At each tick exactly one agent steps (consuming the messages the
+    scheduler delivers to it); all other local states are untouched.  Local
+    states carry no clock -- interleaved systems are inherently
+    asynchronous.
+    """
+    if len(inputs) != len(agents):
+        raise SimulationError("inputs must match the agent count")
+    initial_locals = tuple(
+        agent.initial_state(input_value) for agent, input_value in zip(agents, inputs)
+    )
+
+    def step(time: int, locals_: Tuple[Hashable, ...], extra: Hashable):
+        if time >= horizon:
+            return ()
+        pending: Tuple[Message, ...] = extra if extra is not None else ()
+        agent_index, delivered = adversary.choose(time, locals_, pending)
+        if not 0 <= agent_index < len(agents):
+            raise SimulationError(f"scheduler chose invalid agent {agent_index}")
+        delivered = sort_messages(delivered)
+        if not set(delivered) <= set(pending):
+            raise SimulationError("scheduler delivered messages that were never sent")
+        remaining = tuple(message for message in pending if message not in set(delivered))
+        branches = []
+        actions = agents[agent_index].step(locals_[agent_index], delivered, time)
+        total = sum((probability for probability, _ in actions), ZERO)
+        if total != ONE:
+            raise SimulationError(
+                f"agent {agent_index} step probabilities sum to {total} at tick {time}"
+            )
+        for probability, (new_state, outbox) in actions:
+            new_locals = list(locals_)
+            new_locals[agent_index] = new_state
+            new_pending = sort_messages(remaining + tuple(outbox))
+            label = (agent_index, new_state, new_pending)
+            branches.append((probability, label, tuple(new_locals), new_pending))
+        return branches
+
+    return build_tree(
+        adversary.name, initial_locals, step, max_depth=horizon + 1, initial_extra=()
+    )
+
+
+def scheduled_system(
+    agents: Sequence[Agent],
+    inputs: Sequence[Hashable],
+    adversaries: Sequence[ScheduleAdversary],
+    horizon: int,
+) -> ProbabilisticSystem:
+    """One computation tree per scheduler adversary."""
+    trees = [
+        run_scheduled(agents, inputs, adversary, horizon) for adversary in adversaries
+    ]
+    return ProbabilisticSystem(trees)

@@ -1,0 +1,155 @@
+"""The synchronous round-based executor.
+
+Rounds proceed in lockstep: every agent receives the messages delivered to
+it, takes one (possibly probabilistic) step, and the channel decides which
+of the sent messages arrive next round.  The executor unfolds this into a
+labeled computation tree -- one tree per type-1 adversary, where the
+adversary chooses the agents' inputs.
+
+Clocks: in a synchronous system every agent can read the round number, so
+by default each local state is stamped ``(protocol_state, round)``.
+Clearing an agent's ``clocked`` flag removes the stamp and is exactly how
+the asynchronous examples of Section 7 are produced (an agent whose
+protocol state never changes then cannot tell any two times apart).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from ..probability.fractionutil import ONE, ZERO
+from ..trees.builder import build_tree
+from ..trees.probabilistic_system import ProbabilisticSystem
+from ..trees.tree import ComputationTree
+from .agents import Agent
+from .channels import Channel, PerfectChannel
+from .messages import Message, inbox_for, sort_messages
+
+
+@dataclass
+class SyncProtocol:
+    """A synchronous protocol: agents, a channel, a horizon, clock flags.
+
+    ``horizon`` is the number of rounds executed; runs pass through times
+    ``0 .. horizon``.  ``clocked[i]`` controls whether agent ``i``'s local
+    state carries the round number (default: all clocked).
+    """
+
+    agents: Sequence[Agent]
+    channel: Channel = field(default_factory=PerfectChannel)
+    horizon: int = 1
+    clocked: Optional[Sequence[bool]] = None
+
+    def __post_init__(self) -> None:
+        if self.horizon < 1:
+            raise SimulationError("a protocol needs at least one round")
+        if self.clocked is None:
+            self.clocked = tuple(True for _ in self.agents)
+        if len(self.clocked) != len(self.agents):
+            raise SimulationError("clocked flags must match the agent count")
+
+    def wrap_local(self, agent: int, state: Hashable, round_number: int) -> Hashable:
+        """Stamp a protocol state with the round if the agent has a clock."""
+        if self.clocked[agent]:
+            return (state, round_number)
+        return state
+
+
+def _joint_actions(
+    protocol: SyncProtocol,
+    states: Tuple[Hashable, ...],
+    pending: Tuple[Message, ...],
+    round_number: int,
+):
+    """The product distribution over all agents' simultaneous actions."""
+    joint: List[Tuple[Fraction, Tuple[Tuple[Hashable, Tuple[Message, ...]], ...]]] = [
+        (ONE, ())
+    ]
+    for index, agent in enumerate(protocol.agents):
+        inbox = inbox_for(index, pending)
+        branches = agent.step(states[index], inbox, round_number)
+        total = sum((probability for probability, _ in branches), ZERO)
+        if total != ONE:
+            raise SimulationError(
+                f"agent {index} step probabilities sum to {total} at round {round_number}"
+            )
+        joint = [
+            (accumulated * probability, actions + (action,))
+            for accumulated, actions in joint
+            for probability, action in branches
+        ]
+    return joint
+
+
+def run_protocol(
+    protocol: SyncProtocol,
+    inputs: Sequence[Hashable],
+    adversary: Hashable = "default",
+) -> ComputationTree:
+    """Unfold one protocol execution into a computation tree ``T_A``.
+
+    ``inputs`` are the agents' initial inputs -- the nondeterministic choice
+    the type-1 adversary ``adversary`` resolves.
+    """
+    if len(inputs) != len(protocol.agents):
+        raise SimulationError("inputs must match the agent count")
+    raw_initials = tuple(
+        agent.initial_state(input_value)
+        for agent, input_value in zip(protocol.agents, inputs)
+    )
+    initial_locals = tuple(
+        protocol.wrap_local(index, state, 0) for index, state in enumerate(raw_initials)
+    )
+
+    def unwrap(locals_: Tuple[Hashable, ...], round_number: int) -> Tuple[Hashable, ...]:
+        return tuple(
+            local[0] if protocol.clocked[index] else local
+            for index, local in enumerate(locals_)
+        )
+
+    def step(time: int, locals_: Tuple[Hashable, ...], extra: Hashable):
+        if time >= protocol.horizon:
+            return ()
+        pending: Tuple[Message, ...] = extra if extra is not None else ()
+        states = unwrap(locals_, time)
+        outcomes: Dict[tuple, Fraction] = {}
+        for action_probability, actions in _joint_actions(protocol, states, pending, time):
+            new_states = tuple(state for state, _ in actions)
+            sent = sort_messages(
+                message for _, outbox in actions for message in outbox
+            )
+            for delivery_probability, delivered in protocol.channel.deliveries(sent, time):
+                key = (new_states, delivered)
+                outcomes[key] = (
+                    outcomes.get(key, ZERO) + action_probability * delivery_probability
+                )
+        branches = []
+        for (new_states, delivered), probability in sorted(
+            outcomes.items(), key=lambda item: repr(item[0])
+        ):
+            new_locals = tuple(
+                protocol.wrap_local(index, state, time + 1)
+                for index, state in enumerate(new_states)
+            )
+            label = (new_states, delivered)
+            branches.append((probability, label, new_locals, delivered))
+        return branches
+
+    return build_tree(
+        adversary, initial_locals, step, max_depth=protocol.horizon + 1, initial_extra=()
+    )
+
+
+def protocol_system(
+    protocol: SyncProtocol,
+    inputs_by_adversary: Mapping[Hashable, Sequence[Hashable]],
+) -> ProbabilisticSystem:
+    """One computation tree per type-1 adversary (per input choice)."""
+    trees = [
+        run_protocol(protocol, inputs, adversary)
+        for adversary, inputs in inputs_by_adversary.items()
+    ]
+    return ProbabilisticSystem(trees)

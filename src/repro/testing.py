@@ -1,0 +1,165 @@
+"""Deterministic and randomized system generators for tests and benchmarks.
+
+The theorem verifiers quantify over systems; this module provides both the
+hand-built small systems the unit tests pin down and parameterized random
+system generation (driven by an explicit integer seed -> deterministic, or
+by hypothesis strategies in the property tests).
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .core.facts import Fact
+from .core.model import GlobalState, Point
+from .trees.builder import Env, build_tree, chance_step
+from .trees.probabilistic_system import ProbabilisticSystem, single_tree_system
+from .trees.tree import ComputationTree
+
+
+def two_agent_coin_psys(
+    heads_probability=Fraction(1, 2), observer_sees: bool = False
+) -> ProbabilisticSystem:
+    """A minimal two-agent system: agent 0 tosses, agent 1 may observe."""
+
+    def step(time, locals_, extra):
+        if time == 0:
+            watcher = "saw-heads" if observer_sees else "blind"
+            watcher_t = "saw-tails" if observer_sees else "blind"
+            return chance_step(
+                [
+                    (heads_probability, "heads", (("tosser-heads", 1), (watcher, 1))),
+                    (
+                        1 - heads_probability,
+                        "tails",
+                        (("tosser-tails", 1), (watcher_t, 1)),
+                    ),
+                ]
+            )
+        return ()
+
+    tree = build_tree("coin", (("tosser-ready", 0), ("start", 0)), step)
+    return single_tree_system(tree)
+
+
+def _split_unit(parts: int, seed: int) -> List[Fraction]:
+    """Deterministically split 1 into ``parts`` positive rationals."""
+    weights = [((seed * 2654435761 + index * 40503) % 7) + 1 for index in range(parts)]
+    total = sum(weights)
+    return [Fraction(weight, total) for weight in weights]
+
+
+def random_tree(
+    seed: int,
+    num_agents: int = 2,
+    depth: int = 2,
+    max_branching: int = 3,
+    observability: Optional[Sequence[str]] = None,
+    adversary: object = None,
+) -> ComputationTree:
+    """A deterministic pseudo-random computation tree.
+
+    ``observability[i]`` controls agent ``i``'s local state:
+
+    * ``"full"`` -- sees the entire history (and the clock);
+    * ``"clock"`` -- sees only the time;
+    * ``"blind"`` -- constant local state (asynchronous agent);
+    * ``"parity"`` -- sees the parity of heads-like outcomes (partial info).
+
+    The same seed always produces the same tree, so hypothesis can draw
+    seeds and shrink meaningfully.
+    """
+    observability = tuple(observability or ("clock",) * num_agents)
+    if len(observability) != num_agents:
+        raise ValueError("observability must match agent count")
+
+    def local_for(agent: int, history: Tuple[int, ...], time: int):
+        mode = observability[agent]
+        if mode == "full":
+            return ("full", history)
+        if mode == "clock":
+            return ("clock", time)
+        if mode == "blind":
+            return "blind"
+        if mode == "parity":
+            return ("parity", sum(history) % 2)
+        raise ValueError(f"unknown observability mode {mode!r}")
+
+    def step(time, locals_, extra):
+        history: Tuple[int, ...] = extra if extra is not None else ()
+        if time >= depth:
+            return ()
+        state_seed = seed + 1000003 * time + 31 * sum(history) + len(history)
+        branching = (state_seed % max_branching) + 1
+        if branching == 1 and time == 0:
+            branching = 2  # avoid fully deterministic trees at the root
+        probabilities = _split_unit(branching, state_seed)
+        branches = []
+        for index in range(branching):
+            new_history = history + (index,)
+            new_locals = tuple(
+                local_for(agent, new_history, time + 1) for agent in range(num_agents)
+            )
+            branches.append((probabilities[index], index, new_locals, new_history))
+        return branches
+
+    initial = tuple(local_for(agent, (), 0) for agent in range(num_agents))
+    return build_tree(
+        adversary if adversary is not None else ("random", seed),
+        initial,
+        step,
+        max_depth=depth + 1,
+        initial_extra=(),
+    )
+
+
+def random_psys(
+    seed: int,
+    num_trees: int = 1,
+    num_agents: int = 2,
+    depth: int = 2,
+    max_branching: int = 3,
+    observability: Optional[Sequence[str]] = None,
+) -> ProbabilisticSystem:
+    """A deterministic pseudo-random probabilistic system."""
+    trees = [
+        random_tree(
+            seed + 7919 * index,
+            num_agents=num_agents,
+            depth=depth,
+            max_branching=max_branching,
+            observability=observability,
+            adversary=("random", seed, index),
+        )
+        for index in range(num_trees)
+    ]
+    return ProbabilisticSystem(trees)
+
+
+def history_fact(predicate, name: str = "history-fact") -> Fact:
+    """A fact about the (builder-generated) history in the environment."""
+    return Fact(
+        lambda point: predicate(point.global_state.environment.history), name=name
+    )
+
+
+def parity_fact() -> Fact:
+    """"The sum of outcome indices so far is even" -- a state fact that
+    changes along runs, useful for exercising temporal operators."""
+    return history_fact(lambda history: sum(history) % 2 == 0, name="even-parity")
+
+
+def first_branch_fact() -> Fact:
+    """"The first probabilistic choice was branch 0" -- a fact about the run
+    (once time >= 1)."""
+    return history_fact(
+        lambda history: bool(history) and history[0] == 0, name="first-branch-0"
+    )
+
+
+def all_observability_profiles(num_agents: int) -> List[Tuple[str, ...]]:
+    """Every combination of observability modes for the given agent count."""
+    modes = ("full", "clock", "blind", "parity")
+    return list(itertools.product(modes, repeat=num_agents))

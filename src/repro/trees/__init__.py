@@ -1,0 +1,43 @@
+"""Computation trees: the Section 3 substrate.
+
+One labeled tree per type-1 adversary; the tree induces the probability
+space on its runs, and :class:`ProbabilisticSystem` collects the trees into
+the object every later construction (assignments, betting, logic) consumes.
+"""
+
+from .builder import (
+    Env,
+    build_tree,
+    chance_step,
+    deterministic_step,
+    halt,
+    tree_from_trace_distribution,
+)
+from .probabilistic_system import ProbabilisticSystem, single_tree_system
+from .serialize import (
+    system_from_json,
+    system_to_json,
+    tree_from_dict,
+    tree_to_dict,
+)
+from .tree import ComputationTree
+from .visualize import run_table, system_summary, tree_to_dot
+
+__all__ = [
+    "ComputationTree",
+    "ProbabilisticSystem",
+    "single_tree_system",
+    "Env",
+    "build_tree",
+    "halt",
+    "deterministic_step",
+    "chance_step",
+    "tree_from_trace_distribution",
+    "tree_to_dict",
+    "tree_from_dict",
+    "system_to_json",
+    "system_from_json",
+    "tree_to_dot",
+    "run_table",
+    "system_summary",
+]

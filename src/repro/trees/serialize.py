@@ -1,0 +1,131 @@
+"""JSON serialization of computation trees and probabilistic systems.
+
+Reproducibility plumbing: a tree (or a whole probabilistic system) can be
+written to a JSON document and reconstructed exactly -- structures,
+environments built by the standard builder, local states composed of
+JSON-representable atoms, and exact rational edge labels (serialized as
+``"num/den"`` strings).
+
+Only values built from the JSON-safe atoms (strings, ints, booleans, None)
+and nested tuples are supported; tuples round-trip as tagged lists so that
+hashability -- which the model requires -- is preserved on load.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any, Dict, List
+
+from ..core.model import GlobalState
+from ..errors import TreeError
+from .builder import Env
+from .probabilistic_system import ProbabilisticSystem
+from .tree import ComputationTree
+
+_TUPLE_TAG = "__tuple__"
+_ENV_TAG = "__env__"
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, Env):
+        return {
+            _ENV_TAG: True,
+            "adversary": _encode_value(value.adversary),
+            "history": _encode_value(value.history),
+            "extra": _encode_value(value.extra),
+        }
+    if isinstance(value, tuple):
+        return {_TUPLE_TAG: [_encode_value(item) for item in value]}
+    if isinstance(value, Fraction):
+        return {"__fraction__": f"{value.numerator}/{value.denominator}"}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TreeError(f"cannot serialize value of type {type(value).__name__}: {value!r}")
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if value.get(_ENV_TAG):
+            return Env(
+                _decode_value(value["adversary"]),
+                _decode_value(value["history"]),
+                _decode_value(value["extra"]),
+            )
+        if _TUPLE_TAG in value:
+            return tuple(_decode_value(item) for item in value[_TUPLE_TAG])
+        if "__fraction__" in value:
+            return Fraction(value["__fraction__"])
+    if isinstance(value, list):
+        return [_decode_value(item) for item in value]
+    return value
+
+
+def _encode_state(state: GlobalState) -> Dict[str, Any]:
+    return {
+        "environment": _encode_value(state.environment),
+        "locals": [_encode_value(local) for local in state.local_states],
+    }
+
+
+def _decode_state(payload: Dict[str, Any]) -> GlobalState:
+    return GlobalState(
+        _decode_value(payload["environment"]),
+        tuple(_decode_value(local) for local in payload["locals"]),
+    )
+
+
+def tree_to_dict(tree: ComputationTree) -> Dict[str, Any]:
+    """A JSON-safe dictionary capturing the tree exactly."""
+    nodes = sorted(tree.nodes, key=repr)
+    index_of = {node: index for index, node in enumerate(nodes)}
+    return {
+        "adversary": _encode_value(tree.adversary),
+        "root": index_of[tree.root],
+        "nodes": [_encode_state(node) for node in nodes],
+        "children": {
+            str(index_of[parent]): [index_of[child] for child in tree.children(parent)]
+            for parent in nodes
+            if tree.children(parent)
+        },
+        "edges": [
+            {
+                "parent": index_of[parent],
+                "child": index_of[child],
+                "probability": f"{tree.edge_probability(parent, child).numerator}"
+                f"/{tree.edge_probability(parent, child).denominator}",
+            }
+            for parent, child in tree.edges
+        ],
+    }
+
+
+def tree_from_dict(payload: Dict[str, Any]) -> ComputationTree:
+    """Reconstruct a tree from :func:`tree_to_dict` output."""
+    nodes = [_decode_state(node) for node in payload["nodes"]]
+    children = {
+        nodes[int(parent)]: tuple(nodes[child] for child in kids)
+        for parent, kids in payload["children"].items()
+    }
+    edges = {
+        (nodes[edge["parent"]], nodes[edge["child"]]): Fraction(edge["probability"])
+        for edge in payload["edges"]
+    }
+    return ComputationTree(
+        _decode_value(payload["adversary"]), nodes[payload["root"]], children, edges
+    )
+
+
+def system_to_json(psys: ProbabilisticSystem, indent: int = None) -> str:
+    """Serialize a whole probabilistic system to a JSON string."""
+    return json.dumps(
+        {"trees": [tree_to_dict(tree) for tree in psys.trees]}, indent=indent
+    )
+
+
+def system_from_json(text: str) -> ProbabilisticSystem:
+    """Reconstruct a probabilistic system from :func:`system_to_json`."""
+    payload = json.loads(text)
+    return ProbabilisticSystem(
+        [tree_from_dict(tree) for tree in payload["trees"]]
+    )

@@ -1,0 +1,72 @@
+"""Visualization helpers for computation trees.
+
+Besides the ASCII rendering on :class:`ComputationTree` itself (Figure 1),
+this module emits Graphviz DOT text and tabular run summaries -- useful for
+inspecting the systems the simulator generates and for documentation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..core.model import GlobalState
+from ..probability.fractionutil import format_fraction
+from .probabilistic_system import ProbabilisticSystem
+from .tree import ComputationTree
+
+Describe = Callable[[GlobalState], str]
+
+
+def _default_describe(state: GlobalState) -> str:
+    return ", ".join(repr(local) for local in state.local_states)
+
+
+def tree_to_dot(
+    tree: ComputationTree,
+    describe: Optional[Describe] = None,
+    graph_name: str = "computation_tree",
+) -> str:
+    """Graphviz DOT text for a labeled computation tree.
+
+    Node labels come from ``describe`` (default: the local-state tuple);
+    edge labels are the exact transition probabilities.
+    """
+    describe = describe or _default_describe
+    nodes = sorted(tree.nodes, key=repr)
+    index_of = {node: index for index, node in enumerate(nodes)}
+    lines: List[str] = [f"digraph {graph_name} {{", "  rankdir=TB;", "  node [shape=box];"]
+    for node in nodes:
+        label = describe(node).replace('"', "'")
+        lines.append(f'  n{index_of[node]} [label="{label}"];')
+    for parent, child in tree.edges:
+        probability = format_fraction(tree.edge_probability(parent, child))
+        lines.append(
+            f'  n{index_of[parent]} -> n{index_of[child]} [label="{probability}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def run_table(
+    tree: ComputationTree, describe: Optional[Describe] = None
+) -> str:
+    """A plain-text table: one row per run with its probability and states."""
+    describe = describe or _default_describe
+    lines = ["run  probability  trajectory"]
+    for index, run in enumerate(tree.runs):
+        probability = format_fraction(tree.run_probability(run))
+        trajectory = " -> ".join(describe(state) for state in run.states)
+        lines.append(f"{index:<4} {probability:<12} {trajectory}")
+    return "\n".join(lines)
+
+
+def system_summary(psys: ProbabilisticSystem) -> str:
+    """A one-line-per-tree overview of a probabilistic system."""
+    lines = ["adversary  runs  points  depth"]
+    for adversary in psys.adversaries:
+        tree = psys.tree(adversary)
+        lines.append(
+            f"{adversary!r:<10} {len(tree.runs):>4}  {len(tree.points):>6}  "
+            f"{tree.depth():>5}"
+        )
+    return "\n".join(lines)

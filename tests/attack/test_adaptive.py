@@ -1,0 +1,74 @@
+"""The adaptive CA1 extension (end of Section 8)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.attack import (
+    achieves,
+    assignment_for,
+    build_ca1,
+    build_ca1_adaptive,
+    doomed_but_attacking_points,
+    proposition11_row,
+    run_level_probability,
+)
+
+EPS = Fraction(4, 5)
+
+
+@pytest.fixture(scope="module")
+def adaptive():
+    return build_ca1_adaptive(messengers=3)
+
+
+@pytest.fixture(scope="module")
+def plain():
+    return build_ca1(messengers=3)
+
+
+class TestAdaptiveCA1:
+    def test_pathology_removed(self, adaptive, plain):
+        assert doomed_but_attacking_points(plain)
+        assert doomed_but_attacking_points(adaptive) == ()
+
+    def test_abort_turns_failure_into_coordination(self, adaptive):
+        # runs where A heard "no news": both refrain -> coordinated
+        for run in adaptive.psys.system.runs:
+            final_a = repr(run.states[-1].local_states[0])
+            if "heard-b-no-news" in final_a:
+                point = next(iter(run.points()))
+                assert not adaptive.a_attacks.holds_at(point)
+                assert adaptive.coordinated.holds_at(point)
+
+    def test_lifts_to_post_level(self, adaptive, plain):
+        assert not achieves(plain, assignment_for(plain, "post"), EPS)
+        assert achieves(adaptive, assignment_for(adaptive, "post"), EPS)
+
+    def test_still_not_fut_level(self, adaptive):
+        # adaptivity cannot beat an opponent who knows the whole past
+        assert not achieves(adaptive, assignment_for(adaptive, "fut"), EPS)
+
+    def test_still_attacks_on_good_runs(self, adaptive):
+        attacking_runs = [
+            run
+            for run in adaptive.psys.system.runs
+            if adaptive.a_attacks.holds_at(next(iter(run.points())))
+        ]
+        assert attacking_runs  # not the trivial never-attack protocol
+
+    def test_run_level_improves(self, adaptive, plain):
+        # aborting on certain failure can only help coordination
+        assert run_level_probability(adaptive) >= run_level_probability(plain)
+
+    def test_row_shape(self, adaptive):
+        row = proposition11_row(adaptive, EPS)
+        assert row.protocol == "CA1-adaptive"
+        assert row.prior and row.post and not row.fut
+        assert row.certain_failure_count == 0
+
+    def test_paper_scale(self):
+        adaptive = build_ca1_adaptive(messengers=10)
+        assert achieves(
+            adaptive, assignment_for(adaptive, "post"), Fraction(99, 100)
+        )

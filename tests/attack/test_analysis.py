@@ -1,0 +1,152 @@
+"""Proposition 11 and the Section 4 pathology."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.attack import (
+    GENERAL_A,
+    achieves,
+    assignment_for,
+    b_conditional_confidence,
+    build_ca1,
+    build_ca2,
+    build_never_attack,
+    certain_failure_points,
+    doomed_but_attacking_points,
+    everyone_knows_at_all_points,
+    prior_inconsistency_witness,
+    proposition11_row,
+    proposition11_table,
+    run_level_probability,
+)
+
+EPS = Fraction(4, 5)  # achievable with 3 messengers (weakest guarantee 7/8)
+
+
+@pytest.fixture(scope="module")
+def ca1():
+    return build_ca1(messengers=3)
+
+
+@pytest.fixture(scope="module")
+def ca2():
+    return build_ca2(messengers=3)
+
+
+@pytest.fixture(scope="module")
+def ca0():
+    return build_never_attack(messengers=3)
+
+
+class TestRunLevel:
+    def test_ca1_run_level(self, ca1):
+        assert run_level_probability(ca1) == 1 - Fraction(1, 2) * Fraction(1, 8)
+
+    def test_ca2_run_level_same_as_ca1(self, ca1, ca2):
+        assert run_level_probability(ca1) == run_level_probability(ca2)
+
+    def test_paper_parameters(self):
+        # 10 messengers: 1 - 2**-11 = 2047/2048 >= 0.99
+        attack = build_ca2(messengers=10)
+        assert run_level_probability(attack) == Fraction(2047, 2048)
+        assert run_level_probability(attack) >= Fraction(99, 100)
+
+
+class TestSection4:
+    def test_ca1_has_certain_failure_point(self, ca1):
+        doomed = doomed_but_attacking_points(ca1)
+        assert doomed
+        # at such a point A has heard B's no-news report
+        for point in doomed:
+            assert "heard-b-no-news" in repr(point.local_state(GENERAL_A))
+
+    def test_ca2_has_none(self, ca2):
+        assert doomed_but_attacking_points(ca2) == ()
+
+    def test_b_confidence_after_silence(self, ca2):
+        # (1/2) / (1/2 + 2**-(k+1)) with k = 3
+        assert b_conditional_confidence(ca2) == Fraction(8, 9)
+
+    def test_b_confidence_paper_parameters(self):
+        attack = build_ca2(messengers=10)
+        assert b_conditional_confidence(attack) == Fraction(1024, 1025)
+        assert b_conditional_confidence(attack) >= Fraction(99, 100)
+
+
+class TestProposition11:
+    def test_ca1_row(self, ca1):
+        row = proposition11_row(ca1, EPS)
+        assert row.prior and not row.post and not row.fut
+        assert row.certain_failure_count > 0
+
+    def test_ca2_row(self, ca2):
+        row = proposition11_row(ca2, EPS)
+        assert row.prior and row.post and not row.fut
+        assert row.certain_failure_count == 0
+
+    def test_ca0_row(self, ca0):
+        row = proposition11_row(ca0, EPS)
+        assert row.prior and row.post and row.fut
+
+    def test_table_covers_all(self, ca1, ca2, ca0):
+        rows = proposition11_table([ca1, ca2, ca0], EPS)
+        assert [row.protocol for row in rows] == ["CA1", "CA2", "CA0"]
+
+    def test_everyone_knows_route(self, ca2):
+        # the induction-rule argument: E^eps at all points implies C^eps
+        post = assignment_for(ca2, "post")
+        assert everyone_knows_at_all_points(ca2, post, EPS)
+        assert achieves(ca2, post, EPS)
+
+    def test_fut_equals_deterministic_attack(self, ca1, ca2, ca0):
+        # part 3: achieving with respect to P_fut == achieving coordinated
+        # attack outright; only the never-attacking protocol does.
+        for attack in (ca1, ca2):
+            fut = assignment_for(attack, "fut")
+            deterministic = attack.coordinated.points(attack.psys.system) == frozenset(
+                attack.psys.system.points
+            )
+            assert achieves(attack, fut, EPS) == deterministic
+        fut0 = assignment_for(ca0, "fut")
+        assert achieves(ca0, fut0, EPS)
+
+
+class TestInconsistencyPathology:
+    def test_prior_believes_while_knowing_false(self, ca1):
+        # Section 8's warning: under the inconsistent P_prior an agent can
+        # "know phi_CA holds with high probability" at a point where it
+        # knows phi_CA is false.
+        attack = build_ca1(messengers=10)
+        witness = prior_inconsistency_witness(attack)
+        assert witness is not None
+        prior = assignment_for(attack, "prior")
+        post = assignment_for(attack, "post")
+        assert prior.knows_probability_at_least(
+            GENERAL_A, witness, attack.coordinated, Fraction(99, 100)
+        )
+        assert post.inner_probability(GENERAL_A, witness, attack.coordinated) == 0
+
+    def test_no_witness_for_ca2(self, ca2):
+        assert prior_inconsistency_witness(ca2) is None
+
+
+class TestConditionalCoordination:
+    def test_fz_condition_value(self, ca2):
+        # P(both attack | someone attacks) = P(B learned | heads) = 1 - 2**-k
+        from repro.attack import conditional_coordination
+
+        assert conditional_coordination(ca2) == 1 - Fraction(1, 8)
+
+    def test_paper_scale(self):
+        from repro.attack import build_ca2, conditional_coordination
+
+        attack = build_ca2(messengers=10)
+        assert conditional_coordination(attack) == 1 - Fraction(1, 1024)
+        assert conditional_coordination(attack) >= Fraction(99, 100)
+
+    def test_never_attack_undefined(self, ca0):
+        from repro.attack import conditional_coordination
+
+        with pytest.raises(ValueError):
+            conditional_coordination(ca0)

@@ -1,0 +1,89 @@
+"""Coordinated attack with more than two generals."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.attack import (
+    achieves,
+    assignment_for,
+    build_multiparty,
+    doomed_but_attacking_points,
+    multiparty_run_level,
+    post_threshold,
+    proposition11_row,
+    run_level_probability,
+)
+from repro.errors import SimulationError
+
+
+@pytest.fixture(scope="module")
+def three_generals():
+    return build_multiparty(lieutenants=2, messengers=3)
+
+
+class TestConstruction:
+    def test_agent_count(self, three_generals):
+        assert three_generals.psys.system.num_agents == 3
+        assert three_generals.group == (0, 1, 2)
+
+    def test_needs_a_lieutenant(self):
+        with pytest.raises(SimulationError):
+            build_multiparty(lieutenants=0)
+
+    def test_synchronous(self, three_generals):
+        assert three_generals.psys.system.is_synchronous()
+
+
+class TestRunLevel:
+    def test_matches_closed_form(self, three_generals):
+        assert run_level_probability(three_generals) == multiparty_run_level(
+            2, 3, Fraction(1, 2)
+        )
+
+    @pytest.mark.parametrize(
+        "lieutenants,messengers",
+        [(1, 2), (1, 4), (2, 2), (3, 2)],
+    )
+    def test_closed_form_general(self, lieutenants, messengers):
+        attack = build_multiparty(lieutenants, messengers)
+        assert run_level_probability(attack) == multiparty_run_level(
+            lieutenants, messengers, Fraction(1, 2)
+        )
+
+    def test_degrades_with_more_lieutenants(self):
+        values = [
+            multiparty_run_level(lieutenants, 3, Fraction(1, 2))
+            for lieutenants in (1, 2, 3, 4)
+        ]
+        assert values == sorted(values, reverse=True)
+
+
+class TestGuarantees:
+    def test_silent_protocol_reaches_post_level(self, three_generals):
+        threshold = post_threshold(three_generals)
+        assert threshold > Fraction(1, 2)
+        assert achieves(
+            three_generals, assignment_for(three_generals, "post"), threshold
+        )
+
+    def test_lattice_row(self, three_generals):
+        row = proposition11_row(three_generals, Fraction(3, 4))
+        assert row.prior and row.post and not row.fut
+        assert row.certain_failure_count == 0
+
+    def test_nobody_certain_of_failure(self, three_generals):
+        for agent in three_generals.group:
+            assert not doomed_but_attacking_points(three_generals)
+
+    def test_coordination_requires_everyone(self, three_generals):
+        # find a run where one lieutenant learned and the other did not:
+        # coordination fails even though two of three agree
+        system = three_generals.psys.system
+        mixed = [
+            run
+            for run in system.runs
+            if three_generals.a_attacks.holds_at(next(iter(run.points())))
+            and not three_generals.coordinated.holds_at(next(iter(run.points())))
+        ]
+        assert mixed

@@ -1,0 +1,97 @@
+"""CA1/CA2/CA0 protocol structure."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.attack import (
+    GENERAL_A,
+    GENERAL_B,
+    build_ca1,
+    build_ca2,
+    build_never_attack,
+)
+from repro.core import is_fact_about_run
+
+
+@pytest.fixture(scope="module")
+def ca1():
+    return build_ca1(messengers=3)
+
+
+@pytest.fixture(scope="module")
+def ca2():
+    return build_ca2(messengers=3)
+
+
+@pytest.fixture(scope="module")
+def ca0():
+    return build_never_attack(messengers=3)
+
+
+class TestStructure:
+    def test_synchronous(self, ca1, ca2):
+        assert ca1.psys.system.is_synchronous()
+        assert ca2.psys.system.is_synchronous()
+
+    def test_ca1_has_report_branches(self, ca1, ca2):
+        # B's report messenger can be lost: CA1 has more runs than CA2
+        assert len(ca1.psys.system.runs) > len(ca2.psys.system.runs)
+
+    def test_facts_are_about_runs(self, ca1):
+        assert is_fact_about_run(ca1.psys.system, ca1.a_attacks)
+        assert is_fact_about_run(ca1.psys.system, ca1.b_attacks)
+        assert is_fact_about_run(ca1.psys.system, ca1.coordinated)
+
+    def test_a_attacks_iff_heads(self, ca1):
+        for run in ca1.psys.system.runs:
+            heads = "heads" in repr(run.states[-1].local_states[GENERAL_A])
+            attacked = ca1.a_attacks.holds_at(next(iter(run.points())))
+            assert heads == attacked
+
+    def test_b_attacks_only_if_learned(self, ca1):
+        for run in ca1.psys.system.runs:
+            learned = "learned-heads" in repr(run.states[-1].local_states[GENERAL_B])
+            attacked = ca1.b_attacks.holds_at(next(iter(run.points())))
+            assert attacked == learned
+
+    def test_ca0_never_attacks(self, ca0):
+        system = ca0.psys.system
+        assert ca0.a_attacks.points(system) == frozenset()
+        assert ca0.b_attacks.points(system) == frozenset()
+        assert ca0.coordinated.points(system) == frozenset(system.points)
+
+
+class TestUncoordinatedRuns:
+    def test_ca1_uncoordinated_exactly_when_all_messengers_lost(self, ca1):
+        bad_runs = [
+            run
+            for run in ca1.psys.system.runs
+            if not ca1.coordinated.holds_at(next(iter(run.points())))
+        ]
+        # heads + all 3 messengers lost (x B's report delivered or lost)
+        assert len(bad_runs) == 2
+        for run in bad_runs:
+            assert ca1.a_attacks.holds_at(next(iter(run.points())))
+            assert not ca1.b_attacks.holds_at(next(iter(run.points())))
+
+    def test_tails_runs_always_coordinated(self, ca2):
+        for run in ca2.psys.system.runs:
+            point = next(iter(run.points()))
+            if not ca2.a_attacks.holds_at(point):
+                assert ca2.coordinated.holds_at(point)
+
+
+class TestScaling:
+    @pytest.mark.parametrize("messengers", [1, 2, 5])
+    def test_messenger_count_changes_tree_width(self, messengers):
+        attack = build_ca2(messengers=messengers)
+        # heads branch has messengers+1 delivery counts, tails has 1
+        assert len(attack.psys.system.runs) == messengers + 2
+
+    def test_custom_loss_probability(self):
+        attack = build_ca2(messengers=2, loss=Fraction(1, 3))
+        from repro.attack import run_level_probability
+
+        # P(uncoordinated) = 1/2 * (1/3)**2
+        assert run_level_probability(attack) == 1 - Fraction(1, 2) * Fraction(1, 9)

@@ -1,0 +1,111 @@
+"""Property-based tests for the betting engine (hypothesis)."""
+
+from fractions import Fraction
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.betting import (
+    BettingRule,
+    breaks_even_analytic,
+    constant_strategy,
+    expected_winnings,
+    is_safe_analytic,
+    refuting_strategy,
+)
+from repro.core import opponent_assignment
+from repro.testing import parity_fact, random_psys
+
+SLOW = settings(
+    max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+seeds = st.integers(0, 100)
+alphas = st.sampled_from(
+    [Fraction(1, 4), Fraction(1, 3), Fraction(1, 2), Fraction(2, 3), Fraction(1)]
+)
+profiles = st.sampled_from([("clock", "full"), ("parity", "full"), ("full", "clock")])
+
+
+def build(seed, profile):
+    return random_psys(seed, depth=2, observability=profile)
+
+
+@SLOW
+@given(seeds, profiles, alphas)
+def test_safety_is_monotone_in_alpha(seed, profile, alpha):
+    """If Bet(phi, alpha) is safe, any lower threshold is safe too."""
+    psys = build(seed, profile)
+    pa = opponent_assignment(psys, 1)
+    fact = parity_fact()
+    point = psys.system.points[0]
+    if is_safe_analytic(pa, 0, point, fact, alpha):
+        for lower in (alpha / 2, alpha / 3):
+            if lower > 0:
+                assert is_safe_analytic(pa, 0, point, fact, lower)
+
+
+@SLOW
+@given(seeds, profiles, alphas)
+def test_refuting_strategy_agrees_with_safety(seed, profile, alpha):
+    """A refuting strategy exists iff the analytic safety check fails."""
+    psys = build(seed, profile)
+    pa = opponent_assignment(psys, 1)
+    fact = parity_fact()
+    for point in list(psys.system.points)[::5]:
+        safe = is_safe_analytic(pa, 0, point, fact, alpha)
+        witness = refuting_strategy(pa, 0, 1, point, fact, alpha)
+        assert safe == (witness is None)
+
+
+@SLOW
+@given(seeds, profiles, alphas)
+def test_refuting_strategy_actually_loses(seed, profile, alpha):
+    """Whenever a refutation exists, it yields negative expected winnings."""
+    psys = build(seed, profile)
+    pa = opponent_assignment(psys, 1)
+    fact = parity_fact()
+    rule = BettingRule(fact, alpha)
+    for point in list(psys.system.points)[::5]:
+        witness = refuting_strategy(pa, 0, 1, point, fact, alpha)
+        if witness is None:
+            continue
+        losses = [
+            expected_winnings(pa.space(0, candidate), rule.winnings(witness))
+            for candidate in psys.system.knowledge_set(0, point)
+        ]
+        assert min(losses) < 0
+
+
+@SLOW
+@given(seeds, profiles)
+def test_fair_odds_break_even_exactly(seed, profile):
+    """Offering 1/p for an event of measurable probability p is exactly fair."""
+    psys = build(seed, profile)
+    pa = opponent_assignment(psys, 1)
+    fact = parity_fact()
+    for point in list(psys.system.points)[::5]:
+        space = pa.space(0, point)
+        event = fact.restricted_to(pa.sample_space(0, point))
+        if not space.is_measurable(event):
+            continue
+        probability = space.measure(event)
+        if probability == 0:
+            continue
+        rule = BettingRule(fact, probability)
+        value = expected_winnings(
+            space, rule.winnings(constant_strategy(1, 1 / probability))
+        )
+        assert value == 0
+
+
+@SLOW
+@given(seeds, profiles, alphas)
+def test_break_even_matches_inner_probability(seed, profile, alpha):
+    """The analytic break-even test is exactly the inner-measure threshold."""
+    psys = build(seed, profile)
+    pa = opponent_assignment(psys, 1)
+    fact = parity_fact()
+    for point in list(psys.system.points)[::7]:
+        expected = pa.inner_probability(0, point, fact) >= alpha
+        assert breaks_even_analytic(pa, 0, point, fact, alpha) == expected

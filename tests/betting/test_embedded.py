@@ -1,0 +1,170 @@
+"""Appendix B.3: the embedded betting game and Theorem 11."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.betting import (
+    EmbeddedSystem,
+    build_embedded_system,
+    constant_strategy,
+    targeted_strategy,
+    theorem11_closure,
+    verify_theorem11,
+)
+from repro.core import Fact
+from repro.errors import BettingError
+from repro.examples_lib import three_agent_coin_system
+from repro.testing import parity_fact, random_psys
+
+
+@pytest.fixture(scope="module")
+def coin():
+    return three_agent_coin_system()
+
+
+@pytest.fixture(scope="module")
+def embedded(coin):
+    seeds = [constant_strategy(2, 2)]
+    return build_embedded_system(coin.psys, 0, 2, seeds)
+
+
+class TestConstruction:
+    def test_doubles_the_horizon(self, coin, embedded):
+        base_horizon = coin.psys.system.max_horizon()
+        assert embedded.psys.system.max_horizon() == 2 * base_horizon
+
+    def test_one_tree_per_strategy_per_base_tree(self, coin, embedded):
+        assert len(embedded.psys.trees) == len(embedded.strategies) * len(
+            coin.psys.trees
+        )
+
+    def test_run_probabilities_preserved(self, coin, embedded):
+        base_tree = coin.psys.trees[0]
+        base_probabilities = sorted(
+            base_tree.run_probability(run) for run in base_tree.runs
+        )
+        for tree in embedded.psys.trees:
+            assert sorted(tree.run_probability(run) for run in tree.runs) == (
+                base_probabilities
+            )
+
+    def test_agent_state_carries_phase(self, coin, embedded):
+        for point in embedded.psys.system.points:
+            mine = point.local_state(0)
+            assert isinstance(mine, tuple) and len(mine) == 2
+            if point.time % 2 == 0:
+                assert mine[1] == "?"
+            else:
+                assert mine[1] != "?"
+
+    def test_opponent_state_unchanged_between_phases(self, coin, embedded):
+        # p_j cannot tell 2m from 2m+1: its local state is phase-blind.
+        for run in embedded.psys.system.runs:
+            for time in range(0, run.horizon, 2):
+                assert run.local_state(2, time) == run.local_state(2, time + 1)
+
+    def test_needs_synchronous_base(self):
+        from repro.errors import SynchronyError
+
+        async_psys = random_psys(seed=61, depth=1, observability=("blind", "clock"))
+        with pytest.raises(SynchronyError):
+            EmbeddedSystem(async_psys, 0, 1, [constant_strategy(1, 2)])
+
+    def test_needs_a_strategy(self, coin):
+        with pytest.raises(BettingError):
+            EmbeddedSystem(coin.psys, 0, 2, [])
+
+
+class TestFactEmbedding:
+    def test_truth_preserved_across_phases(self, coin, embedded):
+        fact = embedded.embed_fact(coin.heads)
+        for run in embedded.psys.system.runs:
+            for time in range(0, run.horizon, 2):
+                from repro.core import Point
+
+                assert fact.holds_at(Point(run, time)) == fact.holds_at(
+                    Point(run, time + 1)
+                )
+
+    def test_non_state_fact_rejected(self, coin, embedded):
+        lone_point = coin.psys.system.points_at_time(0)[0]
+        pointwise = Fact.from_points([lone_point])
+        with pytest.raises(BettingError):
+            embedded.embed_fact(pointwise)
+
+    def test_phase_point_lookup(self, coin, embedded):
+        base_point = coin.psys.system.points_at_time(1)[0]
+        ask = embedded.phase_point(base_point, 0, 0)
+        offered = embedded.phase_point(base_point, 0, 1)
+        assert ask.time == 2 * base_point.time
+        assert offered.time == 2 * base_point.time + 1
+
+
+class TestClosure:
+    def test_closure_contains_seeds(self, coin):
+        seeds = [constant_strategy(2, 2)]
+        closed = theorem11_closure(coin.psys, 2, seeds)
+        assert seeds[0] in closed
+        assert len(closed) > len(seeds)
+
+    def test_closure_pins_all_realized_payoffs_everywhere(self, coin):
+        from repro.betting import opponent_states
+
+        seeds = [constant_strategy(2, 2)]
+        closed = theorem11_closure(coin.psys, 2, seeds)
+        locals_ = opponent_states(coin.psys.system, 2, coin.psys.system.points)
+        for local in locals_:
+            assert any(
+                strategy.payoff(local) == Fraction(2) for strategy in closed
+            )
+
+
+class TestTheorem11:
+    def test_constant_strategy_family(self, coin, embedded):
+        report = verify_theorem11(embedded, coin.heads)
+        assert report.holds, report.details
+
+    def test_revealing_strategy_family(self, coin):
+        tails_local = next(
+            point.local_state(2)
+            for point in coin.psys.system.points_at_time(1)
+            if point.local_state(2)[0] == "saw-tails"
+        )
+        seeds = [
+            constant_strategy(2, 2),
+            targeted_strategy(2, [tails_local], 2, 100),
+        ]
+        embedded = build_embedded_system(coin.psys, 0, 2, seeds)
+        report = verify_theorem11(embedded, coin.heads)
+        assert report.holds, report.details
+
+    def test_against_ignorant_opponent(self, coin):
+        embedded = build_embedded_system(coin.psys, 0, 1, [constant_strategy(1, 3)])
+        report = verify_theorem11(embedded, coin.heads)
+        assert report.holds, report.details
+
+    def test_random_system(self):
+        psys = random_psys(seed=62, depth=2, observability=("clock", "full"))
+        embedded = build_embedded_system(psys, 0, 1, [constant_strategy(1, 2)])
+        report = verify_theorem11(embedded, parity_fact())
+        assert report.holds, report.details
+
+    def test_unclosed_family_can_fail(self, coin):
+        # Without the closure, (c) can hold while (a)/(b) fail -- the payoff
+        # leaks the outcome and P_post "learns" too much.  This documents why
+        # theorem11_closure exists.
+        tails_local = next(
+            point.local_state(2)
+            for point in coin.psys.system.points_at_time(1)
+            if point.local_state(2)[0] == "saw-tails"
+        )
+        seeds = [
+            constant_strategy(2, 2),
+            targeted_strategy(2, [tails_local], 2, 100),
+        ]
+        embedded = build_embedded_system(
+            coin.psys, 0, 2, seeds, close_family=False
+        )
+        report = verify_theorem11(embedded, coin.heads)
+        assert not report.holds

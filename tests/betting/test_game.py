@@ -1,0 +1,91 @@
+"""The betting rule Bet(phi, alpha) and the winnings variable."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.betting import BettingRule, NO_BET, Strategy, constant_strategy
+from repro.core import Fact
+from repro.errors import BettingError
+from repro.examples_lib import three_agent_coin_system
+
+
+@pytest.fixture(scope="module")
+def coin():
+    return three_agent_coin_system()
+
+
+@pytest.fixture(scope="module")
+def rule(coin):
+    return BettingRule(coin.heads, Fraction(1, 2))
+
+
+class TestRule:
+    def test_threshold(self, rule):
+        assert rule.threshold == 2
+
+    def test_alpha_range(self, coin):
+        with pytest.raises(BettingError):
+            BettingRule(coin.heads, 0)
+        with pytest.raises(BettingError):
+            BettingRule(coin.heads, Fraction(3, 2))
+        BettingRule(coin.heads, 1)  # alpha = 1 is allowed
+
+    def test_accepts(self, rule):
+        assert rule.accepts(Fraction(2))
+        assert rule.accepts(Fraction(5, 2))
+        assert not rule.accepts(Fraction(3, 2))
+        assert not rule.accepts(NO_BET)
+
+
+class TestGain:
+    def test_win(self, coin, rule):
+        heads_point = next(
+            point
+            for point in coin.psys.system.points_at_time(1)
+            if coin.heads.holds_at(point)
+        )
+        assert rule.gain(heads_point, Fraction(2)) == 1  # payoff 2 - stake 1
+
+    def test_lose(self, coin, rule):
+        tails_point = next(
+            point
+            for point in coin.psys.system.points_at_time(1)
+            if not coin.heads.holds_at(point)
+        )
+        assert rule.gain(tails_point, Fraction(2)) == -1
+
+    def test_reject_is_zero(self, coin, rule):
+        point = coin.psys.system.points[0]
+        assert rule.gain(point, Fraction(3, 2)) == 0
+        assert rule.gain(point, NO_BET) == 0
+
+
+class TestWinningsVariable:
+    def test_against_constant_strategy(self, coin, rule):
+        winnings = rule.winnings(constant_strategy(2, 2))
+        time1 = coin.psys.system.points_at_time(1)
+        values = sorted(winnings(point) for point in time1)
+        assert values == [Fraction(-1), Fraction(1)]
+
+    def test_against_selective_strategy(self, coin, rule):
+        # p3 offers only when it saw tails: agent always loses when bet.
+        time1 = coin.psys.system.points_at_time(1)
+        tails_local = next(
+            point.local_state(2)
+            for point in time1
+            if not coin.heads.holds_at(point)
+        )
+        sneaky = Strategy(2, {tails_local: Fraction(2)})
+        winnings = rule.winnings(sneaky)
+        values = {winnings(point) for point in time1}
+        assert values == {Fraction(0), Fraction(-1)}
+
+    def test_expected_value_fair_bet(self, coin, rule):
+        from repro.core import opponent_assignment
+
+        pa = opponent_assignment(coin.psys, 1)
+        point = coin.psys.system.points_at_time(1)[0]
+        space = pa.space(0, point)
+        winnings = rule.winnings(constant_strategy(1, 2))
+        assert space.expectation(winnings) == 0  # exactly fair at 2:1 on 1/2

@@ -1,0 +1,111 @@
+"""Opponent strategies: locality, enumeration, proof constructions."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.betting import (
+    NO_BET,
+    Strategy,
+    constant_strategy,
+    enumerate_strategies,
+    injective_strategy,
+    opponent_states,
+    targeted_strategy,
+)
+from repro.errors import BettingError
+from repro.examples_lib import three_agent_coin_system
+
+
+@pytest.fixture(scope="module")
+def coin():
+    return three_agent_coin_system()
+
+
+class TestStrategy:
+    def test_table_lookup(self):
+        strategy = Strategy(2, {"s": Fraction(2)})
+        assert strategy.payoff("s") == 2
+        assert strategy.payoff("other") is NO_BET
+
+    def test_default_payoff(self):
+        strategy = Strategy(2, {}, default=Fraction(3))
+        assert strategy.payoff("anything") == 3
+
+    def test_nonpositive_payoffs_rejected(self):
+        with pytest.raises(BettingError):
+            Strategy(0, {"s": Fraction(0)})
+        with pytest.raises(BettingError):
+            Strategy(0, {}, default=Fraction(-1))
+
+    def test_payoff_at_point_reads_opponent_state(self, coin):
+        point = coin.psys.system.points_at_time(1)[0]
+        local = point.local_state(2)
+        strategy = Strategy(2, {local: Fraction(5)})
+        assert strategy.payoff_at(point) == 5
+
+    def test_constant_on_homogeneous_points(self, coin):
+        time1 = coin.psys.system.points_at_time(1)
+        strategy = constant_strategy(2, 2)
+        assert strategy.constant_on(time1) == 2
+
+    def test_constant_on_mixed_points_raises(self, coin):
+        time1 = coin.psys.system.points_at_time(1)
+        locals_ = [point.local_state(2) for point in time1]
+        strategy = Strategy(2, {locals_[0]: Fraction(2), locals_[1]: Fraction(3)})
+        with pytest.raises(BettingError):
+            strategy.constant_on(time1)
+
+
+class TestOpponentStates:
+    def test_distinct_sorted(self, coin):
+        states = opponent_states(coin.psys.system, 2, coin.psys.system.points)
+        assert len(states) == len(set(states))
+        assert list(states) == sorted(states, key=repr)
+
+    def test_observer_has_fewer_states(self, coin):
+        observer = opponent_states(coin.psys.system, 0, coin.psys.system.points)
+        tosser = opponent_states(coin.psys.system, 2, coin.psys.system.points)
+        assert len(observer) < len(tosser)
+
+
+class TestEnumeration:
+    def test_count(self):
+        strategies = list(enumerate_strategies(1, ["a", "b"], [2, 3]))
+        assert len(strategies) == 9  # (2 payoffs + no-bet) ** 2 states
+
+    def test_without_no_bet(self):
+        strategies = list(enumerate_strategies(1, ["a", "b"], [2, 3], include_no_bet=False))
+        assert len(strategies) == 4
+
+    def test_covers_all_functions(self):
+        strategies = list(enumerate_strategies(1, ["a"], [2, 3]))
+        payoffs = {strategy.payoff("a") for strategy in strategies}
+        assert payoffs == {NO_BET, Fraction(2), Fraction(3)}
+
+    def test_limit_enforced(self):
+        with pytest.raises(BettingError):
+            list(enumerate_strategies(1, list("abcdefgh"), [2, 3, 4, 5], limit=100))
+
+
+class TestProofConstructions:
+    def test_targeted(self):
+        strategy = targeted_strategy(1, ["special"], 4, 1)
+        assert strategy.payoff("special") == 4
+        assert strategy.payoff("other") == 1
+
+    def test_injective_distinct_payoffs(self):
+        strategy = injective_strategy(1, ["a", "b", "c"])
+        payoffs = [strategy.payoff(state) for state in "abc"]
+        assert len(set(payoffs)) == 3
+
+    def test_injective_with_pin(self):
+        strategy = injective_strategy(1, ["a", "b", "c"], pin_local="b", pin_payoff=7)
+        assert strategy.payoff("b") == 7
+        payoffs = [strategy.payoff(state) for state in "abc"]
+        assert len(set(payoffs)) == 3
+
+    def test_injective_pin_collision_avoided(self):
+        strategy = injective_strategy(1, ["a", "b"], pin_local="a", pin_payoff=2)
+        assert strategy.payoff("a") == 2
+        assert strategy.payoff("b") != 2

@@ -1,0 +1,143 @@
+"""Theorem 7 and Proposition 6, verified by exhaustive strategy enumeration."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.betting import (
+    footnote13_threshold_optimality,
+    relevant_alphas,
+    verify_proposition6,
+    verify_theorem7,
+)
+from repro.core import Fact, opponent_assignment
+from repro.examples_lib import three_agent_coin_system
+from repro.testing import parity_fact, random_psys
+
+
+@pytest.fixture(scope="module")
+def coin():
+    return three_agent_coin_system()
+
+
+class TestRelevantAlphas:
+    def test_contains_boundaries(self, coin):
+        pa = opponent_assignment(coin.psys, 1)
+        points = coin.psys.system.points_at_time(1)
+        grid = relevant_alphas(pa, 0, coin.heads, points)
+        assert Fraction(1, 2) in grid
+        assert Fraction(1) in grid
+
+    def test_sorted_unique_in_unit_interval(self, coin):
+        pa = opponent_assignment(coin.psys, 2)
+        grid = relevant_alphas(pa, 0, coin.heads, coin.psys.system.points)
+        assert list(grid) == sorted(set(grid))
+        assert all(0 <= alpha <= 1 for alpha in grid)
+
+    def test_extra_values_included(self, coin):
+        pa = opponent_assignment(coin.psys, 1)
+        grid = relevant_alphas(
+            pa, 0, coin.heads, coin.psys.system.points, extra=[Fraction(1, 7)]
+        )
+        assert Fraction(1, 7) in grid
+
+
+class TestTheorem7:
+    def test_coin_vs_ignorant_opponent(self, coin):
+        report = verify_theorem7(coin.psys, 0, 1, coin.heads)
+        assert report.holds, report.details
+
+    def test_coin_vs_informed_opponent(self, coin):
+        report = verify_theorem7(coin.psys, 0, 2, coin.heads)
+        assert report.holds, report.details
+
+    def test_negated_fact(self, coin):
+        report = verify_theorem7(coin.psys, 0, 2, ~coin.heads)
+        assert report.holds, report.details
+
+    def test_tosser_betting_against_observer(self, coin):
+        # the informed agent betting against the ignorant one
+        report = verify_theorem7(coin.psys, 2, 0, coin.heads)
+        assert report.holds, report.details
+
+    def test_random_system_full_vs_clock(self):
+        psys = random_psys(seed=21, depth=2, observability=("parity", "clock"))
+        report = verify_theorem7(psys, 0, 1, parity_fact())
+        assert report.holds, report.details
+
+    def test_random_system_clock_vs_full(self):
+        psys = random_psys(seed=22, depth=2, observability=("clock", "full"))
+        report = verify_theorem7(psys, 0, 1, parity_fact())
+        assert report.holds, report.details
+
+    def test_multiple_trees(self):
+        psys = random_psys(seed=23, num_trees=2, depth=2, observability=("clock", "full"))
+        report = verify_theorem7(psys, 0, 1, parity_fact())
+        assert report.holds, report.details
+
+    def test_explicit_alpha_grid(self, coin):
+        report = verify_theorem7(
+            coin.psys, 0, 2, coin.heads, alphas=[Fraction(1, 4), Fraction(3, 4), 1]
+        )
+        assert report.holds, report.details
+
+    def test_report_counts_pairs(self, coin):
+        points = coin.psys.system.points_at_time(1)[:1]
+        report = verify_theorem7(
+            coin.psys, 0, 1, coin.heads, points=points, alphas=[Fraction(1, 2)]
+        )
+        assert report.checked == 1
+
+
+class TestProposition6:
+    def test_coin_system(self, coin):
+        for opponent in (1, 2):
+            report = verify_proposition6(coin.psys, 0, opponent, coin.heads)
+            assert report.holds, report.details
+
+    def test_random_synchronous_system(self):
+        psys = random_psys(seed=31, depth=2, observability=("clock", "full"))
+        report = verify_proposition6(psys, 0, 1, parity_fact())
+        assert report.holds, report.details
+
+    def test_requires_synchrony(self):
+        from repro.errors import SynchronyError
+
+        psys = random_psys(seed=31, depth=2, observability=("blind", "clock"))
+        with pytest.raises(SynchronyError):
+            verify_proposition6(psys, 0, 1, parity_fact())
+
+
+class TestFootnote13:
+    def test_threshold_equivalence(self, coin):
+        point = coin.psys.system.points_at_time(1)[0]
+        report = footnote13_threshold_optimality(
+            coin.psys,
+            0,
+            1,
+            coin.heads,
+            acceptance_payoffs=[Fraction(2), Fraction(5)],
+            point=point,
+        )
+        assert report.holds, report.details
+
+    def test_threshold_equivalence_vs_informed(self, coin):
+        point = coin.psys.system.points_at_time(1)[0]
+        report = footnote13_threshold_optimality(
+            coin.psys,
+            0,
+            2,
+            coin.heads,
+            acceptance_payoffs=[Fraction(3), Fraction(4)],
+            point=point,
+        )
+        assert report.holds, report.details
+
+    def test_rejects_trivial_payoffs(self, coin):
+        from repro.errors import BettingError
+
+        point = coin.psys.system.points[0]
+        with pytest.raises(BettingError):
+            footnote13_threshold_optimality(
+                coin.psys, 0, 1, coin.heads, acceptance_payoffs=[Fraction(1, 2)], point=point
+            )

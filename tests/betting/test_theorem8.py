@@ -1,0 +1,163 @@
+"""Theorem 8: S^j is the maximum assignment determining safe bets."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.betting import (
+    boost_path_labeling,
+    determines_safe_bets,
+    theorem8_witness,
+    verify_theorem8_part_a,
+)
+from repro.core import (
+    Fact,
+    FutureAssignment,
+    OpponentAssignment,
+    PostAssignment,
+    ProbabilityAssignment,
+    opponent_assignment,
+)
+from repro.examples_lib import three_agent_coin_system
+from repro.trees import ProbabilisticSystem
+from repro.testing import parity_fact, random_psys
+
+
+@pytest.fixture(scope="module")
+def coin():
+    return three_agent_coin_system()
+
+
+def relabelings(psys, divisors=(2, 3, 5)):
+    """A few deterministic relabelings of the same tree structures."""
+    variants = [psys]
+    for divisor in divisors:
+        trees = []
+        for tree in psys.trees:
+            def labeling(parent, child, tree=tree, divisor=divisor):
+                kids = tree.children(parent)
+                index = kids.index(child)
+                weights = [(divisor + k) for k in range(len(kids))]
+                total = sum(weights)
+                return Fraction(weights[index], total)
+
+            trees.append(tree.relabel(labeling))
+        variants.append(ProbabilisticSystem(trees))
+    return variants
+
+
+class TestBoostPathLabeling:
+    def test_concentrates_mass(self, coin):
+        tree = coin.psys.trees[0]
+        leaf_node = next(node for node in tree.nodes if tree.is_leaf(node))
+        labels = boost_path_labeling(tree, leaf_node)
+        boosted = tree.relabel(labels)
+        runs = boosted.runs_through_node(leaf_node)
+        mass = sum(boosted.run_probability(run) for run in runs)
+        assert mass > Fraction(1, 2)
+
+    def test_valid_relabeling(self, coin):
+        tree = coin.psys.trees[0]
+        leaf_node = next(node for node in tree.nodes if tree.is_leaf(node))
+        boosted = tree.relabel(boost_path_labeling(tree, leaf_node))
+        assert sum(boosted.run_probability(run) for run in boosted.runs) == 1
+
+    def test_root_target_is_noop(self, coin):
+        tree = coin.psys.trees[0]
+        labels = boost_path_labeling(tree, tree.root)
+        assert labels == {edge: tree.edge_probability(*edge) for edge in tree.edges}
+
+
+class TestPartA:
+    def test_fut_below_opp_determines_safe_bets(self, coin):
+        report = verify_theorem8_part_a(
+            relabelings(coin.psys),
+            lambda psys: FutureAssignment(psys),
+            agent=0,
+            opponent=2,
+            facts_factory=lambda psys: [
+                Fact.about_local_state(2, lambda local: local[0] == "saw-heads"),
+            ],
+        )
+        assert report.holds, report.details
+        assert report.checked == 4
+
+    def test_opp_itself_determines_safe_bets(self, coin):
+        report = verify_theorem8_part_a(
+            relabelings(coin.psys),
+            lambda psys: OpponentAssignment(psys, 2),
+            agent=0,
+            opponent=2,
+            facts_factory=lambda psys: [
+                Fact.about_local_state(2, lambda local: local[0] == "saw-heads"),
+            ],
+        )
+        assert report.holds, report.details
+
+    def test_random_system(self):
+        base = random_psys(seed=41, depth=2, observability=("clock", "full"))
+        report = verify_theorem8_part_a(
+            relabelings(base, divisors=(2, 7)),
+            lambda psys: FutureAssignment(psys),
+            agent=0,
+            opponent=1,
+            facts_factory=lambda psys: [parity_fact()],
+        )
+        assert report.holds, report.details
+
+    def test_hypothesis_violation_reported(self, coin):
+        # post is NOT below opp(p3): the verifier flags the bad hypothesis.
+        report = verify_theorem8_part_a(
+            [coin.psys],
+            lambda psys: PostAssignment(psys),
+            agent=0,
+            opponent=2,
+            facts_factory=lambda psys: [],
+        )
+        assert not report.holds
+
+
+class TestDeterminesSafeBets:
+    def test_post_fails_against_informed_opponent(self, coin):
+        post = ProbabilityAssignment(PostAssignment(coin.psys))
+        against_p3 = opponent_assignment(coin.psys, 2)
+        assert not determines_safe_bets(post, against_p3, 0, [coin.heads])
+
+    def test_post_safe_against_equally_ignorant(self, coin):
+        post = ProbabilityAssignment(PostAssignment(coin.psys))
+        against_p2 = opponent_assignment(coin.psys, 1)
+        assert determines_safe_bets(post, against_p2, 0, [coin.heads])
+
+
+class TestPartB:
+    def test_witness_for_post_vs_informed_opponent(self, coin):
+        witness = theorem8_witness(
+            coin.psys, lambda psys: PostAssignment(psys), agent=0, opponent=2
+        )
+        assert witness is not None
+        # the witness's bet is accepted under the too-big assignment...
+        assert witness.alpha > witness.alpha_opponent
+        # ...and loses money in expectation against the constructed strategy
+        assert witness.expected_loss < 0
+
+    def test_no_witness_when_hypothesis_holds(self, coin):
+        witness = theorem8_witness(
+            coin.psys, lambda psys: OpponentAssignment(psys, 2), agent=0, opponent=2
+        )
+        assert witness is None
+
+    def test_witness_random_system(self):
+        base = random_psys(seed=43, depth=2, observability=("clock", "full"))
+        witness = theorem8_witness(
+            base, lambda psys: PostAssignment(psys), agent=0, opponent=1
+        )
+        assert witness is not None
+        assert witness.expected_loss < 0
+
+    def test_witness_relabeled_system_is_valid(self, coin):
+        witness = theorem8_witness(
+            coin.psys, lambda psys: PostAssignment(psys), agent=0, opponent=2
+        )
+        for adversary in witness.relabeled.adversaries:
+            space = witness.relabeled.run_space(adversary)
+            assert space.measure(space.outcomes) == 1

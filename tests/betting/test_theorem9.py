@@ -1,0 +1,107 @@
+"""Theorem 9: interval monotonicity along the lattice, with strictness."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.betting import theorem9_witness, verify_theorem9_part_a
+from repro.core import (
+    Fact,
+    FutureAssignment,
+    OpponentAssignment,
+    PostAssignment,
+    ProbabilityAssignment,
+    standard_assignments,
+)
+from repro.examples_lib import three_agent_coin_system
+from repro.logic import state_generated_valuation
+from repro.testing import parity_fact, random_psys
+
+
+@pytest.fixture(scope="module")
+def coin():
+    return three_agent_coin_system()
+
+
+@pytest.fixture(scope="module")
+def coin_facts(coin):
+    base = [coin.heads, ~coin.heads]
+    base.extend(state_generated_valuation(coin.psys.system).values())
+    return base
+
+
+class TestPartA:
+    def test_fut_vs_post(self, coin, coin_facts):
+        named = standard_assignments(coin.psys)
+        report = verify_theorem9_part_a(named["fut"], named["post"], coin_facts)
+        assert report.holds, report.details
+
+    def test_fut_vs_opp(self, coin, coin_facts):
+        lower = ProbabilityAssignment(FutureAssignment(coin.psys))
+        higher = ProbabilityAssignment(OpponentAssignment(coin.psys, 1))
+        report = verify_theorem9_part_a(lower, higher, coin_facts)
+        assert report.holds, report.details
+
+    def test_opp_vs_post(self, coin, coin_facts):
+        lower = ProbabilityAssignment(OpponentAssignment(coin.psys, 2))
+        higher = ProbabilityAssignment(PostAssignment(coin.psys))
+        report = verify_theorem9_part_a(lower, higher, coin_facts)
+        assert report.holds, report.details
+
+    def test_random_system_chain(self):
+        psys = random_psys(seed=51, depth=2, observability=("parity", "full"))
+        lower = ProbabilityAssignment(FutureAssignment(psys))
+        higher = ProbabilityAssignment(PostAssignment(psys))
+        facts = [parity_fact(), ~parity_fact()]
+        facts.extend(list(state_generated_valuation(psys.system).values())[:10])
+        report = verify_theorem9_part_a(lower, higher, facts)
+        assert report.holds, report.details
+
+    def test_interval_containment_explicit(self, coin):
+        named = standard_assignments(coin.psys)
+        c = coin.psys.system.points_at_time(1)[0]
+        low_interval = named["fut"].knowledge_interval(0, c, coin.heads)
+        high_interval = named["post"].knowledge_interval(0, c, coin.heads)
+        assert low_interval == (Fraction(0), Fraction(1))
+        assert high_interval == (Fraction(1, 2), Fraction(1, 2))
+
+
+class TestPartB:
+    def test_witness_fut_post(self, coin):
+        named = standard_assignments(coin.psys)
+        witness = theorem9_witness(named["fut"], named["post"])
+        assert witness is not None
+        assert witness.alpha_high > witness.alpha_low
+        # the witness instantiates the theorem's displayed non-implication:
+        # K^[alpha_high, 1] holds under P' but not under P.
+        assert named["post"].knows_probability_interval(
+            witness.agent, witness.point, witness.fact, witness.alpha_high, 1
+        )
+        assert not named["fut"].knows_probability_interval(
+            witness.agent, witness.point, witness.fact, witness.alpha_high, 1
+        )
+
+    def test_witness_negation_direction(self, coin):
+        # the dual strictness: K^[0, beta'] !phi under P' but not under P
+        named = standard_assignments(coin.psys)
+        witness = theorem9_witness(named["fut"], named["post"])
+        beta = 1 - witness.alpha_high
+        assert named["post"].knows_probability_interval(
+            witness.agent, witness.point, ~witness.fact, 0, beta
+        )
+        assert not named["fut"].knows_probability_interval(
+            witness.agent, witness.point, ~witness.fact, 0, beta
+        )
+
+    def test_no_witness_for_equal_assignments(self, coin):
+        lower = ProbabilityAssignment(PostAssignment(coin.psys))
+        higher = ProbabilityAssignment(PostAssignment(coin.psys))
+        assert theorem9_witness(lower, higher) is None
+
+    def test_witness_random_system(self):
+        psys = random_psys(seed=52, depth=2, observability=("clock", "full"))
+        lower = ProbabilityAssignment(FutureAssignment(psys))
+        higher = ProbabilityAssignment(PostAssignment(psys))
+        witness = theorem9_witness(lower, higher)
+        assert witness is not None
+        assert witness.alpha_high > witness.alpha_low

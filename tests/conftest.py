@@ -1,0 +1,74 @@
+"""Shared fixtures: the paper's canonical systems, built once per session."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import Fact, standard_assignments
+from repro.examples_lib import (
+    biased_async_system,
+    input_coin_system,
+    repeated_coin_system,
+    single_coin_system,
+    three_agent_coin_system,
+)
+from repro.testing import random_psys, two_agent_coin_psys
+
+
+@pytest.fixture(scope="session")
+def coin3():
+    """The introduction's three-agent coin system (p3 tosses and sees)."""
+    return three_agent_coin_system()
+
+
+@pytest.fixture(scope="session")
+def coin3_assignments(coin3):
+    return standard_assignments(coin3.psys)
+
+
+@pytest.fixture(scope="session")
+def coin1():
+    """The single-agent single-coin system of Section 3."""
+    return single_coin_system()
+
+
+@pytest.fixture(scope="session")
+def vardi():
+    """The input-bit fair/biased coin system (two adversaries)."""
+    return input_coin_system()
+
+
+@pytest.fixture(scope="session")
+def repeated4():
+    """A 4-toss version of Section 7's asynchronous coin system."""
+    return repeated_coin_system(4)
+
+
+@pytest.fixture(scope="session")
+def biased99():
+    """The 0.99-biased coin with p2's odd information structure."""
+    return biased_async_system()
+
+
+@pytest.fixture(scope="session")
+def tiny_psys():
+    """A two-agent, one-toss probabilistic system for structural tests."""
+    return two_agent_coin_psys()
+
+
+@pytest.fixture(scope="session")
+def small_random_psys():
+    """A deterministic pseudo-random system with mixed observability."""
+    return random_psys(
+        seed=11,
+        num_trees=2,
+        num_agents=2,
+        depth=2,
+        observability=("full", "clock"),
+    )
+
+
+def time1_points(psys):
+    return [point for point in psys.system.points if point.time == 1]

@@ -1,0 +1,102 @@
+"""Aumann's agreement theorem on system time slices (Appendix B.3)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    Fact,
+    aumann_agreement,
+    common_knowledge_of_posteriors,
+    knowledge_partition,
+    meet_partition,
+)
+from repro.errors import ModelError
+from repro.examples_lib import three_agent_coin_system
+from repro.testing import parity_fact, random_psys
+
+
+@pytest.fixture(scope="module")
+def coin():
+    return three_agent_coin_system()
+
+
+class TestPartitions:
+    def test_knowledge_partition_cells(self, coin):
+        slice_points = coin.psys.system.points_at_time(1)
+        cells0 = knowledge_partition(coin.psys, 0, slice_points)
+        cells2 = knowledge_partition(coin.psys, 2, slice_points)
+        assert len(cells0) == 1  # p1 cannot distinguish the two outcomes
+        assert len(cells2) == 2  # p3 saw the coin
+
+    def test_partition_requires_closed_slice(self, coin):
+        # half a slice is not closed under p1's indistinguishability
+        slice_points = coin.psys.system.points_at_time(1)[:1]
+        with pytest.raises(ModelError):
+            knowledge_partition(coin.psys, 0, slice_points)
+
+    def test_meet_of_fine_and_coarse(self, coin):
+        slice_points = coin.psys.system.points_at_time(1)
+        fine = knowledge_partition(coin.psys, 2, slice_points)
+        coarse = knowledge_partition(coin.psys, 0, slice_points)
+        meet = meet_partition([fine, coarse])
+        assert len(meet) == 1  # the coarse observer glues everything
+
+    def test_meet_of_identical_partitions(self, coin):
+        slice_points = coin.psys.system.points_at_time(1)
+        fine = knowledge_partition(coin.psys, 2, slice_points)
+        meet = meet_partition([fine, fine])
+        assert sorted(map(len, meet)) == sorted(map(len, fine))
+
+
+class TestAgreement:
+    def test_holds_on_coin_system(self, coin):
+        tree = coin.psys.trees[0]
+        report = aumann_agreement(coin.psys, tree, 1, (0, 1, 2), coin.heads)
+        assert report.holds
+        assert report.meet_cells == 1
+
+    def test_holds_on_random_synchronous_systems(self):
+        for seed in range(5):
+            psys = random_psys(seed=seed, depth=2, observability=("clock", "full"))
+            tree = psys.trees[0]
+            report = aumann_agreement(psys, tree, 2, (0, 1), parity_fact())
+            assert report.holds, report.disagreements
+
+    def test_holds_with_partial_observers(self):
+        psys = random_psys(seed=13, depth=2, observability=("full", "full"))
+        tree = psys.trees[0]
+        report = aumann_agreement(psys, tree, 1, (0, 1), parity_fact())
+        assert report.holds
+
+    def test_requires_synchrony(self):
+        psys = random_psys(seed=13, depth=2, observability=("blind", "clock"))
+        from repro.errors import SynchronyError
+
+        with pytest.raises(SynchronyError):
+            aumann_agreement(psys, psys.trees[0], 1, (0, 1), parity_fact())
+
+    def test_empty_slice_rejected(self, coin):
+        with pytest.raises(ModelError):
+            aumann_agreement(coin.psys, coin.psys.trees[0], 9, (0, 2), coin.heads)
+
+
+class TestCommonKnowledgeOfPosteriors:
+    def test_ignorant_pair_shares_posterior(self, coin):
+        # p1 and p2 both assign 1/2 everywhere on the slice: their (equal)
+        # posteriors are common knowledge.
+        tree = coin.psys.trees[0]
+        point = coin.psys.system.points_at_time(1)[0]
+        assert common_knowledge_of_posteriors(
+            coin.psys, tree, 1, (0, 1), coin.heads, point
+        )
+
+    def test_informed_agent_breaks_common_knowledge(self, coin):
+        # p3's posterior (0 or 1) is not constant on the meet cell, so the
+        # posterior profile is NOT common knowledge -- and indeed p1 and p3
+        # "disagree" (1/2 vs 1) without contradicting Aumann.
+        tree = coin.psys.trees[0]
+        point = coin.psys.system.points_at_time(1)[0]
+        assert not common_knowledge_of_posteriors(
+            coin.psys, tree, 1, (0, 2), coin.heads, point
+        )

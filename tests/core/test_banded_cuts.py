@@ -1,0 +1,105 @@
+"""Partially-synchronous banded cuts (the Section 7 sketch)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    PostAssignment,
+    enumerate_banded_cuts,
+    enumerate_horizontal_cuts,
+    enumerate_point_cuts,
+    interval_over_banded_cuts,
+    interval_over_cuts,
+)
+from repro.examples_lib import repeated_coin_system
+
+
+@pytest.fixture(scope="module")
+def example():
+    return repeated_coin_system(3)
+
+
+@pytest.fixture(scope="module")
+def region(example):
+    # p1's post-toss region: every point at times 1..3 (p1 is blind)
+    return frozenset(example.post_toss_points)
+
+
+class TestEnumeration:
+    def test_width_zero_cuts_are_horizontal(self, region):
+        banded = {frozenset(cut) for cut in enumerate_banded_cuts(region, 0)}
+        for cut in banded:
+            assert len({point.time for point in cut}) == 1
+        horizontal = {frozenset(cut) for cut in enumerate_horizontal_cuts(region)}
+        # every horizontal slice here has one point per run -> it is a cut
+        assert horizontal <= banded | horizontal
+        assert banded == horizontal
+
+    def test_full_width_recovers_pts(self, region):
+        span = max(point.time for point in region) - min(point.time for point in region)
+        banded = {frozenset(cut) for cut in enumerate_banded_cuts(region, span)}
+        pts = {frozenset(cut) for cut in enumerate_point_cuts(region)}
+        assert banded == pts
+
+    def test_width_monotone(self, region):
+        counts = [
+            sum(1 for _ in enumerate_banded_cuts(region, width)) for width in range(3)
+        ]
+        assert counts == sorted(counts)
+
+    def test_band_constraint_enforced(self, region):
+        for cut in enumerate_banded_cuts(region, 1):
+            times = [point.time for point in cut]
+            assert max(times) - min(times) <= 1
+
+
+class TestIntervals:
+    def test_width_zero_gives_half(self, example):
+        # synchronised test times: the probability is exactly 1/2
+        post = PostAssignment(example.psys)
+        anchor = next(iter(example.post_toss_points))
+
+        class PostTossRegion:
+            def sample_space(self, agent, point):
+                return frozenset(example.post_toss_points)
+
+        region_of = PostTossRegion()
+        interval = interval_over_banded_cuts(
+            example.psys, region_of, 0, anchor, example.most_recent_heads, width=0
+        )
+        assert interval == (Fraction(1, 2), Fraction(1, 2))
+
+    def test_interval_grows_with_width(self, example):
+        anchor = next(iter(example.post_toss_points))
+
+        class PostTossRegion:
+            def sample_space(self, agent, point):
+                return frozenset(example.post_toss_points)
+
+        region_of = PostTossRegion()
+        intervals = [
+            interval_over_banded_cuts(
+                example.psys, region_of, 0, anchor, example.most_recent_heads, width
+            )
+            for width in range(3)
+        ]
+        for narrow, wide in zip(intervals, intervals[1:]):
+            assert wide[0] <= narrow[0] and narrow[1] <= wide[1]
+
+    def test_max_width_matches_pts_class(self, example):
+        anchor = next(iter(example.post_toss_points))
+
+        class PostTossRegion:
+            def sample_space(self, agent, point):
+                return frozenset(example.post_toss_points)
+
+        region_of = PostTossRegion()
+        banded = interval_over_banded_cuts(
+            example.psys, region_of, 0, anchor, example.most_recent_heads, width=2
+        )
+        pts = interval_over_cuts(
+            example.psys, region_of, 0, anchor, example.most_recent_heads, "pts"
+        )
+        assert banded == pts
+        assert banded == (Fraction(1, 8), Fraction(7, 8))

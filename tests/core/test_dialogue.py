@@ -1,0 +1,80 @@
+"""The posterior-announcement (agreement) dialogue."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import Fact, agreement_dialogue
+from repro.errors import ModelError
+from repro.examples_lib import three_agent_coin_system
+from repro.testing import parity_fact, random_psys
+
+
+@pytest.fixture(scope="module")
+def coin():
+    return three_agent_coin_system()
+
+
+class TestDialogue:
+    def test_ignorant_pair_agrees_immediately(self, coin):
+        tree = coin.psys.trees[0]
+        start = coin.psys.system.points_at_time(1)[0]
+        result = agreement_dialogue(coin.psys, tree, 1, (0, 1), coin.heads, start)
+        assert result.agreed
+        assert set(result.final_posteriors.values()) == {Fraction(1, 2)}
+
+    def test_informed_vs_ignorant_converges_to_truth(self, coin):
+        # p3 announces its posterior (0 or 1); p1 learns the outcome from
+        # the announcement, so they agree on the degenerate value.
+        tree = coin.psys.trees[0]
+        heads_point = next(
+            point
+            for point in coin.psys.system.points_at_time(1)
+            if coin.heads.holds_at(point)
+        )
+        result = agreement_dialogue(
+            coin.psys, tree, 1, (2, 0), coin.heads, heads_point
+        )
+        assert result.agreed
+        assert set(result.final_posteriors.values()) == {Fraction(1)}
+
+    def test_rounds_record_partitions(self, coin):
+        tree = coin.psys.trees[0]
+        start = coin.psys.system.points_at_time(1)[0]
+        result = agreement_dialogue(coin.psys, tree, 1, (2, 0), coin.heads, start)
+        assert result.rounds
+        for round_ in result.rounds:
+            assert round_.speaker in (0, 2)
+            assert 0 <= round_.announced <= 1
+
+    def test_agreement_on_random_systems(self):
+        # Aumann via the dialogue: with a common prior the process always
+        # ends in agreement.
+        for seed in range(4):
+            psys = random_psys(seed=seed, depth=2, observability=("clock", "full"))
+            tree = psys.trees[0]
+            start = [point for point in tree.points if point.time == 2][0]
+            result = agreement_dialogue(psys, tree, 2, (0, 1), parity_fact(), start)
+            assert result.agreed, (seed, result.final_posteriors)
+
+    def test_partial_observers_agree(self):
+        psys = random_psys(seed=7, depth=2, observability=("full", "full"))
+        tree = psys.trees[0]
+        start = [point for point in tree.points if point.time == 1][0]
+        result = agreement_dialogue(psys, tree, 1, (0, 1), parity_fact(), start)
+        assert result.agreed
+
+    def test_start_must_be_on_slice(self, coin):
+        tree = coin.psys.trees[0]
+        start = coin.psys.system.points_at_time(0)[0]
+        with pytest.raises(ModelError):
+            agreement_dialogue(coin.psys, tree, 1, (0, 1), coin.heads, start)
+
+    def test_three_party_dialogue(self, coin):
+        tree = coin.psys.trees[0]
+        start = coin.psys.system.points_at_time(1)[0]
+        result = agreement_dialogue(
+            coin.psys, tree, 1, (0, 1, 2), coin.heads, start
+        )
+        assert result.agreed
+        assert len(result.final_posteriors) == 3

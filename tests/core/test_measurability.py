@@ -1,0 +1,87 @@
+"""Measurability of facts (Proposition 3 and its asynchronous failure)."""
+
+import pytest
+
+from repro.core import (
+    Fact,
+    ProbabilityAssignment,
+    PostAssignment,
+    measurability_report,
+    non_measurable_sites,
+    proposition3_instance,
+    standard_assignments,
+    sufficient_richness_propositions,
+)
+from repro.examples_lib import repeated_coin_system, three_agent_coin_system
+
+
+@pytest.fixture(scope="module")
+def sync_coin():
+    return three_agent_coin_system()
+
+
+@pytest.fixture(scope="module")
+def async_coin():
+    return repeated_coin_system(3)
+
+
+class TestSynchronousMeasurability:
+    def test_state_facts_measurable_under_post(self, sync_coin):
+        post = standard_assignments(sync_coin.psys)["post"]
+        assert post.is_measurable(sync_coin.heads)
+        assert post.is_measurable(~sync_coin.heads)
+
+    def test_boolean_closure_measurable(self, sync_coin):
+        post = standard_assignments(sync_coin.psys)["post"]
+        facts = {
+            "heads": sync_coin.heads,
+            "not": ~sync_coin.heads,
+            "and": sync_coin.heads & ~sync_coin.heads,
+            "or": sync_coin.heads | ~sync_coin.heads,
+        }
+        report = measurability_report(post, facts)
+        assert all(report.values())
+
+    def test_richness_propositions_measurable(self, sync_coin):
+        # Prop 3 instance over the sufficiently-rich primitive propositions.
+        post = standard_assignments(sync_coin.psys)["post"]
+        primitives = sufficient_richness_propositions(sync_coin.psys.system)
+        assert proposition3_instance(post, primitives.values())
+
+    def test_no_failure_sites(self, sync_coin):
+        post = standard_assignments(sync_coin.psys)["post"]
+        assert non_measurable_sites(post, sync_coin.heads) == ()
+
+
+class TestAsynchronousFailure:
+    def test_most_recent_heads_not_measurable_for_blind_agent(self, async_coin):
+        post = ProbabilityAssignment(PostAssignment(async_coin.psys))
+        sites = non_measurable_sites(post, async_coin.most_recent_heads)
+        assert sites  # Prop 3 fails without synchrony
+        agents = {agent for agent, _ in sites}
+        assert agents == {0}  # exactly the unclocked agent
+
+    def test_clocked_agents_unaffected(self, async_coin):
+        post = ProbabilityAssignment(PostAssignment(async_coin.psys))
+        for agent in (1, 2):
+            for point in async_coin.psys.system.points:
+                assert post.is_measurable_at(agent, point, async_coin.most_recent_heads)
+
+
+class TestRichness:
+    def test_one_proposition_per_global_state(self, sync_coin):
+        system = sync_coin.psys.system
+        primitives = sufficient_richness_propositions(system)
+        states = {point.global_state for point in system.points}
+        assert len(primitives) == len(states)
+
+    def test_each_proposition_pins_its_state(self, sync_coin):
+        system = sync_coin.psys.system
+        for fact in sufficient_richness_propositions(system).values():
+            extension = fact.points(system)
+            states = {point.global_state for point in extension}
+            assert len(states) == 1
+            target = states.pop()
+            assert extension == frozenset(
+                point for point in system.points if point.global_state == target
+            )

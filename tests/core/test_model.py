@@ -1,0 +1,187 @@
+"""Runs, points, global states, systems, knowledge (Section 2)."""
+
+import pytest
+
+from repro.core import GlobalState, Point, Run, System
+from repro.errors import ModelError, SynchronyError
+
+
+def make_run(*locals_sequences):
+    """Build a run from per-time local-state tuples; env is the index."""
+    return Run(
+        tuple(
+            GlobalState(("env", time, locals_), tuple(locals_))
+            for time, locals_ in enumerate(locals_sequences)
+        )
+    )
+
+
+@pytest.fixture
+def sync_system():
+    """Two runs, two agents, agent 0 clocked, agent 1 sees the branch at t=1."""
+    run_h = make_run((("a", 0), "x"), (("a", 1), "h"))
+    run_t = make_run((("a", 0), "x"), (("a", 1), "t"))
+    return System([run_h, run_t])
+
+
+@pytest.fixture
+def async_system():
+    """Agent 0's local state is constant -> no clock."""
+    run_h = make_run(("blind", "x"), ("blind", "h"))
+    run_t = make_run(("blind", "x"), ("blind", "t"))
+    return System([run_h, run_t])
+
+
+class TestGlobalState:
+    def test_accessors(self):
+        state = GlobalState("env", ("a", "b"))
+        assert state.num_agents == 2
+        assert state.local_state(1) == "b"
+
+    def test_with_environment(self):
+        state = GlobalState("env", ("a",))
+        replaced = state.with_environment("env2")
+        assert replaced.environment == "env2"
+        assert replaced.local_states == ("a",)
+
+    def test_hashable_and_equal(self):
+        assert GlobalState("e", ("a",)) == GlobalState("e", ("a",))
+        assert hash(GlobalState("e", ("a",))) == hash(GlobalState("e", ("a",)))
+
+
+class TestRun:
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            Run(())
+
+    def test_mixed_agent_counts_rejected(self):
+        with pytest.raises(ModelError):
+            Run((GlobalState("e", ("a",)), GlobalState("e2", ("a", "b"))))
+
+    def test_state_stutters_past_horizon(self):
+        run = make_run(("s0",), ("s1",))
+        assert run.state(5) == run.state(1)
+
+    def test_negative_time_rejected(self):
+        run = make_run(("s0",))
+        with pytest.raises(ModelError):
+            run.state(-1)
+
+    def test_points_enumeration(self):
+        run = make_run(("s0",), ("s1",), ("s2",))
+        assert [point.time for point in run.points()] == [0, 1, 2]
+
+    def test_extends(self):
+        run_h = make_run(("x",), ("h",))
+        run_t = make_run(("x",), ("t",))
+        assert run_h.extends(Point(run_t, 0))
+        assert not run_h.extends(Point(run_t, 1))
+
+    def test_extends_beyond_horizon_false(self):
+        short = make_run(("x",))
+        assert not short.extends(Point(short, 3))
+
+    def test_local_and_environment_accessors(self):
+        run = make_run(("a", "b"))
+        assert run.local_state(1, 0) == "b"
+        assert run.environment_state(0) == ("env", 0, ("a", "b"))
+
+
+class TestPoint:
+    def test_global_state(self, sync_system):
+        point = sync_system.points[0]
+        assert point.global_state == point.run.state(point.time)
+
+    def test_successor_and_stutter(self):
+        run = make_run(("s0",), ("s1",))
+        assert Point(run, 0).successor() == Point(run, 1)
+        assert Point(run, 1).successor() == Point(run, 1)
+
+
+class TestSystem:
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            System([])
+
+    def test_agent_count_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            System([make_run(("a",)), make_run(("a", "b"))])
+
+    def test_duplicate_runs_deduplicated(self):
+        run = make_run(("a",))
+        assert len(System([run, run]).runs) == 1
+
+    def test_points_count(self, sync_system):
+        assert len(sync_system.points) == 4
+
+    def test_points_at_time(self, sync_system):
+        assert len(sync_system.points_at_time(1)) == 2
+        assert sync_system.max_horizon() == 2
+
+    def test_contains(self, sync_system):
+        assert sync_system.points[0] in sync_system
+        foreign = Point(make_run(("z", "z")), 0)
+        assert foreign not in sync_system
+
+
+class TestKnowledge:
+    def test_indistinguishable_same_local(self, sync_system):
+        h1, t1 = sync_system.points_at_time(1)
+        assert sync_system.indistinguishable(0, h1, t1)  # agent 0 sees clock only
+        assert not sync_system.indistinguishable(1, h1, t1)  # agent 1 sees outcome
+
+    def test_knowledge_set_contents(self, sync_system):
+        h1, t1 = sync_system.points_at_time(1)
+        assert sync_system.knowledge_set(0, h1) == frozenset({h1, t1})
+        assert sync_system.knowledge_set(1, h1) == frozenset({h1})
+
+    def test_knowledge_set_matches_naive(self, sync_system):
+        for agent in sync_system.agents:
+            for point in sync_system.points:
+                assert sync_system.knowledge_set(
+                    agent, point
+                ) == sync_system.knowledge_set_naive(agent, point)
+
+    def test_knows(self, sync_system):
+        h1, t1 = sync_system.points_at_time(1)
+        heads = frozenset({h1})
+        assert sync_system.knows(1, h1, heads)
+        assert not sync_system.knows(0, h1, heads)
+
+    def test_knows_accepts_callable_and_fact(self, sync_system):
+        h1, _ = sync_system.points_at_time(1)
+        assert sync_system.knows(1, h1, lambda point: point.time == 1)
+
+    def test_knows_rejects_garbage(self, sync_system):
+        with pytest.raises(ModelError):
+            sync_system.knows(0, sync_system.points[0], 42)
+
+    def test_local_state_classes_partition(self, sync_system):
+        for agent in sync_system.agents:
+            classes = sync_system.local_state_classes(agent)
+            all_points = [point for points in classes.values() for point in points]
+            assert sorted(map(repr, all_points)) == sorted(
+                map(repr, sync_system.points)
+            )
+
+    def test_knowledge_is_equivalence(self, sync_system):
+        # reflexive + symmetric + transitive via partition structure
+        for agent in sync_system.agents:
+            for point in sync_system.points:
+                cell = sync_system.knowledge_set(agent, point)
+                assert point in cell
+                for other in cell:
+                    assert sync_system.knowledge_set(agent, other) == cell
+
+
+class TestSynchrony:
+    def test_clocked_system_is_synchronous(self, sync_system):
+        assert sync_system.is_synchronous()
+
+    def test_blind_agent_breaks_synchrony(self, async_system):
+        assert not async_system.is_synchronous()
+
+    def test_require_synchronous(self, async_system, sync_system):
+        sync_system.require_synchronous()
+        with pytest.raises(SynchronyError):
+            async_system.require_synchronous()

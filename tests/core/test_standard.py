@@ -1,0 +1,199 @@
+"""The standard assignments and the lattice (Section 6, Propositions 4-5)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    Fact,
+    FutureAssignment,
+    OpponentAssignment,
+    PostAssignment,
+    PriorAssignment,
+    ProbabilityAssignment,
+    conditioning_identity_everywhere,
+    conditioning_identity_holds,
+    opponent_assignment,
+    refinement_partition,
+    standard_assignments,
+)
+from repro.errors import AssignmentError
+from repro.examples_lib import three_agent_coin_system
+
+
+@pytest.fixture(scope="module")
+def coin():
+    return three_agent_coin_system()
+
+
+@pytest.fixture(scope="module")
+def psys(coin):
+    return coin.psys
+
+
+@pytest.fixture(scope="module")
+def named(psys):
+    return {
+        "post": PostAssignment(psys),
+        "fut": FutureAssignment(psys),
+        "prior": PriorAssignment(psys),
+        "opp2": OpponentAssignment(psys, 1),
+        "opp3": OpponentAssignment(psys, 2),
+    }
+
+
+class TestSampleSpaces:
+    def test_post_is_tree_knowledge(self, psys, named):
+        c = psys.system.points_at_time(1)[0]
+        sample = named["post"].sample_space(0, c)
+        tree = psys.tree_of(c)
+        assert sample == frozenset(
+            d for d in tree.points if d.local_state(0) == c.local_state(0)
+        )
+
+    def test_fut_is_same_global_state(self, psys, named):
+        c = psys.system.points_at_time(1)[0]
+        sample = named["fut"].sample_space(0, c)
+        assert sample == frozenset(
+            d for d in psys.system.points if d.global_state == c.global_state
+        )
+
+    def test_fut_is_agent_independent(self, psys, named):
+        for point in psys.system.points:
+            assert named["fut"].sample_space(0, point) == named["fut"].sample_space(
+                2, point
+            )
+
+    def test_opp_is_intersection(self, psys, named):
+        for point in psys.system.points:
+            joint = named["opp3"].sample_space(0, point)
+            mine = named["post"].sample_space(0, point)
+            theirs = named["post"].sample_space(2, point)
+            assert joint == mine & theirs
+
+    def test_opp_self_is_post_for_that_agent(self, psys, named):
+        # footnote 12: Tree^i_ic = Tree_ic
+        own = OpponentAssignment(psys, 0)
+        for point in psys.system.points:
+            assert own.sample_space(0, point) == named["post"].sample_space(0, point)
+
+    def test_prior_is_time_slice(self, psys, named):
+        c = psys.system.points_at_time(1)[0]
+        assert named["prior"].sample_space(0, c) == frozenset(
+            psys.system.points_at_time(1)
+        )
+
+
+class TestStructuralProperties:
+    def test_all_named_are_standard(self, named):
+        for name, ssa in named.items():
+            assert ssa.is_standard(), name
+
+    def test_consistency(self, named):
+        assert named["post"].is_consistent()
+        assert named["fut"].is_consistent()
+        assert named["opp3"].is_consistent()
+        # prior is inconsistent: p3 knows the outcome but All_ic ignores it
+        assert not named["prior"].is_consistent()
+
+    def test_requirements_satisfied(self, named):
+        for name, ssa in named.items():
+            assert ssa.satisfies_requirements(), name
+
+
+class TestLattice:
+    def test_chain_fut_opp_post(self, named):
+        assert named["fut"].leq(named["opp3"])
+        assert named["opp3"].leq(named["post"])
+        assert named["fut"].leq(named["post"])
+
+    def test_post_maximal_consistent(self, named):
+        # post is greatest among the consistent assignments here
+        for name in ("fut", "opp2", "opp3"):
+            assert named[name].leq(named["post"])
+
+    def test_strictness(self, named):
+        assert named["fut"].lt(named["post"])
+        # in this small system fut and opp3 happen to coincide everywhere
+        assert named["fut"].leq(named["opp3"]) and named["opp3"].leq(named["fut"])
+        assert not named["post"].lt(named["post"])
+
+    def test_leq_fails_across_incomparable(self, named):
+        # prior vs fut: prior's spaces are whole time slices, fut's are nodes
+        assert named["fut"].leq(named["prior"])
+        assert not named["prior"].leq(named["fut"])
+
+
+class TestProposition4:
+    def test_refinement_fut_in_post(self, psys, named):
+        c = psys.system.points_at_time(1)[0]
+        blocks = refinement_partition(named["fut"], named["post"], 0, c)
+        union = frozenset().union(*blocks)
+        assert union == named["post"].sample_space(0, c)
+        assert sum(len(block) for block in blocks) == len(union)
+
+    def test_refinement_opp_in_post(self, psys, named):
+        for point in psys.system.points:
+            blocks = refinement_partition(named["opp3"], named["post"], 0, point)
+            assert frozenset().union(*blocks) == named["post"].sample_space(0, point)
+
+    def test_refinement_fails_when_not_leq(self, psys, named):
+        # post inside fut is not a refinement (fut is smaller)
+        c = psys.system.points_at_time(1)[0]
+        with pytest.raises(AssignmentError):
+            refinement_partition(named["post"], named["fut"], 0, c)
+
+
+class TestProposition5:
+    def test_conditioning_identity_fut_under_post(self, psys, named):
+        lower = ProbabilityAssignment(named["fut"])
+        higher = ProbabilityAssignment(named["post"])
+        assert conditioning_identity_everywhere(lower, higher)
+
+    def test_conditioning_identity_opp_under_post(self, psys, named):
+        lower = ProbabilityAssignment(named["opp3"])
+        higher = ProbabilityAssignment(named["post"])
+        assert conditioning_identity_everywhere(lower, higher)
+
+    def test_pointwise_values(self, coin, psys, named):
+        # mu_fut derived by conditioning mu_post on Pref_ic.
+        lower = ProbabilityAssignment(named["fut"])
+        higher = ProbabilityAssignment(named["post"])
+        c = psys.system.points_at_time(1)[0]
+        assert conditioning_identity_holds(lower, higher, 0, c)
+        small = named["fut"].sample_space(0, c)
+        conditioned = higher.space(0, c).condition(small)
+        for atom in lower.space(0, c).atoms:
+            assert conditioned.measure(atom) == lower.space(0, c).measure(atom)
+
+
+class TestFactories:
+    def test_standard_assignments_names(self, psys):
+        named = standard_assignments(psys)
+        assert set(named) == {"post", "fut", "prior"}
+        assert all(isinstance(pa, ProbabilityAssignment) for pa in named.values())
+
+    def test_opponent_assignment_factory(self, psys):
+        pa = opponent_assignment(psys, 2)
+        assert pa.ssa.opponent == 2
+
+
+class TestPaperValues:
+    def test_coin_probabilities(self, coin, psys):
+        heads = coin.heads
+        named = standard_assignments(psys)
+        time1 = psys.system.points_at_time(1)
+        c = time1[0]
+        assert named["post"].probability(0, c, heads) == Fraction(1, 2)
+        fut_values = sorted(named["fut"].probability(0, p, heads) for p in time1)
+        assert fut_values == [Fraction(0), Fraction(1)]
+        assert named["prior"].probability(0, c, heads) == Fraction(1, 2)
+
+    def test_knowledge_against_each_opponent(self, coin, psys):
+        heads = coin.heads
+        c = psys.system.points_at_time(1)[0]
+        against_p2 = opponent_assignment(psys, 1)
+        against_p3 = opponent_assignment(psys, 2)
+        half = Fraction(1, 2)
+        assert against_p2.knows_probability_at_least(0, c, heads, half)
+        assert not against_p3.knows_probability_at_least(0, c, heads, half)

@@ -1,0 +1,110 @@
+"""Freund's two-aces puzzle (Appendix B.1)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.examples_lib import (
+    HANDS,
+    ask_then_ask,
+    posterior_after,
+    reveal_hearts_bias,
+    reveal_random,
+)
+
+
+@pytest.fixture(scope="module")
+def protocol1():
+    return ask_then_ask()
+
+
+@pytest.fixture(scope="module")
+def protocol2():
+    return reveal_random()
+
+
+@pytest.fixture(scope="module")
+def protocol3():
+    return reveal_hearts_bias()
+
+
+class TestDeck:
+    def test_six_hands(self):
+        assert len(HANDS) == 6
+
+    def test_prior_probabilities(self, protocol1):
+        # Pr(A)=1/6, Pr(B)=5/6, Pr(C)=Pr(D)=1/2 at the dealt-but-silent stage
+        assert posterior_after(protocol1, ("dealt",), protocol1.both_aces) == Fraction(1, 6)
+        assert posterior_after(protocol1, ("dealt",), protocol1.at_least_one_ace) == Fraction(5, 6)
+        assert posterior_after(protocol1, ("dealt",), protocol1.has_ace_of_spades) == Fraction(1, 2)
+        assert posterior_after(protocol1, ("dealt",), protocol1.has_ace_of_hearts) == Fraction(1, 2)
+
+
+class TestProtocol1AskThenAsk:
+    def test_after_yes_ace(self, protocol1):
+        assert posterior_after(protocol1, ("yes-ace",), protocol1.both_aces) == Fraction(1, 5)
+
+    def test_after_yes_spades(self, protocol1):
+        assert posterior_after(
+            protocol1, ("yes-spades",), protocol1.both_aces
+        ) == Fraction(1, 3)
+
+    def test_after_no_spades_drops_to_zero(self, protocol1):
+        assert posterior_after(
+            protocol1, ("yes-ace", "no-spades"), protocol1.both_aces
+        ) == Fraction(0)
+
+
+class TestProtocol2RevealRandom:
+    def test_after_yes_ace(self, protocol2):
+        assert posterior_after(protocol2, ("yes-ace",), protocol2.both_aces) == Fraction(1, 5)
+
+    def test_suit_reveals_nothing(self, protocol2):
+        # Shafer's point: under the random tie-break, hearing the suit
+        # leaves the probability at 1/5.
+        assert posterior_after(
+            protocol2, ("say-spades",), protocol2.both_aces
+        ) == Fraction(1, 5)
+        assert posterior_after(
+            protocol2, ("say-hearts",), protocol2.both_aces
+        ) == Fraction(1, 5)
+
+    def test_suit_confirms_that_ace(self, protocol2):
+        assert posterior_after(
+            protocol2, ("say-spades",), protocol2.has_ace_of_spades
+        ) == Fraction(1)
+
+
+class TestProtocol3HeartsBias:
+    def test_spades_announcement_kills_both_aces(self, protocol3):
+        # footnote 20: with the hearts-biased tie-break, saying "spades"
+        # means the hand is exactly {AS} + a deuce.
+        assert posterior_after(
+            protocol3, ("say-spades",), protocol3.both_aces
+        ) == Fraction(0)
+
+    def test_hearts_announcement_raises_both_aces(self, protocol3):
+        # hands announcing hearts: {AH,2S}, {AH,2H}, {AS,AH} -> 1/3
+        assert posterior_after(
+            protocol3, ("say-hearts",), protocol3.both_aces
+        ) == Fraction(1, 3)
+
+
+class TestCrossProtocol:
+    def test_protocol_dependence_is_the_whole_point(self, protocol1, protocol2, protocol3):
+        values = {
+            "ask": posterior_after(protocol1, ("yes-spades",), protocol1.both_aces),
+            "random": posterior_after(protocol2, ("say-spades",), protocol2.both_aces),
+            "biased": posterior_after(protocol3, ("say-spades",), protocol3.both_aces),
+        }
+        assert values == {
+            "ask": Fraction(1, 3),
+            "random": Fraction(1, 5),
+            "biased": Fraction(0),
+        }
+
+    def test_first_announcement_agrees_across_protocols(
+        self, protocol1, protocol2, protocol3
+    ):
+        for example in (protocol1, protocol2, protocol3):
+            assert posterior_after(example, ("yes-ace",), example.both_aces) == Fraction(1, 5)

@@ -1,0 +1,79 @@
+"""The 0.99-coin example: P_pts versus Fischer-Zuck P_state (Section 7)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import PostAssignment, ProbabilityAssignment
+from repro.examples_lib import biased_async_system, pts_versus_state_intervals
+
+
+@pytest.fixture(scope="module")
+def example():
+    return biased_async_system()
+
+
+class TestSystemShape:
+    def test_two_runs_four_points(self, example):
+        assert len(example.psys.system.runs) == 2
+        assert len(example.psys.system.points) == 4
+
+    def test_three_nodes(self, example):
+        (tree,) = example.psys.trees
+        assert len(tree.nodes) == 3  # R, H, T
+
+    def test_p2_distinguishes_only_h1(self, example):
+        system = example.psys.system
+        h1 = next(
+            point
+            for point in system.points
+            if point.time == 1 and example.heads.holds_at(point)
+        )
+        assert system.knowledge_set(1, h1) == frozenset({h1})
+        others = frozenset(system.points) - {h1}
+        for point in others:
+            assert system.knowledge_set(1, point) == others
+
+    def test_asynchronous(self, example):
+        assert not example.psys.system.is_synchronous()
+
+
+class TestPaperIntervals:
+    def test_pts_gives_sharp_099(self, example):
+        pts, _ = pts_versus_state_intervals(example)
+        assert pts == (Fraction(99, 100), Fraction(99, 100))
+
+    def test_state_gives_0_to_099(self, example):
+        _, state = pts_versus_state_intervals(example)
+        assert state == (Fraction(0), Fraction(99, 100))
+
+    def test_pts_equals_post_interval(self, example):
+        # Proposition 10 instantiated on this example
+        post = ProbabilityAssignment(PostAssignment(example.psys))
+        anchor = example.time0_points[0]
+        assert post.knowledge_interval(1, anchor, example.heads) == (
+            Fraction(99, 100),
+            Fraction(99, 100),
+        )
+
+    def test_custom_bias(self):
+        example = biased_async_system(Fraction(3, 4))
+        pts, state = pts_versus_state_intervals(example)
+        assert pts == (Fraction(3, 4), Fraction(3, 4))
+        assert state == (Fraction(0), Fraction(3, 4))
+
+
+class TestWhyStateDiffers:
+    def test_the_t_cut_is_the_culprit(self, example):
+        # the {T} state-cut excludes the h run entirely: heads has
+        # probability 0 there, which pts cuts (one point per run) never do.
+        from repro.core import PostAssignment, cut_probability_interval, enumerate_state_cuts
+
+        post = PostAssignment(example.psys)
+        anchor = example.time0_points[0]
+        region = post.sample_space(1, anchor)
+        values = {
+            cut_probability_interval(example.psys, anchor, cut, example.heads)[0]
+            for cut in enumerate_state_cuts(region)
+        }
+        assert Fraction(0) in values

@@ -1,0 +1,133 @@
+"""The coin examples: single, three-agent, repeated asynchronous."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import (
+    ProbabilityAssignment,
+    PostAssignment,
+    opponent_assignment,
+    standard_assignments,
+)
+from repro.examples_lib import (
+    repeated_coin_system,
+    single_coin_system,
+    three_agent_coin_system,
+)
+
+
+class TestSingleCoin:
+    def test_two_runs_half_each(self):
+        example = single_coin_system()
+        (adversary,) = example.psys.adversaries
+        tree = example.psys.tree(adversary)
+        assert len(tree.runs) == 2
+        assert all(tree.run_probability(run) == Fraction(1, 2) for run in tree.runs)
+
+    def test_heads_fact(self):
+        example = single_coin_system()
+        time1 = example.psys.system.points_at_time(1)
+        assert sum(example.heads.holds_at(point) for point in time1) == 1
+
+
+class TestThreeAgentCoin:
+    @pytest.fixture(scope="class")
+    def example(self):
+        return three_agent_coin_system()
+
+    def test_synchronous(self, example):
+        assert example.psys.system.is_synchronous()
+
+    def test_paper_probabilities(self, example):
+        from repro.core import Fact
+
+        named = standard_assignments(example.psys)
+        time1 = example.psys.system.points_at_time(1)
+        c = time1[0]
+        # before the toss everyone assigns 1/2 to "the coin will land heads"
+        # (the run-level fact; the state fact "p3 saw heads" is false at 0)
+        will_heads = Fact.about_run(
+            lambda run: run.states[-1].local_states[2][0] == "saw-heads"
+        )
+        c0 = example.psys.system.points_at_time(0)[0]
+        for name in ("post", "fut", "prior"):
+            assert named[name].probability(0, c0, will_heads) == Fraction(1, 2)
+        # after: post says 1/2; fut says 0-or-1
+        assert named["post"].probability(0, c, example.heads) == Fraction(1, 2)
+        assert sorted(
+            named["fut"].probability(0, point, example.heads) for point in time1
+        ) == [Fraction(0), Fraction(1)]
+
+    def test_betting_readings(self, example):
+        c = example.psys.system.points_at_time(1)[0]
+        half = Fraction(1, 2)
+        assert opponent_assignment(example.psys, 1).knows_probability_at_least(
+            0, c, example.heads, half
+        )
+        assert not opponent_assignment(example.psys, 2).knows_probability_at_least(
+            0, c, example.heads, half
+        )
+
+    def test_tosser_knows_from_time1(self, example):
+        time1 = example.psys.system.points_at_time(1)
+        for point in time1:
+            expected = example.heads.holds_at(point)
+            assert example.psys.system.knows(2, point, example.heads) == expected
+
+    def test_biased_variant(self):
+        example = three_agent_coin_system(Fraction(2, 3))
+        post = standard_assignments(example.psys)["post"]
+        c = example.psys.system.points_at_time(1)[0]
+        assert post.probability(0, c, example.heads) == Fraction(2, 3)
+
+
+class TestRepeatedCoin:
+    @pytest.fixture(scope="class")
+    def example(self):
+        return repeated_coin_system(4)
+
+    def test_shape(self, example):
+        (adversary,) = example.psys.adversaries
+        tree = example.psys.tree(adversary)
+        assert len(tree.runs) == 16
+        assert tree.depth() == 4
+
+    def test_asynchronous(self, example):
+        assert not example.psys.system.is_synchronous()
+
+    def test_p1_considers_everything_possible(self, example):
+        point = example.psys.system.points[0]
+        assert example.psys.system.knowledge_set(0, point) == frozenset(
+            example.psys.system.points
+        )
+
+    def test_paper_inner_outer(self, example):
+        # over post-toss points: [2**-n, 1 - 2**-n]
+        pa = ProbabilityAssignment(example.post_toss_assignment())
+        anchor = next(iter(example.post_toss_points))
+        interval = pa.probability_interval(0, anchor, example.most_recent_heads)
+        assert interval == (Fraction(1, 16), Fraction(15, 16))
+
+    def test_root_inclusive_inner_is_zero(self, example):
+        # with the pre-toss root in the sample space the inner measure drops
+        # to 0 (the paper glosses this point; see EXPERIMENTS.md)
+        post = ProbabilityAssignment(PostAssignment(example.psys))
+        anchor = example.psys.system.points[0]
+        inner, outer = post.probability_interval(0, anchor, example.most_recent_heads)
+        assert inner == Fraction(0)
+        assert outer == Fraction(15, 16)
+
+    def test_clocked_opponent_restores_half(self, example):
+        # against p2 (who knows the time), every post-toss space gives 1/2
+        against_p2 = opponent_assignment(example.psys, 1)
+        values = {
+            against_p2.probability(0, point, example.most_recent_heads)
+            for point in example.post_toss_points
+        }
+        assert values == {Fraction(1, 2)}
+
+    def test_fact_not_measurable_for_p1(self, example):
+        post = ProbabilityAssignment(PostAssignment(example.psys))
+        anchor = example.psys.system.points[0]
+        assert not post.is_measurable_at(0, anchor, example.most_recent_heads)

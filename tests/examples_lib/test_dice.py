@@ -1,0 +1,92 @@
+"""The die example of Section 5."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import OpponentAssignment, ProbabilityAssignment
+from repro.examples_lib import die_assignments, die_system
+
+
+@pytest.fixture(scope="module")
+def system_and_fact():
+    return die_system()
+
+
+@pytest.fixture(scope="module")
+def assignments(system_and_fact):
+    psys, _ = system_and_fact
+    return die_assignments(psys)
+
+
+class TestSystem:
+    def test_six_runs(self, system_and_fact):
+        psys, _ = system_and_fact
+        assert len(psys.system.runs) == 6
+
+    def test_even_fact_extension(self, system_and_fact, assignments):
+        _, even = system_and_fact
+        evens = [point for point in assignments.time2_points if even.holds_at(point)]
+        assert len(evens) == 3
+
+    def test_synchronous(self, system_and_fact):
+        psys, _ = system_and_fact
+        assert psys.system.is_synchronous()
+
+
+class TestWholeSpace:
+    def test_even_has_probability_half(self, system_and_fact, assignments):
+        _, even = system_and_fact
+        whole = ProbabilityAssignment(assignments.whole)
+        for point in assignments.time2_points:
+            assert whole.probability(1, point, even) == Fraction(1, 2)
+
+    def test_p2_knows_half(self, system_and_fact, assignments):
+        _, even = system_and_fact
+        whole = ProbabilityAssignment(assignments.whole)
+        c = assignments.time2_points[0]
+        assert whole.knows_probability_interval(1, c, even, "1/2", "1/2")
+
+
+class TestSplitSpace:
+    def test_even_is_third_or_two_thirds(self, system_and_fact, assignments):
+        _, even = system_and_fact
+        split = ProbabilityAssignment(assignments.split)
+        values = {
+            split.probability(1, point, even) for point in assignments.time2_points
+        }
+        assert values == {Fraction(1, 3), Fraction(2, 3)}
+
+    def test_p2_knowledge_interval_widens(self, system_and_fact, assignments):
+        # subdividing makes p2's knowledge strictly less precise (Theorem 9)
+        _, even = system_and_fact
+        whole = ProbabilityAssignment(assignments.whole)
+        split = ProbabilityAssignment(assignments.split)
+        c = assignments.time2_points[0]
+        assert whole.knowledge_interval(1, c, even) == (Fraction(1, 2), Fraction(1, 2))
+        assert split.knowledge_interval(1, c, even) == (Fraction(1, 3), Fraction(2, 3))
+
+    def test_split_is_below_whole_in_lattice(self, assignments):
+        assert assignments.split.leq(assignments.whole)
+        assert not assignments.whole.leq(assignments.split)
+
+
+class TestBettingReading:
+    def test_split_is_opponent_assignment_for_p3(self, system_and_fact, assignments):
+        # the split corresponds to betting against the agent who saw the half
+        psys, _ = system_and_fact
+        against_p3 = OpponentAssignment(psys, 2)
+        for point in assignments.time2_points:
+            assert against_p3.sample_space(1, point) == assignments.split.sample_space(
+                1, point
+            )
+
+    def test_whole_is_post_for_p2(self, system_and_fact, assignments):
+        from repro.core import PostAssignment
+
+        psys, _ = system_and_fact
+        post = PostAssignment(psys)
+        for point in assignments.time2_points:
+            assert post.sample_space(1, point) == assignments.whole.sample_space(
+                1, point
+            )

@@ -1,0 +1,93 @@
+"""The Vardi input-coin example and footnote 5."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import check_req1, standard_assignments
+from repro.errors import Req1Error
+from repro.examples_lib import footnote5_demonstration, input_coin_system
+
+
+@pytest.fixture(scope="module")
+def example():
+    return input_coin_system()
+
+
+class TestSystemShape:
+    def test_two_trees_four_runs(self, example):
+        assert len(example.psys.trees) == 2
+        assert len(example.psys.system.runs) == 4
+
+    def test_p2_knowledge_spans_trees(self, example):
+        point = example.psys.system.points_at_time(1)[0]
+        knowledge = example.psys.system.knowledge_set(1, point)
+        adversaries = {example.psys.adversary_of(candidate) for candidate in knowledge}
+        assert adversaries == {"bit=0", "bit=1"}
+
+    def test_req1_forbids_full_knowledge_sample(self, example):
+        from repro.core import check_req1
+
+        point = example.psys.system.points_at_time(1)[0]
+        knowledge = example.psys.system.knowledge_set(1, point)
+        with pytest.raises(Req1Error):
+            check_req1(example.psys, point, knowledge)
+
+
+class TestConditionalProbabilities:
+    def test_per_tree_heads_probability(self, example):
+        post = standard_assignments(example.psys)["post"]
+        values = {
+            example.psys.adversary_of(point): post.probability(1, point, example.heads)
+            for point in example.psys.system.points_at_time(1)
+        }
+        assert values == {"bit=0": Fraction(1, 2), "bit=1": Fraction(2, 3)}
+
+    def test_p1_knows_outcome(self, example):
+        post = standard_assignments(example.psys)["post"]
+        for point in example.psys.system.points_at_time(1):
+            value = post.probability(0, point, example.heads)
+            assert value in (Fraction(0), Fraction(1))
+
+    def test_no_unconditional_probability(self, example):
+        # the system deliberately provides no distribution across trees:
+        # the two trees' run spaces are separate probability spaces.
+        first, second = example.psys.trees
+        assert set(first.run_space().outcomes).isdisjoint(second.run_space().outcomes)
+
+    def test_custom_bias(self):
+        example = input_coin_system(Fraction(3, 4))
+        post = standard_assignments(example.psys)["post"]
+        biased_points = [
+            point
+            for point in example.psys.system.points_at_time(1)
+            if example.psys.adversary_of(point) == "bit=1"
+        ]
+        assert post.probability(1, biased_points[0], example.heads) == Fraction(3, 4)
+
+
+class TestFootnote5:
+    def test_action_event_not_measurable(self):
+        report = footnote5_demonstration()
+        assert not report.action_measurable_before
+
+    def test_bit_events_not_measurable_in_natural_algebra(self):
+        report = footnote5_demonstration()
+        assert not report.bit_events_measurable_before
+
+    def test_closure_forces_bit_events_measurable(self):
+        # adding the action event makes the nondeterministic input
+        # measurable -- the footnote's contradiction.
+        report = footnote5_demonstration()
+        assert report.bit_events_measurable_after
+
+    def test_closure_is_full_powerset(self):
+        report = footnote5_demonstration()
+        assert report.closure_size_after == 16
+
+    def test_natural_space_gives_heads_half(self):
+        report = footnote5_demonstration()
+        heads = frozenset({(1, "h"), (0, "h")})
+        assert report.space.measure(heads) == Fraction(1, 2)
+        inner, outer = report.space.measure_interval(report.action_event)
+        assert (inner, outer) == (Fraction(0), Fraction(1))

@@ -1,0 +1,175 @@
+"""The quadratic-residuosity interactive proof (Section 9's application)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.examples_lib import (
+    acceptance_probability,
+    completeness,
+    qr_proof_system,
+    quadratic_residues,
+    soundness_error,
+    square_roots,
+    units,
+    verifier_cannot_identify_witness,
+    verifier_view_distribution,
+    witness_indistinguishable,
+)
+
+
+class TestNumberTheory:
+    def test_units_of_15(self):
+        assert units(15) == (1, 2, 4, 7, 8, 11, 13, 14)
+
+    def test_quadratic_residues_of_15(self):
+        assert quadratic_residues(15) == frozenset({1, 4})
+
+    def test_square_roots_of_4(self):
+        assert square_roots(4, 15) == (2, 7, 8, 13)
+
+    def test_roots_actually_square(self):
+        for n in (15, 21):
+            for x in quadratic_residues(n):
+                for w in square_roots(x, n):
+                    assert pow(w, 2, n) == x
+
+
+@pytest.fixture(scope="module")
+def proof():
+    return qr_proof_system(rounds=1)
+
+
+@pytest.fixture(scope="module")
+def proof2():
+    return qr_proof_system(rounds=2, randomness=(1, 14))
+
+
+class TestStructure:
+    def test_three_adversaries(self, proof):
+        assert len(proof.honest_adversaries) == 2
+        assert len(proof.cheating_adversaries) == 1
+
+    def test_residue_validation(self):
+        with pytest.raises(SimulationError):
+            qr_proof_system(residue=2)  # 2 is a non-residue mod 15
+
+    def test_non_residue_validation(self):
+        with pytest.raises(SimulationError):
+            qr_proof_system(non_residue=4)
+
+    def test_randomness_must_be_negation_closed(self):
+        with pytest.raises(SimulationError):
+            qr_proof_system(randomness=(1, 2))
+
+
+class TestCompleteness:
+    def test_honest_always_accepted(self, proof):
+        assert completeness(proof)
+
+    def test_per_adversary_probability_one(self, proof):
+        for adversary in proof.honest_adversaries:
+            assert acceptance_probability(proof, adversary) == 1
+
+    def test_two_rounds(self, proof2):
+        assert completeness(proof2)
+
+
+class TestSoundness:
+    def test_one_round_half(self, proof):
+        assert soundness_error(proof) == Fraction(1, 2)
+
+    def test_two_rounds_quarter(self, proof2):
+        assert soundness_error(proof2) == Fraction(1, 4)
+
+    def test_rounds_compound(self):
+        three = qr_proof_system(rounds=3, randomness=(1, 14))
+        assert soundness_error(three) == Fraction(1, 8)
+
+    def test_other_modulus(self):
+        proof21 = qr_proof_system(modulus=21, rounds=1, randomness=(1, 20))
+        assert completeness(proof21)
+        assert soundness_error(proof21) == Fraction(1, 2)
+
+
+class TestZeroKnowledge:
+    def test_views_identically_distributed(self, proof):
+        assert witness_indistinguishable(proof)
+
+    def test_view_distribution_sums_to_one(self, proof):
+        for adversary in proof.honest_adversaries:
+            distribution = verifier_view_distribution(proof, adversary)
+            assert sum(distribution.values()) == 1
+
+    def test_knowledge_reading(self, proof):
+        # at every point the verifier considers the other witness possible
+        assert verifier_cannot_identify_witness(proof)
+
+    def test_verifier_distinguishes_honest_from_caught_cheater(self, proof):
+        # after a rejected round, the verifier knows it is not in an honest
+        # tree (honest provers never fail)
+        system = proof.psys.system
+        (cheat,) = proof.cheating_adversaries
+        rejected = [
+            point
+            for point in proof.psys.points_of_tree(cheat)
+            if point.time >= 1 and not proof.accepted.holds_at(point)
+        ]
+        assert rejected
+        for point in rejected[:4]:
+            knowledge = system.knowledge_set(0, point)
+            adversaries = {proof.psys.adversary_of(candidate) for candidate in knowledge}
+            assert adversaries == {cheat}
+
+    def test_accepting_verifier_still_uncertain(self, proof):
+        # an accepting transcript is consistent with both honest trees AND
+        # with a lucky cheater: soundness is only probabilistic
+        system = proof.psys.system
+        accepting = [
+            point
+            for point in proof.psys.points_of_tree(proof.honest_adversaries[0])
+            if point.time == proof.rounds and proof.accepted.holds_at(point)
+        ]
+        point = accepting[0]
+        adversaries = {
+            proof.psys.adversary_of(candidate)
+            for candidate in system.knowledge_set(0, point)
+        }
+        assert set(proof.honest_adversaries) <= adversaries
+        assert set(proof.cheating_adversaries) <= adversaries
+
+
+class TestZeroKnowledgeSimulator:
+    def test_simulator_matches_real_view(self, proof):
+        from repro.examples_lib import (
+            simulated_view_distribution,
+            verifier_view_distribution,
+            zero_knowledge,
+        )
+
+        assert zero_knowledge(proof)
+        real = verifier_view_distribution(proof, proof.honest_adversaries[0])
+        simulated = simulated_view_distribution(proof)
+        assert sum(simulated.values()) == 1
+        assert real == simulated
+
+    def test_two_round_simulation(self):
+        from repro.examples_lib import zero_knowledge
+
+        assert zero_knowledge(qr_proof_system(rounds=2))
+
+    def test_restricted_coins_guarded(self):
+        from repro.examples_lib import zero_knowledge
+
+        restricted = qr_proof_system(rounds=1, randomness=(1, 14))
+        with pytest.raises(SimulationError):
+            zero_knowledge(restricted)
+
+    def test_simulator_never_uses_a_root(self, proof):
+        # the simulator's support only contains valid ("ok") transcripts,
+        # yet it was built from z and b alone -- no square root involved.
+        from repro.examples_lib import simulated_view_distribution
+
+        for view in simulated_view_distribution(proof):
+            assert all(entry[3] == "ok" for entry in view)

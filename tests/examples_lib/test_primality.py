@@ -1,0 +1,117 @@
+"""Primality testing: the algorithms and the Section 3 systems reading."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.examples_lib import (
+    is_prime,
+    jacobi_symbol,
+    miller_rabin_witness,
+    per_input_correctness,
+    primality_probability_is_degenerate,
+    primality_system,
+    probable_prime,
+    solovay_strassen_witness,
+    witness_density,
+)
+
+PRIMES = [3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67]
+ODD_COMPOSITES = [9, 15, 21, 25, 27, 33, 35, 39, 45, 49, 51, 55, 57, 63, 65]
+
+
+class TestGroundTruth:
+    def test_is_prime_small(self):
+        assert [n for n in range(2, 70) if is_prime(n)] == [2] + PRIMES
+
+    def test_is_prime_edge_cases(self):
+        assert not is_prime(0) and not is_prime(1) and not is_prime(-7)
+        assert is_prime(2)
+
+
+class TestMillerRabin:
+    @pytest.mark.parametrize("n", PRIMES)
+    def test_no_witness_for_primes(self, n):
+        assert all(not miller_rabin_witness(n, a) for a in range(1, n))
+
+    @pytest.mark.parametrize("n", ODD_COMPOSITES)
+    def test_witness_density_at_least_three_quarters(self, n):
+        assert witness_density(n, miller_rabin_witness) >= Fraction(3, 4)
+
+    def test_even_composites_always_witnessed(self):
+        assert miller_rabin_witness(10, 3)
+
+    def test_probable_prime_with_good_bases(self):
+        assert probable_prime(97, [2, 3, 5])
+        assert not probable_prime(91, [2, 3, 5])
+
+    def test_carmichael_number_still_caught(self):
+        # 561 = 3 * 11 * 17 fools the Fermat test but not Miller-Rabin
+        assert witness_density(561, miller_rabin_witness) >= Fraction(3, 4)
+
+
+class TestSolovayStrassen:
+    @pytest.mark.parametrize("n", PRIMES)
+    def test_no_witness_for_primes(self, n):
+        assert all(not solovay_strassen_witness(n, a) for a in range(1, n))
+
+    @pytest.mark.parametrize("n", ODD_COMPOSITES)
+    def test_witness_density_at_least_half(self, n):
+        assert witness_density(n, solovay_strassen_witness) >= Fraction(1, 2)
+
+    def test_jacobi_basics(self):
+        assert jacobi_symbol(1, 3) == 1
+        assert jacobi_symbol(2, 3) == -1
+        assert jacobi_symbol(3, 9) == 0
+        assert jacobi_symbol(1001, 9907) == -1  # known table value
+
+    def test_jacobi_multiplicativity(self):
+        n = 15
+        for a in range(1, 15):
+            for b in range(1, 15):
+                assert jacobi_symbol(a * b, n) == jacobi_symbol(a, n) * jacobi_symbol(
+                    b, n
+                )
+
+    def test_jacobi_requires_odd(self):
+        with pytest.raises(ValueError):
+            jacobi_symbol(3, 10)
+
+
+class TestSystemsReading:
+    @pytest.fixture(scope="class")
+    def example(self):
+        return primality_system([13, 15, 21], rounds=1)
+
+    def test_one_tree_per_input(self, example):
+        assert len(example.psys.trees) == 3
+
+    def test_per_input_correctness(self, example):
+        correctness = per_input_correctness(example)
+        assert correctness[13] == 1  # primes are never misjudged
+        assert correctness[15] == witness_density(15, miller_rabin_witness)
+        assert correctness[21] == witness_density(21, miller_rabin_witness)
+
+    def test_two_rounds_square_the_error(self):
+        one = primality_system([9], rounds=1)
+        two = primality_system([9], rounds=2)
+        error_one = 1 - per_input_correctness(one)[9]
+        error_two = 1 - per_input_correctness(two)[9]
+        assert error_two == error_one**2
+
+    def test_error_bound(self, example):
+        for n, probability in per_input_correctness(example).items():
+            assert probability >= Fraction(3, 4)
+
+    def test_prime_probability_is_degenerate(self, example):
+        # "n is prime with high probability" makes no sense: 0 or 1 per tree
+        assert primality_probability_is_degenerate(example)
+
+    def test_solovay_strassen_system(self):
+        example = primality_system([15], rounds=1, witness=solovay_strassen_witness)
+        correctness = per_input_correctness(example)
+        assert correctness[15] == witness_density(15, solovay_strassen_witness)
+
+    def test_witness_density_input_validation(self):
+        with pytest.raises(ValueError):
+            witness_density(2, miller_rabin_witness)

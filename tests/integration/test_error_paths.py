@@ -1,0 +1,173 @@
+"""Failure injection: every guard in the stack fires with a precise error.
+
+These tests feed deliberately malformed inputs through the public API and
+check that the error hierarchy in :mod:`repro.errors` catches them at the
+right layer -- probability first, then model, trees, assignments, logic,
+betting, simulation.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro import errors
+from repro.core import (
+    ExplicitAssignment,
+    Fact,
+    GlobalState,
+    Point,
+    ProbabilityAssignment,
+    Run,
+    System,
+    check_req1,
+    check_req2,
+    induced_point_space,
+)
+from repro.examples_lib import three_agent_coin_system
+from repro.logic import Model, parse
+from repro.probability import FiniteProbabilitySpace
+from repro.testing import random_psys, two_agent_coin_psys
+from repro.trees import ComputationTree, build_tree
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        roots = [
+            errors.ProbabilityError,
+            errors.ModelError,
+            errors.TreeError,
+            errors.AssignmentError,
+            errors.LogicError,
+            errors.BettingError,
+            errors.SimulationError,
+        ]
+        for root in roots:
+            assert issubclass(root, errors.ReproError)
+
+    def test_specific_errors_parent_classes(self):
+        assert issubclass(errors.NotMeasurableError, errors.ProbabilityError)
+        assert issubclass(errors.TechnicalAssumptionError, errors.TreeError)
+        assert issubclass(errors.Req1Error, errors.AssignmentError)
+        assert issubclass(errors.Req2Error, errors.AssignmentError)
+        assert issubclass(errors.ParseError, errors.LogicError)
+        assert issubclass(errors.SynchronyError, errors.ModelError)
+
+
+class TestProbabilityLayer:
+    def test_broad_catch_works(self):
+        with pytest.raises(errors.ReproError):
+            FiniteProbabilitySpace.from_point_masses({"a": Fraction(1, 3)})
+
+    def test_measure_of_split_atom(self):
+        space = FiniteProbabilitySpace.from_atoms(
+            [{1, 2}], [Fraction(1)]
+        )
+        with pytest.raises(errors.NotMeasurableError):
+            space.measure({1})
+
+
+class TestModelLayer:
+    def test_point_on_mixed_system(self):
+        first = two_agent_coin_psys()
+        with pytest.raises(errors.ModelError):
+            System(list(first.system.runs) + [Run((GlobalState("e", ("a",)),))])
+
+
+class TestTreeLayer:
+    def test_cross_tree_sample_rejected_at_req1(self):
+        psys = random_psys(seed=1, num_trees=2, depth=1)
+        first, second = psys.trees
+        point = first.points[0]
+        with pytest.raises(errors.Req1Error):
+            check_req1(psys, point, {first.points[0], second.points[0]})
+
+    def test_induced_space_propagates_req_errors(self):
+        psys = two_agent_coin_psys()
+        point = psys.system.points[0]
+        with pytest.raises(errors.Req2Error):
+            induced_point_space(psys, point, frozenset())
+
+    def test_non_halting_step_function(self):
+        def forever(time, locals_, extra):
+            return ((Fraction(1), "tick", ("s",), None),)
+
+        with pytest.raises(errors.TreeError):
+            build_tree("A", ("s",), forever, max_depth=3)
+
+
+class TestAssignmentLayer:
+    def test_bad_explicit_assignment_fails_on_use(self):
+        psys = two_agent_coin_psys()
+        time0 = psys.system.points_at_time(0)[0]
+        time1 = psys.system.points_at_time(1)[0]
+        # a sample space mixing a foreign point: REQ1 violation surfaces
+        # when the induced space is requested
+        foreign_psys = random_psys(seed=2, depth=1)
+        foreign = foreign_psys.system.points[0]
+        bad = ExplicitAssignment(psys, {(0, time1): frozenset({time1, foreign})})
+        pa = ProbabilityAssignment(bad)
+        with pytest.raises(errors.Req1Error):
+            pa.space(0, time1)
+
+    def test_nonmeasurable_probability_guides_to_bounds(self):
+        from repro.core import PostAssignment
+        from repro.examples_lib import repeated_coin_system
+
+        example = repeated_coin_system(2)
+        post = ProbabilityAssignment(PostAssignment(example.psys))
+        point = example.psys.system.points[0]
+        with pytest.raises(errors.NotMeasurableError) as excinfo:
+            post.probability(0, point, example.most_recent_heads)
+        assert "inner_probability" in str(excinfo.value)
+
+
+class TestLogicLayer:
+    def test_parse_error_offsets(self):
+        with pytest.raises(errors.ParseError):
+            parse("K0 & heads")
+
+    def test_unknown_proposition(self):
+        example = three_agent_coin_system()
+        from repro.core import standard_assignments
+
+        model = Model(standard_assignments(example.psys)["post"], {})
+        with pytest.raises(errors.LogicError):
+            model.valid(parse("ghost"))
+
+
+class TestBettingLayer:
+    def test_rule_alpha_validation(self):
+        from repro.betting import BettingRule
+
+        example = three_agent_coin_system()
+        with pytest.raises(errors.BettingError):
+            BettingRule(example.heads, Fraction(2))
+
+    def test_strategy_enumeration_limit(self):
+        from repro.betting import enumerate_strategies
+
+        with pytest.raises(errors.BettingError):
+            list(enumerate_strategies(0, list(range(10)), [2, 3, 4], limit=10))
+
+
+class TestSimulationLayer:
+    def test_channel_blowup_guard(self):
+        from repro.systems import LossyChannel, Message
+
+        channel = LossyChannel(Fraction(1, 2), max_messages=2)
+        sent = tuple(Message(0, 1, f"m{i}") for i in range(3))
+        with pytest.raises(errors.SimulationError):
+            channel.deliveries(sent, 0)
+
+    def test_agent_probability_leak(self):
+        from repro.systems import Agent, SyncProtocol, act, run_protocol
+
+        class Leaky(Agent):
+            def initial_state(self, input_value):
+                return "s"
+
+            def step(self, state, inbox, round_number):
+                return [(Fraction(1, 2), act("s"))]
+
+        with pytest.raises(errors.SimulationError):
+            run_protocol(SyncProtocol(agents=[Leaky()], horizon=1), [None])

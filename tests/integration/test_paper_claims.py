@@ -1,0 +1,171 @@
+"""End-to-end verification of every headline claim of the paper.
+
+One test per claim, each exercising the full stack: simulator/builder ->
+trees -> assignments -> logic/betting.  These are the same computations the
+benchmark harness prints as tables (see EXPERIMENTS.md).
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.attack import (
+    b_conditional_confidence,
+    build_ca1,
+    build_ca2,
+    build_never_attack,
+    proposition11_table,
+    run_level_probability,
+)
+from repro.betting import (
+    build_embedded_system,
+    constant_strategy,
+    theorem8_witness,
+    theorem9_witness,
+    verify_proposition6,
+    verify_theorem7,
+    verify_theorem11,
+    verify_theorem9_part_a,
+)
+from repro.core import (
+    PostAssignment,
+    ProbabilityAssignment,
+    opponent_assignment,
+    standard_assignments,
+    verify_proposition10,
+)
+from repro.examples_lib import (
+    ask_then_ask,
+    biased_async_system,
+    input_coin_system,
+    posterior_after,
+    pts_versus_state_intervals,
+    repeated_coin_system,
+    reveal_random,
+    three_agent_coin_system,
+)
+from repro.logic import Model, parse
+
+
+class TestIntroductionCoin:
+    """The time-0/time-1 betting story of the introduction."""
+
+    def test_full_story(self):
+        example = three_agent_coin_system()
+        psys = example.psys
+        named = standard_assignments(psys)
+        model = Model(named["post"], {"heads": example.heads})
+        c = psys.system.points_at_time(1)[0]
+        # post: p1 knows the probability is exactly 1/2
+        assert model.holds(parse("K0^[1/2,1/2] heads"), c)
+        # fut: p1 knows it is 0 or 1 but not which
+        fut = model.with_assignment(named["fut"])
+        assert fut.holds(parse("K0 ((Pr0(heads) >= 1) | (Pr0(heads) <= 0))"), c)
+        assert not fut.holds(parse("K0 (Pr0(heads) >= 1)"), c)
+        assert not fut.holds(parse("K0^1/2 heads"), c)
+        # betting: accept from p2, refuse from p3
+        assert opponent_assignment(psys, 1).knows_probability_at_least(
+            0, c, example.heads, Fraction(1, 2)
+        )
+        assert not opponent_assignment(psys, 2).knows_probability_at_least(
+            0, c, example.heads, Fraction(1, 2)
+        )
+
+
+class TestSection3:
+    def test_vardi_example(self):
+        example = input_coin_system()
+        post = standard_assignments(example.psys)["post"]
+        per_tree = {
+            example.psys.adversary_of(point): post.probability(1, point, example.heads)
+            for point in example.psys.system.points_at_time(1)
+        }
+        assert per_tree == {"bit=0": Fraction(1, 2), "bit=1": Fraction(2, 3)}
+
+
+class TestSection6Theorems:
+    @pytest.fixture(scope="class")
+    def coin(self):
+        return three_agent_coin_system()
+
+    def test_theorem7_both_opponents(self, coin):
+        for opponent in (1, 2):
+            assert verify_theorem7(coin.psys, 0, opponent, coin.heads).holds
+
+    def test_proposition6(self, coin):
+        assert verify_proposition6(coin.psys, 0, 2, coin.heads).holds
+
+    def test_theorem8_witness_exists(self, coin):
+        witness = theorem8_witness(
+            coin.psys, lambda psys: PostAssignment(psys), agent=0, opponent=2
+        )
+        assert witness is not None and witness.expected_loss < 0
+
+    def test_theorem9_chain(self, coin):
+        named = standard_assignments(coin.psys)
+        report = verify_theorem9_part_a(
+            named["fut"], named["post"], [coin.heads, ~coin.heads]
+        )
+        assert report.holds
+        assert theorem9_witness(named["fut"], named["post"]) is not None
+
+
+class TestSection7:
+    def test_ten_toss_bounds(self):
+        example = repeated_coin_system(10)
+        pa = ProbabilityAssignment(example.post_toss_assignment())
+        anchor = next(iter(example.post_toss_points))
+        assert pa.probability_interval(0, anchor, example.most_recent_heads) == (
+            Fraction(1, 1024),
+            Fraction(1023, 1024),
+        )
+
+    def test_ten_toss_clocked_opponent(self):
+        example = repeated_coin_system(10)
+        against_p2 = opponent_assignment(example.psys, 1)
+        anchor = next(iter(example.post_toss_points))
+        assert against_p2.probability(
+            0, anchor, example.most_recent_heads
+        ) == Fraction(1, 2)
+
+    def test_proposition10(self):
+        example = biased_async_system()
+        post = ProbabilityAssignment(PostAssignment(example.psys))
+        assert verify_proposition10(example.psys, post, 1, example.heads)
+
+    def test_fischer_zuck_comparison(self):
+        pts, state = pts_versus_state_intervals(biased_async_system())
+        assert pts == (Fraction(99, 100), Fraction(99, 100))
+        assert state == (Fraction(0), Fraction(99, 100))
+
+
+class TestSection8:
+    def test_proposition11_matrix(self):
+        rows = proposition11_table(
+            [build_ca1(), build_ca2(), build_never_attack()], Fraction(99, 100)
+        )
+        matrix = {row.protocol: (row.prior, row.post, row.fut) for row in rows}
+        assert matrix == {
+            "CA1": (True, False, False),
+            "CA2": (True, True, False),
+            "CA0": (True, True, True),
+        }
+
+    def test_paper_numbers(self):
+        ca1 = build_ca1()
+        assert run_level_probability(ca1) == Fraction(2047, 2048)
+        assert b_conditional_confidence(build_ca2()) == Fraction(1024, 1025)
+
+
+class TestAppendixB:
+    def test_two_aces(self):
+        protocol1 = ask_then_ask()
+        protocol2 = reveal_random()
+        assert posterior_after(protocol1, ("yes-ace",), protocol1.both_aces) == Fraction(1, 5)
+        assert posterior_after(protocol1, ("yes-spades",), protocol1.both_aces) == Fraction(1, 3)
+        assert posterior_after(protocol2, ("say-spades",), protocol2.both_aces) == Fraction(1, 5)
+
+    def test_theorem11(self):
+        coin = three_agent_coin_system()
+        embedded = build_embedded_system(coin.psys, 0, 2, [constant_strategy(2, 2)])
+        assert verify_theorem11(embedded, coin.heads).holds

@@ -1,0 +1,166 @@
+"""Property-based verification of the core results on random systems.
+
+Hypothesis draws seeds and observability profiles; the deterministic
+generator in :mod:`repro.testing` turns them into small probabilistic
+systems; the paper's invariants must hold on every one.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FutureAssignment,
+    OpponentAssignment,
+    PostAssignment,
+    PriorAssignment,
+    ProbabilityAssignment,
+    check_req2,
+    conditioning_identity_everywhere,
+    refinement_partition,
+)
+from repro.testing import parity_fact, random_psys
+
+SLOW = settings(
+    max_examples=12, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+seeds = st.integers(0, 200)
+# "parity" observers can repeat a local state at different times, which
+# breaks HV89-synchrony; only clock/full profiles are synchronous.
+sync_profiles = st.sampled_from(
+    [("clock", "full"), ("full", "clock"), ("clock", "clock"), ("full", "full")]
+)
+any_profiles = st.sampled_from(
+    [
+        ("clock", "full"),
+        ("blind", "clock"),
+        ("parity", "clock"),
+        ("blind", "full"),
+    ]
+)
+
+
+def build(seed, profile, trees=1, depth=2):
+    return random_psys(
+        seed, num_trees=trees, depth=depth, observability=profile
+    )
+
+
+@SLOW
+@given(seeds, any_profiles)
+def test_standard_assignments_satisfy_requirements(seed, profile):
+    psys = build(seed, profile)
+    for ssa in (PostAssignment(psys), FutureAssignment(psys), PriorAssignment(psys)):
+        for agent in psys.system.agents:
+            for point in psys.system.points:
+                assert check_req2(psys, point, ssa.sample_space(agent, point)) > 0
+
+
+@SLOW
+@given(seeds, any_profiles)
+def test_named_assignments_are_standard(seed, profile):
+    psys = build(seed, profile)
+    for ssa in (
+        PostAssignment(psys),
+        FutureAssignment(psys),
+        OpponentAssignment(psys, 1),
+        PriorAssignment(psys),
+    ):
+        assert ssa.is_standard()
+
+
+@SLOW
+@given(seeds, any_profiles)
+def test_lattice_chain(seed, profile):
+    psys = build(seed, profile)
+    fut = FutureAssignment(psys)
+    opp = OpponentAssignment(psys, 1)
+    post = PostAssignment(psys)
+    assert fut.leq(opp)
+    assert opp.leq(post)
+
+
+@SLOW
+@given(seeds, sync_profiles)
+def test_proposition4_refinement(seed, profile):
+    psys = build(seed, profile)
+    fut = FutureAssignment(psys)
+    post = PostAssignment(psys)
+    for agent in psys.system.agents:
+        for point in psys.system.points:
+            blocks = refinement_partition(fut, post, agent, point)
+            assert frozenset().union(*blocks) == post.sample_space(agent, point)
+
+
+@SLOW
+@given(seeds, sync_profiles)
+def test_proposition5_conditioning(seed, profile):
+    psys = build(seed, profile)
+    lower = ProbabilityAssignment(FutureAssignment(psys))
+    higher = ProbabilityAssignment(PostAssignment(psys))
+    assert conditioning_identity_everywhere(lower, higher)
+
+
+@SLOW
+@given(seeds, sync_profiles)
+def test_consistency_axiom(seed, profile):
+    # K_i phi implies Pr_i(phi) = 1 under any consistent assignment
+    psys = build(seed, profile)
+    post = ProbabilityAssignment(PostAssignment(psys))
+    fact = parity_fact()
+    for agent in psys.system.agents:
+        for point in psys.system.points:
+            if psys.system.knows(agent, point, fact):
+                assert post.inner_probability(agent, point, fact) == 1
+
+
+@SLOW
+@given(seeds, sync_profiles)
+def test_theorem9_monotone_intervals(seed, profile):
+    psys = build(seed, profile)
+    lower = ProbabilityAssignment(FutureAssignment(psys))
+    higher = ProbabilityAssignment(PostAssignment(psys))
+    fact = parity_fact()
+    for agent in psys.system.agents:
+        for point in psys.system.points:
+            low_lo, low_hi = lower.knowledge_interval(agent, point, fact)
+            high_lo, high_hi = higher.knowledge_interval(agent, point, fact)
+            assert low_lo <= high_lo <= high_hi <= low_hi
+
+
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seeds)
+def test_theorem7_on_random_synchronous_systems(seed):
+    from repro.betting import verify_theorem7
+
+    psys = build(seed, ("clock", "full"))
+    report = verify_theorem7(psys, 0, 1, parity_fact())
+    assert report.holds, report.details
+
+
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seeds)
+def test_inner_outer_bracket_every_assignment(seed):
+    # inner <= outer at every site, for every standard assignment
+    psys = build(seed, ("blind", "clock"))
+    fact = parity_fact()
+    for ssa in (PostAssignment(psys), PriorAssignment(psys)):
+        pa = ProbabilityAssignment(ssa)
+        for agent in psys.system.agents:
+            for point in psys.system.points:
+                inner, outer = pa.probability_interval(agent, point, fact)
+                assert 0 <= inner <= outer <= 1
+
+
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seeds)
+def test_proposition10_on_random_async_systems(seed):
+    """P_post and P_pts agree on K^[a,b] for randomly generated async systems."""
+    from repro.core import verify_proposition10
+
+    psys = build(seed, ("blind", "clock"), depth=2)
+    post = ProbabilityAssignment(PostAssignment(psys))
+    assert verify_proposition10(psys, post, 0, parity_fact(), enumeration_limit=500)

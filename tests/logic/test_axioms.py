@@ -1,0 +1,110 @@
+"""The executable axiom system for knowledge and probability."""
+
+import pytest
+
+from repro.core import standard_assignments
+from repro.examples_lib import three_agent_coin_system
+from repro.logic import (
+    Model,
+    Prop,
+    check_consistency_axiom,
+    check_distribution,
+    check_monotonicity,
+    check_negative_introspection,
+    check_positive_introspection,
+    check_probability_bounds,
+    check_superadditivity,
+    check_veridicality,
+    full_audit,
+)
+
+AGENTS = (0, 1, 2)
+
+
+@pytest.fixture(scope="module")
+def coin():
+    return three_agent_coin_system()
+
+
+@pytest.fixture(scope="module")
+def post_model(coin):
+    named = standard_assignments(coin.psys)
+    return Model(named["post"], {"heads": coin.heads})
+
+
+@pytest.fixture(scope="module")
+def prior_model(coin):
+    named = standard_assignments(coin.psys)
+    return Model(named["prior"], {"heads": coin.heads})
+
+
+@pytest.fixture(scope="module")
+def formulas():
+    heads = Prop("heads")
+    return [heads, ~heads, heads & ~heads, heads | ~heads]
+
+
+class TestS5:
+    def test_distribution(self, post_model, formulas):
+        report = check_distribution(post_model, AGENTS, formulas)
+        assert report.valid and report.instances == len(AGENTS) * len(formulas) ** 2
+
+    def test_veridicality(self, post_model, formulas):
+        assert check_veridicality(post_model, AGENTS, formulas).valid
+
+    def test_positive_introspection(self, post_model, formulas):
+        assert check_positive_introspection(post_model, AGENTS, formulas).valid
+
+    def test_negative_introspection(self, post_model, formulas):
+        assert check_negative_introspection(post_model, AGENTS, formulas).valid
+
+
+class TestProbabilityAxioms:
+    def test_bounds(self, post_model, formulas):
+        assert check_probability_bounds(post_model, AGENTS, formulas).valid
+
+    def test_monotonicity(self, post_model, formulas):
+        report = check_monotonicity(post_model, AGENTS, formulas)
+        assert report.valid
+        assert report.instances > 0  # some valid implications were found
+
+    def test_superadditivity(self, post_model, formulas):
+        report = check_superadditivity(post_model, AGENTS, formulas)
+        assert report.valid and report.instances > 0
+
+    def test_superadditivity_on_async_model(self, formulas):
+        # superadditivity of inner measures survives non-measurability
+        from repro.core import PostAssignment, ProbabilityAssignment
+        from repro.examples_lib import repeated_coin_system
+
+        example = repeated_coin_system(2)
+        post = ProbabilityAssignment(PostAssignment(example.psys))
+        model = Model(post, {"heads": example.most_recent_heads})
+        heads = Prop("heads")
+        report = check_superadditivity(model, (0,), [heads, ~heads])
+        assert report.valid
+
+
+class TestConsistencyAxiom:
+    def test_holds_for_post(self, post_model, formulas):
+        assert check_consistency_axiom(post_model, AGENTS, formulas).valid
+
+    def test_fails_for_prior(self, prior_model, formulas):
+        # p3 knows the outcome while P_prior still spreads probability:
+        # the consistency axiom fails, certifying P_prior inconsistent.
+        report = check_consistency_axiom(prior_model, AGENTS, formulas)
+        assert not report.valid
+        assert report.failures
+
+
+class TestAudit:
+    def test_full_audit_post(self, post_model, formulas):
+        reports = full_audit(post_model, AGENTS, formulas)
+        assert all(report.valid for report in reports)
+
+    def test_full_audit_prior_fails_only_consistency(self, prior_model, formulas):
+        reports = full_audit(prior_model, AGENTS, formulas)
+        verdicts = {report.name: report.valid for report in reports}
+        assert not verdicts["CONS"]
+        del verdicts["CONS"]
+        assert all(verdicts.values())

@@ -1,0 +1,86 @@
+"""Bounded language generation and extension closures."""
+
+import pytest
+
+from repro.core import standard_assignments
+from repro.logic import (
+    And,
+    Knows,
+    Next,
+    Not,
+    PrAtLeast,
+    Prop,
+    Until,
+    boolean_closure_extensions,
+    formula_depth,
+    generate_language,
+    state_generated_valuation,
+)
+from repro.testing import two_agent_coin_psys
+
+
+class TestGenerateLanguage:
+    def test_depth_zero_is_primitives(self):
+        formulas = generate_language(["p", "q"], depth=0)
+        assert formulas == [Prop("p"), Prop("q")]
+
+    def test_depth_one_contains_all_unary(self):
+        formulas = set(generate_language(["p"], depth=1, agents=[0], alphas=["1/2"]))
+        assert Not(Prop("p")) in formulas
+        assert Knows(0, Prop("p")) in formulas
+        assert Next(Prop("p")) in formulas
+        assert And(Prop("p"), Prop("p")) in formulas
+        assert Until(Prop("p"), Prop("p")) in formulas
+        assert any(isinstance(formula, PrAtLeast) for formula in formulas)
+
+    def test_no_temporal_flag(self):
+        formulas = generate_language(["p"], depth=2, include_temporal=False)
+        assert not any(
+            isinstance(formula, (Next, Until))
+            for formula in formulas
+        )
+
+    def test_deduplication(self):
+        formulas = generate_language(["p"], depth=3)
+        assert len(formulas) == len(set(formulas))
+
+    def test_cap_respected(self):
+        formulas = generate_language(
+            ["p", "q", "r"], depth=4, agents=[0, 1], alphas=["1/3", "2/3"], max_formulas=50
+        )
+        assert len(formulas) == 50
+
+    def test_depth_bound(self):
+        formulas = generate_language(["p"], depth=2, include_temporal=False)
+        assert max(formula_depth(formula) for formula in formulas) <= 2
+
+
+class TestStateGeneratedValuation:
+    def test_covers_all_states(self):
+        psys = two_agent_coin_psys()
+        valuation = state_generated_valuation(psys.system)
+        states = {point.global_state for point in psys.system.points}
+        assert len(valuation) == len(states)
+
+    def test_measurable_under_post(self):
+        psys = two_agent_coin_psys()
+        post = standard_assignments(psys)["post"]
+        valuation = state_generated_valuation(psys.system)
+        for fact in valuation.values():
+            assert post.is_measurable(fact)
+
+
+class TestBooleanClosureExtensions:
+    def test_contains_complements_and_meets(self):
+        universe = frozenset(range(6))
+        base = [frozenset({0, 1, 2}), frozenset({2, 3})]
+        closed = boolean_closure_extensions(base, universe)
+        closed_set = set(closed)
+        assert universe - frozenset({0, 1, 2}) in closed_set
+        assert frozenset({2}) in closed_set
+
+    def test_cap(self):
+        universe = frozenset(range(10))
+        base = [frozenset({i}) for i in range(10)]
+        closed = boolean_closure_extensions(base, universe, cap=20)
+        assert len(closed) <= 20

@@ -1,0 +1,143 @@
+"""Property-based semantic laws of L(Phi) over random formulas (hypothesis)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import standard_assignments
+from repro.examples_lib import three_agent_coin_system
+from repro.logic import (
+    And,
+    Iff,
+    Implies,
+    Knows,
+    Model,
+    Next,
+    Not,
+    Or,
+    PrAtLeast,
+    Prop,
+    Until,
+    eventually,
+    henceforth,
+)
+from repro.testing import parity_fact, random_psys
+
+SLOW = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    psys = random_psys(seed=77, depth=3, observability=("parity", "full"))
+    post = standard_assignments(psys)["post"]
+    return Model(post, {"even": parity_fact(), "first": _first_fact()})
+
+
+def _first_fact():
+    from repro.testing import history_fact
+
+    return history_fact(lambda history: bool(history) and history[0] == 0, "first")
+
+
+def formulas():
+    leaves = st.sampled_from([Prop("even"), Prop("first")])
+    return st.recursive(
+        leaves,
+        lambda children: st.one_of(
+            children.map(Not),
+            children.map(Next),
+            st.tuples(children, children).map(lambda pair: And(*pair)),
+            st.tuples(children, children).map(lambda pair: Or(*pair)),
+            st.tuples(children, children).map(lambda pair: Until(*pair)),
+            children.map(lambda sub: Knows(0, sub)),
+            children.map(lambda sub: Knows(1, sub)),
+            children.map(lambda sub: PrAtLeast(0, sub, Fraction(1, 2))),
+        ),
+        max_leaves=6,
+    )
+
+
+@SLOW
+@given(formulas())
+def test_double_negation(model, formula):
+    assert model.extension(Not(Not(formula))) == model.extension(formula)
+
+
+@SLOW
+@given(formulas(), formulas())
+def test_de_morgan(model, left, right):
+    assert model.extension(Not(And(left, right))) == model.extension(
+        Or(Not(left), Not(right))
+    )
+
+
+@SLOW
+@given(formulas(), formulas())
+def test_knowledge_distributes_over_conjunction(model, left, right):
+    assert model.extension(Knows(0, And(left, right))) == model.extension(
+        And(Knows(0, left), Knows(0, right))
+    )
+
+
+@SLOW
+@given(formulas())
+def test_s5_theorems(model, formula):
+    assert model.valid(Implies(Knows(0, formula), formula))
+    assert model.valid(Implies(Knows(0, formula), Knows(0, Knows(0, formula))))
+    assert model.valid(
+        Implies(Not(Knows(0, formula)), Knows(0, Not(Knows(0, formula))))
+    )
+
+
+@SLOW
+@given(formulas())
+def test_eventually_globally_duality(model, formula):
+    assert model.extension(eventually(formula)) == model.extension(
+        Not(henceforth(Not(formula)))
+    )
+
+
+@SLOW
+@given(formulas(), formulas())
+def test_until_implies_eventually(model, left, right):
+    until = model.extension(Until(left, right))
+    finally_right = model.extension(eventually(right))
+    assert until <= finally_right
+
+
+@SLOW
+@given(formulas())
+def test_next_globally_commute(model, formula):
+    # X G phi == G phi restricted appropriately: at least X G -> G X
+    left = model.extension(Next(henceforth(formula)))
+    right = model.extension(henceforth(Next(formula)))
+    assert left == right
+
+
+@SLOW
+@given(formulas())
+def test_probability_monotone_in_threshold(model, formula):
+    higher = model.extension(PrAtLeast(0, formula, Fraction(2, 3)))
+    lower = model.extension(PrAtLeast(0, formula, Fraction(1, 3)))
+    assert higher <= lower
+
+
+@SLOW
+@given(formulas())
+def test_knowledge_implies_certainty(model, formula):
+    # consistency of the post assignment, over random formulas
+    assert model.valid(
+        Implies(Knows(0, formula), PrAtLeast(0, formula, Fraction(1)))
+    )
+
+
+@SLOW
+@given(formulas(), formulas())
+def test_iff_is_two_implications(model, left, right):
+    assert model.extension(Iff(left, right)) == model.extension(
+        And(Implies(left, right), Implies(right, left))
+    )

@@ -1,0 +1,148 @@
+"""Concrete-syntax parser for L(Phi)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ParseError
+from repro.logic import (
+    FALSE,
+    TRUE,
+    And,
+    CommonKnows,
+    CommonKnowsProb,
+    EveryoneKnows,
+    EveryoneKnowsProb,
+    Iff,
+    Implies,
+    Knows,
+    Next,
+    Not,
+    Or,
+    PrAtLeast,
+    PrAtMost,
+    Prop,
+    Until,
+    knows_prob_at_least,
+    knows_prob_interval,
+    parse,
+)
+
+
+class TestAtoms:
+    def test_proposition(self):
+        assert parse("heads") == Prop("heads")
+
+    def test_constants(self):
+        assert parse("true") == TRUE
+        assert parse("false") == FALSE
+
+    def test_parentheses(self):
+        assert parse("(heads)") == Prop("heads")
+
+
+class TestBoolean:
+    def test_negation(self):
+        assert parse("!p") == Not(Prop("p"))
+
+    def test_and_or_precedence(self):
+        assert parse("p & q | r") == Or(And(Prop("p"), Prop("q")), Prop("r"))
+
+    def test_implies_right_assoc(self):
+        assert parse("p -> q -> r") == Implies(
+            Prop("p"), Implies(Prop("q"), Prop("r"))
+        )
+
+    def test_iff(self):
+        assert parse("p <-> q") == Iff(Prop("p"), Prop("q"))
+
+    def test_double_negation(self):
+        assert parse("!!p") == Not(Not(Prop("p")))
+
+
+class TestModal:
+    def test_knows(self):
+        assert parse("K0 p") == Knows(0, Prop("p"))
+
+    def test_knows_binds_tight(self):
+        assert parse("K1 p & q") == And(Knows(1, Prop("p")), Prop("q"))
+
+    def test_knows_prob_superscript(self):
+        assert parse("K0^1/2 p") == knows_prob_at_least(0, "1/2", Prop("p"))
+
+    def test_knows_prob_decimal(self):
+        assert parse("K2^0.99 p") == knows_prob_at_least(2, "0.99", Prop("p"))
+
+    def test_knows_interval(self):
+        assert parse("K0^[1/3,2/3] p") == knows_prob_interval(
+            0, "1/3", "2/3", Prop("p")
+        )
+
+    def test_pr_at_least(self):
+        assert parse("Pr0(p) >= 1/2") == PrAtLeast(0, Prop("p"), Fraction(1, 2))
+
+    def test_pr_at_most(self):
+        assert parse("Pr1(p) <= 0.25") == PrAtMost(1, Prop("p"), Fraction(1, 4))
+
+    def test_pr_of_compound(self):
+        formula = parse("Pr0(p & q) >= 1")
+        assert formula == PrAtLeast(0, And(Prop("p"), Prop("q")), Fraction(1))
+
+    def test_nested_knowledge(self):
+        assert parse("K0 K1 p") == Knows(0, Knows(1, Prop("p")))
+
+
+class TestGroup:
+    def test_everyone(self):
+        assert parse("E{0,1} p") == EveryoneKnows((0, 1), Prop("p"))
+
+    def test_common(self):
+        assert parse("C{0,1} p") == CommonKnows((0, 1), Prop("p"))
+
+    def test_everyone_prob(self):
+        assert parse("E{0,1}^0.99 p") == EveryoneKnowsProb((0, 1), "0.99", Prop("p"))
+
+    def test_common_prob(self):
+        assert parse("C{0,1}^99/100 p") == CommonKnowsProb(
+            (0, 1), Fraction(99, 100), Prop("p")
+        )
+
+
+class TestTemporal:
+    def test_next(self):
+        assert parse("X p") == Next(Prop("p"))
+
+    def test_until_right_assoc(self):
+        assert parse("p U q U r") == Until(Prop("p"), Until(Prop("q"), Prop("r")))
+
+    def test_eventually_globally(self):
+        assert parse("F p") == parse("true U p")
+        assert parse("G p") == Not(parse("true U !p"))
+
+    def test_temporal_in_boolean(self):
+        assert parse("X p & q") == And(Next(Prop("p")), Prop("q"))
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "p &",
+            "(p",
+            "p)",
+            "Pr0(p) >",
+            "Pr0(p) >= ",
+            "K p",
+            "E{0,1 p",
+            "p ? q",
+            "Pr0 p >= 1/2",
+        ],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(ParseError):
+            parse(bad)
+
+    def test_pr_requires_comparison(self):
+        with pytest.raises(ParseError):
+            parse("Pr0(p) = 1/2")

@@ -1,0 +1,173 @@
+"""The model checker: boolean, knowledge, probability, temporal cases."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import Fact, opponent_assignment, standard_assignments
+from repro.errors import LogicError
+from repro.examples_lib import three_agent_coin_system
+from repro.logic import Model, parse
+from repro.testing import parity_fact, random_psys
+
+
+@pytest.fixture(scope="module")
+def coin():
+    return three_agent_coin_system()
+
+
+@pytest.fixture(scope="module")
+def model(coin):
+    post = standard_assignments(coin.psys)["post"]
+    return Model(post, {"heads": coin.heads})
+
+
+@pytest.fixture(scope="module")
+def c1(coin):
+    return coin.psys.system.points_at_time(1)[0]
+
+
+class TestBoolean:
+    def test_proposition(self, model, coin):
+        assert model.extension(parse("heads")) == coin.heads.points(coin.psys.system)
+
+    def test_unknown_proposition_raises(self, model, c1):
+        with pytest.raises(LogicError):
+            model.holds(parse("mystery"), c1)
+
+    def test_constants(self, model):
+        assert model.valid(parse("true"))
+        assert model.extension(parse("false")) == frozenset()
+
+    def test_negation_partition(self, model):
+        points = frozenset(model.system.points)
+        assert model.extension(parse("heads")) | model.extension(
+            parse("!heads")
+        ) == points
+        assert not model.extension(parse("heads")) & model.extension(parse("!heads"))
+
+    def test_tautologies(self, model):
+        for text in (
+            "heads | !heads",
+            "heads -> heads",
+            "heads <-> heads",
+            "!(heads & !heads)",
+        ):
+            assert model.valid(parse(text)), text
+
+    def test_iff_matches_pointwise(self, model):
+        left = model.extension(parse("heads"))
+        evaluated = model.extension(parse("heads <-> true"))
+        assert evaluated == left
+
+
+class TestKnowledge:
+    def test_tosser_knows_outcome(self, model, coin):
+        heads_points_t1 = [
+            point
+            for point in coin.psys.system.points_at_time(1)
+            if coin.heads.holds_at(point)
+        ]
+        for point in heads_points_t1:
+            assert model.holds(parse("K2 heads"), point)
+            assert not model.holds(parse("K0 heads"), point)
+
+    def test_knowledge_veridical(self, model):
+        # K_i phi -> phi holds at every point (S5 property of the semantics)
+        assert model.valid(parse("K0 heads -> heads"))
+        assert model.valid(parse("K2 heads -> heads"))
+
+    def test_positive_introspection(self, model):
+        assert model.valid(parse("K2 heads -> K2 K2 heads"))
+
+    def test_everyone_knows(self, model):
+        # E{0,1,2} heads fails (p1, p2 never learn)
+        assert model.extension(parse("E{0,1,2} heads")) == frozenset()
+
+    def test_common_knowledge_of_tautology(self, model):
+        assert model.valid(parse("C{0,1,2} (heads | !heads)"))
+
+
+class TestProbability:
+    def test_pr_at_least_post(self, model, c1):
+        assert model.holds(parse("Pr0(heads) >= 1/2"), c1)
+        assert not model.holds(parse("Pr0(heads) >= 2/3"), c1)
+
+    def test_pr_at_most(self, model, c1):
+        assert model.holds(parse("Pr0(heads) <= 1/2"), c1)
+        assert not model.holds(parse("Pr0(heads) <= 1/3"), c1)
+
+    def test_k_alpha_sugar(self, model, c1):
+        assert model.holds(parse("K0^1/2 heads"), c1)
+        assert not model.holds(parse("K0^2/3 heads"), c1)
+
+    def test_interval_operator(self, model, c1):
+        assert model.holds(parse("K0^[1/2,1/2] heads"), c1)
+        assert not model.holds(parse("K0^[2/3,1] heads"), c1)
+
+    def test_consistency_axiom(self, model):
+        # K_i phi => Pr_i(phi) = 1 for the consistent post assignment
+        assert model.valid(parse("K2 heads -> Pr2(heads) >= 1"))
+
+    def test_fut_assignment_swaps_in(self, coin, model, c1):
+        fut_model = model.with_assignment(standard_assignments(coin.psys)["fut"])
+        assert fut_model.holds(
+            parse("K0 ((Pr0(heads) >= 1) | (Pr0(heads) <= 0))"), c1
+        )
+        assert not fut_model.holds(parse("K0^1/2 heads"), c1)
+
+    def test_opponent_assignment(self, coin, model, c1):
+        against_p3 = model.with_assignment(opponent_assignment(coin.psys, 2))
+        assert not against_p3.holds(parse("K0^1/2 heads"), c1)
+
+
+class TestTemporal:
+    @pytest.fixture(scope="class")
+    def temporal_model(self):
+        psys = random_psys(seed=8, num_trees=1, depth=3, observability=("full", "clock"))
+        post = standard_assignments(psys)["post"]
+        return Model(post, {"even": parity_fact()})
+
+    def test_next(self, temporal_model):
+        model = temporal_model
+        for point in model.system.points:
+            expected = model.holds(parse("even"), point.successor())
+            assert model.holds(parse("X even"), point) == expected
+
+    def test_next_stutters_at_horizon(self, temporal_model):
+        model = temporal_model
+        for run in model.system.runs:
+            last = list(run.points())[-1]
+            assert model.holds(parse("X even"), last) == model.holds(
+                parse("even"), last
+            )
+
+    def test_until_unfolding(self, temporal_model):
+        # p U q  <->  q | (p & X(p U q)) within the horizon
+        model = temporal_model
+        lhs = model.extension(parse("even U !even"))
+        rhs = model.extension(parse("!even | (even & X (even U !even))"))
+        # the unfolding can differ at final points where X stutters; check
+        # the inclusion that always holds and equality off the horizon
+        for point in model.system.points:
+            if point.time < point.run.horizon - 1:
+                assert (point in lhs) == (point in rhs)
+
+    def test_eventually_and_globally(self, temporal_model):
+        model = temporal_model
+        always = model.extension(parse("G even"))
+        eventually_not = model.extension(parse("F !even"))
+        assert always == frozenset(model.system.points) - eventually_not
+
+    def test_globally_implies_now(self, temporal_model):
+        assert temporal_model.valid(parse("G even -> even"))
+
+    def test_eventually_true_now(self, temporal_model):
+        assert temporal_model.valid(parse("even -> F even"))
+
+
+class TestFactBridge:
+    def test_fact_of(self, model):
+        fact = model.fact_of(parse("K2 heads"))
+        assert isinstance(fact, Fact)
+        assert fact.points(model.system) == model.extension(parse("K2 heads"))

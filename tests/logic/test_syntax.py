@@ -1,0 +1,101 @@
+"""Formula AST: constructors, sugar, traversal."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.logic import (
+    FALSE,
+    TRUE,
+    And,
+    CommonKnows,
+    EveryoneKnowsProb,
+    Iff,
+    Implies,
+    Knows,
+    Next,
+    Not,
+    Or,
+    PrAtLeast,
+    PrAtMost,
+    Prop,
+    Until,
+    certainty,
+    eventually,
+    formula_depth,
+    henceforth,
+    knows_prob_at_least,
+    knows_prob_interval,
+    subformulas,
+)
+
+
+class TestConstruction:
+    def test_operators_build_ast(self):
+        p, q = Prop("p"), Prop("q")
+        assert isinstance(p & q, And)
+        assert isinstance(p | q, Or)
+        assert isinstance(~p, Not)
+        assert isinstance(p >> q, Implies)
+
+    def test_formulas_hashable_and_equal(self):
+        assert Prop("p") == Prop("p")
+        assert hash(Knows(0, Prop("p"))) == hash(Knows(0, Prop("p")))
+        assert Knows(0, Prop("p")) != Knows(1, Prop("p"))
+
+    def test_pr_at_least_coerces_alpha(self):
+        formula = PrAtLeast(0, Prop("p"), "2/3")
+        assert formula.alpha == Fraction(2, 3)
+
+    def test_group_operators_normalise_group(self):
+        formula = EveryoneKnowsProb([0, 1], "1/2", Prop("p"))
+        assert formula.group == (0, 1)
+        assert formula.alpha == Fraction(1, 2)
+
+    def test_str_round_trippable_tokens(self):
+        formula = Knows(0, PrAtLeast(1, Prop("heads"), Fraction(1, 2)))
+        text = str(formula)
+        assert "K0" in text and "Pr1" in text and "1/2" in text
+
+
+class TestSugar:
+    def test_eventually_is_until(self):
+        formula = eventually(Prop("p"))
+        assert isinstance(formula, Until)
+        assert formula.left == TRUE
+
+    def test_henceforth_is_negated_eventually(self):
+        formula = henceforth(Prop("p"))
+        assert isinstance(formula, Not)
+
+    def test_knows_prob_at_least_shape(self):
+        formula = knows_prob_at_least(2, "1/2", Prop("p"))
+        assert isinstance(formula, Knows)
+        assert isinstance(formula.sub, PrAtLeast)
+        assert formula.sub.agent == 2
+
+    def test_knows_prob_interval_shape(self):
+        formula = knows_prob_interval(1, "1/3", "2/3", Prop("p"))
+        assert isinstance(formula.sub, And)
+        assert isinstance(formula.sub.left, PrAtLeast)
+        assert isinstance(formula.sub.right, PrAtMost)
+        assert formula.sub.right.beta == Fraction(2, 3)
+
+    def test_certainty(self):
+        formula = certainty(0, Prop("p"))
+        assert formula.alpha == 1
+
+
+class TestTraversal:
+    def test_subformulas_preorder(self):
+        formula = And(Prop("p"), Not(Prop("q")))
+        nodes = list(subformulas(formula))
+        assert nodes[0] is formula
+        assert Prop("p") in nodes and Prop("q") in nodes
+        assert len(nodes) == 4
+
+    def test_depth(self):
+        assert formula_depth(Prop("p")) == 0
+        assert formula_depth(Not(Prop("p"))) == 1
+        assert formula_depth(And(Not(Prop("p")), Prop("q"))) == 2
+        assert formula_depth(Knows(0, Next(Prop("p")))) == 2

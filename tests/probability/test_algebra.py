@@ -1,0 +1,128 @@
+"""Sigma-algebra utilities: atoms, closures, refinements."""
+
+import pytest
+
+from repro.errors import NotAPartitionError
+from repro.probability import (
+    atoms_from_generators,
+    atoms_of_explicit_algebra,
+    check_partition,
+    common_refinement,
+    explicit_closure,
+    is_partition,
+    restrict_partition,
+)
+
+SPACE = ["a", "b", "c", "d"]
+
+
+class TestIsPartition:
+    def test_valid(self):
+        assert is_partition(SPACE, [frozenset("ab"), frozenset("cd")])
+
+    def test_overlap_rejected(self):
+        assert not is_partition(SPACE, [frozenset("ab"), frozenset("bc")])
+
+    def test_missing_coverage_rejected(self):
+        assert not is_partition(SPACE, [frozenset("ab")])
+
+    def test_empty_atom_rejected(self):
+        assert not is_partition(SPACE, [frozenset(), frozenset("abcd")])
+
+    def test_escaping_atom_rejected(self):
+        assert not is_partition(SPACE, [frozenset("abcd"), frozenset("e")])
+
+
+class TestCheckPartition:
+    def test_normalises_deterministically(self):
+        first = check_partition(SPACE, [frozenset("cd"), frozenset("ab")])
+        second = check_partition(SPACE, [frozenset("ab"), frozenset("cd")])
+        assert first == second
+
+    def test_raises_on_gap(self):
+        with pytest.raises(NotAPartitionError):
+            check_partition(SPACE, [frozenset("ab")])
+
+    def test_raises_on_overlap(self):
+        with pytest.raises(NotAPartitionError):
+            check_partition(SPACE, [frozenset("ab"), frozenset("bcd")])
+
+
+class TestAtomsFromGenerators:
+    def test_no_generators_single_atom(self):
+        atoms = atoms_from_generators(SPACE, [])
+        assert atoms == (frozenset(SPACE),)
+
+    def test_one_generator_two_atoms(self):
+        atoms = atoms_from_generators(SPACE, [frozenset("ab")])
+        assert set(atoms) == {frozenset("ab"), frozenset("cd")}
+
+    def test_crossing_generators_refine(self):
+        atoms = atoms_from_generators(SPACE, [frozenset("ab"), frozenset("bc")])
+        assert set(atoms) == {
+            frozenset("a"),
+            frozenset("b"),
+            frozenset("c"),
+            frozenset("d"),
+        }
+
+    def test_matches_explicit_closure(self):
+        generators = [frozenset("ab"), frozenset("ac")]
+        closure = explicit_closure(SPACE, generators)
+        assert set(atoms_of_explicit_algebra(SPACE, closure)) == set(
+            atoms_from_generators(SPACE, generators)
+        )
+
+
+class TestExplicitClosure:
+    def test_contains_space_and_empty(self):
+        closure = explicit_closure(SPACE, [frozenset("ab")])
+        assert frozenset() in closure
+        assert frozenset(SPACE) in closure
+
+    def test_closed_under_complement(self):
+        closure = explicit_closure(SPACE, [frozenset("ab"), frozenset("a")])
+        for member in closure:
+            assert frozenset(SPACE) - member in closure
+
+    def test_closed_under_union(self):
+        closure = explicit_closure(SPACE, [frozenset("a"), frozenset("b")])
+        for left in closure:
+            for right in closure:
+                assert left | right in closure
+
+    def test_powerset_when_fully_generated(self):
+        closure = explicit_closure(
+            SPACE, [frozenset("a"), frozenset("b"), frozenset("c")]
+        )
+        assert len(closure) == 16
+
+
+class TestCommonRefinement:
+    def test_refines_both(self):
+        first = [frozenset("ab"), frozenset("cd")]
+        second = [frozenset("ac"), frozenset("bd")]
+        refined = common_refinement(SPACE, first, second)
+        assert set(refined) == {
+            frozenset("a"),
+            frozenset("b"),
+            frozenset("c"),
+            frozenset("d"),
+        }
+
+    def test_identity_on_same_partition(self):
+        partition = [frozenset("ab"), frozenset("cd")]
+        assert set(common_refinement(SPACE, partition, partition)) == set(
+            frozenset(block) for block in partition
+        )
+
+
+class TestRestrictPartition:
+    def test_trace_drops_empties(self):
+        atoms = [frozenset("ab"), frozenset("cd")]
+        assert restrict_partition(atoms, frozenset("ab")) == (frozenset("ab"),)
+
+    def test_trace_intersects(self):
+        atoms = [frozenset("ab"), frozenset("cd")]
+        restricted = restrict_partition(atoms, frozenset("ac"))
+        assert set(restricted) == {frozenset("a"), frozenset("c")}

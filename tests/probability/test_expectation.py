@@ -1,0 +1,96 @@
+"""Expectation helpers: conditioning, total expectation, B.2 attainability."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import NotMeasurableError
+from repro.probability import (
+    FiniteProbabilitySpace,
+    attainability_witnesses,
+    conditional_expectation,
+    indicator,
+    law_of_total_expectation_check,
+    scaled_indicator,
+)
+
+
+@pytest.fixture
+def die():
+    return FiniteProbabilitySpace.uniform(range(1, 7))
+
+
+@pytest.fixture
+def coarse():
+    return FiniteProbabilitySpace.from_atoms(
+        [{1, 2, 3}, {4, 5, 6}], [Fraction(1, 2), Fraction(1, 2)]
+    )
+
+
+class TestIndicator:
+    def test_indicator_values(self):
+        variable = indicator({1, 2})
+        assert variable(1) == 1
+        assert variable(3) == 0
+
+    def test_scaled_indicator(self):
+        variable = scaled_indicator({1}, "3/2", -1)
+        assert variable(1) == Fraction(3, 2)
+        assert variable(2) == Fraction(-1)
+
+    def test_expectation_of_indicator_is_measure(self, die):
+        event = {2, 4, 6}
+        assert die.expectation(indicator(event)) == die.measure(event)
+
+
+class TestConditionalExpectation:
+    def test_value(self, die):
+        value = conditional_expectation(die, lambda face: Fraction(face), {4, 5, 6})
+        assert value == Fraction(5)
+
+    def test_law_of_total_expectation(self, die):
+        assert law_of_total_expectation_check(
+            die, lambda face: Fraction(face), [{1, 2, 3}, {4, 5, 6}]
+        )
+
+    def test_law_with_zero_blocks(self):
+        space = FiniteProbabilitySpace.from_point_masses(
+            {"a": Fraction(1), "b": Fraction(0)}
+        )
+        assert law_of_total_expectation_check(
+            space, lambda outcome: Fraction(outcome == "a"), [{"a"}, {"b"}]
+        )
+
+
+class TestAttainability:
+    def test_witnesses_attain_bounds(self, coarse):
+        variable = scaled_indicator({2, 4, 6}, 2, -1)
+        inner_witness, outer_witness = attainability_witnesses(coarse, variable)
+        assert inner_witness.expectation(variable) == coarse.inner_expectation(variable)
+        assert outer_witness.expectation(variable) == coarse.outer_expectation(variable)
+
+    def test_witnesses_extend_the_space(self, coarse):
+        variable = scaled_indicator({2, 4, 6}, 2, -1)
+        inner_witness, outer_witness = attainability_witnesses(coarse, variable)
+        assert inner_witness.extends(coarse)
+        assert outer_witness.extends(coarse)
+
+    def test_constant_variable_returns_same_space(self, coarse):
+        inner_witness, outer_witness = attainability_witnesses(
+            coarse, lambda _: Fraction(1)
+        )
+        assert inner_witness is coarse
+        assert outer_witness is coarse
+
+    def test_three_valued_rejected(self, coarse):
+        with pytest.raises(NotMeasurableError):
+            attainability_witnesses(coarse, lambda outcome: Fraction(outcome % 3))
+
+    def test_bounds_bracket_every_extension(self, coarse):
+        # Any extension's exact expectation lies within [E_*, E^*].
+        variable = scaled_indicator({2, 4, 6}, 2, -1)
+        inner_witness, outer_witness = attainability_witnesses(coarse, variable)
+        low = coarse.inner_expectation(variable)
+        high = coarse.outer_expectation(variable)
+        for witness in (inner_witness, outer_witness):
+            assert low <= witness.expectation(variable) <= high

@@ -1,0 +1,70 @@
+"""Exact-arithmetic helpers."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.probability import as_fraction, check_probability, format_fraction
+
+
+class TestAsFraction:
+    def test_fraction_passthrough(self):
+        value = Fraction(2, 3)
+        assert as_fraction(value) is value
+
+    def test_int(self):
+        assert as_fraction(1) == Fraction(1)
+
+    def test_ratio_string(self):
+        assert as_fraction("2/3") == Fraction(2, 3)
+
+    def test_decimal_string(self):
+        assert as_fraction("0.99") == Fraction(99, 100)
+
+    def test_tuple(self):
+        assert as_fraction((3, 7)) == Fraction(3, 7)
+
+    def test_float_uses_decimal_repr(self):
+        # Fraction(0.99) would expose the binary float; we want 99/100.
+        assert as_fraction(0.99) == Fraction(99, 100)
+
+    def test_float_half_exact(self):
+        assert as_fraction(0.5) == Fraction(1, 2)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            as_fraction(True)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_fraction(object())
+
+
+class TestCheckProbability:
+    def test_in_range(self):
+        assert check_probability("1/2") == Fraction(1, 2)
+
+    def test_endpoints(self):
+        assert check_probability(0) == Fraction(0)
+        assert check_probability(1) == Fraction(1)
+
+    @pytest.mark.parametrize("bad", ["3/2", -1, "1.5"])
+    def test_out_of_range(self, bad):
+        with pytest.raises(ValueError):
+            check_probability(bad)
+
+
+class TestFormatFraction:
+    def test_integer(self):
+        assert format_fraction(Fraction(3)) == "3"
+
+    def test_small_denominator(self):
+        assert format_fraction(Fraction(1, 2)) == "1/2"
+
+    def test_large_denominator_exact_boundary(self):
+        assert format_fraction(Fraction(1023, 1024)) == "1023/1024"
+
+    def test_huge_denominator_falls_back_to_decimal(self):
+        text = format_fraction(Fraction(1, 2**40))
+        assert "/" not in text
+        assert text.startswith("0.0")

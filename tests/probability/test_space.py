@@ -1,0 +1,226 @@
+"""FiniteProbabilitySpace: measure, inner/outer, conditioning, expectation."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import (
+    InvalidMeasureError,
+    NotMeasurableError,
+    ZeroMeasureConditioningError,
+)
+from repro.probability import FiniteProbabilitySpace, indicator, scaled_indicator
+
+
+@pytest.fixture
+def die():
+    return FiniteProbabilitySpace.uniform(range(1, 7))
+
+
+@pytest.fixture
+def coarse():
+    """Outcomes 1..6 with atoms {1,2,3} and {4,5,6} (the die's S2 view)."""
+    return FiniteProbabilitySpace.from_atoms(
+        [{1, 2, 3}, {4, 5, 6}], [Fraction(1, 2), Fraction(1, 2)]
+    )
+
+
+class TestConstruction:
+    def test_point_masses(self):
+        space = FiniteProbabilitySpace.from_point_masses(
+            {"h": Fraction(1, 2), "t": Fraction(1, 2)}
+        )
+        assert space.has_powerset_algebra()
+        assert len(space) == 2
+
+    def test_masses_must_sum_to_one(self):
+        with pytest.raises(InvalidMeasureError):
+            FiniteProbabilitySpace.from_point_masses({"h": Fraction(1, 3)})
+
+    def test_negative_mass_rejected(self):
+        with pytest.raises(InvalidMeasureError):
+            FiniteProbabilitySpace.from_point_masses(
+                {"h": Fraction(3, 2), "t": Fraction(-1, 2)}
+            )
+
+    def test_uniform_empty_rejected(self):
+        with pytest.raises(InvalidMeasureError):
+            FiniteProbabilitySpace.uniform([])
+
+    def test_missing_atom_probability_rejected(self):
+        with pytest.raises(InvalidMeasureError):
+            FiniteProbabilitySpace([frozenset("ab")], {})
+
+    def test_from_atoms_length_mismatch(self):
+        with pytest.raises(InvalidMeasureError):
+            FiniteProbabilitySpace.from_atoms([{1}, {2}], [Fraction(1)])
+
+
+class TestMeasure:
+    def test_full_space(self, die):
+        assert die.measure(die.outcomes) == 1
+
+    def test_subset(self, die):
+        assert die.measure({2, 4, 6}) == Fraction(1, 2)
+
+    def test_empty(self, die):
+        assert die.measure(frozenset()) == 0
+
+    def test_escaping_event_rejected(self, die):
+        with pytest.raises(NotMeasurableError):
+            die.measure({7})
+
+    def test_atom_splitting_event_rejected(self, coarse):
+        with pytest.raises(NotMeasurableError):
+            coarse.measure({2, 4, 6})
+
+    def test_is_measurable(self, coarse):
+        assert coarse.is_measurable({1, 2, 3})
+        assert not coarse.is_measurable({1, 2})
+        assert not coarse.is_measurable({0})
+
+    def test_atom_lookup(self, coarse):
+        assert coarse.atom_containing(2) == frozenset({1, 2, 3})
+        assert coarse.atom_probability(frozenset({1, 2, 3})) == Fraction(1, 2)
+
+    def test_atom_lookup_failures(self, coarse):
+        with pytest.raises(NotMeasurableError):
+            coarse.atom_containing(9)
+        with pytest.raises(NotMeasurableError):
+            coarse.atom_probability(frozenset({1, 2}))
+
+
+class TestInnerOuter:
+    def test_measurable_event_inner_equals_outer(self, coarse):
+        event = {1, 2, 3}
+        assert coarse.inner_measure(event) == coarse.outer_measure(event)
+
+    def test_nonmeasurable_bounds(self, coarse):
+        event = {2, 4, 6}  # splits both atoms
+        assert coarse.inner_measure(event) == 0
+        assert coarse.outer_measure(event) == 1
+
+    def test_partial_split(self, coarse):
+        event = {1, 2, 3, 4}  # contains one atom, splits the other
+        assert coarse.inner_measure(event) == Fraction(1, 2)
+        assert coarse.outer_measure(event) == 1
+
+    def test_duality(self, coarse):
+        # mu_*(E) = 1 - mu^*(complement) -- the identity Section 5 states.
+        for event in ({2, 4, 6}, {1, 2, 3, 4}, {1}, set()):
+            complement = coarse.outcomes - frozenset(event)
+            assert coarse.inner_measure(event) == 1 - coarse.outer_measure(complement)
+
+    def test_interval_pair(self, coarse):
+        inner, outer = coarse.measure_interval({1, 2, 3, 4})
+        assert (inner, outer) == (Fraction(1, 2), Fraction(1))
+
+    def test_monotonicity(self, coarse):
+        small, large = {2}, {2, 4, 1}
+        assert coarse.inner_measure(small) <= coarse.inner_measure(large)
+        assert coarse.outer_measure(small) <= coarse.outer_measure(large)
+
+
+class TestConditioning:
+    def test_conditional_distribution(self, die):
+        conditioned = die.condition({2, 4, 6})
+        assert conditioned.measure({2}) == Fraction(1, 3)
+        assert conditioned.outcomes == frozenset({2, 4, 6})
+
+    def test_zero_measure_rejected(self):
+        space = FiniteProbabilitySpace.from_point_masses(
+            {"h": Fraction(1), "t": Fraction(0)}
+        )
+        with pytest.raises(ZeroMeasureConditioningError):
+            space.condition({"t"})
+
+    def test_nonmeasurable_condition_rejected(self, coarse):
+        with pytest.raises(NotMeasurableError):
+            coarse.condition({1, 2})
+
+    def test_conditional_probability_value(self, die):
+        assert die.conditional_probability({2}, {2, 4, 6}) == Fraction(1, 3)
+
+    def test_chain_rule(self, die):
+        # mu(A & B) = mu(B) * mu(A | B)
+        a, b = frozenset({1, 2}), frozenset({2, 3, 4})
+        assert die.measure(a & b) == die.measure(b) * die.conditional_probability(a, b)
+
+
+class TestExpectation:
+    def test_expectation_uniform_die(self, die):
+        assert die.expectation(lambda face: Fraction(face)) == Fraction(7, 2)
+
+    def test_expectation_requires_measurability(self, coarse):
+        with pytest.raises(NotMeasurableError):
+            coarse.expectation(lambda outcome: Fraction(outcome))
+
+    def test_is_measurable_variable(self, coarse):
+        assert coarse.is_measurable_variable(lambda outcome: Fraction(outcome <= 3))
+        assert not coarse.is_measurable_variable(lambda outcome: Fraction(outcome))
+
+    def test_inner_outer_expectation_two_valued(self, coarse):
+        # X = 1 on {2,4,6}, 0 elsewhere: non-measurable.
+        variable = scaled_indicator({2, 4, 6}, 1, 0)
+        assert coarse.inner_expectation(variable) == 0
+        assert coarse.outer_expectation(variable) == 1
+
+    def test_inner_expectation_matches_formula(self, coarse):
+        # X = 3 on {1,2,3,4}, -1 elsewhere: E_* = 3 mu_*(X=3) - 1 mu^*(X=-1)
+        variable = scaled_indicator({1, 2, 3, 4}, 3, -1)
+        expected = 3 * coarse.inner_measure({1, 2, 3, 4}) + (-1) * coarse.outer_measure(
+            {5, 6}
+        )
+        assert coarse.inner_expectation(variable) == expected
+
+    def test_constant_variable(self, coarse):
+        assert coarse.inner_expectation(lambda _: Fraction(5)) == 5
+        assert coarse.outer_expectation(lambda _: Fraction(5)) == 5
+
+    def test_three_valued_rejected_by_b2_form(self, coarse):
+        with pytest.raises(NotMeasurableError):
+            coarse.inner_expectation(lambda outcome: Fraction(outcome % 3))
+
+    def test_lower_expectation_generalises(self, coarse):
+        # For two-valued variables lower == inner (Appendix B.2 agreement).
+        variable = scaled_indicator({2, 4, 6}, 2, -1)
+        assert coarse.lower_expectation(variable) == coarse.inner_expectation(variable)
+        assert coarse.upper_expectation(variable) == coarse.outer_expectation(variable)
+
+    def test_lower_expectation_measurable_agrees_exact(self, die):
+        variable = lambda face: Fraction(face)
+        assert die.lower_expectation(variable) == die.expectation(variable)
+        assert die.upper_expectation(variable) == die.expectation(variable)
+
+    def test_lower_expectation_three_valued(self, coarse):
+        # X = outcome mod 3 on atoms {1,2,3}, {4,5,6}: mins are 0 and 0.
+        variable = lambda outcome: Fraction(outcome % 3)
+        assert coarse.lower_expectation(variable) == 0
+        assert coarse.upper_expectation(variable) == 2
+
+
+class TestDerivedSpaces:
+    def test_coarsen(self, die):
+        coarse = die.coarsen([{1, 2, 3}, {4, 5, 6}])
+        assert coarse.atom_probability(frozenset({1, 2, 3})) == Fraction(1, 2)
+        assert not coarse.is_measurable({1})
+
+    def test_coarsen_requires_measurable_blocks(self, coarse):
+        with pytest.raises(NotMeasurableError):
+            coarse.coarsen([{1, 2}, {3, 4, 5, 6}])
+
+    def test_product(self):
+        coin = FiniteProbabilitySpace.from_point_masses(
+            {"h": Fraction(1, 2), "t": Fraction(1, 2)}
+        )
+        pair = coin.product(coin)
+        assert pair.measure({("h", "h")}) == Fraction(1, 4)
+        assert len(pair) == 4
+
+    def test_extends(self, die, coarse):
+        assert die.extends(coarse)
+        assert not coarse.extends(die)
+
+    def test_extends_requires_same_outcomes(self, die):
+        other = FiniteProbabilitySpace.uniform(range(5))
+        assert not die.extends(other)

@@ -1,0 +1,127 @@
+"""Property-based tests for the measure-theory substrate (hypothesis)."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.probability import (
+    FiniteProbabilitySpace,
+    atoms_from_generators,
+    is_partition,
+)
+
+OUTCOMES = tuple(range(8))
+
+
+@st.composite
+def spaces(draw):
+    """Random spaces over 0..7: random partition + random rational masses."""
+    labels = draw(
+        st.lists(st.integers(0, 3), min_size=len(OUTCOMES), max_size=len(OUTCOMES))
+    )
+    blocks: dict = {}
+    for outcome, label in zip(OUTCOMES, labels):
+        blocks.setdefault(label, set()).add(outcome)
+    atoms = [frozenset(block) for block in blocks.values()]
+    weights = draw(
+        st.lists(st.integers(1, 9), min_size=len(atoms), max_size=len(atoms))
+    )
+    total = sum(weights)
+    probabilities = {
+        atom: Fraction(weight, total) for atom, weight in zip(atoms, weights)
+    }
+    return FiniteProbabilitySpace(atoms, probabilities)
+
+
+events = st.sets(st.sampled_from(OUTCOMES)).map(frozenset)
+
+
+@given(spaces())
+def test_atoms_partition_the_space(space):
+    assert is_partition(space.outcomes, space.atoms)
+
+
+@given(spaces(), events)
+def test_inner_leq_outer(space, event):
+    assert space.inner_measure(event) <= space.outer_measure(event)
+
+
+@given(spaces(), events)
+def test_duality(space, event):
+    complement = space.outcomes - event
+    assert space.inner_measure(event) == 1 - space.outer_measure(complement)
+
+
+@given(spaces(), events)
+def test_measurable_iff_inner_equals_outer(space, event):
+    event = event & space.outcomes
+    measurable = space.is_measurable(event)
+    assert measurable == (space.inner_measure(event) == space.outer_measure(event))
+    if measurable:
+        assert space.measure(event) == space.inner_measure(event)
+
+
+@given(spaces(), events, events)
+def test_outer_subadditive(space, first, second):
+    assert space.outer_measure(first | second) <= space.outer_measure(
+        first
+    ) + space.outer_measure(second)
+
+
+@given(spaces(), events, events)
+def test_inner_superadditive_on_disjoint(space, first, second):
+    second = second - first
+    assert space.inner_measure(first | second) >= space.inner_measure(
+        first
+    ) + space.inner_measure(second)
+
+
+@given(spaces(), events)
+def test_conditioning_preserves_totality(space, event):
+    event = event & space.outcomes
+    if not space.is_measurable(event) or space.inner_measure(event) == 0:
+        return
+    conditioned = space.condition(event)
+    assert conditioned.measure(conditioned.outcomes) == 1
+    assert conditioned.outcomes == event
+
+
+@given(spaces(), events, events)
+def test_conditioning_is_ratio(space, event, given_event):
+    given_event = given_event & space.outcomes
+    event = event & given_event
+    if not space.is_measurable(given_event) or space.measure(given_event) == 0:
+        return
+    if not space.is_measurable(event):
+        return
+    conditioned = space.condition(given_event)
+    if not conditioned.is_measurable(event):
+        return
+    assert conditioned.measure(event) == space.measure(event) / space.measure(
+        given_event
+    )
+
+
+@given(spaces(), events)
+def test_lower_expectation_bounds_indicator(space, event):
+    from repro.probability import scaled_indicator
+
+    variable = scaled_indicator(event, 1, 0)
+    assert space.lower_expectation(variable) == space.inner_measure(
+        event & space.outcomes
+    )
+    assert space.upper_expectation(variable) == space.outer_measure(
+        event & space.outcomes
+    )
+
+
+@given(st.lists(st.sets(st.sampled_from(OUTCOMES)), max_size=4))
+def test_generated_atoms_respect_generators(generators):
+    atoms = atoms_from_generators(OUTCOMES, generators)
+    assert is_partition(OUTCOMES, atoms)
+    for generator in generators:
+        generator = frozenset(generator)
+        for atom in atoms:
+            # each generator is a union of atoms: no atom straddles it
+            assert atom <= generator or not (atom & generator)

@@ -1,0 +1,93 @@
+"""Agent protocol building blocks."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import InvalidMeasureError
+from repro.systems import (
+    CoinTossingAgent,
+    FunctionAgent,
+    IdleAgent,
+    RepeatedCoinTosser,
+    act,
+    certainly,
+    chance,
+)
+
+
+class TestActionHelpers:
+    def test_act_packs_messages(self):
+        from repro.systems import Message
+
+        message = Message(0, 1, "hi")
+        assert act("state", message) == ("state", (message,))
+
+    def test_certainly_is_point_mass(self):
+        ((probability, action),) = certainly("s")
+        assert probability == 1
+        assert action == ("s", ())
+
+    def test_chance_validates_total(self):
+        with pytest.raises(InvalidMeasureError):
+            chance([(Fraction(1, 3), act("a"))])
+
+    def test_chance_preserves_branches(self):
+        branches = chance(
+            [(Fraction(1, 4), act("a")), (Fraction(3, 4), act("b"))]
+        )
+        assert [probability for probability, _ in branches] == [
+            Fraction(1, 4),
+            Fraction(3, 4),
+        ]
+
+
+class TestIdleAgent:
+    def test_never_changes(self):
+        agent = IdleAgent("zzz")
+        state = agent.initial_state(None)
+        assert state == "zzz"
+        assert agent.step(state, (), 5) == certainly("zzz")
+
+
+class TestCoinTossingAgent:
+    def test_tosses_once_at_configured_round(self):
+        agent = CoinTossingAgent(Fraction(1, 3), toss_round=2)
+        state = agent.initial_state(None)
+        assert agent.step(state, (), 0) == certainly("ready")
+        branches = agent.step(state, (), 2)
+        outcomes = {action[0]: probability for probability, action in branches}
+        assert outcomes == {
+            "saw-heads": Fraction(1, 3),
+            "saw-tails": Fraction(2, 3),
+        }
+
+    def test_stays_settled_after_toss(self):
+        agent = CoinTossingAgent(Fraction(1, 2))
+        assert agent.step("saw-heads", (), 0) == certainly("saw-heads")
+
+
+class TestRepeatedCoinTosser:
+    def test_accumulates_outcomes(self):
+        agent = RepeatedCoinTosser()
+        state = agent.initial_state(None)
+        assert state == ()
+        branches = agent.step(("H", "T"), (), 2)
+        new_states = {action[0] for _, action in branches}
+        assert new_states == {("H", "T", "H"), ("H", "T", "T")}
+
+    def test_biased_variant(self):
+        agent = RepeatedCoinTosser(Fraction(2, 3))
+        branches = agent.step((), (), 0)
+        probabilities = {action[0][-1]: probability for probability, action in branches}
+        assert probabilities == {"H": Fraction(2, 3), "T": Fraction(1, 3)}
+
+
+class TestFunctionAgent:
+    def test_delegates(self):
+        agent = FunctionAgent(
+            initial=lambda value: value * 2,
+            step=lambda state, inbox, round_number: certainly(state + round_number),
+        )
+        assert agent.initial_state(3) == 6
+        assert agent.step(6, (), 4) == certainly(10)

@@ -1,0 +1,118 @@
+"""Channels: perfect, lossy (exact), collapsing (binomial)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.systems import (
+    CollapsingLossyChannel,
+    LossyChannel,
+    Message,
+    PerfectChannel,
+)
+
+
+def msg(content="m", sender=0, recipient=1):
+    return Message(sender, recipient, content)
+
+
+def total(branches):
+    return sum(probability for probability, _ in branches)
+
+
+class TestPerfectChannel:
+    def test_delivers_everything(self):
+        channel = PerfectChannel()
+        sent = (msg("a"), msg("b"))
+        ((probability, delivered),) = channel.deliveries(sent, 0)
+        assert probability == 1
+        assert set(delivered) == set(sent)
+
+
+class TestLossyChannel:
+    def test_parameter_validated(self):
+        with pytest.raises(SimulationError):
+            LossyChannel(Fraction(3, 2))
+
+    def test_no_messages(self):
+        channel = LossyChannel(Fraction(1, 2))
+        assert channel.deliveries((), 0) == [(Fraction(1), ())]
+
+    def test_total_probability(self):
+        channel = LossyChannel(Fraction(1, 3))
+        sent = (msg("a"), msg("b"), msg("c", recipient=2))
+        assert total(channel.deliveries(sent, 0)) == 1
+
+    def test_single_message_loss(self):
+        channel = LossyChannel(Fraction(1, 4))
+        branches = dict(
+            (delivered, probability)
+            for probability, delivered in channel.deliveries((msg("a"),), 0)
+        )
+        assert branches[(msg("a"),)] == Fraction(3, 4)
+        assert branches[()] == Fraction(1, 4)
+
+    def test_lossless_and_total_loss_shortcuts(self):
+        sent = (msg("a"), msg("b"))
+        assert LossyChannel(0).deliveries(sent, 0) == [(Fraction(1), sent)]
+        assert LossyChannel(1).deliveries(sent, 0) == [(Fraction(1), ())]
+
+    def test_identical_messages_merge(self):
+        channel = LossyChannel(Fraction(1, 2))
+        sent = (msg("a"), msg("a"))
+        branches = dict(
+            (delivered, probability)
+            for probability, delivered in channel.deliveries(sent, 0)
+        )
+        # outcomes: 0, 1 or 2 copies delivered, with merged probabilities
+        assert branches[(msg("a"), msg("a"))] == Fraction(1, 4)
+        assert branches[(msg("a"),)] == Fraction(1, 2)
+        assert branches[()] == Fraction(1, 4)
+
+    def test_blowup_guard(self):
+        channel = LossyChannel(Fraction(1, 2), max_messages=3)
+        sent = tuple(msg(f"m{i}") for i in range(4))
+        with pytest.raises(SimulationError):
+            channel.deliveries(sent, 0)
+
+
+class TestCollapsingLossyChannel:
+    def test_matches_exact_channel_on_identical_messages(self):
+        exact = LossyChannel(Fraction(1, 2))
+        collapsed = CollapsingLossyChannel(Fraction(1, 2))
+        sent = (msg("a"), msg("a"), msg("a"))
+        exact_branches = dict(
+            (delivered, probability)
+            for probability, delivered in exact.deliveries(sent, 0)
+        )
+        collapsed_branches = dict(
+            (delivered, probability)
+            for probability, delivered in collapsed.deliveries(sent, 0)
+        )
+        assert exact_branches == collapsed_branches
+
+    def test_branch_count_linear(self):
+        channel = CollapsingLossyChannel(Fraction(1, 2))
+        sent = tuple(msg("a") for _ in range(10))
+        branches = channel.deliveries(sent, 0)
+        assert len(branches) == 11
+        assert total(branches) == 1
+
+    def test_paper_delivery_probability(self):
+        # ten messengers, loss 1/2: P(at least one survives) = 1 - 2**-10
+        channel = CollapsingLossyChannel(Fraction(1, 2))
+        sent = tuple(msg("coin") for _ in range(10))
+        none_delivered = next(
+            probability
+            for probability, delivered in channel.deliveries(sent, 0)
+            if not delivered
+        )
+        assert none_delivered == Fraction(1, 1024)
+
+    def test_mixed_kinds_independent(self):
+        channel = CollapsingLossyChannel(Fraction(1, 2))
+        sent = (msg("a"), msg("b", recipient=2))
+        branches = channel.deliveries(sent, 0)
+        assert len(branches) == 4
+        assert total(branches) == 1

@@ -1,0 +1,26 @@
+"""Message normalisation."""
+
+from repro.systems import Message, inbox_for, message_sort_key, sort_messages
+
+
+class TestMessage:
+    def test_frozen_and_hashable(self):
+        message = Message(0, 1, "hello")
+        assert hash(message) == hash(Message(0, 1, "hello"))
+        assert message == Message(0, 1, "hello")
+
+    def test_sort_key_total_order(self):
+        messages = [Message(1, 0, "b"), Message(0, 1, "a"), Message(0, 0, "c")]
+        ordered = sorted(messages, key=message_sort_key)
+        assert ordered[0].sender == 0 and ordered[0].recipient == 0
+
+    def test_sort_messages_deterministic(self):
+        first = sort_messages([Message(1, 0, "x"), Message(0, 1, "y")])
+        second = sort_messages([Message(0, 1, "y"), Message(1, 0, "x")])
+        assert first == second
+
+    def test_inbox_filters_by_recipient(self):
+        messages = [Message(0, 1, "a"), Message(0, 2, "b"), Message(1, 1, "c")]
+        inbox = inbox_for(1, messages)
+        assert all(message.recipient == 1 for message in inbox)
+        assert len(inbox) == 2

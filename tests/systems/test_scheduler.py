@@ -1,0 +1,119 @@
+"""Interleaved execution under scheduler adversaries."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.systems import (
+    Agent,
+    CoinTossingAgent,
+    IdleAgent,
+    Message,
+    certainly,
+    fixed_order,
+    round_robin,
+    run_scheduled,
+    scheduled_system,
+    starving,
+)
+
+
+class PingAgent(Agent):
+    """Sends one ping to agent 1 on its first step, then idles."""
+
+    def initial_state(self, input_value):
+        return "fresh"
+
+    def step(self, state, inbox, round_number):
+        if state == "fresh":
+            return certainly("sent", Message(0, 1, "ping"))
+        return certainly(state)
+
+
+class ListenerAgent(Agent):
+    """Records whether it has heard a ping."""
+
+    def initial_state(self, input_value):
+        return "quiet"
+
+    def step(self, state, inbox, round_number):
+        if any(message.content == "ping" for message in inbox):
+            return certainly("heard")
+        return certainly(state)
+
+
+class TestSchedulers:
+    def test_round_robin_alternates(self):
+        adversary = round_robin()
+        tree = run_scheduled([PingAgent(), ListenerAgent()], [None, None], adversary, 4)
+        (run,) = tree.runs
+        # agent 0 steps at ticks 0 and 2; agent 1 at 1 and 3
+        assert run.local_state(0, 1) == "sent"
+        assert run.local_state(1, 2) == "heard"
+
+    def test_fixed_order(self):
+        adversary = fixed_order([1, 1, 0])
+        tree = run_scheduled([PingAgent(), ListenerAgent()], [None, None], adversary, 3)
+        (run,) = tree.runs
+        assert run.local_state(0, 2) == "fresh"  # agent 0 not stepped yet
+        assert run.local_state(0, 3) == "sent"
+
+    def test_starving_scheduler_denies_delivery(self):
+        adversary = starving(victim=1, fallback=0)
+        tree = run_scheduled([PingAgent(), ListenerAgent()], [None, None], adversary, 4)
+        (run,) = tree.runs
+        assert run.local_state(1, 4) == "quiet"  # listener never scheduled
+
+    def test_invalid_agent_choice(self):
+        from repro.systems import ScheduleAdversary
+
+        bad = ScheduleAdversary("bad", lambda time, states, pending: (7, ()))
+        with pytest.raises(SimulationError):
+            run_scheduled([IdleAgent()], [None], bad, 1)
+
+    def test_cannot_deliver_unsent_messages(self):
+        from repro.systems import ScheduleAdversary
+
+        forger = ScheduleAdversary(
+            "forger",
+            lambda time, states, pending: (0, (Message(1, 0, "forged"),)),
+        )
+        with pytest.raises(SimulationError):
+            run_scheduled([IdleAgent(), IdleAgent()], [None, None], forger, 1)
+
+    def test_inputs_validated(self):
+        with pytest.raises(SimulationError):
+            run_scheduled([IdleAgent()], [None, None], round_robin(), 1)
+
+
+class TestProbabilisticInterleaving:
+    def test_coin_branches_under_scheduler(self):
+        adversary = fixed_order([0])
+        tree = run_scheduled(
+            [CoinTossingAgent(Fraction(1, 2)), IdleAgent()], [None, None], adversary, 1
+        )
+        assert len(tree.runs) == 2
+
+    def test_scheduled_system_one_tree_per_adversary(self):
+        agents = [CoinTossingAgent(Fraction(1, 2)), IdleAgent()]
+        adversaries = [round_robin("rr"), fixed_order([1, 0], name="rev")]
+        psys = scheduled_system(agents, [None, None], adversaries, 2)
+        assert set(psys.adversaries) == {"rr", "rev"}
+
+    def test_interleaved_systems_are_asynchronous(self):
+        agents = [CoinTossingAgent(Fraction(1, 2)), IdleAgent()]
+        psys = scheduled_system(agents, [None, None], [round_robin()], 3)
+        assert not psys.system.is_synchronous()
+
+    def test_scheduler_as_type1_adversary_changes_probabilities(self):
+        # Whether the listener hears by time 2 depends on the scheduler,
+        # not on chance -- the nondeterminism is factored out per tree.
+        agents = [PingAgent(), ListenerAgent()]
+        eager = fixed_order([0, 1], name="eager")
+        lazy = fixed_order([1, 0], name="lazy")
+        psys = scheduled_system(agents, [None, None], [eager, lazy], 2)
+        eager_run = psys.tree("eager").runs[0]
+        lazy_run = psys.tree("lazy").runs[0]
+        assert eager_run.local_state(1, 2) == "heard"
+        assert lazy_run.local_state(1, 2) == "quiet"

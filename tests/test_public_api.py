@@ -1,0 +1,76 @@
+"""Public-API hygiene: exports resolve, and every public item is documented."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.probability",
+    "repro.core",
+    "repro.trees",
+    "repro.logic",
+    "repro.betting",
+    "repro.systems",
+    "repro.attack",
+    "repro.examples_lib",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    for name in getattr(package, "__all__", []):
+        assert hasattr(package, name), f"{package_name}.{name} in __all__ but missing"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_package_docstrings(package_name):
+    package = importlib.import_module(package_name)
+    assert package.__doc__ and package.__doc__.strip()
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_public_callables_documented(package_name):
+    package = importlib.import_module(package_name)
+    undocumented = []
+    for name in getattr(package, "__all__", []):
+        item = getattr(package, name)
+        if inspect.isfunction(item) or inspect.isclass(item):
+            if not (item.__doc__ and item.__doc__.strip()):
+                undocumented.append(f"{package_name}.{name}")
+    assert not undocumented, f"undocumented public items: {undocumented}"
+
+
+def test_public_classes_have_documented_public_methods():
+    undocumented = []
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        for name in getattr(package, "__all__", []):
+            item = getattr(package, name)
+            if not inspect.isclass(item):
+                continue
+            for method_name, method in inspect.getmembers(item, inspect.isfunction):
+                if method_name.startswith("_"):
+                    continue
+                if method.__qualname__.split(".")[0] != item.__name__:
+                    continue  # inherited from elsewhere
+                if method.__doc__ and method.__doc__.strip():
+                    continue
+                # overrides inherit the contract documented on a base class
+                inherited = any(
+                    getattr(base, method_name, None) is not None
+                    and getattr(base, method_name).__doc__
+                    for base in item.__mro__[1:]
+                )
+                if not inherited:
+                    undocumented.append(f"{package_name}.{name}.{method_name}")
+    assert not undocumented, f"undocumented public methods: {sorted(set(undocumented))}"
+
+
+def test_no_duplicate_exports():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        exports = getattr(package, "__all__", [])
+        assert len(exports) == len(set(exports)), f"duplicates in {package_name}.__all__"

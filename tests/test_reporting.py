@@ -1,0 +1,46 @@
+"""Table rendering for the benchmark harness."""
+
+from fractions import Fraction
+
+from repro.reporting import render_cell, render_table
+
+
+class TestRenderCell:
+    def test_fraction(self):
+        assert render_cell(Fraction(1, 2)) == "1/2"
+
+    def test_boolean(self):
+        assert render_cell(True) == "yes"
+        assert render_cell(False) == "no"
+
+    def test_fraction_pair(self):
+        assert render_cell((Fraction(1, 4), Fraction(3, 4))) == "[1/4, 3/4]"
+
+    def test_plain(self):
+        assert render_cell("text") == "text"
+        assert render_cell(7) == "7"
+
+
+class TestRenderTable:
+    def test_title_and_headers(self):
+        table = render_table("demo", ["a", "b"], [[1, 2]])
+        lines = table.splitlines()
+        assert lines[0] == "== demo =="
+        assert lines[1].split() == ["a", "b"]
+
+    def test_alignment(self):
+        table = render_table("demo", ["col", "x"], [["longvalue", 1], ["s", 22]])
+        lines = table.splitlines()
+        # data rows follow title, header, separator; the second column of
+        # every data row starts at the same offset
+        offsets = {line.index(value) for line, value in zip(lines[3:], ["1", "22"])}
+        assert len(offsets) == 1
+
+    def test_row_count(self):
+        rows = [[i, i * i] for i in range(5)]
+        table = render_table("demo", ["n", "n2"], rows)
+        assert len(table.splitlines()) == 2 + 1 + 5  # title + header + sep + rows
+
+    def test_no_trailing_whitespace(self):
+        table = render_table("demo", ["a", "b"], [["x", "y"]])
+        assert all(line == line.rstrip() for line in table.splitlines())

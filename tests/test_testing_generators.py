@@ -1,0 +1,109 @@
+"""The deterministic pseudo-random system generators used by the tests."""
+
+import pytest
+
+from repro.core import Fact
+from repro.testing import (
+    all_observability_profiles,
+    first_branch_fact,
+    history_fact,
+    parity_fact,
+    random_psys,
+    random_tree,
+    two_agent_coin_psys,
+)
+
+
+class TestRandomTree:
+    def test_deterministic(self):
+        first = random_tree(seed=42, depth=2)
+        second = random_tree(seed=42, depth=2)
+        assert first.nodes == second.nodes
+        assert {edge: first.edge_probability(*edge) for edge in first.edges} == {
+            edge: second.edge_probability(*edge) for edge in second.edges
+        }
+
+    def test_distinct_seeds_differ(self):
+        # some pair of nearby seeds must give different structures
+        trees = [random_tree(seed=s, depth=2) for s in range(5)]
+        assert len({len(tree.runs) for tree in trees}) > 1
+
+    def test_probabilities_valid(self):
+        for seed in range(10):
+            tree = random_tree(seed=seed, depth=3)
+            assert sum(tree.run_probability(run) for run in tree.runs) == 1
+
+    def test_root_always_branches(self):
+        for seed in range(10):
+            tree = random_tree(seed=seed, depth=2)
+            assert len(tree.children(tree.root)) >= 2
+
+    def test_observability_modes(self):
+        tree = random_tree(seed=1, depth=2, observability=("blind", "clock"))
+        blind_states = {point.local_state(0) for point in tree.points}
+        clock_states = {point.local_state(1) for point in tree.points}
+        assert blind_states == {"blind"}
+        assert clock_states == {("clock", time) for time in range(3)}
+
+    def test_parity_mode(self):
+        tree = random_tree(seed=1, depth=2, observability=("parity", "clock"))
+        assert {point.local_state(0)[0] for point in tree.points} == {"parity"}
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            random_tree(seed=1, observability=("telepathic", "clock")).points
+
+    def test_observability_length_checked(self):
+        with pytest.raises(ValueError):
+            random_tree(seed=1, num_agents=2, observability=("clock",))
+
+
+class TestRandomPsys:
+    def test_tree_count(self):
+        psys = random_psys(seed=3, num_trees=4, depth=1)
+        assert len(psys.trees) == 4
+
+    def test_deterministic(self):
+        assert len(random_psys(5, depth=2).system.points) == len(
+            random_psys(5, depth=2).system.points
+        )
+
+
+class TestFacts:
+    def test_parity_fact_values(self):
+        psys = random_psys(seed=2, depth=2)
+        fact = parity_fact()
+        for point in psys.system.points:
+            history = point.global_state.environment.history
+            assert fact.holds_at(point) == (sum(history) % 2 == 0)
+
+    def test_first_branch_fact(self):
+        psys = random_psys(seed=2, depth=2)
+        fact = first_branch_fact()
+        for point in psys.system.points:
+            history = point.global_state.environment.history
+            expected = bool(history) and history[0] == 0
+            assert fact.holds_at(point) == expected
+
+    def test_history_fact_custom(self):
+        psys = random_psys(seed=2, depth=2)
+        fact = history_fact(lambda history: len(history) == 1, name="time-1")
+        for point in psys.system.points:
+            assert fact.holds_at(point) == (point.time == 1)
+
+
+class TestHelpers:
+    def test_two_agent_coin_shape(self):
+        psys = two_agent_coin_psys()
+        assert len(psys.system.runs) == 2
+        assert psys.system.is_synchronous()
+
+    def test_observer_sees_variant(self):
+        psys = two_agent_coin_psys(observer_sees=True)
+        time1 = psys.system.points_at_time(1)
+        assert len({point.local_state(1) for point in time1}) == 2
+
+    def test_all_observability_profiles(self):
+        profiles = all_observability_profiles(2)
+        assert len(profiles) == 16
+        assert ("blind", "full") in profiles

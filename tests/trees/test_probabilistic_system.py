@@ -1,0 +1,100 @@
+"""Probabilistic systems: trees per adversary, T(c), run spaces."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import TechnicalAssumptionError, TreeError
+from repro.trees import ProbabilisticSystem, single_tree_system
+from repro.testing import random_tree, random_psys
+
+
+@pytest.fixture(scope="module")
+def psys():
+    return random_psys(seed=2, num_trees=3, depth=2)
+
+
+class TestConstruction:
+    def test_single_tree(self):
+        tree = random_tree(1)
+        psys = single_tree_system(tree)
+        assert psys.adversaries == (tree.adversary,)
+
+    def test_duplicate_adversary_rejected(self):
+        tree = random_tree(1)
+        with pytest.raises(TreeError):
+            ProbabilisticSystem([tree, tree])
+
+    def test_shared_global_state_rejected(self):
+        tree = random_tree(1)
+        clone = tree.relabel(
+            {edge: tree.edge_probability(*edge) for edge in tree.edges},
+            adversary="clone",
+        )
+        with pytest.raises(TechnicalAssumptionError):
+            ProbabilisticSystem([tree, clone])
+
+    def test_empty_rejected(self):
+        with pytest.raises(TreeError):
+            ProbabilisticSystem([])
+
+
+class TestStructure:
+    def test_system_unions_runs(self, psys):
+        total = sum(len(psys.tree(adversary).runs) for adversary in psys.adversaries)
+        assert len(psys.system.runs) == total
+
+    def test_tree_of_every_point(self, psys):
+        for adversary in psys.adversaries:
+            for point in psys.points_of_tree(adversary):
+                assert psys.tree_of(point).adversary == adversary
+                assert psys.adversary_of(point) == adversary
+
+    def test_tree_of_foreign_point_rejected(self, psys):
+        foreign = random_tree(99).points[0]
+        with pytest.raises(TreeError):
+            psys.tree_of(foreign)
+
+    def test_tree_lookup_unknown_adversary(self, psys):
+        with pytest.raises(TreeError):
+            psys.tree("nope")
+
+
+class TestRunSpaces:
+    def test_run_space_is_cached(self, psys):
+        adversary = psys.adversaries[0]
+        assert psys.run_space(adversary) is psys.run_space(adversary)
+
+    def test_run_space_total(self, psys):
+        for adversary in psys.adversaries:
+            space = psys.run_space(adversary)
+            assert space.measure(space.outcomes) == 1
+
+    def test_run_probability_dispatches(self, psys):
+        for adversary in psys.adversaries:
+            tree = psys.tree(adversary)
+            for run in tree.runs:
+                assert psys.run_probability(run) == tree.run_probability(run)
+
+    def test_run_probability_foreign_run(self, psys):
+        foreign = random_tree(99).runs[0]
+        with pytest.raises(TreeError):
+            psys.run_probability(foreign)
+
+
+class TestKnowledgeAcrossTrees:
+    def test_blind_agent_considers_all_trees_possible(self):
+        psys = random_psys(seed=4, num_trees=2, depth=1, observability=("blind", "clock"))
+        point = psys.system.points[0]
+        knowledge = psys.system.knowledge_set(0, point)
+        adversaries = {psys.adversary_of(candidate) for candidate in knowledge}
+        assert len(adversaries) == 2  # knowledge spans trees; REQ1 is a real limit
+
+    def test_full_observer_stays_in_tree(self):
+        psys = random_psys(seed=4, num_trees=2, depth=1, observability=("full", "clock"))
+        # a full observer at time >= 1 knows the history, hence... the history
+        # alone does not identify the tree; the environment does.  Check that
+        # its knowledge set is at least refined to matching histories.
+        for point in psys.system.points:
+            for candidate in psys.system.knowledge_set(0, point):
+                assert candidate.local_state(0) == point.local_state(0)

@@ -1,0 +1,82 @@
+"""JSON round-trips for trees and systems."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import TreeError
+from repro.trees import (
+    system_from_json,
+    system_to_json,
+    tree_from_dict,
+    tree_to_dict,
+)
+from repro.examples_lib import three_agent_coin_system
+from repro.testing import random_psys, random_tree
+
+
+class TestTreeRoundTrip:
+    def test_structure_preserved(self):
+        tree = random_tree(seed=5, depth=2)
+        rebuilt = tree_from_dict(tree_to_dict(tree))
+        assert rebuilt.adversary == tree.adversary
+        assert rebuilt.nodes == tree.nodes
+        assert set(rebuilt.edges) == set(tree.edges)
+
+    def test_probabilities_preserved(self):
+        tree = random_tree(seed=6, depth=2)
+        rebuilt = tree_from_dict(tree_to_dict(tree))
+        for parent, child in tree.edges:
+            assert rebuilt.edge_probability(parent, child) == tree.edge_probability(
+                parent, child
+            )
+
+    def test_runs_preserved(self):
+        tree = random_tree(seed=7, depth=3)
+        rebuilt = tree_from_dict(tree_to_dict(tree))
+        original = {run.states: tree.run_probability(run) for run in tree.runs}
+        recovered = {run.states: rebuilt.run_probability(run) for run in rebuilt.runs}
+        assert original == recovered
+
+    def test_protocol_built_tree(self):
+        tree = three_agent_coin_system().psys.trees[0]
+        rebuilt = tree_from_dict(tree_to_dict(tree))
+        assert rebuilt.nodes == tree.nodes
+
+    def test_unserializable_payload_rejected(self):
+        from repro.trees.serialize import _encode_value
+
+        with pytest.raises(TreeError):
+            _encode_value(object())
+
+
+class TestSystemRoundTrip:
+    def test_multi_tree_system(self):
+        psys = random_psys(seed=8, num_trees=3, depth=2)
+        rebuilt = system_from_json(system_to_json(psys))
+        assert set(rebuilt.adversaries) == set(psys.adversaries)
+        assert len(rebuilt.system.points) == len(psys.system.points)
+
+    def test_semantics_survive_roundtrip(self):
+        from repro.core import PostAssignment, ProbabilityAssignment
+        from repro.testing import parity_fact
+
+        psys = random_psys(seed=9, depth=2, observability=("clock", "full"))
+        rebuilt = system_from_json(system_to_json(psys))
+        fact = parity_fact()
+        original = ProbabilityAssignment(PostAssignment(psys))
+        recovered = ProbabilityAssignment(PostAssignment(rebuilt))
+        original_values = sorted(
+            original.inner_probability(0, point, fact) for point in psys.system.points
+        )
+        recovered_values = sorted(
+            recovered.inner_probability(0, point, fact)
+            for point in rebuilt.system.points
+        )
+        assert original_values == recovered_values
+
+    def test_json_is_text(self):
+        psys = random_psys(seed=10, depth=1)
+        text = system_to_json(psys, indent=2)
+        assert text.startswith("{")
+        assert "trees" in text

@@ -1,0 +1,191 @@
+"""Computation trees: structure, run probabilities, relabeling, rendering."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import GlobalState
+from repro.errors import InvalidMeasureError, TechnicalAssumptionError, TreeError
+from repro.trees import ComputationTree
+from repro.testing import random_tree
+
+
+def state(name, *locals_):
+    return GlobalState(name, tuple(locals_) or ("l",))
+
+
+@pytest.fixture
+def simple_tree():
+    """root -> {left: 1/3, right: 2/3}; left -> {leaf: 1}."""
+    root, left, right, leaf = (
+        state("root"),
+        state("left"),
+        state("right"),
+        state("leaf"),
+    )
+    return ComputationTree(
+        "A",
+        root,
+        {root: [left, right], left: [leaf]},
+        {
+            (root, left): Fraction(1, 3),
+            (root, right): Fraction(2, 3),
+            (left, leaf): Fraction(1),
+        },
+    )
+
+
+class TestValidation:
+    def test_probabilities_must_sum_to_one(self):
+        root, a, b = state("r"), state("a"), state("b")
+        with pytest.raises(InvalidMeasureError):
+            ComputationTree(
+                "A",
+                root,
+                {root: [a, b]},
+                {(root, a): Fraction(1, 3), (root, b): Fraction(1, 3)},
+            )
+
+    def test_zero_probability_edge_rejected(self):
+        root, a, b = state("r"), state("a"), state("b")
+        with pytest.raises(InvalidMeasureError):
+            ComputationTree(
+                "A",
+                root,
+                {root: [a, b]},
+                {(root, a): Fraction(1), (root, b): Fraction(0)},
+            )
+
+    def test_missing_edge_label_rejected(self):
+        root, a = state("r"), state("a")
+        with pytest.raises(TreeError):
+            ComputationTree("A", root, {root: [a]}, {})
+
+    def test_repeated_global_state_rejected(self):
+        root, a = state("r"), state("a")
+        with pytest.raises(TechnicalAssumptionError):
+            ComputationTree(
+                "A",
+                root,
+                {root: [a], a: [root]},
+                {(root, a): Fraction(1), (a, root): Fraction(1)},
+            )
+
+    def test_unreachable_node_rejected(self):
+        root, a, orphan, kid = state("r"), state("a"), state("o"), state("k")
+        with pytest.raises(TreeError):
+            ComputationTree(
+                "A",
+                root,
+                {root: [a], orphan: [kid]},
+                {(root, a): Fraction(1), (orphan, kid): Fraction(1)},
+            )
+
+
+class TestStructure:
+    def test_children_and_leaves(self, simple_tree):
+        root = simple_tree.root
+        assert len(simple_tree.children(root)) == 2
+        right = simple_tree.children(root)[1]
+        assert simple_tree.is_leaf(right)
+
+    def test_edge_probability(self, simple_tree):
+        root = simple_tree.root
+        left = simple_tree.children(root)[0]
+        assert simple_tree.edge_probability(root, left) == Fraction(1, 3)
+        with pytest.raises(TreeError):
+            simple_tree.edge_probability(left, root)
+
+    def test_nodes_and_depth(self, simple_tree):
+        assert len(simple_tree.nodes) == 4
+        assert simple_tree.depth() == 2
+
+    def test_path_to(self, simple_tree):
+        left = simple_tree.children(simple_tree.root)[0]
+        leaf = simple_tree.children(left)[0]
+        assert simple_tree.path_to(leaf) == (simple_tree.root, left, leaf)
+        with pytest.raises(TreeError):
+            simple_tree.path_to(state("stranger"))
+
+
+class TestRuns:
+    def test_run_probabilities_multiply(self, simple_tree):
+        probabilities = sorted(
+            simple_tree.run_probability(run) for run in simple_tree.runs
+        )
+        assert probabilities == [Fraction(1, 3), Fraction(2, 3)]
+
+    def test_run_probabilities_sum_to_one(self):
+        tree = random_tree(5, depth=3)
+        assert sum(tree.run_probability(run) for run in tree.runs) == 1
+
+    def test_foreign_run_rejected(self, simple_tree):
+        other = random_tree(1).runs[0]
+        with pytest.raises(TreeError):
+            simple_tree.run_probability(other)
+
+    def test_runs_through(self, simple_tree):
+        time0_points = [point for point in simple_tree.points if point.time == 0]
+        assert simple_tree.runs_through(time0_points) == frozenset(simple_tree.runs)
+
+    def test_runs_through_node(self, simple_tree):
+        left = simple_tree.children(simple_tree.root)[0]
+        assert len(simple_tree.runs_through_node(left)) == 1
+        assert len(simple_tree.runs_through_node(simple_tree.root)) == 2
+
+    def test_contains_point(self, simple_tree):
+        assert simple_tree.contains_point(simple_tree.points[0])
+        foreign = random_tree(1).points[0]
+        assert not simple_tree.contains_point(foreign)
+
+
+class TestRunSpace:
+    def test_powerset_by_default(self, simple_tree):
+        space = simple_tree.run_space()
+        assert space.has_powerset_algebra()
+        assert space.measure(space.outcomes) == 1
+
+    def test_generated_algebra(self):
+        tree = random_tree(7, depth=2)
+        half = frozenset(list(tree.runs)[: len(tree.runs) // 2])
+        space = tree.run_space(generators=[half])
+        assert space.is_measurable(half)
+        assert len(space.atoms) <= 2
+
+
+class TestRelabel:
+    def test_relabel_with_mapping(self, simple_tree):
+        root = simple_tree.root
+        left, right = simple_tree.children(root)
+        leaf = simple_tree.children(left)[0]
+        relabeled = simple_tree.relabel(
+            {
+                (root, left): Fraction(1, 2),
+                (root, right): Fraction(1, 2),
+                (left, leaf): Fraction(1),
+            }
+        )
+        assert relabeled.edge_probability(root, left) == Fraction(1, 2)
+        # structure untouched
+        assert relabeled.structure() == simple_tree.structure()
+
+    def test_relabel_with_function(self, simple_tree):
+        relabeled = simple_tree.relabel(
+            lambda parent, child: Fraction(1, len(simple_tree.children(parent)))
+        )
+        root = simple_tree.root
+        assert relabeled.edge_probability(root, simple_tree.children(root)[0]) == Fraction(1, 2)
+
+    def test_relabel_validates(self, simple_tree):
+        with pytest.raises(InvalidMeasureError):
+            simple_tree.relabel(lambda parent, child: Fraction(1, 3))
+
+
+class TestRender:
+    def test_ascii_contains_probabilities(self, simple_tree):
+        art = simple_tree.ascii_render()
+        assert "[1/3]" in art and "[2/3]" in art
+
+    def test_ascii_custom_describe(self, simple_tree):
+        art = simple_tree.ascii_render(lambda node: str(node.environment))
+        assert "root" in art

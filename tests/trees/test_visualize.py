@@ -1,0 +1,43 @@
+"""DOT output and tabular summaries."""
+
+from repro.trees import run_table, system_summary, tree_to_dot
+from repro.examples_lib import three_agent_coin_system
+from repro.testing import random_psys, random_tree
+
+
+class TestDot:
+    def test_valid_shape(self):
+        tree = random_tree(seed=3, depth=2)
+        dot = tree_to_dot(tree)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+
+    def test_one_node_line_per_node(self):
+        tree = random_tree(seed=3, depth=2)
+        dot = tree_to_dot(tree)
+        node_lines = [line for line in dot.splitlines() if "[label=" in line and "->" not in line]
+        assert len(node_lines) == len(tree.nodes)
+
+    def test_one_edge_line_per_edge(self):
+        tree = random_tree(seed=3, depth=2)
+        dot = tree_to_dot(tree)
+        edge_lines = [line for line in dot.splitlines() if "->" in line]
+        assert len(edge_lines) == len(tree.edges)
+
+    def test_custom_describe_and_quotes(self):
+        tree = three_agent_coin_system().psys.trees[0]
+        dot = tree_to_dot(tree, describe=lambda state: 'say "hi"')
+        assert '\\"' not in dot  # quotes sanitised to apostrophes
+        assert "say 'hi'" in dot
+
+
+class TestTables:
+    def test_run_table_rows(self):
+        tree = random_tree(seed=4, depth=2)
+        table = run_table(tree)
+        assert len(table.splitlines()) == len(tree.runs) + 1
+
+    def test_system_summary_rows(self):
+        psys = random_psys(seed=4, num_trees=3, depth=1)
+        summary = system_summary(psys)
+        assert len(summary.splitlines()) == len(psys.adversaries) + 1
