@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench examples quicktest clean
+.PHONY: install test bench examples quicktest lint lint-json clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -12,6 +12,14 @@ test:
 
 quicktest:
 	$(PYTHON) -m pytest tests/ -x -q -p no:randomly -k "not properties and not random_systems"
+
+# reprolint: AST-based invariant checker (exact arithmetic, layering,
+# paper traceability).  See docs/static_analysis.md.
+lint:
+	$(PYTHON) -m tools.reprolint src/repro
+
+lint-json:
+	$(PYTHON) -m tools.reprolint --json src/repro
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -63,11 +63,12 @@ def relevant_alphas(
     points: Iterable[Point],
     extra: Sequence[FractionLike] = (),
 ) -> Tuple[Fraction, ...]:
-    """Candidate thresholds for quantifying over ``alpha``.
+    """Candidate thresholds for quantifying over ``alpha`` in Theorem 7.
 
-    Safety of ``Bet(phi, alpha)`` is monotone in ``alpha``, so it suffices
-    to test the boundary values -- the distinct inner probabilities of the
-    fact -- plus midpoints between consecutive values and the endpoints.
+    Theorem 7 quantifies safety of ``Bet(phi, alpha)`` over all rational
+    ``alpha``; safety is monotone in ``alpha``, so it suffices to test the
+    boundary values -- the distinct inner probabilities of the fact --
+    plus midpoints between consecutive values and the endpoints.
     """
     values = {
         assignment.inner_probability(agent, point, fact) for point in points
@@ -504,7 +505,13 @@ def acceptance_rule_is_safe(
     accepted: Callable[[Fraction], bool],
     strategies: Sequence[Strategy],
 ) -> bool:
-    """Safety of an arbitrary acceptance rule (accept payoff iff predicate)."""
+    """Safety of an arbitrary acceptance rule (accept payoff iff predicate).
+
+    This is the generalised bet of Footnote 13: instead of the half-line
+    ``payoff >= 1/alpha`` of ``Bet(phi, alpha)``, the agent accepts any
+    payoff in an arbitrary set; :func:`footnote13_threshold_optimality`
+    uses it to show thresholds are without loss of generality.
+    """
     from .game import acceptance_set_rule
 
     gain = acceptance_set_rule(fact, accepted)

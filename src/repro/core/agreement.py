@@ -19,15 +19,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..errors import ModelError
-from ..trees.probabilistic_system import ProbabilisticSystem
-from ..trees.tree import ComputationTree
 from .assignments import ProbabilityAssignment
 from .facts import Fact
 from .model import Point
 from .standard import PostAssignment
+
+if TYPE_CHECKING:
+    # Annotation-only: core sits below trees in the import DAG (RL002).
+    from ..trees.probabilistic_system import ProbabilisticSystem
+    from ..trees.tree import ComputationTree
 
 PointSet = FrozenSet[Point]
 
@@ -37,8 +40,10 @@ def knowledge_partition(
 ) -> List[PointSet]:
     """The agent's information partition restricted to a point slice.
 
-    Requires the slice to be closed under the agent's indistinguishability
-    (true for time slices of a synchronous system).
+    This is the partition Aumann's setting [Aum76] (Appendix B.3's closing
+    remark) requires of each agent.  The slice must be closed under the
+    agent's indistinguishability (true for time slices of a synchronous
+    system).
     """
     slice_set = frozenset(slice_points)
     cells: List[PointSet] = []
@@ -60,9 +65,10 @@ def knowledge_partition(
 def meet_partition(partitions: Sequence[Sequence[PointSet]]) -> List[PointSet]:
     """The meet: the finest partition coarser than every given partition.
 
-    Its cells are the connected components of the graph joining any two
-    points that share a cell in *some* partition -- exactly the reachability
-    notion underlying common knowledge (HM90).
+    The meet is the carrier of common knowledge in Aumann's theorem
+    [Aum76] (Appendix B.3).  Its cells are the connected components of the
+    graph joining any two points that share a cell in *some* partition --
+    exactly the reachability notion underlying common knowledge (HM90).
     """
     parent: Dict[Point, Point] = {}
 
@@ -110,7 +116,8 @@ def aumann_agreement(
     fact: Fact,
     assignment: Optional[ProbabilityAssignment] = None,
 ) -> AgreementReport:
-    """Check Aumann's agreement theorem on one tree's time-``k`` slice.
+    """Check Aumann's agreement theorem [Aum76] on one tree's time-``k``
+    slice, as suggested by the closing remark of Appendix B.3.
 
     For every meet cell on which each group member's posterior probability
     of ``fact`` is constant (i.e. the posteriors are common knowledge
@@ -274,7 +281,8 @@ def common_knowledge_of_posteriors(
     """Is the profile of posteriors at ``point`` common knowledge there?
 
     True iff every agent's posterior is constant on the meet cell containing
-    the point -- the hypothesis of Aumann's theorem at a specific point.
+    the point -- the hypothesis of Aumann's theorem [Aum76] (Appendix B.3)
+    at a specific point.
     """
     posterior = assignment or ProbabilityAssignment(PostAssignment(psys))
     slice_points = [candidate for candidate in tree.points if candidate.time == time]

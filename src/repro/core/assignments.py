@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from fractions import Fraction
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Dict,
     FrozenSet,
@@ -36,10 +37,13 @@ from typing import (
 from ..errors import NotMeasurableError, Req1Error, Req2Error
 from ..probability.fractionutil import ZERO
 from ..probability.space import FiniteProbabilitySpace
-from ..trees.probabilistic_system import ProbabilisticSystem
-from ..trees.tree import ComputationTree
 from .facts import Fact, state_generated_point_set
 from .model import Point, Run
+
+if TYPE_CHECKING:
+    # Annotation-only: core sits below trees in the import DAG (RL002).
+    from ..trees.probabilistic_system import ProbabilisticSystem
+    from ..trees.tree import ComputationTree
 
 PointSet = FrozenSet[Point]
 

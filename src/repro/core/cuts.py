@@ -26,14 +26,17 @@ from __future__ import annotations
 
 from fractions import Fraction
 from itertools import product
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
 
 from ..errors import AssignmentError
 from ..probability.fractionutil import ONE, ZERO
-from ..trees.probabilistic_system import ProbabilisticSystem
 from .assignments import PointSet, SampleSpaceAssignment, induced_point_space
 from .facts import Fact
 from .model import GlobalState, Point, Run
+
+if TYPE_CHECKING:
+    # Annotation-only: core sits below trees in the import DAG (RL002).
+    from ..trees.probabilistic_system import ProbabilisticSystem
 
 Region = PointSet
 

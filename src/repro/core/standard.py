@@ -19,13 +19,16 @@ conditionings of higher ones).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Tuple
 
 from ..errors import AssignmentError
-from ..trees.probabilistic_system import ProbabilisticSystem
-from ..trees.tree import ComputationTree
 from .assignments import PointSet, ProbabilityAssignment, SampleSpaceAssignment
 from .model import Point
+
+if TYPE_CHECKING:
+    # Annotation-only: core sits below trees in the import DAG (RL002).
+    from ..trees.probabilistic_system import ProbabilisticSystem
+    from ..trees.tree import ComputationTree
 
 
 class _TreeIndexed(SampleSpaceAssignment):

@@ -1,0 +1,534 @@
+"""Tests for the reprolint invariant checker itself.
+
+Each rule gets at least one positive case (a fixture snippet that must
+trigger it) and one negative case (a snippet that must not), plus
+suppression tests and the smoke test asserting ``src/repro`` is
+violation-free.
+"""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.reprolint import all_rules, lint_paths  # noqa: E402
+from tools.reprolint.cli import main as cli_main  # noqa: E402
+
+ALL_RULE_IDS = {"RL001", "RL002", "RL003", "RL004", "RL005", "RL006"}
+
+
+def make_package(tmp_path, files):
+    """Materialise ``{"repro/core/x.py": source}`` under ``tmp_path``.
+
+    Intermediate directories get an empty ``__init__.py`` so the engine
+    sees the same package structure as ``src/repro``.
+    """
+    root = tmp_path / "pkg"
+    for rel, source in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+        ancestor = target.parent
+        while ancestor != root:
+            init = ancestor / "__init__.py"
+            if not init.exists():
+                init.write_text('__all__ = []\n', encoding="utf-8")
+            ancestor = ancestor.parent
+    return root
+
+
+def rule_ids(tmp_path, files):
+    violations, errors = lint_paths([str(make_package(tmp_path, files))])
+    assert not errors, errors
+    return [v.rule_id for v in violations]
+
+
+# ----------------------------------------------------------------------
+# Registry / framework
+# ----------------------------------------------------------------------
+
+
+def test_all_six_rules_registered():
+    assert {rule.rule_id for rule in all_rules()} == ALL_RULE_IDS
+
+
+def test_every_rule_has_title_and_rationale():
+    for rule in all_rules():
+        assert rule.title, rule.rule_id
+        assert len(rule.rationale) > 100, rule.rule_id
+
+
+# ----------------------------------------------------------------------
+# RL001 exact arithmetic
+# ----------------------------------------------------------------------
+
+
+def test_rl001_float_literal_in_probability(tmp_path):
+    ids = rule_ids(tmp_path, {"repro/probability/bad.py": "P = 0.5\n"})
+    assert "RL001" in ids
+
+
+def test_rl001_float_call_in_core(tmp_path):
+    ids = rule_ids(
+        tmp_path, {"repro/core/bad.py": "def f(x):\n    return float(x)\n"}
+    )
+    assert "RL001" in ids
+
+
+def test_rl001_math_import_in_betting(tmp_path):
+    ids = rule_ids(tmp_path, {"repro/betting/bad.py": "import math\n"})
+    assert "RL001" in ids
+
+
+def test_rl001_from_math_import_in_logic(tmp_path):
+    ids = rule_ids(tmp_path, {"repro/logic/bad.py": "from math import isclose\n"})
+    assert "RL001" in ids
+
+
+def test_rl001_float_equality_comparison(tmp_path):
+    violations, _ = lint_paths(
+        [str(make_package(tmp_path, {"repro/core/bad.py": "ok = (x == 0.3)\n"}))]
+    )
+    rl001 = [v for v in violations if v.rule_id == "RL001"]
+    assert len(rl001) == 1
+    assert "equality comparison" in rl001[0].message
+
+
+def test_rl001_diagnostic_has_line_and_col(tmp_path):
+    violations, _ = lint_paths(
+        [str(make_package(tmp_path, {"repro/core/bad.py": "x = 1\ny = 2.5\n"}))]
+    )
+    (violation,) = [v for v in violations if v.rule_id == "RL001"]
+    assert violation.line == 2
+    assert violation.col == 4
+    assert ":2:4: RL001" in violation.render()
+
+
+def test_rl001_negative_exact_fractions(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/probability/good.py": """\
+            from fractions import Fraction
+
+            HALF = Fraction(1, 2)
+
+            def is_half(p):
+                return p == HALF
+            """
+        },
+    )
+    assert "RL001" not in ids
+
+
+def test_rl001_not_enforced_outside_exact_subpackages(tmp_path):
+    # trees/ renders visualisations and may use floats.
+    ids = rule_ids(tmp_path, {"repro/trees/viz.py": "SCALE = 0.5\n"})
+    assert "RL001" not in ids
+
+
+def test_rl001_allowlists_fractionutil(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/probability/fractionutil.py": """\
+            def to_float(value):
+                return float(value)
+            """
+        },
+    )
+    assert "RL001" not in ids
+
+
+# ----------------------------------------------------------------------
+# RL002 layering
+# ----------------------------------------------------------------------
+
+
+def test_rl002_back_edge_core_imports_betting(tmp_path):
+    ids = rule_ids(
+        tmp_path, {"repro/core/bad.py": "from repro.betting.game import BettingRule\n"}
+    )
+    assert "RL002" in ids
+
+
+def test_rl002_back_edge_relative_import(tmp_path):
+    ids = rule_ids(
+        tmp_path, {"repro/probability/bad.py": "from ..core.model import Point\n"}
+    )
+    assert "RL002" in ids
+
+
+def test_rl002_forward_edge_allowed(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/betting/good.py": "from ..core.model import Point\n",
+            "repro/core/model.py": "class Point:\n    pass\n",
+        },
+    )
+    assert "RL002" not in ids
+
+
+def test_rl002_same_layer_allowed(tmp_path):
+    # logic, systems and trees share a stratum.
+    ids = rule_ids(
+        tmp_path, {"repro/systems/good.py": "from ..trees.tree import ComputationTree\n"}
+    )
+    assert "RL002" not in ids
+
+
+def test_rl002_type_checking_import_exempt(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/core/good.py": """\
+            from typing import TYPE_CHECKING
+
+            if TYPE_CHECKING:
+                from ..trees.tree import ComputationTree
+            """
+        },
+    )
+    assert "RL002" not in ids
+
+
+def test_rl002_top_level_helpers_unconstrained(tmp_path):
+    ids = rule_ids(
+        tmp_path, {"repro/testing.py": "from repro.attack.sweep import achieves\n"}
+    )
+    assert "RL002" not in ids
+
+
+# ----------------------------------------------------------------------
+# RL003 paper traceability
+# ----------------------------------------------------------------------
+
+
+def test_rl003_uncited_public_function(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/betting/theorems.py": """\
+            def verify_something(x):
+                \"\"\"Checks a property exhaustively.\"\"\"
+                return x
+            """
+        },
+    )
+    assert "RL003" in ids
+
+
+def test_rl003_missing_docstring(tmp_path):
+    ids = rule_ids(
+        tmp_path, {"repro/core/assignments.py": "def check_thing(x):\n    return x\n"}
+    )
+    assert "RL003" in ids
+
+
+def test_rl003_cited_function_passes(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/core/agreement.py": """\
+            def verify_agreement(x):
+                \"\"\"Check Aumann's theorem [Aum76], per Appendix B.3.\"\"\"
+                return x
+
+            def check_req(x):
+                \"\"\"Verify REQ1 of Section 5.\"\"\"
+                return x
+
+            def verify_seven(x):
+                \"\"\"Exhaustive check of Theorem 7.\"\"\"
+                return x
+
+            def _private_helper(x):
+                return x
+            """
+        },
+    )
+    assert "RL003" not in ids
+
+
+def test_rl003_only_applies_to_theorem_modules(tmp_path):
+    ids = rule_ids(
+        tmp_path, {"repro/core/model.py": "def helper(x):\n    return x\n"}
+    )
+    assert "RL003" not in ids
+
+
+# ----------------------------------------------------------------------
+# RL004 mutable defaults
+# ----------------------------------------------------------------------
+
+
+def test_rl004_list_literal_default(tmp_path):
+    ids = rule_ids(
+        tmp_path, {"repro/systems/bad.py": "def f(items=[]):\n    return items\n"}
+    )
+    assert "RL004" in ids
+
+
+def test_rl004_dict_call_keyword_only_default(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {"repro/attack/bad.py": "def f(*, cache=dict()):\n    return cache\n"},
+    )
+    assert "RL004" in ids
+
+
+def test_rl004_none_and_tuple_defaults_pass(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/systems/good.py": """\
+            def f(items=None, extra=(), name="x"):
+                return items, extra, name
+            """
+        },
+    )
+    assert "RL004" not in ids
+
+
+# ----------------------------------------------------------------------
+# RL005 bare except
+# ----------------------------------------------------------------------
+
+
+def test_rl005_bare_except(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/trees/bad.py": """\
+            def f():
+                try:
+                    return 1
+                except:
+                    return 2
+            """
+        },
+    )
+    assert "RL005" in ids
+
+
+def test_rl005_typed_except_passes(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/trees/good.py": """\
+            def f():
+                try:
+                    return 1
+                except ValueError:
+                    return 2
+            """
+        },
+    )
+    assert "RL005" not in ids
+
+
+# ----------------------------------------------------------------------
+# RL006 public API exports
+# ----------------------------------------------------------------------
+
+
+def test_rl006_missing_all(tmp_path):
+    root = make_package(tmp_path, {"repro/logic/mod.py": "X = 1\n"})
+    (root / "repro" / "logic" / "__init__.py").write_text(
+        "from .mod import X\n", encoding="utf-8"
+    )
+    violations, _ = lint_paths([str(root)])
+    assert any(
+        v.rule_id == "RL006" and "does not declare" in v.message for v in violations
+    )
+
+
+def test_rl006_phantom_export(tmp_path):
+    root = make_package(tmp_path, {"repro/logic/mod.py": "X = 1\n"})
+    (root / "repro" / "logic" / "__init__.py").write_text(
+        'from .mod import X\n\n__all__ = ["X", "Ghost"]\n', encoding="utf-8"
+    )
+    violations, _ = lint_paths([str(root)])
+    assert any(
+        v.rule_id == "RL006" and "'Ghost'" in v.message for v in violations
+    )
+
+
+def test_rl006_duplicate_export(tmp_path):
+    root = make_package(tmp_path, {"repro/logic/mod.py": "X = 1\n"})
+    (root / "repro" / "logic" / "__init__.py").write_text(
+        'from .mod import X\n\n__all__ = ["X", "X"]\n', encoding="utf-8"
+    )
+    violations, _ = lint_paths([str(root)])
+    assert any(v.rule_id == "RL006" and "duplicate" in v.message for v in violations)
+
+
+def test_rl006_matching_all_passes(tmp_path):
+    root = make_package(tmp_path, {"repro/logic/mod.py": "X = 1\n"})
+    (root / "repro" / "logic" / "__init__.py").write_text(
+        'from .mod import X\n\n__version__ = "1.0"\n\n'
+        '__all__ = ["X", "__version__"]\n',
+        encoding="utf-8",
+    )
+    violations, _ = lint_paths([str(root)])
+    assert "RL006" not in [v.rule_id for v in violations]
+
+
+def test_rl006_ignores_non_init_modules(tmp_path):
+    ids = rule_ids(tmp_path, {"repro/logic/mod.py": "X = 1\n"})
+    assert "RL006" not in ids
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+
+
+def test_line_suppression(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/core/mixed.py": """\
+            GOOD = 0.5  # reprolint: disable=RL001
+            BAD = 0.25
+            """
+        },
+    )
+    assert ids.count("RL001") == 1
+
+
+def test_file_wide_suppression(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/core/legacy.py": """\
+            # reprolint: disable=RL001
+            A = 0.5
+            B = 0.25
+            """
+        },
+    )
+    assert "RL001" not in ids
+
+
+def test_suppression_only_silences_named_rule(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/core/mixed.py": """\
+            # reprolint: disable=RL004
+            A = 0.5
+            """
+        },
+    )
+    assert "RL001" in ids
+
+
+def test_multi_rule_suppression(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/core/legacy.py": """\
+            # reprolint: disable=RL001, RL004
+            A = 0.5
+
+            def f(items=[]):
+                return items
+            """
+        },
+    )
+    assert "RL001" not in ids and "RL004" not in ids
+
+
+# ----------------------------------------------------------------------
+# CLI behaviour
+# ----------------------------------------------------------------------
+
+
+def test_cli_json_output(tmp_path, capsys):
+    root = make_package(tmp_path, {"repro/core/bad.py": "P = 0.5\n"})
+    exit_code = cli_main(["--json", str(root)])
+    assert exit_code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload, "expected at least one violation"
+    record = payload[0]
+    assert set(record) == {"path", "line", "col", "rule", "message"}
+    assert record["rule"] == "RL001"
+
+
+def test_cli_clean_tree_exits_zero(tmp_path, capsys):
+    root = make_package(tmp_path, {"repro/core/good.py": "X = 1\n"})
+    assert cli_main([str(root)]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_cli_explain_every_rule(capsys):
+    for rule_id in sorted(ALL_RULE_IDS):
+        assert cli_main(["--explain", rule_id]) == 0
+        out = capsys.readouterr().out
+        assert rule_id in out
+        # The rationale must tie the rule back to the paper.
+        assert any(
+            marker in out
+            for marker in ("Theorem", "Section", "Appendix", "paper")
+        ), rule_id
+
+
+def test_cli_explain_unknown_rule(capsys):
+    assert cli_main(["--explain", "RL999"]) == 2
+
+
+def test_cli_list_rules(capsys):
+    assert cli_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ALL_RULE_IDS:
+        assert rule_id in out
+
+
+def test_cli_syntax_error_exits_two(tmp_path, capsys):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n", encoding="utf-8")
+    assert cli_main([str(bad)]) == 2
+
+
+def test_module_invocation_matches_issue_contract(tmp_path):
+    """``python -m tools.reprolint`` exits 0 clean / 1 on a seeded violation."""
+    root = make_package(tmp_path, {"repro/betting/bad.py": "ALPHA = 0.5\n"})
+    seeded = subprocess.run(
+        [sys.executable, "-m", "tools.reprolint", str(root)],
+        cwd=str(REPO_ROOT),
+        capture_output=True,
+        text=True,
+    )
+    assert seeded.returncode == 1
+    first_line = seeded.stdout.splitlines()[0]
+    path, line, col, rest = first_line.split(":", 3)
+    assert path.endswith("bad.py") and line.isdigit() and col.isdigit()
+    assert rest.strip().startswith("RL001")
+
+
+# ----------------------------------------------------------------------
+# The tree itself stays clean
+# ----------------------------------------------------------------------
+
+
+def test_src_repro_is_violation_free():
+    violations, errors = lint_paths([str(REPO_ROOT / "src" / "repro")])
+    assert not errors, [e.render() for e in errors]
+    assert not violations, "\n".join(v.render() for v in violations)
+
+
+def test_tools_directory_is_clean_of_generic_rules():
+    """The linter holds itself to the generic hygiene rules."""
+    violations, errors = lint_paths([str(REPO_ROOT / "tools")])
+    assert not errors
+    generic = [v for v in violations if v.rule_id in {"RL004", "RL005"}]
+    assert not generic, "\n".join(v.render() for v in generic)

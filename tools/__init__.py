@@ -1,0 +1,5 @@
+"""Repository tooling that is *not* part of the installed ``repro`` package.
+
+``tools.reprolint`` is the project's AST-based invariant checker; run it
+with ``python -m tools.reprolint src/repro`` from a checkout.
+"""

@@ -1,0 +1,46 @@
+"""reprolint: AST-based invariant checker for this reproduction.
+
+Six rules guard the properties the paper's executable theorems rely on:
+
+* RL001 -- exact arithmetic (no floats) in probability/, core/,
+  betting/, logic/; ``probability/fractionutil.py`` is the single
+  sanctioned float boundary.
+* RL002 -- package layering
+  ``probability -> core -> {logic, systems, trees} -> betting -> attack``
+  with no runtime back-edges (``if TYPE_CHECKING:`` imports are exempt).
+* RL003 -- every public function in the theorem-bearing modules cites
+  the paper result it implements.
+* RL004 -- no mutable default arguments.
+* RL005 -- no bare ``except:``.
+* RL006 -- ``__all__`` in each ``__init__.py`` exists and only lists
+  names the module actually binds.
+
+Usage::
+
+    python -m tools.reprolint src/repro            # human output, exit 1 on findings
+    python -m tools.reprolint --json src/repro     # machine-readable
+    python -m tools.reprolint --explain RL001      # rule rationale
+    python -m tools.reprolint --list-rules
+
+Suppress with ``# reprolint: disable=RL001`` -- file-wide on a standalone
+comment line, single-line as a trailing comment.
+"""
+
+from .engine import LintError, lint_module, lint_paths, load_module
+from .model import Module, Suppressions, Violation, parse_suppressions
+from .registry import Rule, all_rules, get_rule, register
+
+__all__ = [
+    "LintError",
+    "Module",
+    "Rule",
+    "Suppressions",
+    "Violation",
+    "all_rules",
+    "get_rule",
+    "lint_module",
+    "lint_paths",
+    "load_module",
+    "parse_suppressions",
+    "register",
+]

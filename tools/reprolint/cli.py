@@ -1,0 +1,89 @@
+"""Command-line interface: ``python -m tools.reprolint [paths...]``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .engine import lint_paths
+from .registry import all_rules, get_rule
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "AST-based invariant checker for the Halpern & Tuttle "
+            "reproduction: exact probability arithmetic, package layering, "
+            "and paper traceability."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories to lint (e.g. src/repro)"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit violations as a JSON array instead of path:line:col lines",
+    )
+    parser.add_argument(
+        "--explain",
+        metavar="RL00X",
+        help="print the rationale for one rule (with the paper section it protects) and exit",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rule ids and titles and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.explain:
+        try:
+            rule = get_rule(args.explain.strip().upper())
+        except KeyError as exc:
+            print(str(exc.args[0]), file=sys.stderr)
+            return 2
+        print(f"{rule.rule_id}: {rule.title}")
+        print()
+        print(rule.rationale)
+        return 0
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.title}")
+        return 0
+
+    if not args.paths:
+        parser.error("no paths given (try: python -m tools.reprolint src/repro)")
+
+    violations, errors = lint_paths(args.paths)
+
+    if errors:
+        for error in errors:
+            print(error.render(), file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps([v.as_dict() for v in violations], indent=2))
+    else:
+        for violation in violations:
+            print(violation.render())
+        if violations:
+            print(
+                f"reprolint: {len(violations)} violation(s) "
+                f"(suppress a line with '# reprolint: disable=<RULE>')",
+                file=sys.stderr,
+            )
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""File discovery, rule execution, and suppression filtering."""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from . import rules as _rules  # noqa: F401  (populates the registry)
+from .model import Module, Violation, parse_suppressions
+from .registry import Rule, all_rules
+
+
+@dataclass(frozen=True)
+class LintError:
+    """A file reprolint could not analyse (syntax error, unreadable)."""
+
+    path: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}: error: {self.message}"
+
+
+def iter_python_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        found.append(os.path.join(dirpath, filename))
+        else:
+            found.append(path)
+    seen = set()
+    unique = []
+    for path in found:
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return sorted(unique)
+
+
+def load_module(path: str) -> Module:
+    """Parse ``path`` and compute its package-relative identity.
+
+    The package root is the topmost ancestor directory that still contains
+    an ``__init__.py``; for ``src/repro/core/cuts.py`` that is
+    ``src/repro``, giving ``rel_parts == ("core", "cuts")`` and
+    ``root_package == "repro"``.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    tree = ast.parse(source, filename=path)
+    directory = os.path.dirname(os.path.abspath(path))
+    package_dirs: List[str] = []
+    while os.path.isfile(os.path.join(directory, "__init__.py")):
+        package_dirs.append(os.path.basename(directory))
+        parent = os.path.dirname(directory)
+        if parent == directory:
+            break
+        directory = parent
+    package_dirs.reverse()
+    stem = os.path.splitext(os.path.basename(path))[0]
+    if package_dirs:
+        root_package = package_dirs[0]
+        rel_parts = tuple(package_dirs[1:]) + (stem,)
+    else:
+        root_package = ""
+        rel_parts = (stem,)
+    source_lines = source.splitlines()
+    return Module(
+        path=path,
+        rel_parts=rel_parts,
+        tree=tree,
+        source_lines=source_lines,
+        suppressions=parse_suppressions(source_lines),
+        root_package=root_package,
+    )
+
+
+def lint_module(module: Module, rules: Iterable[Rule]) -> List[Violation]:
+    violations: List[Violation] = []
+    for rule in rules:
+        for violation in rule.check(module):
+            if not module.suppressions.suppresses(violation):
+                violations.append(violation)
+    return violations
+
+
+def lint_paths(
+    paths: Sequence[str],
+) -> Tuple[List[Violation], List[LintError]]:
+    """Lint every python file reachable from ``paths``.
+
+    Returns ``(violations, errors)``, each sorted for stable output.
+    """
+    rules = all_rules()
+    violations: List[Violation] = []
+    errors: List[LintError] = []
+    for path in iter_python_files(paths):
+        try:
+            module = load_module(path)
+        except (OSError, SyntaxError, ValueError) as exc:
+            errors.append(LintError(path=path, message=str(exc)))
+            continue
+        violations.extend(lint_module(module, rules))
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    errors.sort(key=lambda e: e.path)
+    return violations, errors
+
+
+__all__ = ["LintError", "iter_python_files", "lint_module", "lint_paths", "load_module"]

@@ -1,0 +1,118 @@
+"""Data model shared by the reprolint engine and its rules.
+
+A rule sees one :class:`Module` at a time: the parsed AST, the raw source,
+and enough package metadata to decide which invariants apply (layering
+needs the subpackage, traceability needs the module path, ...).
+Suppressions are parsed once per file by the engine and honoured
+centrally, so rules never need to know about them.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set, Tuple
+
+#: Comment syntax: ``# reprolint: disable=RL001`` or ``=RL001,RL004``.
+#: On a standalone comment line the suppression applies to the whole file;
+#: as a trailing comment it applies to violations reported on that line.
+SUPPRESSION_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Z0-9,\s]+)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One diagnostic, addressable as ``path:line:col``."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }
+
+
+@dataclass
+class Suppressions:
+    """Per-file and per-line rule suppressions parsed from comments."""
+
+    file_wide: Set[str] = field(default_factory=set)
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+
+    def suppresses(self, violation: Violation) -> bool:
+        if violation.rule_id in self.file_wide:
+            return True
+        return violation.rule_id in self.by_line.get(violation.line, set())
+
+
+def parse_suppressions(source_lines: Sequence[str]) -> Suppressions:
+    suppressions = Suppressions()
+    for lineno, line in enumerate(source_lines, start=1):
+        match = SUPPRESSION_RE.search(line)
+        if match is None:
+            continue
+        rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
+        before_comment = line[: line.index("#")].strip()
+        if before_comment:
+            suppressions.by_line.setdefault(lineno, set()).update(rules)
+        else:
+            suppressions.file_wide.update(rules)
+    return suppressions
+
+
+@dataclass
+class Module:
+    """A parsed source file plus the package metadata rules care about."""
+
+    #: Path exactly as it should appear in diagnostics.
+    path: str
+    #: Dotted module name relative to the scanned package root, e.g.
+    #: ``("core", "cuts")`` for ``src/repro/core/cuts.py`` and
+    #: ``("core", "__init__")`` for the package initialiser.
+    rel_parts: Tuple[str, ...]
+    tree: ast.Module
+    source_lines: List[str]
+    suppressions: Suppressions
+    #: Name of the scanned package root (``"repro"``), used to recognise
+    #: absolute imports of project modules.
+    root_package: str = "repro"
+
+    @property
+    def subpackage(self) -> str:
+        """First component under the package root (``""`` for top level)."""
+        return self.rel_parts[0] if len(self.rel_parts) > 1 else ""
+
+    @property
+    def is_package_init(self) -> bool:
+        return self.rel_parts[-1] == "__init__"
+
+    def violation(
+        self, node: ast.AST, rule_id: str, message: str
+    ) -> Violation:
+        return Violation(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=rule_id,
+            message=message,
+        )
+
+
+__all__ = [
+    "Module",
+    "SUPPRESSION_RE",
+    "Suppressions",
+    "Violation",
+    "parse_suppressions",
+]

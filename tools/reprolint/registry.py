@@ -1,0 +1,69 @@
+"""Pluggable rule registry.
+
+A rule is a class with a unique ``rule_id``, a one-line ``title``, a
+``rationale`` tying the invariant back to the paper, and a ``check``
+method yielding :class:`~tools.reprolint.model.Violation` objects for one
+module.  Registering is one decorator::
+
+    @register
+    class MyRule(Rule):
+        rule_id = "RL042"
+        ...
+
+New rule modules only need to be imported from
+``tools.reprolint.rules.__init__`` to take effect; the engine and CLI
+discover them through this registry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Type
+
+from .model import Module, Violation
+
+
+class Rule:
+    """Base class for reprolint rules."""
+
+    #: Unique identifier, ``RL`` followed by three digits.
+    rule_id: str = ""
+    #: One-line summary shown by ``--list-rules``.
+    title: str = ""
+    #: Multi-paragraph explanation printed by ``--explain``; must say which
+    #: part of the paper the invariant protects.
+    rationale: str = ""
+
+    def check(self, module: Module) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, module: Module, node: object, message: str) -> Violation:
+        return module.violation(node, self.rule_id, message)  # type: ignore[arg-type]
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule (as a singleton instance) to the registry."""
+    rule = rule_class()
+    if not rule.rule_id:
+        raise ValueError(f"{rule_class.__name__} has no rule_id")
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id}")
+    _REGISTRY[rule.rule_id] = rule
+    return rule_class
+
+
+def all_rules() -> List[Rule]:
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown rule {rule_id!r} (known: {known})") from None
+
+
+__all__ = ["Rule", "all_rules", "get_rule", "register"]

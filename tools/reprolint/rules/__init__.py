@@ -1,0 +1,23 @@
+"""Rule modules.  Importing this package populates the registry.
+
+To add a rule: create ``rlNNN_short_name.py`` defining a ``Rule``
+subclass decorated with ``@register``, then import it here.
+"""
+
+from . import (  # noqa: F401  (imported for the registration side effect)
+    rl001_exact_arithmetic,
+    rl002_layering,
+    rl003_traceability,
+    rl004_mutable_defaults,
+    rl005_bare_except,
+    rl006_public_api,
+)
+
+__all__ = [
+    "rl001_exact_arithmetic",
+    "rl002_layering",
+    "rl003_traceability",
+    "rl004_mutable_defaults",
+    "rl005_bare_except",
+    "rl006_public_api",
+]

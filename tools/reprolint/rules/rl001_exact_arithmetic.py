@@ -1,0 +1,92 @@
+"""RL001 — exact arithmetic only in the measure-theoretic core."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..model import Module, Violation
+from ..registry import Rule, register
+
+#: Subpackages where every probability must stay a ``fractions.Fraction``.
+EXACT_SUBPACKAGES = frozenset({"probability", "core", "betting", "logic"})
+
+#: Modules allowed to mention floats: the single sanctioned float ->
+#: Fraction conversion boundary (``as_fraction``/``format_fraction``).
+ALLOWLIST = frozenset({("probability", "fractionutil")})
+
+#: Imports of approximate-arithmetic stdlib modules are banned outright.
+BANNED_MODULES = frozenset({"math", "cmath"})
+
+
+@register
+class ExactArithmeticRule(Rule):
+    rule_id = "RL001"
+    title = "no float arithmetic in probability/, core/, betting/, logic/"
+    rationale = """\
+Every probability in the library is an exact fractions.Fraction (see
+src/repro/probability/fractionutil.py).  The theorem verifiers -- Theorems
+7, 8 and 9 and Proposition 6 in repro.betting.theorems -- compare measures
+with `==`, which is only sound under the exact measure-theoretic semantics
+of the paper's Sections 3-5.  A single float literal, float() call,
+math.*/cmath.* import, or equality test against a float constant silently
+replaces exact comparison with binary-rounding behaviour and can flip a
+theorem verdict without any test noticing.
+
+The only sanctioned float boundary is probability/fractionutil.py, where
+as_fraction() converts a float via its decimal repr and format_fraction()
+renders large denominators for tables; that module is allowlisted."""
+
+    def check(self, module: Module) -> Iterator[Violation]:
+        if module.subpackage not in EXACT_SUBPACKAGES:
+            return
+        if module.rel_parts in ALLOWLIST:
+            return
+        reported_constants: Set[int] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] in BANNED_MODULES:
+                        yield self.violation(
+                            module, node,
+                            f"import of approximate-arithmetic module "
+                            f"'{alias.name}' (use fractions.Fraction)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and node.module.split(".")[0] in BANNED_MODULES:
+                    yield self.violation(
+                        module, node,
+                        f"import from approximate-arithmetic module "
+                        f"'{node.module}' (use fractions.Fraction)",
+                    )
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for op, left, right in zip(node.ops, operands, operands[1:]):
+                    if not isinstance(op, (ast.Eq, ast.NotEq)):
+                        continue
+                    for operand in (left, right):
+                        if _is_float_constant(operand):
+                            reported_constants.add(id(operand))
+                            yield self.violation(
+                                module, operand,
+                                "equality comparison against float constant "
+                                f"{operand.value!r} (compare exact Fractions)",  # type: ignore[attr-defined]
+                            )
+            elif isinstance(node, ast.Call):
+                if isinstance(node.func, ast.Name) and node.func.id == "float":
+                    yield self.violation(
+                        module, node,
+                        "float() conversion (keep values as Fraction; "
+                        "fractionutil is the only sanctioned boundary)",
+                    )
+        for node in ast.walk(module.tree):
+            if _is_float_constant(node) and id(node) not in reported_constants:
+                yield self.violation(
+                    module, node,
+                    f"float literal {node.value!r} "  # type: ignore[attr-defined]
+                    "(write Fraction(p, q) or a '\"p/q\"' string)",
+                )
+
+
+def _is_float_constant(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)

@@ -1,0 +1,124 @@
+"""RL002 — enforce the import DAG between subpackages."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set, Tuple
+
+from ..model import Module, Violation
+from ..registry import Rule, register
+
+#: The architecture, lowest layer first.  A module may import its own
+#: layer or any lower one; importing a *higher* layer is a back-edge.
+#:
+#:     errors < probability < core < {logic, systems, trees} < betting < attack
+LAYERS = {
+    "errors": 0,
+    "probability": 1,
+    "core": 2,
+    "logic": 3,
+    "systems": 3,
+    "trees": 3,
+    "betting": 4,
+    "attack": 5,
+}
+
+#: Top-level helpers (reporting, testing, examples_lib, the package
+#: initialiser) sit above every layer and may import anything.
+UNCONSTRAINED_LAYER = max(LAYERS.values()) + 1
+
+
+@register
+class LayeringRule(Rule):
+    rule_id = "RL002"
+    title = "import DAG: probability -> core -> {logic, systems, trees} -> betting -> attack"
+    rationale = """\
+The codebase mirrors the paper's construction order: Section 3 builds
+probability spaces on runs (probability/, trees/), Section 4-5 define
+probability assignments and knowledge at a point (core/), Section 5's
+betting game (betting/) is *defined in terms of* those assignments, and
+Section 8's coordinated-attack analysis (attack/) consumes everything.
+A back-edge -- e.g. core importing betting -- would let the definition of
+probabilistic knowledge depend on the game used to characterise it,
+making the executable Theorems 7-9 circular instead of theorems.
+
+Runtime imports must respect the layering; imports inside an
+`if TYPE_CHECKING:` block are annotation-only and exempt, which is the
+sanctioned way for a lower layer to name a higher layer's type in a
+signature."""
+
+    def check(self, module: Module) -> Iterator[Violation]:
+        importer_layer = LAYERS.get(module.subpackage, UNCONSTRAINED_LAYER)
+        type_checking_nodes = _type_checking_only_nodes(module.tree)
+        package_parts = module.rel_parts[:-1]
+        for node in ast.walk(module.tree):
+            if id(node) in type_checking_nodes:
+                continue
+            for target in _project_import_targets(node, module, package_parts):
+                target_layer = LAYERS.get(target, UNCONSTRAINED_LAYER)
+                if target_layer > importer_layer:
+                    yield self.violation(
+                        module, node,
+                        f"back-edge: '{module.subpackage or module.root_package}' "
+                        f"(layer {importer_layer}) imports "
+                        f"'{target}' (layer {target_layer}); move the "
+                        "dependency down or gate it behind TYPE_CHECKING",
+                    )
+
+
+def _project_import_targets(
+    node: ast.AST, module: Module, package_parts: Tuple[str, ...]
+) -> Iterator[str]:
+    """Yield the subpackage name for each project-internal import in ``node``."""
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            parts = alias.name.split(".")
+            if parts[0] == module.root_package and len(parts) > 1:
+                yield parts[1]
+    elif isinstance(node, ast.ImportFrom):
+        resolved = _resolve(node, module, package_parts)
+        if resolved is None:
+            return
+        if len(resolved) > 0:
+            yield resolved[0]
+        else:
+            # ``from . import x`` at the package root: each alias is a
+            # subpackage of the root.
+            for alias in node.names:
+                yield alias.name.split(".")[0]
+
+
+def _resolve(
+    node: ast.ImportFrom, module: Module, package_parts: Tuple[str, ...]
+) -> Optional[Tuple[str, ...]]:
+    """Resolve an ImportFrom to package-root-relative parts, or None if external."""
+    if node.level == 0:
+        assert node.module is not None
+        parts = tuple(node.module.split("."))
+        if parts[0] != module.root_package:
+            return None
+        return parts[1:]
+    if node.level - 1 > len(package_parts):
+        return None  # escapes the scanned package; not ours to judge
+    base = package_parts[: len(package_parts) - (node.level - 1)]
+    suffix = tuple(node.module.split(".")) if node.module else ()
+    return tuple(base) + suffix
+
+
+def _type_checking_only_nodes(tree: ast.Module) -> Set[int]:
+    """ids of all nodes nested under an ``if TYPE_CHECKING:`` body."""
+    ids: Set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.If) and _is_type_checking_test(node.test):
+            for child in node.body:
+                for sub in ast.walk(child):
+                    ids.add(id(sub))
+    return ids
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False

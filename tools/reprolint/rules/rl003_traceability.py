@@ -1,0 +1,72 @@
+"""RL003 — paper traceability for theorem-bearing modules."""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..model import Module, Violation
+from ..registry import Rule, register
+
+#: Modules whose public functions implement numbered results of the paper
+#: and must say which ones.
+TRACEABLE_MODULES = frozenset(
+    {
+        ("betting", "theorems"),
+        ("core", "assignments"),
+        ("core", "agreement"),
+    }
+)
+
+#: A docstring "cites the paper" when it names a numbered result, a
+#: numbered section, a requirement label, an appendix, or a bibliography
+#: key such as ``[Aum76]``.
+CITATION_RE = re.compile(
+    r"(Theorem|Proposition|Definition|Lemma|Corollary|Footnote|Section)\s*B?\.?\d"
+    r"|Appendix\s*[A-Z]"
+    r"|REQ\d"
+    r"|\[[A-Z][A-Za-z]*\d{2}\]",
+    re.IGNORECASE,
+)
+
+
+@register
+class TraceabilityRule(Rule):
+    rule_id = "RL003"
+    title = "public functions in theorem modules must cite the paper"
+    rationale = """\
+betting/theorems.py, core/assignments.py and core/agreement.py are the
+modules that *claim to be* Halpern & Tuttle's numbered results (Theorems
+7-9, Proposition 6, REQ1/REQ2 of Section 5, the Aumann remark of Appendix
+B.3).  The reproduction is only auditable if every public entry point in
+those modules says which statement it implements: a reviewer must be able
+to open the paper at the cited number and check the code against it.
+A public function with no citation is an untraceable claim.
+
+A citation is any of: 'Theorem 7', 'Proposition 6', 'Definition 4.1',
+'Lemma 2', 'Corollary 3', 'Footnote 13', 'Section 5', 'REQ1', 'Appendix
+B.3', or a bibliography key like '[Aum76]', anywhere in the docstring."""
+
+    def check(self, module: Module) -> Iterator[Violation]:
+        if module.rel_parts not in TRACEABLE_MODULES:
+            return
+        for node in module.tree.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_"):
+                continue
+            docstring = ast.get_docstring(node) or ""
+            if not docstring:
+                yield self.violation(
+                    module, node,
+                    f"public function '{node.name}' has no docstring "
+                    "(must cite the paper result it implements)",
+                )
+            elif not CITATION_RE.search(docstring):
+                yield self.violation(
+                    module, node,
+                    f"public function '{node.name}' does not cite a paper "
+                    "result (add e.g. 'Theorem 7', 'REQ1 (Section 5)' or "
+                    "'Appendix B.3' to its docstring)",
+                )

@@ -1,0 +1,50 @@
+"""RL004 — no mutable default arguments."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..model import Module, Violation
+from ..registry import Rule, register
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict"})
+
+
+@register
+class MutableDefaultRule(Rule):
+    rule_id = "RL004"
+    title = "no mutable default argument values"
+    rationale = """\
+Default argument values are evaluated once, at definition time.  A
+mutable default ([], {}, set(), ...) is shared across *every* call, so
+state leaks between invocations.  In this library that failure mode is
+existential, not stylistic: the verifiers for the paper's Theorem 7,
+Theorem 8, Theorem 9 and Proposition 6 (Section 5) brute-force thousands
+of strategies and points, and a shared accumulator would let one
+verification contaminate the next, producing a 'holds' verdict that
+depends on call order.  Use None and create the container inside the
+body, or use an immutable default such as a tuple."""
+
+    def check(self, module: Module) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            name = getattr(node, "name", "<lambda>")
+            defaults = list(node.args.defaults)
+            defaults += [d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                if _is_mutable(default):
+                    yield self.violation(
+                        module, default,
+                        f"mutable default argument in '{name}' "
+                        "(use None and build the container in the body)",
+                    )
+
+
+def _is_mutable(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CALLS
+    return False

@@ -1,0 +1,34 @@
+"""RL005 — no bare ``except:`` handlers."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..model import Module, Violation
+from ..registry import Rule, register
+
+
+@register
+class BareExceptRule(Rule):
+    rule_id = "RL005"
+    title = "no bare except clauses"
+    rationale = """\
+A bare `except:` catches everything, including SystemExit,
+KeyboardInterrupt and -- critically for this library -- the structured
+errors that *are* the result of a check: Req1Error/Req2Error from
+core.assignments, NotMeasurableError from the measure layer, and
+BettingError from the game.  Swallowing one of those converts 'this
+assignment violates REQ2 (Section 5)' into silent acceptance, which is
+exactly the kind of unsound shortcut the exact-arithmetic design exists
+to prevent.  Catch the narrowest exception type that the code can
+actually handle."""
+
+    def check(self, module: Module) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.violation(
+                    module, node,
+                    "bare 'except:' (catch a specific exception type; "
+                    "domain errors like Req1Error are results, not noise)",
+                )
