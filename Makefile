@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench examples quicktest lint lint-json clean
+.PHONY: install test bench bench-json bench-json-smoke examples quicktest lint lint-json clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -23,6 +23,13 @@ lint-json:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Machine-readable benchmark report (see docs/performance.md).
+bench-json:
+	$(PYTHON) benchmarks/collect.py --output BENCH_2.json
+
+bench-json-smoke:
+	$(PYTHON) benchmarks/collect.py --smoke --output BENCH_2.json
 
 examples:
 	@for script in examples/*.py; do \

@@ -78,6 +78,52 @@ DEFAULT_BUILDERS: Dict[str, Builder] = {
     "CA1-adaptive": build_ca1_adaptive,
 }
 
+#: One unit of sweep work: ``(protocol name, builder, messengers, loss,
+#: epsilon)``.  Tasks are what the parallel runner ships to worker
+#: processes, so every component must be picklable (the default builders
+#: are module-level functions, hence pickled by reference).
+SweepTask = Tuple[str, Builder, int, Fraction, Fraction]
+
+
+def sweep_tasks(
+    messenger_counts: Sequence[int],
+    losses: Sequence[FractionLike],
+    builders: Optional[Dict[str, Builder]] = None,
+    epsilon: FractionLike = Fraction(99, 100),
+) -> List[SweepTask]:
+    """The deterministic task list behind :func:`guarantee_sweep`.
+
+    Serial and parallel execution both enumerate this exact list in this
+    exact order, which is what makes their results comparable row by row.
+    """
+    builders = builders or DEFAULT_BUILDERS
+    threshold = as_fraction(epsilon)
+    return [
+        (name, builder, messengers, as_fraction(loss), threshold)
+        for name, builder in builders.items()
+        for messengers in messenger_counts
+        for loss in losses
+    ]
+
+
+def sweep_row_of(task: SweepTask) -> SweepRow:
+    """Compute one :class:`SweepRow` from a :data:`SweepTask`.
+
+    Module-level (not a closure) so :func:`repro.attack.parallel.parallel_map`
+    can send it to worker processes.
+    """
+    name, builder, messengers, loss, threshold = task
+    attack = builder(messengers, loss)
+    post = post_threshold(attack)
+    return SweepRow(
+        protocol=name,
+        messengers=messengers,
+        loss=loss,
+        run_level=run_level_probability(attack),
+        post_threshold=post,
+        achieves_99_post=post >= threshold,
+    )
+
 
 def guarantee_sweep(
     messenger_counts: Sequence[int],
@@ -86,25 +132,10 @@ def guarantee_sweep(
     epsilon: FractionLike = Fraction(99, 100),
 ) -> List[SweepRow]:
     """Sweep protocols over messenger counts and loss probabilities."""
-    builders = builders or DEFAULT_BUILDERS
-    threshold = as_fraction(epsilon)
-    rows: List[SweepRow] = []
-    for name, builder in builders.items():
-        for messengers in messenger_counts:
-            for loss in losses:
-                attack = builder(messengers, as_fraction(loss))
-                post = post_threshold(attack)
-                rows.append(
-                    SweepRow(
-                        protocol=name,
-                        messengers=messengers,
-                        loss=as_fraction(loss),
-                        run_level=run_level_probability(attack),
-                        post_threshold=post,
-                        achieves_99_post=post >= threshold,
-                    )
-                )
-    return rows
+    return [
+        sweep_row_of(task)
+        for task in sweep_tasks(messenger_counts, losses, builders, epsilon)
+    ]
 
 
 def crossover_messengers(

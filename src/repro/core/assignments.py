@@ -134,8 +134,8 @@ def induced_point_space(
     ``mu_A`` on ``R(S_ic)``.
     """
     sample_set = frozenset(sample)
-    tree = check_req1(psys, point, sample_set)
-    total = check_req2(psys, point, sample_set)
+    check_req2(psys, point, sample_set)  # REQ1 checked inside
+    tree = psys.tree_of(point)
     run_space = psys.run_space(tree.adversary)
     # group the sample by run once, so projection is linear in the sample
     # instead of quadratic (sample x atoms) in large systems
@@ -143,8 +143,11 @@ def induced_point_space(
     for member in sample_set:
         points_on_run.setdefault(member.run, []).append(member)
     atoms: List[PointSet] = []
-    probabilities: Dict[PointSet, Fraction] = {}
-    for run_atom in run_space.atoms:
+    weight_of: Dict[PointSet, int] = {}
+    # conditioning on R(S_ic) in integer weight form: the conditional
+    # measure of a projected atom is its run weight over the total weight
+    # of runs through the sample, with no per-atom Fraction division
+    for run_atom, weight in zip(run_space.atoms, run_space.atom_weights):
         projected = frozenset(
             member
             for run in run_atom
@@ -153,13 +156,21 @@ def induced_point_space(
         )
         if not projected:
             continue
-        mass = run_space.measure(run_atom) / total
-        if projected in probabilities:
-            probabilities[projected] += mass
+        if projected in weight_of:
+            weight_of[projected] += weight
         else:
             atoms.append(projected)
-            probabilities[projected] = mass
-    return FiniteProbabilitySpace(atoms, probabilities)
+            weight_of[projected] = weight
+    # distinct run atoms project to disjoint point sets covering the
+    # sample (each point lies on exactly one run), so the projections are
+    # a partition by construction; the weights sum to the denominator by
+    # construction, and check_req2 guarantees the denominator is positive
+    total_weight = sum(weight_of.values())
+    return FiniteProbabilitySpace._from_atom_weights(
+        tuple(atoms),
+        tuple(weight_of[atom] for atom in atoms),
+        total_weight,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -330,7 +341,7 @@ class ProbabilityAssignment:
         self.psys = ssa.psys
         self.name = name or ssa.name
         self._space_cache: Dict[Tuple[int, PointSet], FiniteProbabilitySpace] = {}
-        self._event_cache: Dict[Tuple[int, PointSet], Tuple[Fact, PointSet]] = {}
+        self._event_cache: Dict[Tuple[Fact, PointSet], PointSet] = {}
 
     # -- spaces ----------------------------------------------------------
 
@@ -349,21 +360,23 @@ class ProbabilityAssignment:
     # -- probabilities at a point ----------------------------------------
 
     def satisfying_points(self, agent: int, point: Point, fact: Fact) -> PointSet:
-        """``S_ic(phi)``: the sample points where the fact holds.
+        """``S_ic(phi)``: the sample points where the fact holds (Section 5).
 
-        Cached per (fact identity, sample space): uniform assignments reuse
-        one sample across many points, and facts are immutable in practice,
-        so the cache turns repeated interval queries from quadratic to
-        linear in the system size.
+        Cached per (fact, sample space): uniform assignments reuse one
+        sample across many points, and facts are immutable in practice, so
+        the cache turns repeated interval queries from quadratic to linear
+        in the system size.  :class:`Fact` hashes and compares by identity,
+        so keying by the fact object itself is exactly the old
+        ``id(fact)``-keyed scheme without the id-recycling hazard (and
+        without the keep-alive workaround it required).
         """
         sample = self.ssa.sample_space(agent, point)
-        key = (id(fact), sample)
+        key = (fact, sample)
         cached = self._event_cache.get(key)
-        if cached is None or cached[0] is not fact:
-            # keep the fact alive in the cache so its id cannot be recycled
-            cached = (fact, fact.restricted_to(sample))
+        if cached is None:
+            cached = fact.restricted_to(sample)
             self._event_cache[key] = cached
-        return cached[1]
+        return cached
 
     def is_measurable_at(self, agent: int, point: Point, fact: Fact) -> bool:
         """True iff ``S_ic(phi)`` is measurable in ``P_ic``."""

@@ -36,6 +36,15 @@ class Fact:
         self._predicate = predicate
         self.name = name or "<fact>"
 
+    # Facts are intensional objects: two facts with extensionally equal
+    # predicates are still distinct keys.  Identity equality/hashing is
+    # Python's default, but the event caches in
+    # :class:`~repro.core.assignments.ProbabilityAssignment` key on fact
+    # objects, so pin the contract explicitly.
+    __eq__ = object.__eq__
+    __ne__ = object.__ne__
+    __hash__ = object.__hash__
+
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------

@@ -34,6 +34,7 @@ from typing import (
 )
 
 from ..errors import ModelError
+from ..probability.bitset import OutcomeIndex
 
 LocalState = Hashable
 EnvironmentState = Hashable
@@ -66,12 +67,14 @@ class GlobalState:
     def __hash__(self) -> int:
         # Environments encode full histories (deep nested tuples), so a
         # recomputed-per-lookup hash dominates large-system run times; cache
-        # it on first use (safe: the dataclass is frozen).
-        cached = self.__dict__.get("_hash")
-        if cached is None:
+        # it on first use (safe: the dataclass is frozen).  Plain attribute
+        # access beats a __dict__.get on the hot path.
+        try:
+            return self._hash
+        except AttributeError:
             cached = hash((self.environment, self.local_states))
             object.__setattr__(self, "_hash", cached)
-        return cached
+            return cached
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"GlobalState(env={self.environment!r}, locals={self.local_states!r})"
@@ -140,11 +143,12 @@ class Run:
         return len(self.states)
 
     def __hash__(self) -> int:
-        cached = self.__dict__.get("_hash")
-        if cached is None:
+        try:
+            return self._hash
+        except AttributeError:
             cached = hash(self.states)
             object.__setattr__(self, "_hash", cached)
-        return cached
+            return cached
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Run(horizon={self.horizon})"
@@ -197,16 +201,29 @@ class System:
         if len(agent_counts) != 1:
             raise ModelError("all runs of a system must have the same agent count")
         self._num_agents = agent_counts.pop()
-        self._points: Tuple[Point, ...] = tuple(
-            point for run in self._runs for point in run.points()
-        )
         self._by_local: List[Dict[LocalState, List[Point]]] = [
             {} for _ in range(self._num_agents)
         ]
-        for point in self._points:
-            for agent in range(self._num_agents):
-                self._by_local[agent].setdefault(point.local_state(agent), []).append(point)
+        by_local = self._by_local
+        points: List[Point] = []
+        # read each run's state tuple directly: the per-point
+        # ``local_state`` dispatch chain dominates construction on
+        # thousand-run systems
+        for run in self._runs:
+            for time, state in enumerate(run.states):
+                point = Point(run, time)
+                points.append(point)
+                for agent, local in enumerate(state.local_states):
+                    by_local[agent].setdefault(local, []).append(point)
+        self._points: Tuple[Point, ...] = tuple(points)
         self._knowledge_cache: List[Dict[LocalState, FrozenSet[Point]]] = [
+            {} for _ in range(self._num_agents)
+        ]
+        self._point_index: Optional[OutcomeIndex] = None
+        self._class_masks: List[Optional[Tuple[int, ...]]] = [
+            None for _ in range(self._num_agents)
+        ]
+        self._knowledge_masks: List[Dict[LocalState, int]] = [
             {} for _ in range(self._num_agents)
         ]
 
@@ -268,6 +285,48 @@ class System:
             for candidate in self._points
             if self.indistinguishable(agent, point, candidate)
         )
+
+    # ------------------------------------------------------------------
+    # Bitmask view (shared with the logic layer)
+    # ------------------------------------------------------------------
+
+    @property
+    def point_index(self) -> OutcomeIndex:
+        """Canonical ``point -> bit position`` index (built on first use).
+
+        Positions follow :attr:`points` order, so masks built by different
+        consumers of the same system agree bit for bit.
+        """
+        index = self._point_index
+        if index is None:
+            index = OutcomeIndex(self._points)
+            self._point_index = index
+        return index
+
+    def agent_class_masks(self, agent: int) -> Tuple[int, ...]:
+        """The information partition of ``agent`` as bit masks.
+
+        One mask per local-state class; each mask is simultaneously the
+        class and the knowledge set ``K_i(c)`` of every point ``c`` in it.
+        """
+        masks = self._class_masks[agent]
+        if masks is None:
+            index = self.point_index
+            masks = tuple(
+                index.mask_of(points) for points in self._by_local[agent].values()
+            )
+            self._class_masks[agent] = masks
+        return masks
+
+    def knowledge_mask(self, agent: int, point: Point) -> int:
+        """``K_i(c)`` as a bit mask over :attr:`point_index`."""
+        local = point.local_state(agent)
+        cache = self._knowledge_masks[agent]
+        mask = cache.get(local)
+        if mask is None:
+            mask = self.point_index.mask_of(self._by_local[agent].get(local, ()))
+            cache[local] = mask
+        return mask
 
     def knows(self, agent: int, point: Point, fact: "FactLike") -> bool:
         """``(r,k) |= K_i phi``: the fact holds at every point of ``K_i(c)``."""

@@ -40,20 +40,32 @@ class _TreeIndexed(SampleSpaceAssignment):
         self._time_index: Dict[tuple, PointSet] = {}
         self._state_index: Dict[tuple, PointSet] = {}
         for tree in psys.trees:
-            by_time: Dict[int, set] = {}
-            by_state: Dict[object, set] = {}
-            by_local: Dict[tuple, set] = {}
+            by_time: Dict[int, List[Point]] = {}
+            by_state: Dict[object, List[Point]] = {}
+            agent_locals: List[Dict[object, List[Point]]] = []
+            # read each run's state tuple directly instead of dispatching
+            # through point.local_state: this loop touches every
+            # (point, agent) pair of every tree.  Plain lists suffice --
+            # tree.points enumerates each point exactly once.
             for point in tree.points:
-                by_time.setdefault(point.time, set()).add(point)
-                by_state.setdefault(point.global_state, set()).add(point)
-                for agent in range(point.run.num_agents):
-                    by_local.setdefault((agent, point.local_state(agent)), set()).add(point)
+                state = point.run.states[point.time]
+                by_time.setdefault(point.time, []).append(point)
+                by_state.setdefault(state, []).append(point)
+                locals_ = state.local_states
+                if len(agent_locals) < len(locals_):
+                    agent_locals.extend(
+                        {} for _ in range(len(locals_) - len(agent_locals))
+                    )
+                for agent, local in enumerate(locals_):
+                    agent_locals[agent].setdefault(local, []).append(point)
+            adversary = tree.adversary
             for time, points in by_time.items():
-                self._time_index[(tree.adversary, time)] = frozenset(points)
+                self._time_index[(adversary, time)] = frozenset(points)
             for state, points in by_state.items():
-                self._state_index[(tree.adversary, state)] = frozenset(points)
-            for key, points in by_local.items():
-                self._local_index[(tree.adversary,) + key] = frozenset(points)
+                self._state_index[(adversary, state)] = frozenset(points)
+            for agent, mapping in enumerate(agent_locals):
+                for local, points in mapping.items():
+                    self._local_index[(adversary, agent, local)] = frozenset(points)
 
     def tree_points_with_local(self, tree: ComputationTree, agent: int, local) -> PointSet:
         """``Tree_ic`` ingredients: points of the tree with a given local state."""

@@ -29,6 +29,11 @@ class NotAPartitionError(ProbabilityError):
     """A proposed atom collection does not partition the sample space."""
 
 
+class BackendError(ProbabilityError):
+    """A mask-level operation was requested from a space built on the
+    naive (frozenset) measure backend, which carries no outcome index."""
+
+
 class InvalidMeasureError(ProbabilityError):
     """Atom probabilities are negative or do not sum to one."""
 

@@ -89,15 +89,17 @@ class RepeatedCoinExample:
         generalized type-3 adversary that "does not give p_i the chance to
         bet in certain runs" -- here, at the pre-toss instant.
         """
-        post = self.post_toss_points
-
         def sample(agent: int, point: Point):
+            # tree points are system points, so "post toss" is just time
+            # >= 1; reading the state tuples directly keeps this linear
+            # scan cheap on ten-toss systems
             tree = self.psys.tree_of(point)
-            local = point.local_state(agent)
+            local = point.run.states[point.time].local_states[agent]
             return frozenset(
                 candidate
                 for candidate in tree.points
-                if candidate in post and candidate.local_state(agent) == local
+                if candidate.time >= 1
+                and candidate.run.states[candidate.time].local_states[agent] == local
             )
 
         return FunctionAssignment(self.psys, sample, name="post-toss")

@@ -3,9 +3,15 @@
 A :class:`Model` bundles a probabilistic system, a probability assignment
 ``P`` (needed to interpret ``Pr_i``), and a valuation mapping primitive
 proposition names to facts.  Checking computes formula *extensions* --
-the set of points where a formula holds -- bottom-up with memoisation; the
-greatest fixed points of (probabilistic) common knowledge iterate on
-extensions directly.
+the set of points where a formula holds -- bottom-up with memoisation.
+
+Internally every extension is an int bit mask over the system's shared
+:class:`~repro.probability.bitset.OutcomeIndex` of points: boolean
+connectives become single bitwise operations, ``K_i`` becomes a subset
+test per information class, and the greatest fixed points of
+(probabilistic) common knowledge iterate on machine ints.  Masks are
+converted to :class:`frozenset` point sets only at the public boundary
+(:meth:`Model.extension` and friends).
 """
 
 from __future__ import annotations
@@ -54,6 +60,10 @@ class Model:
         self.system: System = self.psys.system
         self.valuation: Dict[str, Fact] = dict(valuation)
         self._extensions: Dict[Formula, PointSet] = {}
+        self._extension_masks: Dict[Formula, int] = {}
+        self._index = self.psys.point_index
+        self._full_mask = self._index.full_mask
+        self._points_cache: Optional[PointSet] = None
 
     # ------------------------------------------------------------------
     # Core evaluation
@@ -63,17 +73,38 @@ class Model:
         """The set of points satisfying ``formula`` (memoised)."""
         if formula in self._extensions:
             return self._extensions[formula]
-        result = self._compute_extension(formula)
+        mask = self.extension_mask(formula)
+        if mask == self._full_mask:
+            result = self._all_points()
+        else:
+            result = self._index.members_of(mask)
         self._extensions[formula] = result
         return result
 
+    def extension_mask(self, formula: Formula) -> int:
+        """The extension of ``formula`` as a bit mask (memoised).
+
+        Bit positions follow the system's shared
+        :attr:`~repro.core.model.System.point_index`, so masks from
+        different formulas -- or from other consumers of the same system
+        -- compose with plain bitwise operators.
+        """
+        if formula in self._extension_masks:
+            return self._extension_masks[formula]
+        mask = self._compute_extension_mask(formula)
+        self._extension_masks[formula] = mask
+        return mask
+
     def holds(self, formula: Formula, point: Point) -> bool:
         """``(P, c) |= formula``."""
-        return point in self.extension(formula)
+        index = self._index
+        if point not in index:
+            return False
+        return bool(self.extension_mask(formula) >> index.position(point) & 1)
 
     def valid(self, formula: Formula) -> bool:
         """True iff the formula holds at every point of the system."""
-        return self.extension(formula) == frozenset(self.system.points)
+        return self.extension_mask(formula) == self._full_mask
 
     def fact_of(self, formula: Formula) -> Fact:
         """The formula's extension wrapped as a :class:`Fact`."""
@@ -93,122 +124,174 @@ class Model:
     # ------------------------------------------------------------------
 
     def _all_points(self) -> PointSet:
-        return frozenset(self.system.points)
+        cached = self._points_cache
+        if cached is None:
+            cached = frozenset(self.system.points)
+            self._points_cache = cached
+        return cached
 
-    def _compute_extension(self, formula: Formula) -> PointSet:
+    def _compute_extension_mask(self, formula: Formula) -> int:
+        full = self._full_mask
         if isinstance(formula, Prop):
             try:
                 fact = self.valuation[formula.name]
             except KeyError:
                 raise LogicError(f"no valuation for proposition {formula.name!r}") from None
-            return frozenset(fact.restricted_to(self.system.points))
+            return self._points_mask(fact.holds_at)
         if isinstance(formula, TrueFormula):
-            return self._all_points()
+            return full
         if isinstance(formula, FalseFormula):
-            return frozenset()
+            return 0
         if isinstance(formula, Not):
-            return self._all_points() - self.extension(formula.sub)
+            return full & ~self.extension_mask(formula.sub)
         if isinstance(formula, And):
-            return self.extension(formula.left) & self.extension(formula.right)
+            return self.extension_mask(formula.left) & self.extension_mask(formula.right)
         if isinstance(formula, Or):
-            return self.extension(formula.left) | self.extension(formula.right)
+            return self.extension_mask(formula.left) | self.extension_mask(formula.right)
         if isinstance(formula, Implies):
-            return (self._all_points() - self.extension(formula.left)) | self.extension(
+            return (full & ~self.extension_mask(formula.left)) | self.extension_mask(
                 formula.right
             )
         if isinstance(formula, Iff):
-            left = self.extension(formula.left)
-            right = self.extension(formula.right)
-            both = left & right
-            neither = self._all_points() - (left | right)
-            return both | neither
+            left = self.extension_mask(formula.left)
+            right = self.extension_mask(formula.right)
+            return full & ~(left ^ right)
         if isinstance(formula, Knows):
-            return self._knowledge_extension(formula.agent, self.extension(formula.sub))
+            return self._knowledge_mask(formula.agent, self.extension_mask(formula.sub))
         if isinstance(formula, PrAtLeast):
             fact = Fact.from_points(self.extension(formula.sub))
-            return frozenset(
-                point
-                for point in self.system.points
-                if self.assignment.inner_probability(formula.agent, point, fact)
-                >= formula.alpha
+            inner = self.assignment.inner_probability
+            agent, alpha = formula.agent, formula.alpha
+            return self._points_mask(
+                lambda point: inner(agent, point, fact) >= alpha
             )
         if isinstance(formula, PrAtMost):
             fact = Fact.from_points(self.extension(formula.sub))
-            return frozenset(
-                point
-                for point in self.system.points
-                if self.assignment.outer_probability(formula.agent, point, fact)
-                <= formula.beta
+            outer = self.assignment.outer_probability
+            agent, beta = formula.agent, formula.beta
+            return self._points_mask(
+                lambda point: outer(agent, point, fact) <= beta
             )
         if isinstance(formula, Next):
-            sub = self.extension(formula.sub)
-            return frozenset(
-                point for point in self.system.points if point.successor() in sub
+            sub = self.extension_mask(formula.sub)
+            position = self._index.position
+            return self._points_mask(
+                lambda point: sub >> position(point.successor()) & 1
             )
         if isinstance(formula, Until):
-            return self._until_extension(formula)
+            return self._until_mask(formula)
         if isinstance(formula, EveryoneKnows):
-            return self._everyone_extension(formula.group, self.extension(formula.sub))
+            return self._everyone_mask(formula.group, self.extension_mask(formula.sub))
         if isinstance(formula, CommonKnows):
-            return self._gfp(
-                self.extension(formula.sub),
-                lambda target: self._everyone_extension(formula.group, target),
+            return self._gfp_mask(
+                self.extension_mask(formula.sub),
+                lambda target: self._everyone_mask(formula.group, target),
             )
         if isinstance(formula, EveryoneKnowsProb):
-            return self._everyone_prob_extension(
-                formula.group, formula.alpha, self.extension(formula.sub)
+            return self._everyone_prob_mask(
+                formula.group, formula.alpha, self.extension_mask(formula.sub)
             )
         if isinstance(formula, CommonKnowsProb):
-            return self._gfp(
-                self.extension(formula.sub),
-                lambda target: self._everyone_prob_extension(
+            return self._gfp_mask(
+                self.extension_mask(formula.sub),
+                lambda target: self._everyone_prob_mask(
                     formula.group, formula.alpha, target
                 ),
             )
         raise LogicError(f"unknown formula constructor {type(formula).__name__}")
 
+    def _points_mask(self, predicate) -> int:
+        """The mask of the points satisfying a point predicate."""
+        mask = 0
+        bit = 1
+        for point in self._index.members:
+            if predicate(point):
+                mask |= bit
+            bit <<= 1
+        return mask
+
     # ------------------------------------------------------------------
-    # Knowledge helpers
+    # Knowledge helpers (mask kernels)
     # ------------------------------------------------------------------
 
-    def _knowledge_extension(self, agent: int, target: PointSet) -> PointSet:
-        return frozenset(
-            point
-            for point in self.system.points
-            if self.system.knowledge_set(agent, point) <= target
-        )
+    def _knowledge_mask(self, agent: int, target: int) -> int:
+        """Extension mask of ``K_i`` applied to an extension mask.
 
-    def _everyone_extension(self, group: Iterable[int], target: PointSet) -> PointSet:
-        result = self._all_points()
-        for agent in group:
-            result &= self._knowledge_extension(agent, target)
+        ``K_i(c)`` is constant on each information class and equals the
+        class itself, so the extension of ``K_i phi`` is the union of the
+        classes wholly inside the target -- one subset test per class.
+        """
+        result = 0
+        for class_mask in self.system.agent_class_masks(agent):
+            if class_mask & ~target == 0:
+                result |= class_mask
         return result
 
-    def _prob_knowledge_extension(self, agent: int, alpha, target: PointSet) -> PointSet:
-        """Extension of ``K_i^alpha`` applied to an extension (not a formula)."""
-        fact = Fact.from_points(target)
-        satisfying = frozenset(
-            point
-            for point in self.system.points
-            if self.assignment.inner_probability(agent, point, fact) >= alpha
-        )
-        return self._knowledge_extension(agent, satisfying)
-
-    def _everyone_prob_extension(
-        self, group: Iterable[int], alpha, target: PointSet
-    ) -> PointSet:
-        result = self._all_points()
+    def _everyone_mask(self, group: Iterable[int], target: int) -> int:
+        result = self._full_mask
         for agent in group:
-            result &= self._prob_knowledge_extension(agent, alpha, target)
+            result &= self._knowledge_mask(agent, target)
         return result
 
-    def _gfp(self, sub_extension: PointSet, everyone) -> PointSet:
+    def _prob_knowledge_mask(self, agent: int, alpha, target: int) -> int:
+        """Extension mask of ``K_i^alpha`` applied to an extension mask."""
+        fact = Fact.from_points(self._index.members_of(target))
+        inner = self.assignment.inner_probability
+        satisfying = self._points_mask(
+            lambda point: inner(agent, point, fact) >= alpha
+        )
+        return self._knowledge_mask(agent, satisfying)
+
+    def _everyone_prob_mask(self, group: Iterable[int], alpha, target: int) -> int:
+        result = self._full_mask
+        for agent in group:
+            result &= self._prob_knowledge_mask(agent, alpha, target)
+        return result
+
+    def _gfp_mask(self, sub_mask: int, everyone) -> int:
         """Greatest fixed point of ``X == E(phi & X)`` by downward iteration.
 
         The operator is monotone and the lattice of point sets finite, so
         iteration from the top converges; the result is the greatest fixed
         point, matching the Section 8 definition of (probabilistic) common
         knowledge.
+        """
+        current = self._full_mask
+        while True:
+            updated = everyone(sub_mask & current)
+            if updated == current:
+                return current
+            current = updated
+
+    # ------------------------------------------------------------------
+    # Knowledge helpers (point-set boundary, used by common_knowledge)
+    # ------------------------------------------------------------------
+
+    def _knowledge_extension(self, agent: int, target: PointSet) -> PointSet:
+        mask = self._knowledge_mask(agent, self._index.mask_of_known(target))
+        return self._index.members_of(mask)
+
+    def _everyone_extension(self, group: Iterable[int], target: PointSet) -> PointSet:
+        mask = self._everyone_mask(group, self._index.mask_of_known(target))
+        return self._index.members_of(mask)
+
+    def _prob_knowledge_extension(self, agent: int, alpha, target: PointSet) -> PointSet:
+        """Extension of ``K_i^alpha`` applied to an extension (not a formula)."""
+        mask = self._prob_knowledge_mask(agent, alpha, self._index.mask_of_known(target))
+        return self._index.members_of(mask)
+
+    def _everyone_prob_extension(
+        self, group: Iterable[int], alpha, target: PointSet
+    ) -> PointSet:
+        mask = self._everyone_prob_mask(group, alpha, self._index.mask_of_known(target))
+        return self._index.members_of(mask)
+
+    def _gfp(self, sub_extension: PointSet, everyone) -> PointSet:
+        """Greatest fixed point on point sets (see :meth:`_gfp_mask`).
+
+        Kept on the frozenset representation because callers (the
+        common-knowledge checkers) pass point-set-level ``everyone``
+        operators.
         """
         current = self._all_points()
         while True:
@@ -221,20 +304,23 @@ class Model:
     # Until
     # ------------------------------------------------------------------
 
-    def _until_extension(self, formula: Until) -> PointSet:
-        left = self.extension(formula.left)
-        right = self.extension(formula.right)
-        satisfied: set = set()
+    def _until_mask(self, formula: Until) -> int:
+        left = self.extension_mask(formula.left)
+        right = self.extension_mask(formula.right)
+        position = self._index.position
+        result = 0
         for run in self.system.runs:
             run_points = list(run.points())
-            holds_from = [False] * len(run_points)
+            holds_next = False
             for index in range(len(run_points) - 1, -1, -1):
-                point = run_points[index]
-                if point in right:
-                    holds_from[index] = True
-                elif point in left and index + 1 < len(run_points):
-                    holds_from[index] = holds_from[index + 1]
-            satisfied.update(
-                point for index, point in enumerate(run_points) if holds_from[index]
-            )
-        return frozenset(satisfied)
+                bit = 1 << position(run_points[index])
+                if right & bit:
+                    holds = True
+                elif left & bit and index + 1 < len(run_points):
+                    holds = holds_next
+                else:
+                    holds = False
+                if holds:
+                    result |= bit
+                holds_next = holds
+        return result

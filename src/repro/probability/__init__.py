@@ -7,6 +7,14 @@ lattice (Proposition 5), and the inner/outer expectations of Appendix B.2 --
 is built from the primitives in this package.
 """
 
+from .bitset import (
+    BACKENDS,
+    IntervalCache,
+    OutcomeIndex,
+    get_default_backend,
+    set_default_backend,
+    use_backend,
+)
 from .algebra import (
     atoms_from_generators,
     atoms_of_explicit_algebra,
@@ -48,6 +56,12 @@ from .space import FiniteProbabilitySpace
 
 __all__ = [
     "FiniteProbabilitySpace",
+    "OutcomeIndex",
+    "IntervalCache",
+    "BACKENDS",
+    "get_default_backend",
+    "set_default_backend",
+    "use_backend",
     "as_fraction",
     "check_probability",
     "format_fraction",

@@ -44,8 +44,12 @@ def is_partition(space: Iterable[Hashable], atoms: Iterable[Atom]) -> bool:
 def check_partition(space: Iterable[Hashable], atoms: Iterable[Atom]) -> Tuple[Atom, ...]:
     """Validate and normalise an atom partition, raising on failure.
 
-    Atoms are returned in a deterministic order (sorted by their repr) so
-    that spaces built from the same data always iterate identically.
+    Atoms are returned in a deterministic order -- sorted by the position
+    of their first outcome in the sample space's canonical enumeration --
+    so that spaces built from the same data always iterate identically
+    regardless of the order the atoms were supplied in.  (Earlier
+    revisions sorted by ``repr``, which dominated construction time on
+    large systems whose outcomes carry deep history tuples.)
     """
     atom_tuple = tuple(frozenset(atom) for atom in atoms)
     if not is_partition(frozenset().union(*atom_tuple) if atom_tuple else frozenset(), atom_tuple):
@@ -56,11 +60,10 @@ def check_partition(space: Iterable[Hashable], atoms: Iterable[Atom]) -> Tuple[A
         raise NotAPartitionError(
             f"atoms cover {len(covered)} outcomes but the space has {len(space_set)}"
         )
-    return tuple(sorted(atom_tuple, key=_atom_sort_key))
-
-
-def _atom_sort_key(atom: Atom) -> tuple:
-    return tuple(sorted(repr(outcome) for outcome in atom))
+    position = {outcome: index for index, outcome in enumerate(space_set)}
+    return tuple(
+        sorted(atom_tuple, key=lambda atom: min(position[outcome] for outcome in atom))
+    )
 
 
 def atoms_from_generators(
@@ -79,8 +82,9 @@ def atoms_from_generators(
     for outcome in space_tuple:
         signature = tuple(outcome in generator for generator in generator_sets)
         signature_to_members.setdefault(signature, []).append(outcome)
-    atoms = tuple(frozenset(members) for members in signature_to_members.values())
-    return tuple(sorted(atoms, key=_atom_sort_key))
+    # Atoms inherit the first-occurrence order of the space enumeration,
+    # which is deterministic without any per-outcome repr/sort work.
+    return tuple(frozenset(members) for members in signature_to_members.values())
 
 
 def explicit_closure(

@@ -1,0 +1,230 @@
+"""Indexed bitmask representation of events over finite sample spaces.
+
+The measure-theoretic kernels of Section 5 -- ``mu``, ``mu_*``, ``mu^*``
+and the interval query ``(mu_*, mu^*)`` -- reduce, on a finite space, to
+set algebra between an event and the atoms of the sigma-algebra.  This
+module provides the representation that makes that algebra cheap:
+
+* :class:`OutcomeIndex` assigns every outcome a canonical bit position, so
+  an event becomes a plain Python ``int`` and ``atom <= event`` /
+  ``atom & event`` become the bitwise tests ``mask & event == mask`` /
+  ``mask & event``.
+* :class:`IntervalCache` is a bounded LRU map ``event mask -> (inner,
+  outer, contained mask)`` so that repeated interval queries -- the
+  dominant access pattern of ``knows_probability_interval`` and the attack
+  sweeps -- cost a dictionary hit after first touch.
+* :func:`set_default_backend` / :func:`use_backend` switch newly built
+  spaces between the ``"bitmask"`` engine and the retained ``"naive"``
+  frozenset kernels, for the differential tests and the ablation
+  benchmark.
+
+The bitmask layer accelerates *set algebra only*: every probability that
+flows through it stays an exact :class:`fractions.Fraction`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Optional, Tuple
+
+__all__ = [
+    "OutcomeIndex",
+    "IntervalCache",
+    "BACKENDS",
+    "get_default_backend",
+    "set_default_backend",
+    "use_backend",
+]
+
+
+class OutcomeIndex:
+    """A canonical ``outcome -> bit position`` assignment.
+
+    Positions are assigned in first-seen order of the constructor
+    iterable, so two indexes built from the same ordered data agree.
+    Events over the indexed universe are represented as ints with bit
+    ``position(outcome)`` set.
+    """
+
+    __slots__ = ("_positions", "_members", "_full_mask")
+
+    def __init__(self, members: Iterable[Hashable]) -> None:
+        positions: Dict[Hashable, int] = {}
+        for member in members:
+            if member not in positions:
+                positions[member] = len(positions)
+        self._positions = positions
+        self._members: Tuple[Hashable, ...] = tuple(positions)
+        self._full_mask = (1 << len(positions)) - 1
+
+    # -- structure -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._members)
+
+    def __contains__(self, member: Hashable) -> bool:
+        return member in self._positions
+
+    @property
+    def members(self) -> Tuple[Hashable, ...]:
+        """All indexed members, in bit-position order."""
+        return self._members
+
+    @property
+    def full_mask(self) -> int:
+        """The mask of the whole universe (all bits set)."""
+        return self._full_mask
+
+    def position(self, member: Hashable) -> int:
+        """The bit position of ``member``; raises ``KeyError`` if unknown."""
+        return self._positions[member]
+
+    def singleton(self, member: Hashable) -> int:
+        """The mask with only ``member``'s bit set."""
+        return 1 << self._positions[member]
+
+    # -- events <-> masks ------------------------------------------------
+
+    def mask_of(self, members: Iterable[Hashable]) -> int:
+        """The mask of an event; raises ``KeyError`` on unknown members."""
+        positions = self._positions
+        mask = 0
+        for member in members:
+            mask |= 1 << positions[member]
+        return mask
+
+    def mask_of_known(self, members: Iterable[Hashable]) -> int:
+        """The mask of ``event & universe``: unknown members are ignored.
+
+        This is the conversion behind inner/outer measures, which the
+        space defines on arbitrary subsets by first intersecting with
+        the sample space.
+        """
+        positions = self._positions
+        mask = 0
+        for member in members:
+            position = positions.get(member)
+            if position is not None:
+                mask |= 1 << position
+        return mask
+
+    def strict_mask(self, members: Iterable[Hashable]) -> Optional[int]:
+        """The mask of an event, or ``None`` if any member is unknown."""
+        positions = self._positions
+        mask = 0
+        for member in members:
+            position = positions.get(member)
+            if position is None:
+                return None
+            mask |= 1 << position
+        return mask
+
+    def iter_members_of(self, mask: int) -> Iterator[Hashable]:
+        """The members whose bits are set in ``mask``, in position order."""
+        members = self._members
+        while mask:
+            low = mask & -mask
+            yield members[low.bit_length() - 1]
+            mask ^= low
+
+    def members_of(self, mask: int) -> FrozenSet[Hashable]:
+        """The event (as a frozenset) encoded by ``mask``."""
+        return frozenset(self.iter_members_of(mask))
+
+
+#: Cached value for one event mask: ``(inner, outer, contained_mask)``
+#: where ``contained_mask`` is the union of the atoms wholly inside the
+#: event -- the event is measurable iff ``contained_mask`` equals it.
+IntervalEntry = Tuple["Fraction", "Fraction", int]
+
+
+class IntervalCache:
+    """A bounded LRU cache ``event mask -> IntervalEntry``.
+
+    One instance lives on each :class:`FiniteProbabilitySpace`; the bound
+    keeps long sweeps from accumulating one entry per distinct event
+    forever.  Eviction is least-recently-used so the hot interval queries
+    of a sweep stay resident.
+    """
+
+    __slots__ = ("_entries", "_maxsize", "hits", "misses")
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize < 1:
+            raise ValueError("IntervalCache needs room for at least one entry")
+        self._entries: "OrderedDict[int, IntervalEntry]" = OrderedDict()
+        self._maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    def get(self, mask: int) -> Optional[IntervalEntry]:
+        """The cached entry for ``mask``, refreshing its recency; None on miss."""
+        entry = self._entries.get(mask)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(mask)
+        self.hits += 1
+        return entry
+
+    def put(self, mask: int, entry: IntervalEntry) -> None:
+        """Insert or refresh an entry, evicting the least recently used."""
+        entries = self._entries
+        if mask in entries:
+            entries.move_to_end(mask)
+        entries[mask] = entry
+        if len(entries) > self._maxsize:
+            entries.popitem(last=False)
+
+
+# ----------------------------------------------------------------------
+# Backend selection
+# ----------------------------------------------------------------------
+
+#: The two measure engines: ``"bitmask"`` (indexed ints, default) and
+#: ``"naive"`` (the original frozenset scans, kept for differential
+#: testing and the ablation benchmark).
+BACKENDS: Tuple[str, ...] = ("bitmask", "naive")
+
+_default_backend = "bitmask"
+
+
+def get_default_backend() -> str:
+    """The engine newly constructed spaces will use."""
+    return _default_backend
+
+
+def set_default_backend(name: str) -> str:
+    """Select the engine for newly constructed spaces; returns the old one.
+
+    Existing spaces keep the backend they were built with: the choice is
+    baked in at construction, which is what lets the ablation benchmark
+    time the two engines on identically constructed inputs.
+    """
+    global _default_backend
+    if name not in BACKENDS:
+        raise ValueError(f"unknown measure backend {name!r}; expected one of {BACKENDS}")
+    previous = _default_backend
+    _default_backend = name
+    return previous
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[str]:
+    """Context manager: build spaces with ``name`` inside the block."""
+    previous = set_default_backend(name)
+    try:
+        yield name
+    finally:
+        set_default_backend(previous)

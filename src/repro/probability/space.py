@@ -10,6 +10,15 @@ space ``S``, a sigma-algebra ``X`` represented by its atom partition, and a
 measure ``mu`` given by one exact :class:`~fractions.Fraction` per atom.
 Inner and outer measures (Section 5) and the two-valued inner/outer
 expectations of Appendix B.2 are first-class operations.
+
+Two measure engines back the set-algebra kernels (see
+:mod:`repro.probability.bitset`): the default **bitmask** engine indexes
+outcomes to bit positions at construction, turning every atom/event test
+into integer bitwise operations with an LRU-cached ``mask -> (inner,
+outer)`` table, while the retained **naive** engine scans frozensets as
+the original implementation did.  Both compute identical exact Fractions;
+the ``*_naive`` kernels stay public for differential tests and the
+ablation benchmark (``benchmarks/bench_ablation_bitset.py``).
 """
 
 from __future__ import annotations
@@ -18,16 +27,25 @@ from fractions import Fraction
 from typing import Callable, Dict, FrozenSet, Hashable, Iterable, Mapping, Optional, Tuple
 
 from ..errors import (
+    BackendError,
     InvalidMeasureError,
     NotMeasurableError,
     ZeroMeasureConditioningError,
 )
 from .algebra import Atom, check_partition, restrict_partition
+from .bitset import IntervalCache, OutcomeIndex, get_default_backend
 from .fractionutil import ONE, ZERO, FractionLike, as_fraction
 
 Outcome = Hashable
 Event = FrozenSet[Outcome]
 RandomVariable = Callable[[Outcome], Fraction]
+
+
+def _gcd(a: int, b: int) -> int:
+    """Euclid on nonnegative ints (RL001 bans ``math`` imports here)."""
+    while b:
+        a, b = b, a % b
+    return a
 
 
 class FiniteProbabilitySpace:
@@ -47,7 +65,22 @@ class FiniteProbabilitySpace:
     :meth:`uniform`, or :meth:`from_atoms`.
     """
 
-    __slots__ = ("_atoms", "_probabilities", "_outcomes", "_atom_of")
+    __slots__ = (
+        "_atoms",
+        "_probabilities_dict",
+        "_outcomes",
+        "_atom_of_dict",
+        "_backend",
+        "_index",
+        "_atom_masks",
+        "_atom_weights",
+        "_weight_denominator",
+        "_interval_cache",
+    )
+
+    #: Bound on the per-space LRU cache of ``event mask -> (inner, outer,
+    #: contained)`` entries (bitmask backend only).
+    interval_cache_size = 4096
 
     def __init__(
         self,
@@ -58,6 +91,10 @@ class FiniteProbabilitySpace:
         outcomes = frozenset().union(*atom_tuple) if atom_tuple else frozenset()
         self._atoms: Tuple[Atom, ...] = check_partition(outcomes, atom_tuple)
         self._outcomes: Event = outcomes
+        self._check_measure(atom_probabilities)
+        self._finalise()
+
+    def _check_measure(self, atom_probabilities: Mapping[Atom, FractionLike]) -> None:
         probabilities: Dict[Atom, Fraction] = {}
         for atom in self._atoms:
             if atom not in atom_probabilities:
@@ -69,11 +106,151 @@ class FiniteProbabilitySpace:
         total = sum(probabilities.values(), ZERO)
         if total != ONE:
             raise InvalidMeasureError(f"atom probabilities sum to {total}, not 1")
-        self._probabilities = probabilities
-        self._atom_of: Dict[Outcome, Atom] = {}
-        for atom in self._atoms:
-            for outcome in atom:
-                self._atom_of[outcome] = atom
+        self._probabilities_dict = probabilities
+
+    @property
+    def _probabilities(self) -> Dict[Atom, Fraction]:
+        """The ``atom -> Fraction`` measure table, materialised lazily.
+
+        Spaces built via :meth:`_from_atom_weights` carry the measure as
+        integer weights; the dict form is only built if something
+        (``atom_probability``, an expectation, a naive kernel) asks.
+        """
+        probabilities = self._probabilities_dict
+        if probabilities is None:
+            denominator = self._weight_denominator
+            probabilities = {
+                atom: Fraction(weight, denominator)
+                for atom, weight in zip(self._atoms, self._atom_weights)
+            }
+            self._probabilities_dict = probabilities
+        return probabilities
+
+    @_probabilities.setter
+    def _probabilities(self, value: Dict[Atom, Fraction]) -> None:
+        self._probabilities_dict = value
+
+    def _finalise(
+        self,
+        weights: Optional[Tuple[int, ...]] = None,
+        denominator: Optional[int] = None,
+    ) -> None:
+        """Build the per-outcome and (bitmask backend) per-mask indexes.
+
+        Every atom probability is rescaled to one common denominator so an
+        interval query sums machine ints and normalises back to a Fraction
+        once, instead of paying a gcd per atom add.  The rescaling is
+        exact: the common denominator is a multiple of every atom's
+        denominator by construction.  Callers that already hold the
+        measure in weight form pass ``weights``/``denominator`` directly.
+        """
+        if weights is None:
+            probabilities = self._probabilities_dict
+            common = 1
+            for atom in self._atoms:
+                atom_denominator = probabilities[atom].denominator
+                common = common // _gcd(common, atom_denominator) * atom_denominator
+            weights = tuple(
+                probabilities[atom].numerator
+                * (common // probabilities[atom].denominator)
+                for atom in self._atoms
+            )
+            denominator = common
+        self._atom_weights: Tuple[int, ...] = weights
+        self._weight_denominator: int = denominator
+        self._backend = get_default_backend()
+        self._atom_of_dict: Optional[Dict[Outcome, Atom]] = None
+        if self._backend == "bitmask":
+            index = OutcomeIndex(
+                outcome for atom in self._atoms for outcome in atom
+            )
+            self._index: Optional[OutcomeIndex] = index
+            if all(len(atom) == 1 for atom in self._atoms):
+                # powerset algebra: the index enumerated outcomes in atom
+                # order, so atom i owns exactly bit i
+                self._atom_masks: Tuple[int, ...] = tuple(
+                    1 << position for position in range(len(self._atoms))
+                )
+            else:
+                self._atom_masks = tuple(
+                    index.mask_of(atom) for atom in self._atoms
+                )
+            self._interval_cache: Optional[IntervalCache] = IntervalCache(
+                self.interval_cache_size
+            )
+        else:
+            self._index = None
+            self._atom_masks = ()
+            self._interval_cache = None
+
+    @property
+    def _atom_of(self) -> Dict[Outcome, Atom]:
+        """The ``outcome -> containing atom`` table, materialised lazily."""
+        atom_of = self._atom_of_dict
+        if atom_of is None:
+            atom_of = {}
+            for atom in self._atoms:
+                for outcome in atom:
+                    atom_of[outcome] = atom
+            self._atom_of_dict = atom_of
+        return atom_of
+
+    @classmethod
+    def _from_checked_partition(
+        cls,
+        atom_tuple: Tuple[Atom, ...],
+        atom_probabilities: Mapping[Atom, FractionLike],
+        validate_measure: bool = True,
+    ) -> "FiniteProbabilitySpace":
+        """Internal fast constructor for atoms already known to partition.
+
+        Used where the partition property holds by construction (unique
+        dict keys in :meth:`from_point_masses`, the trace algebra of
+        :meth:`condition`, the product partition of :meth:`product`), so
+        re-validating and re-sorting would only burn time.
+
+        ``validate_measure=False`` additionally skips the nonnegativity
+        and sums-to-one checks; only callers whose masses are exact
+        Fractions summing to one *by construction* (conditioning a
+        validated measure, multiplying two validated measures) may pass
+        it.
+        """
+        self = cls.__new__(cls)
+        self._atoms = atom_tuple
+        self._outcomes = (
+            frozenset().union(*atom_tuple) if atom_tuple else frozenset()
+        )
+        if validate_measure:
+            self._check_measure(atom_probabilities)
+        else:
+            self._probabilities = dict(atom_probabilities)
+        self._finalise()
+        return self
+
+    @classmethod
+    def _from_atom_weights(
+        cls,
+        atom_tuple: Tuple[Atom, ...],
+        weights: Tuple[int, ...],
+        denominator: int,
+    ) -> "FiniteProbabilitySpace":
+        """Internal constructor from integer atom weights.
+
+        The measure is exactly ``weights[i] / denominator`` per atom; the
+        Fraction dict is materialised lazily (see :attr:`_probabilities`).
+        Callers guarantee the atoms partition their union and the weights
+        are nonnegative ints summing to ``denominator > 0`` -- e.g.
+        conditioning a validated run measure on a measurable event, where
+        both facts hold by construction.
+        """
+        self = cls.__new__(cls)
+        self._atoms = atom_tuple
+        self._outcomes = (
+            frozenset().union(*atom_tuple) if atom_tuple else frozenset()
+        )
+        self._probabilities_dict = None
+        self._finalise(weights=tuple(weights), denominator=denominator)
+        return self
 
     # ------------------------------------------------------------------
     # Constructors
@@ -83,10 +260,18 @@ class FiniteProbabilitySpace:
     def from_point_masses(
         cls, masses: Mapping[Outcome, FractionLike]
     ) -> "FiniteProbabilitySpace":
-        """Space whose sigma-algebra is the full powerset (singleton atoms)."""
-        atoms = [frozenset([outcome]) for outcome in masses]
-        probabilities = {frozenset([outcome]): mass for outcome, mass in masses.items()}
-        return cls(atoms, probabilities)
+        """Space whose sigma-algebra is the full powerset (singleton atoms).
+
+        Mapping keys are unique, so the singleton atoms partition the
+        space by construction and the fast path applies.
+        """
+        atoms = []
+        probabilities: Dict[Atom, FractionLike] = {}
+        for outcome, mass in masses.items():
+            atom = frozenset((outcome,))
+            atoms.append(atom)
+            probabilities[atom] = mass
+        return cls._from_checked_partition(tuple(atoms), probabilities)
 
     @classmethod
     def uniform(cls, outcomes: Iterable[Outcome]) -> "FiniteProbabilitySpace":
@@ -124,6 +309,34 @@ class FiniteProbabilitySpace:
         """The atom partition of the sigma-algebra ``X``."""
         return self._atoms
 
+    @property
+    def backend(self) -> str:
+        """The measure engine this space was built with."""
+        return self._backend
+
+    @property
+    def atom_weights(self) -> Tuple[int, ...]:
+        """Integer atom weights over :attr:`weight_denominator`.
+
+        ``atom_weights[i] / weight_denominator`` is exactly the measure of
+        ``atoms[i]``; downstream constructions (conditioning the run
+        measure onto a sample, Section 5) reuse the weights to build
+        derived spaces without any per-atom division.
+        """
+        return self._atom_weights
+
+    @property
+    def weight_denominator(self) -> int:
+        """The common denominator the atom weights are expressed over."""
+        return self._weight_denominator
+
+    @property
+    def outcome_index(self) -> OutcomeIndex:
+        """The ``outcome -> bit position`` index (bitmask backend only)."""
+        if self._index is None:
+            raise BackendError("this space was built on the naive backend")
+        return self._index
+
     def atom_probability(self, atom: Atom) -> Fraction:
         """The measure of a single atom."""
         try:
@@ -152,11 +365,129 @@ class FiniteProbabilitySpace:
         )
 
     # ------------------------------------------------------------------
-    # Measure
+    # Measure: bitmask kernels
+    # ------------------------------------------------------------------
+    #
+    # Every query funnels through one LRU-cached computation per event
+    # mask: ``(inner, outer, contained)`` where ``contained`` is the union
+    # of the atoms wholly inside the event.  The event is measurable iff
+    # ``contained`` equals its mask, and then ``mu(event) == inner``.
+
+    def _interval_entry(self, mask: int) -> Tuple[Fraction, Fraction, int]:
+        cache = self._interval_cache
+        entry = cache.get(mask)
+        if entry is None:
+            inner = 0
+            outer = 0
+            contained = 0
+            for atom_mask, weight in zip(self._atom_masks, self._atom_weights):
+                overlap = atom_mask & mask
+                if overlap:
+                    outer += weight
+                    if overlap == atom_mask:
+                        inner += weight
+                        contained |= atom_mask
+            denominator = self._weight_denominator
+            entry = (
+                Fraction(inner, denominator),
+                Fraction(outer, denominator),
+                contained,
+            )
+            cache.put(mask, entry)
+        return entry
+
+    def event_mask(self, event: Iterable[Outcome]) -> int:
+        """The bitmask of ``event & S`` (bitmask backend only)."""
+        if self._index is None:
+            raise BackendError("this space was built on the naive backend")
+        return self._index.mask_of_known(event)
+
+    def is_measurable_mask(self, mask: int) -> bool:
+        """Mask-level :meth:`is_measurable` (the mask is within ``S``)."""
+        return self._interval_entry(mask)[2] == mask
+
+    def measure_mask(self, mask: int) -> Fraction:
+        """Mask-level :meth:`measure`; raises on a split atom."""
+        inner, _outer, contained = self._interval_entry(mask)
+        if contained != mask:
+            raise NotMeasurableError(
+                "event splits an atom; use inner_measure / outer_measure"
+            )
+        return inner
+
+    def inner_measure_mask(self, mask: int) -> Fraction:
+        """Mask-level :meth:`inner_measure`."""
+        return self._interval_entry(mask)[0]
+
+    def outer_measure_mask(self, mask: int) -> Fraction:
+        """Mask-level :meth:`outer_measure`."""
+        return self._interval_entry(mask)[1]
+
+    def measure_interval_mask(self, mask: int) -> Tuple[Fraction, Fraction]:
+        """Mask-level :meth:`measure_interval`."""
+        entry = self._interval_entry(mask)
+        return entry[0], entry[1]
+
+    # ------------------------------------------------------------------
+    # Measure: public API (dispatches to the space's backend)
     # ------------------------------------------------------------------
 
     def is_measurable(self, event: Iterable[Outcome]) -> bool:
         """True iff ``event`` is a union of atoms (and a subset of ``S``)."""
+        if self._index is None:
+            return self.is_measurable_naive(event)
+        mask = self._index.strict_mask(event)
+        if mask is None:
+            return False
+        return self.is_measurable_mask(mask)
+
+    def measure(self, event: Iterable[Outcome]) -> Fraction:
+        """``mu(event)``; raises :class:`NotMeasurableError` if undefined."""
+        if self._index is None:
+            return self.measure_naive(event)
+        mask = self._index.strict_mask(event)
+        if mask is None:
+            raise NotMeasurableError("event contains outcomes outside the sample space")
+        return self.measure_mask(mask)
+
+    def inner_measure(self, event: Iterable[Outcome]) -> Fraction:
+        """``mu_*(event) = sup { mu(T) : T subseteq event, T in X }``.
+
+        For a finite space this is the total mass of atoms contained in the
+        event.  Per Section 5, the inner measure is the best lower bound on
+        the probability of a (possibly non-measurable) fact.
+        """
+        if self._index is None:
+            return self.inner_measure_naive(event)
+        return self._interval_entry(self._index.mask_of_known(event))[0]
+
+    def outer_measure(self, event: Iterable[Outcome]) -> Fraction:
+        """``mu^*(event) = inf { mu(T) : T supseteq event, T in X }``.
+
+        Equals ``1 - mu_*(complement)`` -- the duality the paper states in
+        Section 5 -- and, atom-wise, the mass of atoms meeting the event.
+        """
+        if self._index is None:
+            return self.outer_measure_naive(event)
+        return self._interval_entry(self._index.mask_of_known(event))[1]
+
+    def measure_interval(self, event: Iterable[Outcome]) -> Tuple[Fraction, Fraction]:
+        """``(mu_*(event), mu^*(event))`` in one pass."""
+        if self._index is None:
+            return self.measure_interval_naive(event)
+        entry = self._interval_entry(self._index.mask_of_known(event))
+        return entry[0], entry[1]
+
+    # ------------------------------------------------------------------
+    # Measure: naive kernels (retained frozenset scans)
+    # ------------------------------------------------------------------
+    #
+    # These are the original implementations, kept public so the
+    # differential test suite can assert ``bitmask == naive`` on every
+    # kernel and the ablation benchmark can time the two engines.
+
+    def is_measurable_naive(self, event: Iterable[Outcome]) -> bool:
+        """:meth:`is_measurable` via frozenset scans (ablation baseline)."""
         event_set = frozenset(event)
         if not event_set <= self._outcomes:
             return False
@@ -168,8 +499,8 @@ class FiniteProbabilitySpace:
             covered |= atom
         return covered == event_set
 
-    def measure(self, event: Iterable[Outcome]) -> Fraction:
-        """``mu(event)``; raises :class:`NotMeasurableError` if undefined."""
+    def measure_naive(self, event: Iterable[Outcome]) -> Fraction:
+        """:meth:`measure` via frozenset scans (ablation baseline)."""
         event_set = frozenset(event)
         if not event_set <= self._outcomes:
             raise NotMeasurableError("event contains outcomes outside the sample space")
@@ -187,13 +518,8 @@ class FiniteProbabilitySpace:
             total += self._probabilities[atom]
         return total
 
-    def inner_measure(self, event: Iterable[Outcome]) -> Fraction:
-        """``mu_*(event) = sup { mu(T) : T subseteq event, T in X }``.
-
-        For a finite space this is the total mass of atoms contained in the
-        event.  Per Section 5, the inner measure is the best lower bound on
-        the probability of a (possibly non-measurable) fact.
-        """
+    def inner_measure_naive(self, event: Iterable[Outcome]) -> Fraction:
+        """:meth:`inner_measure` via frozenset scans (ablation baseline)."""
         event_set = frozenset(event) & self._outcomes
         total = ZERO
         for atom in self._atoms:
@@ -201,12 +527,8 @@ class FiniteProbabilitySpace:
                 total += self._probabilities[atom]
         return total
 
-    def outer_measure(self, event: Iterable[Outcome]) -> Fraction:
-        """``mu^*(event) = inf { mu(T) : T supseteq event, T in X }``.
-
-        Equals ``1 - mu_*(complement)`` -- the duality the paper states in
-        Section 5 -- and, atom-wise, the mass of atoms meeting the event.
-        """
+    def outer_measure_naive(self, event: Iterable[Outcome]) -> Fraction:
+        """:meth:`outer_measure` via frozenset scans (ablation baseline)."""
         event_set = frozenset(event) & self._outcomes
         total = ZERO
         for atom in self._atoms:
@@ -214,8 +536,8 @@ class FiniteProbabilitySpace:
                 total += self._probabilities[atom]
         return total
 
-    def measure_interval(self, event: Iterable[Outcome]) -> Tuple[Fraction, Fraction]:
-        """``(mu_*(event), mu^*(event))`` in one pass."""
+    def measure_interval_naive(self, event: Iterable[Outcome]) -> Tuple[Fraction, Fraction]:
+        """:meth:`measure_interval` via frozenset scans (ablation baseline)."""
         event_set = frozenset(event) & self._outcomes
         inner = ZERO
         outer = ZERO
@@ -248,7 +570,9 @@ class FiniteProbabilitySpace:
             atom: self._probabilities[self._atom_of[next(iter(atom))]] / denominator
             for atom in new_atoms
         }
-        return FiniteProbabilitySpace(new_atoms, probabilities)
+        return FiniteProbabilitySpace._from_checked_partition(
+            new_atoms, probabilities, validate_measure=False
+        )
 
     def conditional_probability(
         self, event: Iterable[Outcome], given: Iterable[Outcome]
@@ -394,7 +718,9 @@ class FiniteProbabilitySpace:
                 probabilities[atom] = (
                     self._probabilities[left] * other._probabilities[right]
                 )
-        return FiniteProbabilitySpace(atoms, probabilities)
+        return FiniteProbabilitySpace._from_checked_partition(
+            tuple(atoms), probabilities, validate_measure=False
+        )
 
     def extends(self, other: "FiniteProbabilitySpace") -> bool:
         """True iff this space extends ``other`` in the Appendix B.2 sense:

@@ -1,14 +1,20 @@
-"""Plain-text table rendering for the benchmark harness.
+"""Plain-text table and machine-readable JSON rendering for benchmarks.
 
 Every experiment bench regenerates one of the paper's worked results and
 prints it as a table; this module keeps the formatting in one place so the
-tables in ``bench_output.txt`` and EXPERIMENTS.md stay consistent.
+tables in ``bench_output.txt`` and EXPERIMENTS.md stay consistent.  The
+JSON helpers back ``make bench-json`` / ``benchmarks/collect.py``, which
+emit ``BENCH_<n>.json`` so the perf trajectory is comparable PR-over-PR.
+Exact values stay exact in JSON: a :class:`fractions.Fraction` is encoded
+as its ``"p/q"`` string, never as a float.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from fractions import Fraction
-from typing import Iterable, List, Sequence
+from typing import Iterable, List, Mapping, Sequence
 
 from .probability.fractionutil import format_fraction
 
@@ -49,4 +55,46 @@ def print_table(
     """Render, print, and return a table (benches print for the tee'd log)."""
     text = render_table(title, headers, rows)
     print("\n" + text)
+    return text
+
+
+# ----------------------------------------------------------------------
+# Machine-readable benchmark reports
+# ----------------------------------------------------------------------
+
+
+def json_ready(value):
+    """Recursively convert a value to something ``json.dumps`` accepts.
+
+    Fractions become exact ``"p/q"`` strings (``"1/256"``, ``"1"``) --
+    the reproduction never rounds a probability, not even in a report.
+    Dataclasses, mappings, and sequences are converted element-wise.
+    """
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, Fraction):
+        return str(value)
+    if isinstance(value, (int, float, str)):
+        return value
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: json_ready(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, Mapping):
+        return {str(key): json_ready(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value, key=repr) if isinstance(value, (set, frozenset)) else value
+        return [json_ready(item) for item in items]
+    return repr(value)
+
+
+def write_bench_json(path, payload) -> str:
+    """Serialise a benchmark report to pretty-printed JSON at ``path``.
+
+    Returns the rendered text (callers print it for the tee'd log).
+    """
+    text = json.dumps(json_ready(payload), indent=2, sort_keys=False)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
     return text

@@ -15,7 +15,7 @@ from fractions import Fraction
 from typing import Callable, Hashable, List, Sequence, Tuple
 
 from ..probability.distributions import Distribution, point_mass, weighted
-from ..probability.fractionutil import FractionLike
+from ..probability.fractionutil import ONE, FractionLike
 from .messages import Message
 
 AgentAction = Tuple[Hashable, Tuple[Message, ...]]
@@ -29,7 +29,7 @@ def act(state: Hashable, *messages: Message) -> AgentAction:
 
 def certainly(state: Hashable, *messages: Message) -> ActionDistribution:
     """The point-mass distribution on one action."""
-    return [(Fraction(1), act(state, *messages))]
+    return [(ONE, act(state, *messages))]
 
 
 def chance(
@@ -123,9 +123,12 @@ class RepeatedCoinTosser(Agent):
     the Section 7 ten-toss example's ``p_3``."""
 
     def __init__(self, heads_probability: FractionLike = Fraction(1, 2)) -> None:
-        from ..probability.fractionutil import as_fraction
+        from ..probability.fractionutil import as_fraction, check_probability
 
-        self.heads_probability = as_fraction(heads_probability)
+        self.heads_probability = check_probability(as_fraction(heads_probability))
+        # both branch probabilities are fixed for the agent's lifetime, so
+        # validate once here instead of re-running chance() every round
+        self._tails_probability = ONE - self.heads_probability
 
     def initial_state(self, input_value: Hashable) -> Hashable:
         return ()
@@ -134,9 +137,7 @@ class RepeatedCoinTosser(Agent):
         self, state: Hashable, inbox: Tuple[Message, ...], round_number: int
     ) -> ActionDistribution:
         outcomes: Tuple[str, ...] = state  # type: ignore[assignment]
-        return chance(
-            [
-                (self.heads_probability, act(outcomes + ("H",))),
-                (1 - self.heads_probability, act(outcomes + ("T",))),
-            ]
-        )
+        return [
+            (self.heads_probability, act(outcomes + ("H",))),
+            (self._tails_probability, act(outcomes + ("T",))),
+        ]

@@ -71,13 +71,33 @@ def _joint_actions(
     for index, agent in enumerate(protocol.agents):
         inbox = inbox_for(index, pending)
         branches = agent.step(states[index], inbox, round_number)
+        if len(branches) == 1:
+            # deterministic agents (the idle observers of every coin
+            # example) multiply every joint branch by 1; skip the
+            # Fraction work entirely after checking the lone probability
+            probability, action = branches[0]
+            if probability != ONE:
+                raise SimulationError(
+                    f"agent {index} step probabilities sum to {probability} "
+                    f"at round {round_number}"
+                )
+            joint = [
+                (accumulated, actions + (action,))
+                for accumulated, actions in joint
+            ]
+            continue
         total = sum((probability for probability, _ in branches), ZERO)
         if total != ONE:
             raise SimulationError(
                 f"agent {index} step probabilities sum to {total} at round {round_number}"
             )
         joint = [
-            (accumulated * probability, actions + (action,))
+            # `accumulated is ONE` holds until the first probabilistic
+            # agent; skipping the 1 * p products saves a gcd per branch
+            (
+                probability if accumulated is ONE else accumulated * probability,
+                actions + (action,),
+            )
             for accumulated, actions in joint
             for probability, action in branches
         ]
@@ -123,8 +143,14 @@ def run_protocol(
             )
             for delivery_probability, delivered in protocol.channel.deliveries(sent, time):
                 key = (new_states, delivered)
+                contribution = (
+                    action_probability
+                    if delivery_probability is ONE
+                    else action_probability * delivery_probability
+                )
+                existing = outcomes.get(key)
                 outcomes[key] = (
-                    outcomes.get(key, ZERO) + action_probability * delivery_probability
+                    contribution if existing is None else existing + contribution
                 )
         branches = []
         for (new_states, delivered), probability in sorted(

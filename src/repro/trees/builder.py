@@ -114,7 +114,11 @@ def build_tree(
             expand(child, time + 1)
 
     expand(root, 0)
-    return ComputationTree(adversary, root, children, edge_probabilities)
+    # expand() has already enforced every tree invariant: labels are
+    # distinct and positive and sum to 1 per node, histories extend
+    # strictly (so no global state repeats), and each node was reached
+    # from the root -- skip the duplicate validation pass.
+    return ComputationTree(adversary, root, children, edge_probabilities, validate=False)
 
 
 def halt() -> Sequence[StepBranch]:

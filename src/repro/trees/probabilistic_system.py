@@ -15,6 +15,7 @@ from typing import Dict, FrozenSet, Hashable, Iterable, Mapping, Optional, Tuple
 
 from ..errors import TechnicalAssumptionError, TreeError
 from ..core.model import GlobalState, Point, Run, System
+from ..probability.bitset import OutcomeIndex
 from ..probability.space import FiniteProbabilitySpace
 from .tree import ComputationTree
 
@@ -80,6 +81,16 @@ class ProbabilisticSystem:
         why REQ1 is a real restriction.
         """
         return self._system
+
+    @property
+    def point_index(self) -> OutcomeIndex:
+        """The underlying system's ``point -> bit position`` index.
+
+        Every consumer of this probabilistic system (model checking,
+        sweeps, the parallel runner) shares one index, so event masks can
+        be exchanged between layers without translation.
+        """
+        return self._system.point_index
 
     def tree_of(self, point: Point) -> ComputationTree:
         """``T(c)``: the unique tree containing the point."""

@@ -54,6 +54,12 @@ class ComputationTree:
     edge_probabilities:
         Mapping from ``(parent, child)`` to a positive transition
         probability; each node's outgoing labels must sum to 1.
+    validate:
+        Run the structural checks (reachability, positive labels summing
+        to 1 per node, no repeated global state).  The generative builder
+        (:func:`repro.trees.builder.build_tree`) passes ``False`` because
+        its expansion guarantees each invariant by construction; direct
+        and relabeled constructions keep the default ``True``.
     """
 
     def __init__(
@@ -62,6 +68,7 @@ class ComputationTree:
         root: GlobalState,
         children: Mapping[GlobalState, Sequence[GlobalState]],
         edge_probabilities: Mapping[Edge, FractionLike],
+        validate: bool = True,
     ) -> None:
         self.adversary = adversary
         self.root = root
@@ -72,22 +79,47 @@ class ComputationTree:
             edge: as_fraction(probability)
             for edge, probability in edge_probabilities.items()
         }
-        self._validate()
-        self._runs: Tuple[Run, ...] = tuple(self._enumerate_runs())
-        self._run_probability: Dict[Run, Fraction] = {
-            run: self._product_along(run) for run in self._runs
-        }
-        total = sum(self._run_probability.values(), ZERO)
+        if validate:
+            self._validate()
+        # Enumerate runs depth-first, accumulating each run's probability
+        # along the way: one multiply per tree edge instead of one per
+        # (run, edge) pair as the old per-run _product_along pass paid.
+        runs: List[Run] = []
+        run_probability: Dict[Run, Fraction] = {}
+        stack: List[Tuple[Tuple[GlobalState, ...], Fraction]] = [((root,), ONE)]
+        while stack:
+            path, probability = stack.pop()
+            tail = path[-1]
+            kids = self._children.get(tail, ())
+            if not kids:
+                run = Run(path)
+                runs.append(run)
+                run_probability[run] = probability
+                continue
+            for child in reversed(kids):
+                stack.append(
+                    (path + (child,), probability * self._edge_probability[(tail, child)])
+                )
+        self._runs: Tuple[Run, ...] = tuple(runs)
+        self._run_probability: Dict[Run, Fraction] = run_probability
+        total = sum(run_probability.values(), ZERO)
         if total != ONE:
             raise InvalidMeasureError(
                 f"run probabilities sum to {total}, not 1 (tree mislabeled?)"
             )
-        self._points: Tuple[Point, ...] = tuple(
-            point for run in self._runs for point in run.points()
-        )
-        self._node_set: FrozenSet[GlobalState] = frozenset(
-            point.global_state for point in self._points
-        )
+        points: List[Point] = []
+        node_runs: Dict[GlobalState, List[Run]] = {}
+        for run in runs:
+            for time, state in enumerate(run.states):
+                points.append(Point(run, time))
+                node_runs.setdefault(state, []).append(run)
+        self._points: Tuple[Point, ...] = tuple(points)
+        # node -> runs through it, precomputed so runs_through_node is a
+        # lookup instead of a runs x states scan per query
+        self._node_runs: Dict[GlobalState, FrozenSet[Run]] = {
+            node: frozenset(through) for node, through in node_runs.items()
+        }
+        self._node_set: FrozenSet[GlobalState] = frozenset(node_runs)
 
     # ------------------------------------------------------------------
     # Validation
@@ -186,12 +218,6 @@ class ComputationTree:
             for child in reversed(kids):
                 stack.append(path + (child,))
 
-    def _product_along(self, run: Run) -> Fraction:
-        probability = ONE
-        for parent, child in zip(run.states, run.states[1:]):
-            probability *= self._edge_probability[(parent, child)]
-        return probability
-
     @property
     def runs(self) -> Tuple[Run, ...]:
         """The runs of the tree (root-to-leaf paths), depth-first order."""
@@ -214,7 +240,15 @@ class ComputationTree:
         return frozenset(point.run for point in points)
 
     def runs_through_node(self, node: GlobalState) -> FrozenSet[Run]:
-        """The runs passing through a given global state."""
+        """The runs passing through a given global state (indexed lookup)."""
+        try:
+            return self._node_runs[node]
+        except KeyError:
+            return frozenset()
+
+    def runs_through_node_naive(self, node: GlobalState) -> FrozenSet[Run]:
+        """:meth:`runs_through_node` via a runs x states scan (ablation
+        baseline for the construction-time index)."""
         return frozenset(run for run in self._runs if node in run.states)
 
     def contains_point(self, point: Point) -> bool:

@@ -1,0 +1,88 @@
+"""The parallel sweep runner: determinism, fallback, exactness."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.attack import (
+    build_ca2,
+    guarantee_sweep,
+    parallel_guarantee_sweep,
+    parallel_map,
+    sweep_row_of,
+    sweep_tasks,
+)
+
+
+def _square(value: int) -> int:
+    return value * value
+
+
+def _fraction_half(value: int) -> Fraction:
+    return Fraction(value, 2)
+
+
+class TestParallelMap:
+    def test_preserves_input_order(self):
+        assert parallel_map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_exact_fractions_cross_the_process_boundary(self):
+        assert parallel_map(_fraction_half, [1, 2, 3]) == [
+            Fraction(1, 2),
+            Fraction(1),
+            Fraction(3, 2),
+        ]
+
+    def test_serial_when_single_worker(self):
+        assert parallel_map(_square, [1, 2, 3], max_workers=1) == [1, 4, 9]
+
+    def test_empty_and_singleton(self):
+        assert parallel_map(_square, []) == []
+        assert parallel_map(_square, [5]) == [25]
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            parallel_map(_square, [1], max_workers=0)
+
+    def test_unpicklable_function_falls_back_to_serial(self):
+        # a closure cannot be pickled; the runner must still return the map
+        assert parallel_map(lambda value: value + 1, [1, 2]) == [2, 3]
+
+
+class TestParallelSweep:
+    def test_rows_match_serial_sweep_exactly(self):
+        counts, losses = [1, 2], [Fraction(1, 2)]
+        assert parallel_guarantee_sweep(counts, losses) == guarantee_sweep(
+            counts, losses
+        )
+
+    def test_task_enumeration_is_deterministic(self):
+        first = sweep_tasks([1, 2], [Fraction(1, 2), Fraction(1, 4)])
+        second = sweep_tasks([1, 2], [Fraction(1, 2), Fraction(1, 4)])
+        assert first == second
+        assert [task[:1] + task[2:] for task in first] == [
+            ("CA1", 1, Fraction(1, 2), Fraction(99, 100)),
+            ("CA1", 1, Fraction(1, 4), Fraction(99, 100)),
+            ("CA1", 2, Fraction(1, 2), Fraction(99, 100)),
+            ("CA1", 2, Fraction(1, 4), Fraction(99, 100)),
+            ("CA2", 1, Fraction(1, 2), Fraction(99, 100)),
+            ("CA2", 1, Fraction(1, 4), Fraction(99, 100)),
+            ("CA2", 2, Fraction(1, 2), Fraction(99, 100)),
+            ("CA2", 2, Fraction(1, 4), Fraction(99, 100)),
+            ("CA1-adaptive", 1, Fraction(1, 2), Fraction(99, 100)),
+            ("CA1-adaptive", 1, Fraction(1, 4), Fraction(99, 100)),
+            ("CA1-adaptive", 2, Fraction(1, 2), Fraction(99, 100)),
+            ("CA1-adaptive", 2, Fraction(1, 4), Fraction(99, 100)),
+        ]
+
+    def test_sweep_row_of_matches_serial_row(self):
+        tasks = sweep_tasks([2], [Fraction(1, 2)], builders={"CA2": build_ca2})
+        rows = guarantee_sweep([2], [Fraction(1, 2)], builders={"CA2": build_ca2})
+        assert [sweep_row_of(task) for task in tasks] == rows
+
+    def test_custom_builders_respected(self):
+        rows = parallel_guarantee_sweep(
+            [1], [Fraction(1, 2)], builders={"CA2": build_ca2}
+        )
+        assert [row.protocol for row in rows] == ["CA2"]
+        assert all(type(row.post_threshold) is Fraction for row in rows)

@@ -1,0 +1,56 @@
+"""The shared point index and mask-based knowledge on ``System``."""
+
+from repro.examples_lib import repeated_coin_system, three_agent_coin_system
+
+
+def _example_system():
+    return three_agent_coin_system().psys
+
+
+class TestPointIndex:
+    def test_positions_follow_points_order(self):
+        system = _example_system().system
+        index = system.point_index
+        assert index.members == system.points
+        assert [index.position(point) for point in system.points] == list(
+            range(len(system.points))
+        )
+
+    def test_index_is_cached(self):
+        system = _example_system().system
+        assert system.point_index is system.point_index
+
+    def test_probabilistic_system_shares_the_system_index(self):
+        psys = _example_system()
+        assert psys.point_index is psys.system.point_index
+
+
+class TestKnowledgeMasks:
+    def test_knowledge_mask_encodes_knowledge_set(self):
+        system = _example_system().system
+        index = system.point_index
+        for agent in system.agents:
+            for point in system.points:
+                mask = system.knowledge_mask(agent, point)
+                assert index.members_of(mask) == system.knowledge_set(agent, point)
+
+    def test_class_masks_partition_the_point_universe(self):
+        system = repeated_coin_system(3).psys.system
+        index = system.point_index
+        for agent in system.agents:
+            masks = system.agent_class_masks(agent)
+            union = 0
+            for mask in masks:
+                assert mask & union == 0, "information classes overlap"
+                union |= mask
+            assert union == index.full_mask
+
+    def test_class_masks_match_local_state_classes(self):
+        system = _example_system().system
+        index = system.point_index
+        for agent in system.agents:
+            expected = {
+                index.mask_of(points)
+                for points in system.local_state_classes(agent).values()
+            }
+            assert set(system.agent_class_masks(agent)) == expected

@@ -1,0 +1,65 @@
+"""Mask-based extension computation agrees with the point-set boundary."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import standard_assignments
+from repro.examples_lib import three_agent_coin_system
+from repro.logic import Model, parse
+
+
+@pytest.fixture()
+def model():
+    example = three_agent_coin_system()
+    post = standard_assignments(example.psys)["post"]
+    return Model(post, {"heads": example.heads})
+
+
+FORMULAS = [
+    "heads",
+    "!heads",
+    "heads & !heads",
+    "heads | !heads",
+    "heads -> heads",
+    "heads <-> heads",
+    "K2 heads",
+    "!K0 heads",
+    "E{0,1} (heads | !heads)",
+    "C{0,1} (heads | !heads)",
+    "Pr0(heads) >= 1/2",
+    "Pr0(heads) <= 1/2",
+    "X heads",
+    "(!heads) U heads",
+]
+
+
+@pytest.mark.parametrize("text", FORMULAS)
+def test_extension_mask_encodes_extension(model, text):
+    formula = parse(text)
+    extension = model.extension(formula)
+    mask = model.extension_mask(formula)
+    assert model._index.members_of(mask) == extension
+
+
+@pytest.mark.parametrize("text", FORMULAS)
+def test_holds_and_valid_agree_with_extension(model, text):
+    formula = parse(text)
+    extension = model.extension(formula)
+    all_points = frozenset(model.system.points)
+    assert model.valid(formula) == (extension == all_points)
+    for point in model.system.points:
+        assert model.holds(formula, point) == (point in extension)
+
+
+def test_full_extension_reuses_the_cached_point_set(model):
+    tautology = parse("heads | !heads")
+    assert model.extension(tautology) is model._all_points()
+    assert model._all_points() is model._all_points()
+
+
+def test_probabilistic_common_knowledge_masks(model):
+    formula = parse("C{0,1}^1/2 (heads | !heads)")
+    assert model.valid(formula)
+    nobody = parse("C{0,1}^1/1 heads")
+    assert model.extension(nobody) == frozenset()

@@ -1,0 +1,91 @@
+"""Unit tests for the bitmask event representation and backend switch."""
+
+import pytest
+
+from repro.probability import (
+    BACKENDS,
+    IntervalCache,
+    OutcomeIndex,
+    get_default_backend,
+    set_default_backend,
+    use_backend,
+)
+
+
+class TestOutcomeIndex:
+    def test_positions_follow_first_seen_order(self):
+        index = OutcomeIndex(["c", "a", "b", "a"])
+        assert index.members == ("c", "a", "b")
+        assert [index.position(member) for member in "cab"] == [0, 1, 2]
+        assert len(index) == 3
+        assert list(index) == ["c", "a", "b"]
+
+    def test_masks_round_trip(self):
+        index = OutcomeIndex(range(5))
+        mask = index.mask_of([0, 3, 4])
+        assert index.members_of(mask) == frozenset({0, 3, 4})
+        assert index.full_mask == 0b11111
+        assert index.singleton(3) == 0b01000
+
+    def test_mask_of_known_drops_foreign_members(self):
+        index = OutcomeIndex("ab")
+        assert index.mask_of_known("abz") == index.full_mask
+        assert index.strict_mask("abz") is None
+        assert index.strict_mask("ab") == index.full_mask
+        with pytest.raises(KeyError):
+            index.mask_of("abz")
+
+    def test_contains(self):
+        index = OutcomeIndex("ab")
+        assert "a" in index
+        assert "z" not in index
+
+    def test_iter_members_of_is_position_ordered(self):
+        index = OutcomeIndex("abcd")
+        assert list(index.iter_members_of(0b1010)) == ["b", "d"]
+
+
+class TestIntervalCache:
+    def test_lru_eviction(self):
+        cache = IntervalCache(maxsize=2)
+        cache.put(1, "one")
+        cache.put(2, "two")
+        assert cache.get(1) == "one"  # refreshes 1; 2 is now least recent
+        cache.put(3, "three")
+        assert cache.get(2) is None
+        assert cache.get(1) == "one"
+        assert cache.get(3) == "three"
+        assert len(cache) == 2
+
+    def test_hit_miss_counters(self):
+        cache = IntervalCache()
+        assert cache.get(7) is None
+        cache.put(7, "entry")
+        assert cache.get(7) == "entry"
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            IntervalCache(maxsize=0)
+
+
+class TestBackendSwitch:
+    def test_default_is_bitmask(self):
+        assert get_default_backend() == "bitmask"
+        assert set(BACKENDS) == {"bitmask", "naive"}
+
+    def test_use_backend_restores_on_exit(self):
+        with use_backend("naive"):
+            assert get_default_backend() == "naive"
+        assert get_default_backend() == "bitmask"
+
+    def test_use_backend_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with use_backend("naive"):
+                raise RuntimeError("boom")
+        assert get_default_backend() == "bitmask"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            set_default_backend("gpu")

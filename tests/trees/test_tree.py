@@ -133,6 +133,16 @@ class TestRuns:
         assert len(simple_tree.runs_through_node(left)) == 1
         assert len(simple_tree.runs_through_node(simple_tree.root)) == 2
 
+    def test_runs_through_node_matches_naive_scan(self):
+        tree = random_tree(6, depth=3)
+        for node in tree.nodes:
+            assert tree.runs_through_node(node) == tree.runs_through_node_naive(node)
+
+    def test_runs_through_foreign_node_is_empty(self, simple_tree):
+        foreign = state("stranger")
+        assert simple_tree.runs_through_node(foreign) == frozenset()
+        assert simple_tree.runs_through_node_naive(foreign) == frozenset()
+
     def test_contains_point(self, simple_tree):
         assert simple_tree.contains_point(simple_tree.points[0])
         foreign = random_tree(1).points[0]
