@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 
-.PHONY: install test bench bench-json bench-json-smoke examples quicktest lint lint-json clean
+.PHONY: install test test-chaos bench bench-json bench-json-smoke examples quicktest lint lint-json clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -12,6 +12,12 @@ test:
 
 quicktest:
 	$(PYTHON) -m pytest tests/ -x -q -p no:randomly -k "not properties and not random_systems"
+
+# Fault-tolerance suite: injected worker kills, raises, timeouts and
+# checkpoint/resume.  Faulthandler prints stacks if anything hangs.
+# See docs/robustness.md.
+test-chaos:
+	PYTHONPATH=src PYTHONFAULTHANDLER=1 $(PYTHON) -m pytest tests/robustness -q
 
 # reprolint: AST-based invariant checker (exact arithmetic, layering,
 # paper traceability).  See docs/static_analysis.md.

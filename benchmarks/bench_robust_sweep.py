@@ -1,0 +1,52 @@
+"""Robustness -- overhead of the fault-tolerant engine over the plain sweep.
+
+The fault-tolerant runner (:func:`repro.robustness.robust_guarantee_sweep`)
+wraps every task in retry bookkeeping and, when checkpointing, serialises
+each row to JSONL with an fsync.  This benchmark measures what that
+machinery costs on a sweep that never faults, against the plain serial
+:func:`repro.attack.sweep.guarantee_sweep` -- and asserts the two row
+lists are identical, which is the engine's core contract.
+"""
+
+import os
+import tempfile
+from fractions import Fraction
+
+from repro.attack import guarantee_sweep
+from repro.robustness import robust_guarantee_sweep
+
+COUNTS = [1, 2, 4]
+LOSSES = [Fraction(1, 2)]
+
+
+def run_serial():
+    return guarantee_sweep(COUNTS, LOSSES)
+
+
+def run_robust():
+    return robust_guarantee_sweep(COUNTS, LOSSES, max_workers=1)
+
+
+def run_robust_checkpointed():
+    with tempfile.TemporaryDirectory() as tmp:
+        return robust_guarantee_sweep(
+            COUNTS,
+            LOSSES,
+            max_workers=1,
+            checkpoint_path=os.path.join(tmp, "sweep.jsonl"),
+        )
+
+
+def test_serial_sweep_baseline(benchmark):
+    rows = benchmark(run_serial)
+    assert len(rows) == 9
+
+
+def test_robust_sweep_overhead(benchmark):
+    rows = benchmark(run_robust)
+    assert rows == run_serial()
+
+
+def test_robust_sweep_checkpoint_overhead(benchmark):
+    rows = benchmark(run_robust_checkpointed)
+    assert rows == run_serial()

@@ -21,10 +21,34 @@ knowledge in distributed systems into a library:
   Proposition 11).
 * :mod:`repro.examples_lib` -- every worked example of the paper as a
   ready-made system.
+* :mod:`repro.robustness` -- fault-tolerant sweep engine (retries,
+  checkpoint/resume), deterministic fault injection, and runtime
+  validators for the paper's structural invariants.
 """
 
 __version__ = "1.0.0"
 
 from . import core, probability, trees
+from .errors import (
+    CheckpointError,
+    ExecutionError,
+    ReproError,
+    RetryExhaustedError,
+    TaskTimeoutError,
+    ValidationError,
+    WorkerTaskError,
+)
 
-__all__ = ["core", "probability", "trees", "__version__"]
+__all__ = [
+    "core",
+    "probability",
+    "trees",
+    "CheckpointError",
+    "ExecutionError",
+    "ReproError",
+    "RetryExhaustedError",
+    "TaskTimeoutError",
+    "ValidationError",
+    "WorkerTaskError",
+    "__version__",
+]

@@ -11,20 +11,28 @@ are enumerated up front in serial order (:func:`repro.attack.sweep.sweep_tasks`)
 and ``Executor.map`` preserves input order, so the parallel sweep returns
 exactly the same row list as the serial one -- only faster.
 
-Environments without working process pools (restricted sandboxes, missing
-``/dev/shm``, non-picklable custom builders) degrade gracefully: the
-runner falls back to in-process execution and still returns the same
-rows.
+Exceptions raised *by a task* never travel through the pool as raised
+exceptions: the worker wraps them in a :class:`_TaskFailure` envelope and
+the parent re-raises them after the map completes.  Any exception that
+does surface from the pool machinery is therefore infrastructure by
+construction, and only those trigger the in-process fallback --
+environments without working process pools (restricted sandboxes,
+missing ``/dev/shm``, non-picklable custom builders) degrade gracefully
+and still return the same rows, while a genuine task error is raised
+exactly once, never re-executed serially first.
 """
 
 from __future__ import annotations
 
+import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from fractions import Fraction
 from pickle import PicklingError
-from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Union
 
+from ..errors import WorkerTaskError
 from ..probability.fractionutil import FractionLike
 from .sweep import Builder, SweepRow, sweep_row_of, sweep_tasks
 
@@ -35,12 +43,13 @@ _Result = TypeVar("_Result")
 
 #: Errors that mean "a process pool cannot be used here" rather than "the
 #: workload failed": pool creation being refused by the OS or the
-#: platform, values that cannot cross a process boundary (CPython raises
-#: AttributeError/TypeError, not just PicklingError, for closures and
-#: unpicklable state), or the pool dying underneath us.  The fallback
-#: re-runs the same pure map in-process, so a genuine application error
-#: that happens to share one of these types is re-raised faithfully by
-#: the serial pass.
+#: platform, payloads that cannot cross a process boundary (CPython
+#: raises AttributeError/TypeError, not just PicklingError, for closures
+#: and unpicklable state), or the pool dying underneath us.  Because the
+#: worker wraps task exceptions in a :class:`_TaskFailure` envelope, an
+#: exception of one of these types raised *by the pool map* is provably
+#: infrastructure, so falling back to in-process execution never
+#: re-executes a task whose own code failed.
 POOL_FALLBACK_ERRORS = (
     OSError,
     NotImplementedError,
@@ -49,6 +58,37 @@ POOL_FALLBACK_ERRORS = (
     TypeError,
     BrokenProcessPool,
 )
+
+
+@dataclass(frozen=True)
+class _TaskFailure:
+    """Worker-side envelope carrying a task's exception back as a value.
+
+    ``error`` is the original exception when it survives pickling;
+    otherwise it is ``None`` and ``summary`` alone describes the failure.
+    """
+
+    summary: str
+    error: Optional[BaseException] = None
+
+    def reraise(self):
+        if self.error is not None:
+            raise self.error
+        raise WorkerTaskError(self.summary)
+
+
+def _enveloped_call(payload: Tuple[Callable, object]) -> Union[object, _TaskFailure]:
+    """Run one task in a worker, converting its exception into a value."""
+    function, item = payload
+    try:
+        return function(item)
+    except Exception as error:
+        summary = f"{type(error).__name__}: {error}"
+        try:
+            pickle.dumps(error)
+        except Exception:
+            return _TaskFailure(summary=summary)
+        return _TaskFailure(summary=summary, error=error)
 
 
 def parallel_map(
@@ -61,8 +101,10 @@ def parallel_map(
     ``function`` must be picklable (a module-level function); results come
     back in the order of ``items`` regardless of which worker finished
     first.  ``max_workers=1`` -- or any condition in
-    :data:`POOL_FALLBACK_ERRORS` -- runs the same map in-process, so
-    callers never need to branch on platform capabilities.
+    :data:`POOL_FALLBACK_ERRORS` raised by the pool machinery itself --
+    runs the same map in-process, so callers never need to branch on
+    platform capabilities.  A task's own exception is re-raised exactly
+    once, without re-running any task.
     """
     work = list(items)
     if max_workers is not None and max_workers < 1:
@@ -71,9 +113,15 @@ def parallel_map(
         return [function(item) for item in work]
     try:
         with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            return list(pool.map(function, work))
+            outcomes = list(pool.map(_enveloped_call, [(function, item) for item in work]))
     except POOL_FALLBACK_ERRORS:
         return [function(item) for item in work]
+    results: List[_Result] = []
+    for outcome in outcomes:
+        if isinstance(outcome, _TaskFailure):
+            outcome.reraise()
+        results.append(outcome)
+    return results
 
 
 def parallel_guarantee_sweep(

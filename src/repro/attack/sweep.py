@@ -106,14 +106,15 @@ def sweep_tasks(
     ]
 
 
-def sweep_row_of(task: SweepTask) -> SweepRow:
-    """Compute one :class:`SweepRow` from a :data:`SweepTask`.
+def sweep_row_from_attack(task: SweepTask, attack: AttackSystem) -> SweepRow:
+    """Compute one :class:`SweepRow` from an already-built attack system.
 
-    Module-level (not a closure) so :func:`repro.attack.parallel.parallel_map`
-    can send it to worker processes.
+    Split out of :func:`sweep_row_of` so callers that inspect the system
+    between building and measuring it -- the ``strict=True`` validation
+    path of :func:`repro.robustness.checkpoint.robust_guarantee_sweep` --
+    reuse exactly the same row computation.
     """
-    name, builder, messengers, loss, threshold = task
-    attack = builder(messengers, loss)
+    name, _builder, messengers, loss, threshold = task
     post = post_threshold(attack)
     return SweepRow(
         protocol=name,
@@ -123,6 +124,16 @@ def sweep_row_of(task: SweepTask) -> SweepRow:
         post_threshold=post,
         achieves_99_post=post >= threshold,
     )
+
+
+def sweep_row_of(task: SweepTask) -> SweepRow:
+    """Compute one :class:`SweepRow` from a :data:`SweepTask`.
+
+    Module-level (not a closure) so :func:`repro.attack.parallel.parallel_map`
+    can send it to worker processes.
+    """
+    _name, builder, messengers, loss, _threshold = task
+    return sweep_row_from_attack(task, builder(messengers, loss))
 
 
 def guarantee_sweep(

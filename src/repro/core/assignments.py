@@ -87,6 +87,42 @@ def check_req2(
     return measure
 
 
+def requirement_defects(
+    psys: ProbabilisticSystem, point: Point, sample: Iterable[Point]
+) -> List[str]:
+    """Every REQ1/REQ2 defect of one sample space, as messages (Section 5).
+
+    The non-raising counterpart of :func:`check_req2`, used by
+    :func:`repro.robustness.validate.validate_assignment` to aggregate
+    violations across all (agent, point) pairs instead of stopping at the
+    first :class:`Req1Error`/:class:`Req2Error`.  An empty list means the
+    sample satisfies both requirements at this point.
+    """
+    sample_set = frozenset(sample)
+    defects: List[str] = []
+    try:
+        tree = psys.tree_of(point)
+    except Exception as error:
+        return [f"REQ1: the point belongs to no computation tree ({error})"]
+    outside = [member for member in sample_set if not tree.contains_point(member)]
+    if outside:
+        defects.append(
+            f"REQ1: {len(outside)} sample point(s) lie outside T(c) "
+            f"(adversary {tree.adversary!r})"
+        )
+    inside = frozenset(member for member in sample_set if tree.contains_point(member))
+    if not inside:
+        defects.append("REQ2: no sample point lies in T(c), so R(S) is empty")
+        return defects
+    runs = tree.runs_through(inside)
+    space = psys.run_space(tree.adversary)
+    if not space.is_measurable(runs):
+        defects.append("REQ2: the runs through the sample space are not measurable")
+    elif space.measure(runs) <= ZERO:
+        defects.append("REQ2: the runs through the sample space have measure zero")
+    return defects
+
+
 def check_req2_state_generated(
     psys: ProbabilisticSystem, point: Point, sample: Iterable[Point]
 ) -> bool:

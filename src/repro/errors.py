@@ -89,3 +89,86 @@ class BettingError(ReproError):
 
 class SimulationError(ReproError):
     """Base class for errors in the distributed-system simulator."""
+
+
+class ValidationError(ReproError):
+    """A structural invariant of the paper failed a runtime validation pass.
+
+    Raised by :meth:`repro.robustness.validate.ValidationReport.raise_if_failed`
+    with the *aggregated* list of violations (never just the first): atom
+    probabilities summing to one and algebra closure (Section 3), the
+    technical assumption on computation trees (Section 4), and REQ1/REQ2
+    on sample-space assignments (Section 5).
+    """
+
+    def __init__(self, message: str, violations: tuple = ()) -> None:
+        super().__init__(message)
+        #: The aggregated ``InvariantViolation`` records behind the message.
+        self.violations = tuple(violations)
+
+
+class ExecutionError(ReproError):
+    """Base class for terminal failures of the fault-tolerant sweep engine.
+
+    The Proposition 11 guarantee sweeps (Section 8) are exact computations:
+    a task either returns its exact Fractions or the engine must say
+    precisely which task failed and how.  Instances carry the failing
+    task's identity (``task_index``, ``task``) and the full attempt log
+    (a tuple of ``repro.robustness.engine.TaskAttempt`` records).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        task_index=None,
+        task=None,
+        attempts: tuple = (),
+    ) -> None:
+        super().__init__(message)
+        #: Position of the failing task in the deterministic task list.
+        self.task_index = task_index
+        #: The task value itself (e.g. a ``SweepTask`` tuple).
+        self.task = task
+        #: Chronological ``TaskAttempt`` records, one per try.
+        self.attempts = tuple(attempts)
+
+
+class RetryExhaustedError(ExecutionError):
+    """A task kept failing after the retry policy's bounded attempts.
+
+    The engine behind the Proposition 11 sweeps (Section 8) retries failed
+    tasks with deterministic exponential backoff; when the final attempt
+    still raises (or its worker is lost), this terminal error reports the
+    task identity and every recorded attempt instead of silently re-running
+    the whole sweep.
+    """
+
+
+class TaskTimeoutError(ExecutionError):
+    """A task exceeded its per-task timeout on its final permitted attempt.
+
+    Sweep tasks (Section 8, Proposition 11) build finite systems and must
+    terminate; a timeout means the task is stuck, not slow, so the engine
+    abandons its worker and -- once retries are exhausted -- surfaces the
+    task identity and attempt log rather than hanging the sweep.
+    """
+
+
+class CheckpointError(ReproError):
+    """A sweep checkpoint file disagrees with the task list resuming it.
+
+    Checkpoint rows record each task's fingerprint (protocol, messengers,
+    loss, epsilon -- the sweep coordinates of Section 8); resuming against
+    different parameters would silently splice rows from two different
+    sweeps, so the mismatch is an error.
+    """
+
+
+class WorkerTaskError(ReproError):
+    """A task raised inside a worker process and the original exception
+    could not cross the process boundary (it was unpicklable).
+
+    Carries the worker-side ``repr`` summary of the original error so the
+    failure stays attributable even when the exception object itself
+    cannot be shipped back.
+    """

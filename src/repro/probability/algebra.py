@@ -41,6 +41,40 @@ def is_partition(space: Iterable[Hashable], atoms: Iterable[Atom]) -> bool:
     return seen == space_set
 
 
+def partition_defects(space: Iterable[Hashable], atoms: Iterable[Atom]) -> List[str]:
+    """Every way ``atoms`` fail to partition ``space``, as messages.
+
+    The non-raising counterpart of :func:`check_partition`:
+    :func:`repro.robustness.validate.validate_space` aggregates these
+    messages instead of stopping at the first failure, so a corrupted
+    space reports empty atoms, overlaps, escapes, and coverage gaps all
+    at once.  An empty list means ``atoms`` is a genuine partition.
+    """
+    space_set = frozenset(space)
+    defects: List[str] = []
+    seen: Set[Hashable] = set()
+    for index, atom in enumerate(atoms):
+        atom_set = frozenset(atom)
+        if not atom_set:
+            defects.append(f"atom #{index} is empty")
+            continue
+        escaped = atom_set - space_set
+        if escaped:
+            defects.append(
+                f"atom #{index} contains {len(escaped)} outcome(s) outside the space"
+            )
+        overlap = seen & atom_set
+        if overlap:
+            defects.append(
+                f"atom #{index} overlaps earlier atoms on {len(overlap)} outcome(s)"
+            )
+        seen |= atom_set
+    missing = space_set - seen
+    if missing:
+        defects.append(f"{len(missing)} outcome(s) of the space are covered by no atom")
+    return defects
+
+
 def check_partition(space: Iterable[Hashable], atoms: Iterable[Atom]) -> Tuple[Atom, ...]:
     """Validate and normalise an atom partition, raising on failure.
 

@@ -89,6 +89,24 @@ def json_ready(value):
     return repr(value)
 
 
+def fraction_from_json(value) -> Fraction:
+    """Decode the exact ``"p/q"`` encoding of :func:`json_ready` back to a
+    :class:`fractions.Fraction`.
+
+    Accepts the string forms ``"p/q"`` and ``"n"`` plus plain ints (JSON
+    round-trips small integers as numbers).  Floats are rejected: a float
+    in a checkpoint or report means some producer rounded an exact value,
+    which the reproduction never does.
+    """
+    if isinstance(value, bool) or isinstance(value, float):
+        raise ValueError(f"not an exact fraction encoding: {value!r}")
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, str):
+        return Fraction(value)
+    raise ValueError(f"not an exact fraction encoding: {value!r}")
+
+
 def write_bench_json(path, payload) -> str:
     """Serialise a benchmark report to pretty-printed JSON at ``path``.
 

@@ -1,0 +1,260 @@
+"""Checkpoint/resume for the Proposition 11 guarantee sweeps.
+
+A long sweep should survive being killed: every completed row streams to
+an append-only JSONL checkpoint the moment it is computed, and a resumed
+run loads the file, skips the finished tasks, and still returns the full
+row list in the deterministic serial order.  Rows stay **exact** on
+disk: every :class:`fractions.Fraction` is encoded as its ``"p/q"``
+string via :func:`repro.reporting.json_ready` and decoded back with
+:func:`repro.reporting.fraction_from_json`, so a resumed sweep is
+bit-for-bit identical to an uninterrupted one.
+
+Each record also carries its task's *fingerprint* -- the sweep
+coordinates (protocol, messengers, loss, epsilon) of Section 8 --
+and resuming against a task list whose fingerprints disagree raises
+:class:`~repro.errors.CheckpointError` instead of silently splicing rows
+from two different sweeps.
+
+A process killed mid-write leaves a truncated final line; loading
+tolerates exactly that (the undecodable tail is ignored and its task
+re-run) while any *well-formed but wrong* record stays a hard error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from fractions import Fraction
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..attack.sweep import (
+    Builder,
+    SweepRow,
+    SweepTask,
+    sweep_row_from_attack,
+    sweep_row_of,
+    sweep_tasks,
+)
+from ..errors import CheckpointError
+from ..probability.fractionutil import FractionLike
+from ..reporting import fraction_from_json, json_ready
+from .engine import RetryPolicy, run_tasks
+from .validate import validate_system
+
+__all__ = [
+    "SweepCheckpoint",
+    "resume_guarantee_sweep",
+    "robust_guarantee_sweep",
+    "row_from_record",
+    "row_to_record",
+    "strict_sweep_row_of",
+    "task_fingerprint",
+]
+
+
+def task_fingerprint(task: SweepTask) -> Dict[str, object]:
+    """The sweep coordinates identifying one task (Section 8).
+
+    Deliberately excludes the builder callable: two runs constructing
+    the same (protocol, messengers, loss, epsilon) cell must produce
+    interchangeable rows, and callables have no stable serial form.
+    """
+    name, _builder, messengers, loss, epsilon = task
+    return {
+        "protocol": name,
+        "messengers": messengers,
+        "loss": str(Fraction(loss)),
+        "epsilon": str(Fraction(epsilon)),
+    }
+
+
+def row_to_record(index: int, task: SweepTask, row: SweepRow) -> Dict[str, object]:
+    """One checkpoint record: task position, fingerprint, and exact row."""
+    return {
+        "index": index,
+        "task": task_fingerprint(task),
+        "row": json_ready(row),
+    }
+
+
+def row_from_record(record: Dict[str, object]) -> SweepRow:
+    """Rebuild the exact :class:`SweepRow` a record encodes."""
+    row = record["row"]
+    return SweepRow(
+        protocol=row["protocol"],
+        messengers=int(row["messengers"]),
+        loss=fraction_from_json(row["loss"]),
+        run_level=fraction_from_json(row["run_level"]),
+        post_threshold=fraction_from_json(row["post_threshold"]),
+        achieves_99_post=bool(row["achieves_99_post"]),
+    )
+
+
+class SweepCheckpoint:
+    """An append-only JSONL checkpoint of completed sweep rows.
+
+    ``append`` writes one record per completed task and fsyncs, so a
+    kill at any instant loses at most the row being written -- and only
+    as a truncated final line, which ``load`` tolerates.  ``load``
+    returns the completed ``index -> SweepRow`` table after verifying
+    every record's fingerprint against the resuming task list.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = os.fspath(path)
+
+    def append(self, index: int, task: SweepTask, row: SweepRow) -> None:
+        """Durably record one completed row."""
+        line = json.dumps(row_to_record(index, task, row), sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def load(self, tasks: Sequence[SweepTask]) -> Dict[int, SweepRow]:
+        """The completed rows on disk, keyed by task index.
+
+        A missing file means a fresh sweep (empty table).  A final line
+        that does not decode as JSON is the half-written tail of a killed
+        run and is skipped -- its task simply re-runs.  A record that
+        decodes but names an out-of-range index or a fingerprint
+        different from ``tasks`` raises :class:`CheckpointError`: the
+        checkpoint belongs to a different sweep.
+        """
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+        except FileNotFoundError:
+            return {}
+        completed: Dict[int, SweepRow] = {}
+        for position, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # The half-written tail of a killed run.  Anything after
+                # it (there should be nothing) is unreliable too.
+                break
+            try:
+                index = int(record["index"])
+                fingerprint = record["task"]
+                row = row_from_record(record)
+            except (KeyError, TypeError, ValueError) as error:
+                raise CheckpointError(
+                    f"checkpoint line {position + 1} is malformed: {error}"
+                ) from error
+            if not 0 <= index < len(tasks):
+                raise CheckpointError(
+                    f"checkpoint line {position + 1} names task {index}, but the "
+                    f"sweep has {len(tasks)} tasks"
+                )
+            expected = task_fingerprint(tasks[index])
+            if fingerprint != expected:
+                raise CheckpointError(
+                    f"checkpoint line {position + 1} was computed for "
+                    f"{fingerprint!r}, but task {index} of this sweep is "
+                    f"{expected!r}; refusing to splice rows from different sweeps"
+                )
+            completed[index] = row
+        return completed
+
+
+def strict_sweep_row_of(task: SweepTask) -> SweepRow:
+    """:func:`~repro.attack.sweep.sweep_row_of` with invariant validation.
+
+    Builds the attack system, runs
+    :func:`repro.robustness.validate.validate_system` on it (raising
+    :class:`~repro.errors.ValidationError` with every violation if the
+    Section 3-5 invariants fail), then computes the row from the
+    already-built system.  Module-level so it ships to worker processes.
+    """
+    _name, builder, messengers, loss, _epsilon = task
+    attack = builder(messengers, loss)
+    validate_system(attack.psys).raise_if_failed()
+    return sweep_row_from_attack(task, attack)
+
+
+def robust_guarantee_sweep(
+    messenger_counts: Sequence[int],
+    losses: Sequence[FractionLike],
+    builders: Optional[Dict[str, Builder]] = None,
+    epsilon: FractionLike = Fraction(99, 100),
+    max_workers: Optional[int] = None,
+    policy: Optional[RetryPolicy] = None,
+    timeout: Optional[float] = None,
+    checkpoint_path=None,
+    strict: bool = False,
+    task_function: Optional[Callable[[SweepTask], SweepRow]] = None,
+    sleep=None,
+) -> List[SweepRow]:
+    """The guarantee sweep of Section 8 on the fault-tolerant engine.
+
+    Row-for-row identical to :func:`repro.attack.sweep.guarantee_sweep`
+    (same task enumeration, same order, same exact Fractions), with
+    bounded retries, worker-crash recovery and per-task ``timeout`` from
+    :func:`repro.robustness.engine.run_tasks`.  With ``checkpoint_path``
+    every completed row streams to a JSONL checkpoint and previously
+    completed rows are loaded and skipped; ``strict=True`` validates
+    every built system against the paper's structural invariants before
+    measuring it.  ``task_function`` overrides the per-task callable
+    (the chaos tests inject faults through it); ``sleep`` overrides the
+    backoff sleeper.
+    """
+    tasks = sweep_tasks(messenger_counts, losses, builders, epsilon)
+    if task_function is None:
+        task_function = strict_sweep_row_of if strict else sweep_row_of
+    checkpoint = SweepCheckpoint(checkpoint_path) if checkpoint_path is not None else None
+    completed = checkpoint.load(tasks) if checkpoint is not None else {}
+    on_result = None
+    if checkpoint is not None:
+        def on_result(index: int, row: SweepRow) -> None:
+            checkpoint.append(index, tasks[index], row)
+    keywords = {}
+    if sleep is not None:
+        keywords["sleep"] = sleep
+    return run_tasks(
+        task_function,
+        tasks,
+        max_workers=max_workers,
+        policy=policy,
+        timeout=timeout,
+        completed=completed,
+        on_result=on_result,
+        **keywords,
+    )
+
+
+def resume_guarantee_sweep(
+    checkpoint_path,
+    messenger_counts: Sequence[int],
+    losses: Sequence[FractionLike],
+    builders: Optional[Dict[str, Builder]] = None,
+    epsilon: FractionLike = Fraction(99, 100),
+    max_workers: Optional[int] = None,
+    policy: Optional[RetryPolicy] = None,
+    timeout: Optional[float] = None,
+    strict: bool = False,
+    task_function: Optional[Callable[[SweepTask], SweepRow]] = None,
+    sleep=None,
+) -> List[SweepRow]:
+    """Resume a checkpointed sweep, re-running only its incomplete tasks.
+
+    A convenience spelling of :func:`robust_guarantee_sweep` with a
+    mandatory checkpoint: rows already in the JSONL file (fingerprints
+    verified against this sweep's task list, Section 8 coordinates) are
+    returned verbatim in their deterministic positions, never re-run.
+    """
+    return robust_guarantee_sweep(
+        messenger_counts,
+        losses,
+        builders=builders,
+        epsilon=epsilon,
+        max_workers=max_workers,
+        policy=policy,
+        timeout=timeout,
+        checkpoint_path=checkpoint_path,
+        strict=strict,
+        task_function=task_function,
+        sleep=sleep,
+    )

@@ -1,0 +1,286 @@
+"""Runtime validators for the paper's structural invariants.
+
+The constructions of the reproduction *rely* on structural facts the
+paper states once and then assumes everywhere: atom probabilities sum to
+1 and the atoms partition the sample space (Section 3), every node of a
+computation tree appears exactly once -- the technical assumption -- and
+each node's outgoing arc probabilities are positive and sum to 1
+(Sections 3 and 4), and sample-space assignments satisfy REQ1 and REQ2
+(Section 5).  Construction-time checks enforce these on the happy path,
+but fast-path constructors (``validate=False`` trees, weight-form
+spaces) bypass them by design.
+
+This module re-checks the invariants *after the fact*, against any
+object however it was built, and reports **every** violation found --
+never just the first -- in one :class:`ValidationReport`.  The sweep
+entry points of :mod:`repro.robustness.checkpoint` expose the checks as
+an opt-in ``strict=True`` path, so a production sweep can prove its
+systems well-formed without paying for validation when it trusts them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..core.assignments import requirement_defects
+from ..errors import ValidationError
+from ..probability.algebra import partition_defects
+from ..probability.fractionutil import ONE, ZERO
+from ..probability.space import FiniteProbabilitySpace
+from ..trees.probabilistic_system import ProbabilisticSystem
+from ..trees.tree import ComputationTree
+
+__all__ = [
+    "InvariantViolation",
+    "ValidationReport",
+    "validate_assignment",
+    "validate_space",
+    "validate_system",
+    "validate_tree",
+]
+
+#: Cap on the number of per-atom agreement events sampled by
+#: :func:`validate_space`; keeps validation linear on large spaces.
+_MAX_ATOM_EVENTS = 32
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """One broken invariant: a stable code, a message, and its subject."""
+
+    code: str
+    message: str
+    subject: str = ""
+
+    def render(self) -> str:
+        prefix = f"[{self.code}]"
+        if self.subject:
+            prefix += f" {self.subject}:"
+        return f"{prefix} {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    """The aggregated outcome of one validation pass.
+
+    Collects *all* violations (a corrupted space with three broken atoms
+    reports three entries, not one) so a failing sweep run tells the
+    whole story at once.  ``raise_if_failed`` converts a non-empty report
+    into a :class:`~repro.errors.ValidationError` carrying the violation
+    records.
+    """
+
+    subject: str
+    violations: List[InvariantViolation] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, code: str, message: str) -> None:
+        self.violations.append(
+            InvariantViolation(code=code, message=message, subject=self.subject)
+        )
+
+    def extend(self, other: "ValidationReport") -> None:
+        self.violations.extend(other.violations)
+
+    def render(self) -> str:
+        if self.ok:
+            return f"{self.subject}: all invariants hold"
+        lines = [f"{self.subject}: {len(self.violations)} violation(s)"]
+        lines.extend("  " + violation.render() for violation in self.violations)
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> "ValidationReport":
+        if not self.ok:
+            raise ValidationError(self.render(), violations=tuple(self.violations))
+        return self
+
+
+def _agreement_events(space: FiniteProbabilitySpace) -> List[Tuple[str, frozenset]]:
+    """A deterministic event sample for the backend agreement check."""
+    events: List[Tuple[str, frozenset]] = [
+        ("empty event", frozenset()),
+        ("full sample space", space.outcomes),
+    ]
+    atoms = space.atoms[:_MAX_ATOM_EVENTS]
+    for position, atom in enumerate(atoms):
+        events.append((f"atom #{position}", atom))
+        events.append((f"complement of atom #{position}", space.outcomes - atom))
+    alternating = frozenset().union(*space.atoms[::2]) if space.atoms else frozenset()
+    events.append(("union of even-indexed atoms", alternating))
+    for position, atom in enumerate(atoms):
+        if len(atom) > 1:
+            # A proper subset of a non-singleton atom: exercises the
+            # non-measurable (inner < outer) path of both kernels.
+            events.append((f"split of atom #{position}", frozenset(list(atom)[:1])))
+            break
+    return events
+
+
+def validate_space(space: FiniteProbabilitySpace) -> ValidationReport:
+    """Check a probability space against the Section 3 measure axioms.
+
+    Validates that the atoms partition the sample space, that the atom
+    probabilities are nonnegative and sum to exactly 1 (in both the
+    integer-weight and Fraction views, which must agree), and -- on the
+    bitmask backend -- that the mask kernels and the retained naive
+    kernels return identical exact answers on a deterministic sample of
+    events.  All violations are aggregated into one report.
+    """
+    report = ValidationReport(subject=f"space({len(space)} outcomes)")
+    for defect in partition_defects(space.outcomes, space.atoms):
+        report.add("partition", defect)
+    weights = space.atom_weights
+    denominator = space.weight_denominator
+    if denominator <= 0:
+        report.add("measure-sum", f"weight denominator is {denominator}, not positive")
+    for position, weight in enumerate(weights):
+        if weight < 0:
+            report.add(
+                "measure-negative", f"atom #{position} has negative weight {weight}"
+            )
+    if denominator > 0 and sum(weights) != denominator:
+        report.add(
+            "measure-sum",
+            f"atom weights sum to {sum(weights)}/{denominator}, not 1",
+        )
+    fraction_total = ZERO
+    for position, atom in enumerate(space.atoms):
+        probability = space.atom_probability(atom)
+        if probability < ZERO:
+            report.add(
+                "measure-negative",
+                f"atom #{position} has negative probability {probability}",
+            )
+        fraction_total += probability
+    if space.atoms and fraction_total != ONE:
+        report.add(
+            "measure-sum", f"atom probabilities sum to {fraction_total}, not 1"
+        )
+    if space.backend == "bitmask" and report.ok:
+        # Kernel agreement is only meaningful on a well-formed measure;
+        # on a corrupted one both kernels are off by the same data.
+        for label, event in _agreement_events(space):
+            mask_answer = (
+                space.is_measurable(event),
+                space.inner_measure(event),
+                space.outer_measure(event),
+            )
+            naive_answer = (
+                space.is_measurable_naive(event),
+                space.inner_measure_naive(event),
+                space.outer_measure_naive(event),
+            )
+            if mask_answer != naive_answer:
+                report.add(
+                    "backend-divergence",
+                    f"bitmask and naive kernels disagree on {label}: "
+                    f"{mask_answer} != {naive_answer}",
+                )
+    return report
+
+
+def validate_tree(tree: ComputationTree) -> ValidationReport:
+    """Check a computation tree against the Section 3 and 4 invariants.
+
+    Validates the technical assumption (every global state reached
+    exactly once from the root -- Section 3's requirement that the
+    environment encode the full history), that each node's outgoing arc
+    probabilities are positive and sum to exactly 1, that every node of
+    the structure is reachable, and that the induced run measure sums to
+    1.  All violations are aggregated into one report.
+    """
+    report = ValidationReport(subject=f"tree(adversary={tree.adversary!r})")
+    structure = tree.structure()
+    for parent, kids in structure.items():
+        total = ZERO
+        for child in kids:
+            try:
+                probability = tree.edge_probability(parent, child)
+            except Exception as error:
+                report.add("arc-missing", f"edge {parent!r} -> {child!r}: {error}")
+                continue
+            if probability <= ZERO:
+                report.add(
+                    "arc-positive",
+                    f"edge {parent!r} -> {child!r} labeled {probability}, not positive",
+                )
+            total += probability
+        if kids and total != ONE:
+            report.add(
+                "arc-sum",
+                f"outgoing probabilities at {parent!r} sum to {total}, not 1",
+            )
+    occurrences = tree.node_occurrences()
+    for node, count in occurrences.items():
+        if count > 1:
+            report.add(
+                "technical-assumption",
+                f"global state {node!r} is reached {count} times; the "
+                "environment must encode the full history (Section 3)",
+            )
+    for parent in structure:
+        if parent not in occurrences:
+            report.add(
+                "reachability", f"node {parent!r} is not reachable from the root"
+            )
+    run_total = ZERO
+    for run in tree.runs:
+        run_total += tree.run_probability(run)
+    if run_total != ONE:
+        report.add("run-measure", f"run probabilities sum to {run_total}, not 1")
+    return report
+
+
+def validate_assignment(assignment) -> ValidationReport:
+    """Check REQ1/REQ2 (Section 5) at every (agent, point) of an assignment.
+
+    Accepts a :class:`~repro.core.assignments.SampleSpaceAssignment` or a
+    :class:`~repro.core.assignments.ProbabilityAssignment` (whose
+    underlying ``ssa`` is validated).  Every sample space must contain
+    only points of the point's own computation tree (REQ1) and determine
+    a measurable, positive-measure set of runs (REQ2); defects from
+    *all* pairs are aggregated, not just the first failing one.
+    """
+    ssa = getattr(assignment, "ssa", assignment)
+    psys = ssa.psys
+    report = ValidationReport(subject=f"assignment({ssa.name})")
+    system = psys.system
+    for agent in system.agents:
+        for point in system.points:
+            sample = ssa.sample_space(agent, point)
+            for defect in requirement_defects(psys, point, sample):
+                report.add(
+                    "requirements", f"agent {agent} at {point!r}: {defect}"
+                )
+    return report
+
+
+def validate_system(psys: ProbabilisticSystem) -> ValidationReport:
+    """Check a probabilistic system's trees and run spaces (Sections 3-4).
+
+    Aggregates :func:`validate_tree` over every tree, checks the
+    cross-tree half of the technical assumption (a global state belongs
+    to at most one computation tree -- Section 4), and runs
+    :func:`validate_space` on each adversary's run space.  All
+    violations land in one report.
+    """
+    report = ValidationReport(subject="system")
+    ownership: dict = {}
+    for tree in psys.trees:
+        report.extend(validate_tree(tree))
+        for node in tree.nodes:
+            ownership.setdefault(node, []).append(tree.adversary)
+    for node, owners in ownership.items():
+        if len(owners) > 1:
+            report.add(
+                "technical-assumption",
+                f"global state {node!r} appears in {len(owners)} trees "
+                f"({owners!r}); it may belong to at most one (Section 4)",
+            )
+    for adversary in psys.adversaries:
+        report.extend(validate_space(psys.run_space(adversary)))
+    return report

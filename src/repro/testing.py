@@ -4,6 +4,12 @@ The theorem verifiers quantify over systems; this module provides both the
 hand-built small systems the unit tests pin down and parameterized random
 system generation (driven by an explicit integer seed -> deterministic, or
 by hypothesis strategies in the property tests).
+
+The deterministic fault-injection harness of
+:mod:`repro.robustness.faults` (:class:`Fault`, :class:`FaultPlan`,
+:class:`FaultInjectingTask`, :class:`InjectedFault`) is re-exported here
+so chaos tests can build seeded fault schedules alongside the system
+generators.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from .core.facts import Fact
 from .core.model import GlobalState, Point
+from .robustness.faults import Fault, FaultInjectingTask, FaultPlan, InjectedFault
 from .trees.builder import Env, build_tree, chance_step
 from .trees.probabilistic_system import ProbabilisticSystem, single_tree_system
 from .trees.tree import ComputationTree

@@ -195,6 +195,31 @@ class ComputationTree:
         """The length (in edges) of the longest run."""
         return max(run.horizon for run in self._runs) - 1
 
+    def node_occurrences(self, max_visits: int = 1_000_000) -> Dict[GlobalState, int]:
+        """How many times each global state is reached from the root.
+
+        Under the technical assumption (Section 3: the environment state
+        encodes the full history) every count is 1; a count above 1 means
+        some state is shared between branches, which
+        :func:`repro.robustness.validate.validate_tree` reports as a
+        violation.  Counts are capped by ``max_visits`` so a structure
+        with a cycle (reachable only through ``validate=False``)
+        terminates instead of recursing forever.
+        """
+        counts: Dict[GlobalState, int] = {}
+        stack: List[GlobalState] = [self.root]
+        visits = 0
+        while stack and visits < max_visits:
+            node = stack.pop()
+            visits += 1
+            counts[node] = counts.get(node, 0) + 1
+            if counts[node] > len(self._edge_probability) + 1:
+                # Revisited more often than the edge count allows for a
+                # DAG: a cycle.  Leave the inflated count as evidence.
+                continue
+            stack.extend(reversed(self._children.get(node, ())))
+        return counts
+
     def path_to(self, node: GlobalState) -> Tuple[GlobalState, ...]:
         """The unique root path ending at ``node``."""
         for run in self._runs:

@@ -1,5 +1,6 @@
 """The parallel sweep runner: determinism, fallback, exactness."""
 
+import os
 from fractions import Fraction
 
 import pytest
@@ -12,6 +13,7 @@ from repro.attack import (
     sweep_row_of,
     sweep_tasks,
 )
+from repro.errors import WorkerTaskError
 
 
 def _square(value: int) -> int:
@@ -20,6 +22,33 @@ def _square(value: int) -> int:
 
 def _fraction_half(value: int) -> Fraction:
     return Fraction(value, 2)
+
+
+def _log_then_maybe_boom(item):
+    """Append one line per execution, then fail on the 'boom' item.
+
+    The log file proves how many times each task actually ran: the old
+    runner treated a worker-side TypeError as a pool failure and re-ran
+    EVERY task serially, doubling the count.
+    """
+    log_path, label = item
+    with open(log_path, "a", encoding="utf-8") as handle:
+        handle.write(label + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    if label == "boom":
+        raise TypeError("worker task raised a pool-lookalike error")
+    return label
+
+
+class _Unpicklable(Exception):
+    def __init__(self):
+        super().__init__("unpicklable")
+        self.handle = lambda: None
+
+
+def _raise_unpicklable(item):
+    raise _Unpicklable()
 
 
 class TestParallelMap:
@@ -47,6 +76,28 @@ class TestParallelMap:
     def test_unpicklable_function_falls_back_to_serial(self):
         # a closure cannot be pickled; the runner must still return the map
         assert parallel_map(lambda value: value + 1, [1, 2]) == [2, 3]
+
+    def test_task_error_propagates_without_serial_rerun(self, tmp_path):
+        # Regression: TypeError is in the pool-infrastructure fallback
+        # tuple, so a TypeError raised BY A TASK used to trigger the
+        # all-or-nothing serial fallback and execute every task twice.
+        # The worker-side envelope must carry it back as a value instead.
+        log_path = str(tmp_path / "executions.log")
+        items = [(log_path, "a"), (log_path, "boom"), (log_path, "b")]
+        with pytest.raises(TypeError, match="pool-lookalike"):
+            parallel_map(_log_then_maybe_boom, items)
+        with open(log_path, "r", encoding="utf-8") as handle:
+            executions = handle.read().split()
+        assert sorted(executions) == ["a", "b", "boom"], (
+            "each task must execute exactly once; duplicates mean the "
+            "runner fell back to a serial re-run"
+        )
+
+    def test_unpicklable_task_error_surfaces_as_worker_task_error(self):
+        # The error itself cannot cross the process boundary; its
+        # traceback summary still must.
+        with pytest.raises(WorkerTaskError, match="_Unpicklable"):
+            parallel_map(_raise_unpicklable, [1, 2])
 
 
 class TestParallelSweep:

@@ -1,0 +1,200 @@
+"""The fault-tolerant task engine: retries, backoff, recovery, terminal errors."""
+
+import time
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import RetryExhaustedError, TaskTimeoutError
+from repro.robustness import RetryPolicy, TaskContext, run_tasks
+from repro.testing import Fault, FaultInjectingTask, FaultPlan
+
+
+def _square(value: int) -> int:
+    return value * value
+
+
+def _boom(value: int) -> int:
+    raise ValueError(f"task {value} always fails")
+
+
+def _sleepy(value: float) -> float:
+    time.sleep(value)
+    return value
+
+
+class _Unpicklable(Exception):
+    def __init__(self):
+        super().__init__("unpicklable")
+        self.handle = lambda: None  # closures cannot cross the boundary
+
+
+def _raise_unpicklable(value):
+    raise _Unpicklable()
+
+
+def _no_sleep(seconds: float) -> None:
+    assert seconds >= 0
+
+
+class TestRetryPolicy:
+    def test_backoff_is_deterministic(self):
+        policy = RetryPolicy(seed=42)
+        first = [policy.backoff_delay(index, attempt) for index in range(4) for attempt in range(3)]
+        second = [policy.backoff_delay(index, attempt) for index in range(4) for attempt in range(3)]
+        assert first == second
+
+    def test_backoff_without_jitter_is_pure_exponential(self):
+        policy = RetryPolicy(base_delay=0.1, backoff_factor=2.0, max_delay=10.0, jitter=0.0)
+        assert policy.backoff_delay(0, 0) == pytest.approx(0.1)
+        assert policy.backoff_delay(0, 1) == pytest.approx(0.2)
+        assert policy.backoff_delay(5, 2) == pytest.approx(0.4)
+
+    def test_jitter_never_exceeds_the_cap(self):
+        policy = RetryPolicy(base_delay=1.0, backoff_factor=3.0, max_delay=2.0, jitter=0.5, seed=7)
+        for index in range(8):
+            for attempt in range(4):
+                delay = policy.backoff_delay(index, attempt)
+                assert 0.0 <= delay <= 2.0
+
+    def test_seed_changes_the_schedule(self):
+        one = RetryPolicy(seed=1).backoff_delay(3, 1)
+        two = RetryPolicy(seed=2).backoff_delay(3, 1)
+        assert one != two
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-1.0)
+
+
+class TestRunTasksBasics:
+    def test_matches_serial_map_in_order(self):
+        assert run_tasks(_square, [3, 1, 2], max_workers=1) == [9, 1, 4]
+        assert run_tasks(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_empty_task_list(self):
+        assert run_tasks(_square, []) == []
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            run_tasks(_square, [1], max_workers=0)
+
+    def test_exact_fractions_cross_the_pool(self):
+        def half(value):
+            return Fraction(value, 2)
+
+        # closures force the serial path; the module-level pool path is
+        # exercised by the sweep tests
+        assert run_tasks(half, [1, 3], max_workers=1) == [Fraction(1, 2), Fraction(3, 2)]
+
+    def test_completed_tasks_are_never_rerun(self):
+        calls = []
+
+        def record(value):
+            calls.append(value)
+            return value * 10
+
+        results = run_tasks(
+            record, [1, 2, 3], max_workers=1, completed={1: 999}
+        )
+        assert results == [10, 999, 30]
+        assert calls == [1, 3]
+
+    def test_on_result_streams_only_new_results(self):
+        seen = []
+        results = run_tasks(
+            _square,
+            [2, 3, 4],
+            max_workers=1,
+            completed={0: 4},
+            on_result=lambda index, value: seen.append((index, value)),
+        )
+        assert results == [4, 9, 16]
+        assert seen == [(1, 9), (2, 16)]
+
+    def test_context_protocol_passes_index_and_attempt(self):
+        contexts = []
+
+        def wants(task, context):
+            contexts.append(context)
+            return task
+
+        wants.wants_context = True
+        assert run_tasks(wants, ["a", "b"], max_workers=1) == ["a", "b"]
+        assert contexts == [TaskContext(index=0, attempt=0), TaskContext(index=1, attempt=0)]
+
+
+class TestRetriesAndTerminalErrors:
+    def test_transient_failures_are_retried_to_success(self):
+        plan = FaultPlan({(0, 0): Fault("raise"), (0, 1): Fault("raise")})
+        task = FaultInjectingTask(inner=_square, plan=plan)
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        assert run_tasks(task, [5, 6], max_workers=1, policy=policy, sleep=_no_sleep) == [25, 36]
+
+    def test_retry_exhausted_carries_identity_and_attempt_log(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            run_tasks(_boom, [7, 8], max_workers=1, policy=policy, sleep=_no_sleep)
+        error = excinfo.value
+        assert error.task_index == 0
+        assert error.task == 7
+        assert len(error.attempts) == 3
+        assert [attempt.outcome for attempt in error.attempts] == ["raised"] * 3
+        assert all("always fails" in attempt.error for attempt in error.attempts)
+        assert isinstance(error.__cause__, ValueError)
+
+    def test_retry_exhausted_in_pool_keeps_original_cause(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            run_tasks(_boom, [1, 2, 3], policy=policy, sleep=_no_sleep)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_unpicklable_task_error_still_attributed(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            run_tasks(_raise_unpicklable, [1, 2], policy=policy, sleep=_no_sleep)
+        error = excinfo.value
+        assert error.task_index == 0
+        assert any("_Unpicklable" in attempt.error for attempt in error.attempts)
+
+    def test_serial_timeout_is_terminal_after_retries(self):
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+        with pytest.raises(TaskTimeoutError) as excinfo:
+            run_tasks(
+                _sleepy, [0.05], max_workers=1, policy=policy, timeout=0.001, sleep=_no_sleep
+            )
+        error = excinfo.value
+        assert error.task_index == 0
+        assert [attempt.outcome for attempt in error.attempts] == ["timeout", "timeout"]
+
+
+class TestWorkerCrashRecovery:
+    def test_killed_worker_requeues_only_incomplete_tasks(self):
+        # Task 1 kills its worker on attempts 0 and 1; every completed
+        # result must survive the broken pools and the final row list
+        # must match the serial map exactly.
+        plan = FaultPlan({(1, 0): Fault("kill"), (1, 1): Fault("kill")})
+        task = FaultInjectingTask(inner=_square, plan=plan)
+        policy = RetryPolicy(max_attempts=4, base_delay=0.0, jitter=0.0)
+        results = run_tasks(task, [2, 3, 4, 5], policy=policy, sleep=_no_sleep)
+        assert results == [4, 9, 16, 25]
+
+    def test_kill_on_final_attempt_is_terminal(self):
+        plan = FaultPlan({(0, 0): Fault("kill"), (0, 1): Fault("kill")})
+        task = FaultInjectingTask(inner=_square, plan=plan)
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            run_tasks(task, [2, 3], policy=policy, sleep=_no_sleep)
+        assert excinfo.value.task_index == 0
+
+    def test_pool_timeout_recovers_on_retry(self):
+        # Attempt 0 of task 0 stalls past the timeout; attempt 1 is clean.
+        plan = FaultPlan({(0, 0): Fault("delay", delay=1.5)})
+        task = FaultInjectingTask(inner=_square, plan=plan)
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        results = run_tasks(task, [6, 7], policy=policy, timeout=0.3, sleep=_no_sleep)
+        assert results == [36, 49]

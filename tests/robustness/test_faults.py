@@ -1,0 +1,76 @@
+"""The deterministic fault-injection harness."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.robustness import TaskContext
+from repro.testing import Fault, FaultInjectingTask, FaultPlan, InjectedFault
+
+
+def _identity(value):
+    return value
+
+
+class TestFault:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            Fault(kind="meltdown")
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            Fault(kind="raise", delay=-1.0)
+
+
+class TestFaultPlan:
+    def test_lookup(self):
+        plan = FaultPlan({(2, 0): Fault("raise")})
+        assert plan.fault_for(2, 0) == Fault("raise")
+        assert plan.fault_for(2, 1) is None
+        assert plan.fault_for(0, 0) is None
+        assert len(plan) == 1
+
+    def test_from_seed_is_reproducible(self):
+        one = FaultPlan.from_seed(seed=13, task_count=20)
+        two = FaultPlan.from_seed(seed=13, task_count=20)
+        assert one.schedule == two.schedule
+
+    def test_different_seeds_differ(self):
+        schedules = {
+            frozenset(FaultPlan.from_seed(seed=seed, task_count=20).schedule)
+            for seed in range(5)
+        }
+        assert len(schedules) > 1
+
+    def test_from_seed_only_faults_early_attempts(self):
+        plan = FaultPlan.from_seed(seed=3, task_count=50, rate=0.9, max_faulty_attempts=2)
+        assert plan.schedule, "a 0.9 rate over 50 tasks must schedule something"
+        assert all(attempt < 2 for (_index, attempt) in plan.schedule)
+
+
+class TestFaultInjectingTask:
+    def test_clean_attempts_pass_through(self):
+        task = FaultInjectingTask(inner=_identity, plan=FaultPlan())
+        assert task("payload", TaskContext(index=0, attempt=0)) == "payload"
+
+    def test_scheduled_raise_fires_injected_fault(self):
+        plan = FaultPlan({(0, 0): Fault("raise")})
+        task = FaultInjectingTask(inner=_identity, plan=plan)
+        with pytest.raises(InjectedFault):
+            task("payload", TaskContext(index=0, attempt=0))
+        # the next attempt is clean
+        assert task("payload", TaskContext(index=0, attempt=1)) == "payload"
+
+    def test_kill_outside_a_worker_raises_instead(self):
+        # In the parent process there is no worker to kill; the injector
+        # must degrade to a raise so in-process runs survive chaos plans.
+        plan = FaultPlan({(1, 0): Fault("kill")})
+        task = FaultInjectingTask(inner=_identity, plan=plan)
+        with pytest.raises(InjectedFault):
+            task("payload", TaskContext(index=1, attempt=0))
+
+    def test_injected_fault_is_a_repro_error(self):
+        assert issubclass(InjectedFault, ReproError)
+
+    def test_wrapper_opts_into_the_context_protocol(self):
+        task = FaultInjectingTask(inner=_identity, plan=FaultPlan())
+        assert task.wants_context is True

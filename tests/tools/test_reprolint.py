@@ -21,7 +21,7 @@ if str(REPO_ROOT) not in sys.path:
 from tools.reprolint import all_rules, lint_paths  # noqa: E402
 from tools.reprolint.cli import main as cli_main  # noqa: E402
 
-ALL_RULE_IDS = {"RL001", "RL002", "RL003", "RL004", "RL005", "RL006"}
+ALL_RULE_IDS = {"RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"}
 
 
 def make_package(tmp_path, files):
@@ -55,7 +55,7 @@ def rule_ids(tmp_path, files):
 # ----------------------------------------------------------------------
 
 
-def test_all_six_rules_registered():
+def test_all_seven_rules_registered():
     assert {rule.rule_id for rule in all_rules()} == ALL_RULE_IDS
 
 
@@ -385,6 +385,127 @@ def test_rl006_matching_all_passes(tmp_path):
 def test_rl006_ignores_non_init_modules(tmp_path):
     ids = rule_ids(tmp_path, {"repro/logic/mod.py": "X = 1\n"})
     assert "RL006" not in ids
+
+
+# ----------------------------------------------------------------------
+# RL007 error hierarchy
+# ----------------------------------------------------------------------
+
+
+def test_rl007_foreign_exception_class(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/systems/bad.py": """\
+            class RogueError(Exception):
+                pass
+
+            def f():
+                raise RogueError("outside the hierarchy")
+            """
+        },
+    )
+    assert "RL007" in ids
+
+
+def test_rl007_builtin_raise_passes(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/systems/good.py": """\
+            def f(x):
+                if x < 0:
+                    raise ValueError("negative")
+                raise NotImplementedError
+            """
+        },
+    )
+    assert "RL007" not in ids
+
+
+def test_rl007_imported_repro_error_passes(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/systems/good.py": """\
+            from ..errors import SimulationError
+
+            def f():
+                raise SimulationError("structured failure")
+            """
+        },
+    )
+    assert "RL007" not in ids
+
+
+def test_rl007_local_subclass_of_imported_error_passes(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/systems/good.py": """\
+            from repro.errors import ReproError
+
+            class LocalError(ReproError):
+                pass
+
+            class DeeperError(LocalError):
+                pass
+
+            def f():
+                raise DeeperError("still inside the hierarchy")
+            """
+        },
+    )
+    assert "RL007" not in ids
+
+
+def test_rl007_errors_module_may_root_at_exception(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/errors.py": """\
+            class ReproError(Exception):
+                pass
+
+            def oops():
+                raise ReproError("the root itself")
+            """
+        },
+    )
+    assert "RL007" not in ids
+
+
+def test_rl007_reraise_variable_not_judged(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/systems/good.py": """\
+            def f(error):
+                try:
+                    g()
+                except ValueError as caught:
+                    raise
+                raise error
+            """
+        },
+    )
+    assert "RL007" not in ids
+
+
+def test_rl007_suppressible_per_line(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/systems/mixed.py": """\
+            class OutsideError(Exception):
+                pass
+
+            def f():
+                raise OutsideError("waived")  # reprolint: disable=RL007
+            """
+        },
+    )
+    assert "RL007" not in ids
 
 
 # ----------------------------------------------------------------------

@@ -11,6 +11,7 @@ from . import (  # noqa: F401  (imported for the registration side effect)
     rl004_mutable_defaults,
     rl005_bare_except,
     rl006_public_api,
+    rl007_error_hierarchy,
 )
 
 __all__ = [
@@ -20,4 +21,5 @@ __all__ = [
     "rl004_mutable_defaults",
     "rl005_bare_except",
     "rl006_public_api",
+    "rl007_error_hierarchy",
 ]

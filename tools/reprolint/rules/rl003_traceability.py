@@ -16,6 +16,7 @@ TRACEABLE_MODULES = frozenset(
         ("betting", "theorems"),
         ("core", "assignments"),
         ("core", "agreement"),
+        ("robustness", "validate"),
     }
 )
 
@@ -36,10 +37,11 @@ class TraceabilityRule(Rule):
     rule_id = "RL003"
     title = "public functions in theorem modules must cite the paper"
     rationale = """\
-betting/theorems.py, core/assignments.py and core/agreement.py are the
-modules that *claim to be* Halpern & Tuttle's numbered results (Theorems
-7-9, Proposition 6, REQ1/REQ2 of Section 5, the Aumann remark of Appendix
-B.3).  The reproduction is only auditable if every public entry point in
+betting/theorems.py, core/assignments.py, core/agreement.py and
+robustness/validate.py are the modules that *claim to be* Halpern &
+Tuttle's numbered results (Theorems 7-9, Proposition 6, REQ1/REQ2 of
+Section 5, the structural invariants of Sections 3-4, the Aumann remark
+of Appendix B.3).  The reproduction is only auditable if every public entry point in
 those modules says which statement it implements: a reviewer must be able
 to open the paper at the cited number and check the code against it.
 A public function with no citation is an untraceable claim.

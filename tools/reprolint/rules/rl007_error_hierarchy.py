@@ -1,0 +1,132 @@
+"""RL007 — raised non-builtin exceptions must be ReproError subclasses."""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterator, Optional, Set
+
+from ..model import Module, Violation
+from ..registry import Rule, register
+
+#: Every exception type the Python builtins export.  Raising these is
+#: allowed everywhere: ValueError for bad arguments, TypeError for bad
+#: types, NotImplementedError for abstract methods are ordinary Python.
+BUILTIN_EXCEPTIONS = frozenset(
+    name
+    for name, value in vars(builtins).items()
+    if isinstance(value, type) and issubclass(value, BaseException)
+)
+
+
+@register
+class ErrorHierarchyRule(Rule):
+    rule_id = "RL007"
+    title = "raise only builtins or ReproError subclasses"
+    rationale = """\
+Callers of the library are promised one catchable root: every
+domain-specific failure -- a REQ2 violation (Section 5), a broken
+technical assumption (Section 3), an exhausted sweep retry -- derives
+from repro.errors.ReproError, so `except ReproError` is a complete
+handler for "the reproduction rejected this input".  A module inventing
+its own exception class outside the hierarchy silently breaks that
+contract: the new error sails past every existing handler and turns a
+structured domain failure into an anonymous crash.  Raise a builtin for
+ordinary Python misuse, or a class exported by (or locally derived from)
+repro.errors for domain failures; genuinely external exception types can
+be waived per line with `# reprolint: disable=RL007`."""
+
+    def check(self, module: Module) -> Iterator[Violation]:
+        allowed = _allowed_exception_names(module)
+        local_classes = {
+            node.name
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.ClassDef)
+        }
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            name = _raised_name(node.exc, local_classes)
+            if name is None:
+                # A re-raised variable, attribute access, or computed
+                # expression: not statically resolvable, so not judged.
+                continue
+            if name in BUILTIN_EXCEPTIONS or name in allowed:
+                continue
+            yield self.violation(
+                module, node,
+                f"raises '{name}', which is neither a builtin exception "
+                "nor a ReproError subclass imported from repro.errors "
+                "(or locally derived from one); domain failures must stay "
+                "inside the repro.errors hierarchy",
+            )
+
+
+def _raised_name(exc: ast.expr, local_classes: Set[str]) -> Optional[str]:
+    """The exception class name of a ``raise`` operand, if resolvable.
+
+    ``raise Name(...)`` names the class being raised; a bare ``raise
+    name`` is only judged when ``name`` is statically known to be a
+    class (a builtin exception or a module-level ``class``) -- otherwise
+    it is a re-raised instance variable, which this rule cannot resolve.
+    """
+    if isinstance(exc, ast.Call):
+        func = exc.func
+        return func.id if isinstance(func, ast.Name) else None
+    if isinstance(exc, ast.Name) and (
+        exc.id in BUILTIN_EXCEPTIONS or exc.id in local_classes
+    ):
+        return exc.id
+    return None
+
+
+def _allowed_exception_names(module: Module) -> Set[str]:
+    """Names this module may raise beyond the builtins.
+
+    Seeds the set with every name imported from the project ``errors``
+    module (``from ..errors import X`` / ``from repro.errors import X``),
+    then closes over local ``class`` definitions whose bases chain back
+    into the set -- so a module-local ``class MyError(ReproError)`` is
+    itself raisable.  Inside ``errors.py`` every locally-defined class is
+    allowed by the same fixpoint, rooted at the builtin ``Exception``.
+    """
+    allowed: Set[str] = set()
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ImportFrom) and _targets_errors_module(node, module):
+            for alias in node.names:
+                allowed.add(alias.asname or alias.name)
+    # Only the errors module itself may root new classes at the builtin
+    # Exception -- that is where ReproError is born.  Everywhere else a
+    # local class must chain back to an imported repro.errors name, or
+    # `class MyError(Exception)` would smuggle a parallel hierarchy in.
+    roots = allowed | (BUILTIN_EXCEPTIONS if _is_errors_module(module) else set())
+    class_defs = [
+        node for node in ast.walk(module.tree) if isinstance(node, ast.ClassDef)
+    ]
+    changed = True
+    while changed:
+        changed = False
+        for node in class_defs:
+            if node.name in roots:
+                continue
+            for base in node.bases:
+                base_name = base.id if isinstance(base, ast.Name) else None
+                if base_name is not None and base_name in roots:
+                    roots.add(node.name)
+                    allowed.add(node.name)
+                    changed = True
+                    break
+    return allowed
+
+
+def _is_errors_module(module: Module) -> bool:
+    return module.rel_parts[-1] == "errors" or (
+        len(module.rel_parts) > 1 and module.rel_parts[0] == "errors"
+    )
+
+
+def _targets_errors_module(node: ast.ImportFrom, module: Module) -> bool:
+    """True iff an ImportFrom pulls names from the project errors module."""
+    if node.level == 0:
+        return node.module == f"{module.root_package}.errors"
+    return node.module == "errors"
