@@ -64,8 +64,9 @@ POOL_FALLBACK_ERRORS = (
 class _TaskFailure:
     """Worker-side envelope carrying a task's exception back as a value.
 
-    ``error`` is the original exception when it survives pickling;
-    otherwise it is ``None`` and ``summary`` alone describes the failure.
+    ``error`` is the original exception when it survives a pickle
+    round-trip; otherwise it is ``None`` and ``summary`` alone describes
+    the failure.
     """
 
     summary: str
@@ -84,8 +85,11 @@ def _enveloped_call(payload: Tuple[Callable, object]) -> Union[object, _TaskFail
         return function(item)
     except Exception as error:
         summary = f"{type(error).__name__}: {error}"
+        # Round-trip, not just dumps: an exception that pickles but fails
+        # to *unpickle* would be misread by the parent as pool
+        # infrastructure and trigger the serial fallback.
         try:
-            pickle.dumps(error)
+            pickle.loads(pickle.dumps(error))
         except Exception:
             return _TaskFailure(summary=summary)
         return _TaskFailure(summary=summary, error=error)

@@ -169,8 +169,9 @@ class TaskAttempt:
 class _TaskOutcome:
     """Worker-side envelope: task results and task errors are both data.
 
-    ``error`` holds the original exception when it pickles; otherwise
-    ``error_text`` alone carries its worker-side description.
+    ``error`` holds the original exception when it survives a pickle
+    round-trip; otherwise ``error_text`` alone carries its worker-side
+    description.
     """
 
     ok: bool
@@ -184,8 +185,12 @@ def _describe_error(error: BaseException) -> str:
 
 
 def _capture_failure(error: BaseException) -> _TaskOutcome:
+    # A full round-trip check: some exceptions pickle fine but explode on
+    # *unpickling* (e.g. a custom __init__ with required arguments), which
+    # would surface in the parent as a bogus infrastructure error when the
+    # future's result is deserialized.
     try:
-        pickle.dumps(error)
+        pickle.loads(pickle.dumps(error))
     except Exception:
         return _TaskOutcome(ok=False, error=None, error_text=_describe_error(error))
     return _TaskOutcome(ok=False, error=error, error_text=_describe_error(error))
@@ -389,20 +394,25 @@ def _run_pool(state: _EngineState, max_workers: Optional[int]) -> None:
                 )
                 handled = position + 1
             if abandon or fall_back:
-                # Harvest whatever finished before the pool went down;
-                # count one lost attempt for everything else in flight.
+                # Harvest whatever finished before the pool went down.
+                # Only tasks whose worker actually died (BrokenProcessPool)
+                # are charged a lost attempt; tasks merely queued or mid-
+                # flight on a healthy worker of an abandoned pool never
+                # failed and are requeued free of charge.
                 for index in pending[handled:]:
                     future = futures[index]
                     try:
                         outcome = future.result(timeout=0)
-                    except (_FutureTimeoutError, BrokenProcessPool):
+                    except _FutureTimeoutError:
+                        continue
+                    except BrokenProcessPool:
                         round_backoff = max(
                             round_backoff,
                             state.record_failure(
                                 index,
                                 submitted[index],
                                 "worker-lost",
-                                "in flight when the pool was abandoned",
+                                "worker died before reporting a result",
                             ),
                         )
                     except POOL_INFRASTRUCTURE_ERRORS:
@@ -420,7 +430,11 @@ def _run_pool(state: _EngineState, max_workers: Optional[int]) -> None:
                 return
     finally:
         if pool is not None:
-            pool.shutdown(wait=True, cancel_futures=True)
+            # Never wait on workers here: when record_failure raises
+            # terminally for a stuck task, waiting would block the raise
+            # until the hung worker finishes -- exactly what the per-task
+            # timeout exists to prevent.
+            pool.shutdown(wait=False, cancel_futures=True)
 
 
 def _run_serial(state: _EngineState) -> None:

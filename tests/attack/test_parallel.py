@@ -51,6 +51,25 @@ def _raise_unpicklable(item):
     raise _Unpicklable()
 
 
+class _LoadsPoisoned(Exception):
+    """Pickles fine, but unpickling calls ``__init__`` with too few args."""
+
+    def __init__(self, message, detail):
+        super().__init__(message)  # args == (message,): loads() TypeErrors
+        self.detail = detail
+
+
+def _log_then_maybe_poison(item):
+    log_path, label = item
+    with open(log_path, "a", encoding="utf-8") as handle:
+        handle.write(label + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    if label == "boom":
+        raise _LoadsPoisoned("dumps fine, loads raises", "detail")
+    return label
+
+
 class TestParallelMap:
     def test_preserves_input_order(self):
         assert parallel_map(_square, [3, 1, 2]) == [9, 1, 4]
@@ -98,6 +117,24 @@ class TestParallelMap:
         # traceback summary still must.
         with pytest.raises(WorkerTaskError, match="_Unpicklable"):
             parallel_map(_raise_unpicklable, [1, 2])
+
+    def test_loads_poisoned_task_error_no_serial_rerun(self, tmp_path):
+        # Regression: an exception that pickles but fails to UNpickle
+        # blows up during result deserialization in the parent, breaking
+        # the whole pool -- which used to be misread as infrastructure
+        # and trigger the all-or-nothing serial re-run.  The worker must
+        # verify the full pickle round-trip and fall back to the text
+        # summary, so each task still executes exactly once.
+        log_path = str(tmp_path / "executions.log")
+        items = [(log_path, "a"), (log_path, "boom"), (log_path, "b")]
+        with pytest.raises(WorkerTaskError, match="_LoadsPoisoned"):
+            parallel_map(_log_then_maybe_poison, items)
+        with open(log_path, "r", encoding="utf-8") as handle:
+            executions = handle.read().split()
+        assert sorted(executions) == ["a", "b", "boom"], (
+            "each task must execute exactly once; duplicates mean the "
+            "runner fell back to a serial re-run"
+        )
 
 
 class TestParallelSweep:

@@ -1,5 +1,6 @@
 """The fault-tolerant task engine: retries, backoff, recovery, terminal errors."""
 
+import os
 import time
 from fractions import Fraction
 
@@ -7,6 +8,7 @@ import pytest
 
 from repro.errors import RetryExhaustedError, TaskTimeoutError
 from repro.robustness import RetryPolicy, TaskContext, run_tasks
+from repro.robustness.engine import _EngineState, _run_pool, _run_serial
 from repro.testing import Fault, FaultInjectingTask, FaultPlan
 
 
@@ -31,6 +33,30 @@ class _Unpicklable(Exception):
 
 def _raise_unpicklable(value):
     raise _Unpicklable()
+
+
+class _LoadsPoisoned(Exception):
+    """Pickles fine, but unpickling calls ``__init__`` with too few args."""
+
+    def __init__(self, message, detail):
+        super().__init__(message)  # args == (message,): loads() TypeErrors
+        self.detail = detail
+
+
+def _log_then_maybe_poison(item):
+    """Append one line per execution, then raise on the 'boom' label.
+
+    The log file counts how many times each task actually ran, pinning
+    down any fallback path that re-executes tasks.
+    """
+    log_path, label = item
+    with open(log_path, "a", encoding="utf-8") as handle:
+        handle.write(label + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    if label == "boom":
+        raise _LoadsPoisoned("dumps fine, loads raises", "detail")
+    return label
 
 
 def _no_sleep(seconds: float) -> None:
@@ -198,3 +224,65 @@ class TestWorkerCrashRecovery:
         policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
         results = run_tasks(task, [6, 7], policy=policy, timeout=0.3, sleep=_no_sleep)
         assert results == [36, 49]
+
+    def test_terminal_timeout_raises_promptly_despite_stuck_worker(self):
+        # Regression: the pool used to be shut down with wait=True on the
+        # terminal-raise path, so the TaskTimeoutError for a stuck task
+        # did not surface until the hung worker finished -- here, a full
+        # 4 seconds despite the 0.3s per-task timeout.
+        plan = FaultPlan({(0, 0): Fault("delay", delay=4.0)})
+        task = FaultInjectingTask(inner=_square, plan=plan)
+        policy = RetryPolicy(max_attempts=1)
+        started = time.monotonic()
+        with pytest.raises(TaskTimeoutError):
+            run_tasks(task, [2, 3], policy=policy, timeout=0.3, sleep=_no_sleep)
+        assert time.monotonic() - started < 3.0
+
+    def test_abandoned_pool_does_not_charge_healthy_tasks(self):
+        # Regression: abandoning a pool because one task got stuck used
+        # to charge a "worker-lost" attempt to every healthy task still
+        # queued or mid-flight on it.  Task 0 stalls past the timeout on
+        # attempt 0 while task 1 occupies the other worker and task 2 is
+        # still queued; neither may be billed for the abandonment.
+        plan = FaultPlan(
+            {(0, 0): Fault("delay", delay=2.5), (1, 0): Fault("delay", delay=2.5)}
+        )
+        task = FaultInjectingTask(inner=_square, plan=plan)
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        state = _EngineState(task, [2, 3, 4], policy, 0.5, None, _no_sleep)
+        for index in range(3):
+            state.register(index)
+        _run_pool(state, max_workers=2)
+        _run_serial(state)
+        assert [state.results[index] for index in range(3)] == [4, 9, 16]
+        outcomes = [
+            attempt.outcome for log in state.attempt_log.values() for attempt in log
+        ]
+        assert "worker-lost" not in outcomes
+        # The never-faulted task succeeded on its first (and only) attempt.
+        assert [attempt.outcome for attempt in state.attempt_log[2]] == ["ok"]
+        assert state.attempt_log[2][0].attempt == 0
+
+    def test_loads_poisoned_task_error_counts_attempts_without_rerun(self, tmp_path):
+        # Regression: an exception that pickles but fails to UNpickle
+        # used to blow up during result deserialization in the parent,
+        # get misread as pool infrastructure, and push every incomplete
+        # task through the serial path -- re-executing the failing task
+        # beyond its attempt budget.  The worker must detect the failed
+        # round-trip and ship the text summary instead.
+        log_path = str(tmp_path / "executions.log")
+        policy = RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0)
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            run_tasks(
+                _log_then_maybe_poison,
+                [(log_path, "boom"), (log_path, "a")],
+                policy=policy,
+                sleep=_no_sleep,
+            )
+        error = excinfo.value
+        assert error.task_index == 0
+        assert any("_LoadsPoisoned" in attempt.error for attempt in error.attempts)
+        with open(log_path, "r", encoding="utf-8") as handle:
+            executions = handle.read().split()
+        assert executions.count("boom") == policy.max_attempts
+        assert executions.count("a") == 1
