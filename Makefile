@@ -1,8 +1,12 @@
 # Convenience targets for the reproduction.
 
 PYTHON ?= python3
+# Benchmark report for the current PR (see docs/performance.md).
+BENCH ?= BENCH_4.json
+# Trace file consumed by `make trace-report` (see docs/observability.md).
+TRACE ?= trace.jsonl
 
-.PHONY: install test test-chaos bench bench-json bench-json-smoke examples quicktest lint lint-json clean
+.PHONY: install test test-chaos bench bench-json bench-json-smoke examples quicktest lint lint-json trace-report clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -32,10 +36,14 @@ bench:
 
 # Machine-readable benchmark report (see docs/performance.md).
 bench-json:
-	$(PYTHON) benchmarks/collect.py --output BENCH_2.json
+	$(PYTHON) benchmarks/collect.py --output $(BENCH)
 
 bench-json-smoke:
-	$(PYTHON) benchmarks/collect.py --smoke --output BENCH_2.json
+	$(PYTHON) benchmarks/collect.py --smoke --output $(BENCH)
+
+# Summarise a repro-trace/1 JSONL trace (see docs/observability.md).
+trace-report:
+	PYTHONPATH=src $(PYTHON) -m tools.tracereport $(TRACE)
 
 examples:
 	@for script in examples/*.py; do \

@@ -8,6 +8,15 @@ to read the output).  ``--smoke`` shrinks every parameter so CI can run
 the same pipeline in seconds; the script exits nonzero if any benchmark
 raises.
 
+Since schema ``repro-bench/2`` every record also carries a ``counters``
+snapshot from the observability layer (:mod:`repro.obs`): measure-kernel
+cache hits/misses, gfp iteration counts, engine retry totals -- so a
+perf regression can be told apart from a workload change (same seconds,
+different counters means the workload moved; same counters, different
+seconds means the code got slower).  ``--trace PATH`` additionally
+streams the whole run as ``repro-trace/1`` JSONL for
+``tools/tracereport``.
+
 All probabilities in the report stay exact: Fractions are serialised as
 ``"p/q"`` strings.  Wall-clock seconds are, of course, floats.
 """
@@ -28,35 +37,62 @@ sys.path.insert(0, str(ROOT / "src"))
 sys.path.insert(0, str(ROOT / "benchmarks"))
 
 from repro.attack import guarantee_sweep, parallel_guarantee_sweep  # noqa: E402
-from repro.probability import get_default_backend, use_backend  # noqa: E402
+from repro.obs import MetricsRecorder, MultiRecorder, use_recorder  # noqa: E402
+from repro.probability import (  # noqa: E402
+    get_default_backend,
+    kernel_totals,
+    reset_kernel_totals,
+    use_backend,
+)
 from repro.reporting import write_bench_json  # noqa: E402
 
 from bench_scalability import pipeline  # noqa: E402
 
-#: Wall time of the 10-toss scalability pipeline measured at the PR 1
-#: tip (commit 0bc943a), before the bitmask measure engine landed.  The
-#: acceptance bar for this PR is >= 3x against this number.
-PRE_PR_PIPELINE_SECONDS = 0.574
+#: Baselines carried forward across reports so every BENCH_<n>.json is
+#: self-contained: the 10-toss scalability pipeline at the PR 1 tip
+#: (commit 0bc943a, before the bitmask measure engine), and the same
+#: pipeline as measured in BENCH_2.json once the bitmask engine landed.
+BASELINES = {
+    "scalability_pipeline_tosses10_pre_pr_seconds": 0.574,
+    "scalability_pipeline_tosses10_bench2_seconds": 0.1822,
+}
+
+PRE_PR_PIPELINE_SECONDS = BASELINES["scalability_pipeline_tosses10_pre_pr_seconds"]
 
 
-def _timed(function, repeats: int):
-    """Best-of-``repeats`` wall time plus the (stable) return value."""
+def _timed(function, repeats: int, trace=None):
+    """Best-of-``repeats`` wall time, the (stable) return value, and the
+    observability counters of the final repeat.
+
+    Each repeat runs under a fresh :class:`MetricsRecorder` (fanned out
+    to ``trace`` when given) with the process-wide kernel totals zeroed,
+    so the reported counters describe exactly one execution of the
+    workload.  The workloads are deterministic, so every repeat produces
+    the same counters; timing keeps best-of to shed scheduler noise.
+    """
     best = None
     value = None
+    counters = {}
     for _ in range(repeats):
-        start = time.perf_counter()
-        value = function()
-        elapsed = time.perf_counter() - start
+        reset_kernel_totals()
+        metrics = MetricsRecorder()
+        recorder = metrics if trace is None else MultiRecorder([metrics, trace])
+        with use_recorder(recorder):
+            start = time.perf_counter()
+            value = function()
+            elapsed = time.perf_counter() - start
+        counters = dict(metrics.snapshot()["counters"])
+        counters.update(kernel_totals())
         if best is None or elapsed < best:
             best = elapsed
-    return best, value
+    return best, value, counters
 
 
-def bench_pipeline(records, tosses: int, backend: str, repeats: int) -> None:
+def bench_pipeline(records, tosses: int, backend: str, repeats: int, trace) -> None:
     """The full scalability pipeline under one measure backend."""
     with use_backend(backend):
-        seconds, (points, interval, clocked) = _timed(
-            lambda: pipeline(tosses), repeats
+        seconds, (points, interval, clocked), counters = _timed(
+            lambda: pipeline(tosses), repeats, trace
         )
     records.append(
         {
@@ -65,19 +101,20 @@ def bench_pipeline(records, tosses: int, backend: str, repeats: int) -> None:
             "params": {"tosses": tosses},
             "system": {"runs": 2**tosses, "points": points},
             "seconds": round(seconds, 4),
+            "counters": counters,
             "results": {"interval": interval, "clocked": sorted(clocked)},
         }
     )
 
 
-def bench_sweep(records, messengers, repeats: int) -> None:
+def bench_sweep(records, messengers, repeats: int, trace) -> None:
     """Serial vs parallel guarantee sweep on identical task lists."""
     losses = [Fraction(1, 2)]
-    serial_seconds, serial_rows = _timed(
-        lambda: guarantee_sweep(messengers, losses), repeats
+    serial_seconds, serial_rows, serial_counters = _timed(
+        lambda: guarantee_sweep(messengers, losses), repeats, trace
     )
-    parallel_seconds, parallel_rows = _timed(
-        lambda: parallel_guarantee_sweep(messengers, losses), repeats
+    parallel_seconds, parallel_rows, parallel_counters = _timed(
+        lambda: parallel_guarantee_sweep(messengers, losses), repeats, trace
     )
     if serial_rows != parallel_rows:
         raise AssertionError("parallel sweep rows differ from serial rows")
@@ -89,6 +126,7 @@ def bench_sweep(records, messengers, repeats: int) -> None:
             "params": {"messengers": list(messengers), "losses": losses},
             "system": system_size,
             "seconds": round(serial_seconds, 4),
+            "counters": serial_counters,
             "results": {"rows": serial_rows},
         }
     )
@@ -99,12 +137,16 @@ def bench_sweep(records, messengers, repeats: int) -> None:
             "params": {"messengers": list(messengers), "losses": losses},
             "system": system_size,
             "seconds": round(parallel_seconds, 4),
+            # Workers run in their own processes with the default
+            # NullRecorder, so parent-side counters only cover the pool
+            # bookkeeping -- see docs/observability.md.
+            "counters": parallel_counters,
             "results": {"rows_match_serial": True},
         }
     )
 
 
-def bench_common_knowledge(records, messengers: int, repeats: int) -> None:
+def bench_common_knowledge(records, messengers: int, repeats: int, trace) -> None:
     """Mask-based model checking: C^eps phi_CA on a CA2 system."""
     from repro.attack import build_ca2
     from repro.core import standard_assignments
@@ -119,7 +161,7 @@ def bench_common_knowledge(records, messengers: int, repeats: int) -> None:
         )
         return len(attack.psys.system.points), len(model.extension(formula))
 
-    seconds, (points, extension_size) = _timed(workload, repeats)
+    seconds, (points, extension_size), counters = _timed(workload, repeats, trace)
     records.append(
         {
             "name": "common_knowledge_ca2",
@@ -127,7 +169,55 @@ def bench_common_knowledge(records, messengers: int, repeats: int) -> None:
             "params": {"messengers": messengers},
             "system": {"points": points},
             "seconds": round(seconds, 4),
+            "counters": counters,
             "results": {"extension_size": extension_size},
+        }
+    )
+
+
+def bench_robust_sweep(records, messengers, repeats: int, trace) -> None:
+    """The fault-tolerant engine under seeded chaos, rows pinned to serial.
+
+    Exercises the retry path so the report carries real
+    ``engine.retries``/``engine.raised`` counters, and asserts that the
+    chaos run still returns exactly the serial sweep's rows.
+    """
+    from repro.attack.sweep import sweep_row_of, sweep_tasks
+    from repro.robustness.engine import RetryPolicy, run_tasks
+    from repro.robustness.faults import FaultInjectingTask, FaultPlan
+
+    losses = [Fraction(1, 2)]
+    tasks = sweep_tasks(messengers, losses)
+    plan = FaultPlan.from_seed(
+        seed=11, task_count=len(tasks), kinds=("raise",), rate=0.5
+    )
+
+    def workload():
+        return run_tasks(
+            FaultInjectingTask(sweep_row_of, plan),
+            tasks,
+            max_workers=1,
+            policy=RetryPolicy(max_attempts=4, base_delay=0.0),
+            sleep=lambda _seconds: None,
+        )
+
+    seconds, rows, counters = _timed(workload, repeats, trace)
+    if rows != [sweep_row_of(task) for task in tasks]:
+        raise AssertionError("chaos sweep rows differ from serial rows")
+    records.append(
+        {
+            "name": "robust_sweep_chaos",
+            "backend": get_default_backend(),
+            "params": {
+                "messengers": list(messengers),
+                "losses": losses,
+                "fault_seed": 11,
+                "faults": len(plan),
+            },
+            "system": {"tasks": len(tasks)},
+            "seconds": round(seconds, 4),
+            "counters": counters,
+            "results": {"rows_match_serial": True},
         }
     )
 
@@ -135,12 +225,17 @@ def bench_common_knowledge(records, messengers: int, repeats: int) -> None:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--output", default="BENCH_2.json", help="where to write the report"
+        "--output", default="BENCH_4.json", help="where to write the report"
     )
     parser.add_argument(
         "--smoke",
         action="store_true",
         help="reduced parameters for CI (small systems, one repeat)",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="also stream the whole run as repro-trace/1 JSONL to PATH",
     )
     args = parser.parse_args(argv)
 
@@ -149,22 +244,31 @@ def main(argv=None) -> int:
     ck_messengers = 2 if args.smoke else 4
     repeats = 1 if args.smoke else 5
 
+    trace = None
+    if args.trace:
+        from repro.obs import TraceRecorder
+
+        trace = TraceRecorder(args.trace)
+
     records: list = []
     errors: list = []
     for runner in (
-        lambda: bench_pipeline(records, tosses, "bitmask", repeats),
-        lambda: bench_pipeline(records, tosses, "naive", repeats),
-        lambda: bench_sweep(records, sweep_messengers, repeats),
-        lambda: bench_common_knowledge(records, ck_messengers, repeats),
+        lambda: bench_pipeline(records, tosses, "bitmask", repeats, trace),
+        lambda: bench_pipeline(records, tosses, "naive", repeats, trace),
+        lambda: bench_sweep(records, sweep_messengers, repeats, trace),
+        lambda: bench_common_knowledge(records, ck_messengers, repeats, trace),
+        lambda: bench_robust_sweep(records, sweep_messengers, repeats, trace),
     ):
         try:
             runner()
         except Exception:  # noqa: BLE001 - report every failure, then exit 1
             errors.append(traceback.format_exc())
+    if trace is not None:
+        trace.close()
 
     payload = {
-        "schema": "repro-bench/1",
-        "pr": 2,
+        "schema": "repro-bench/2",
+        "pr": 4,
         "generated_by": "benchmarks/collect.py"
         + (" --smoke" if args.smoke else ""),
         "smoke": args.smoke,
@@ -175,9 +279,7 @@ def main(argv=None) -> int:
             "cpu_count": os.cpu_count(),
         },
         "default_backend": get_default_backend(),
-        "baselines": {
-            "scalability_pipeline_tosses10_pre_pr_seconds": PRE_PR_PIPELINE_SECONDS
-        },
+        "baselines": dict(BASELINES),
         "benchmarks": records,
         "errors": errors,
     }

@@ -24,11 +24,14 @@ knowledge in distributed systems into a library:
 * :mod:`repro.robustness` -- fault-tolerant sweep engine (retries,
   checkpoint/resume), deterministic fault injection, and runtime
   validators for the paper's structural invariants.
+* :mod:`repro.obs` -- deterministic observability: pluggable recorders
+  (no-op by default), in-memory metrics, and ``repro-trace/1`` JSONL
+  tracing.  Observe-only: instrumentation can never change a result.
 """
 
 __version__ = "1.0.0"
 
-from . import core, probability, trees
+from . import core, obs, probability, trees
 from .errors import (
     CheckpointError,
     ExecutionError,
@@ -41,6 +44,7 @@ from .errors import (
 
 __all__ = [
     "core",
+    "obs",
     "probability",
     "trees",
     "CheckpointError",

@@ -33,6 +33,7 @@ from pickle import PicklingError
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Union
 
 from ..errors import WorkerTaskError
+from ..obs.recorder import get_recorder
 from ..probability.fractionutil import FractionLike
 from .sweep import Builder, SweepRow, sweep_row_of, sweep_tasks
 
@@ -113,19 +114,28 @@ def parallel_map(
     work = list(items)
     if max_workers is not None and max_workers < 1:
         raise ValueError("parallel_map needs at least one worker")
-    if len(work) <= 1 or max_workers == 1:
-        return [function(item) for item in work]
-    try:
-        with ProcessPoolExecutor(max_workers=max_workers) as pool:
-            outcomes = list(pool.map(_enveloped_call, [(function, item) for item in work]))
-    except POOL_FALLBACK_ERRORS:
-        return [function(item) for item in work]
-    results: List[_Result] = []
-    for outcome in outcomes:
-        if isinstance(outcome, _TaskFailure):
-            outcome.reraise()
-        results.append(outcome)
-    return results
+    recorder = get_recorder()
+    with recorder.span("parallel_map", tasks=len(work)):
+        recorder.counter("parallel.tasks", len(work))
+        if len(work) <= 1 or max_workers == 1:
+            return [function(item) for item in work]
+        try:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                outcomes = list(
+                    pool.map(_enveloped_call, [(function, item) for item in work])
+                )
+        except POOL_FALLBACK_ERRORS as error:
+            recorder.counter("parallel.pool_fallbacks")
+            recorder.event(
+                "pool_fallback", reason=f"{type(error).__name__}: {error}"
+            )
+            return [function(item) for item in work]
+        results: List[_Result] = []
+        for outcome in outcomes:
+            if isinstance(outcome, _TaskFailure):
+                outcome.reraise()
+            results.append(outcome)
+        return results
 
 
 def parallel_guarantee_sweep(

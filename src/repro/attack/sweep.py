@@ -23,6 +23,8 @@ from fractions import Fraction
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.standard import standard_assignments
+from ..obs.recorder import get_recorder
+from ..probability.bitset import kernel_totals
 from ..probability.fractionutil import FractionLike, ONE, as_fraction
 from .analysis import achieves, run_level_probability
 from .protocols import AttackSystem, build_ca1, build_ca1_adaptive, build_ca2
@@ -132,8 +134,14 @@ def sweep_row_of(task: SweepTask) -> SweepRow:
     Module-level (not a closure) so :func:`repro.attack.parallel.parallel_map`
     can send it to worker processes.
     """
-    _name, builder, messengers, loss, _threshold = task
-    return sweep_row_from_attack(task, builder(messengers, loss))
+    name, builder, messengers, loss, _threshold = task
+    recorder = get_recorder()
+    with recorder.span(
+        "sweep_row", protocol=name, messengers=messengers, loss=loss
+    ):
+        row = sweep_row_from_attack(task, builder(messengers, loss))
+        recorder.event("cache_stats", **kernel_totals())
+        return row
 
 
 def guarantee_sweep(
@@ -143,10 +151,9 @@ def guarantee_sweep(
     epsilon: FractionLike = Fraction(99, 100),
 ) -> List[SweepRow]:
     """Sweep protocols over messenger counts and loss probabilities."""
-    return [
-        sweep_row_of(task)
-        for task in sweep_tasks(messenger_counts, losses, builders, epsilon)
-    ]
+    tasks = sweep_tasks(messenger_counts, losses, builders, epsilon)
+    with get_recorder().span("guarantee_sweep", tasks=len(tasks)):
+        return [sweep_row_of(task) for task in tasks]
 
 
 def crossover_messengers(

@@ -164,6 +164,17 @@ class CheckpointError(ReproError):
     """
 
 
+class TraceError(ReproError):
+    """A trace file does not conform to the ``repro-trace/1`` schema.
+
+    Raised when a reader (``tools/tracereport``,
+    :func:`repro.obs.trace.read_trace` in strict mode) is handed a file
+    whose header is missing or names a different schema, so a report is
+    never silently folded from a file that was not produced by a
+    :class:`repro.obs.trace.TraceRecorder`.
+    """
+
+
 class WorkerTaskError(ReproError):
     """A task raised inside a worker process and the original exception
     could not cross the process boundary (it was unpicklable).

@@ -12,6 +12,10 @@ test per information class, and the greatest fixed points of
 (probabilistic) common knowledge iterate on machine ints.  Masks are
 converted to :class:`frozenset` point sets only at the public boundary
 (:meth:`Model.extension` and friends).
+
+The fixpoint and memo machinery reports to :mod:`repro.obs` (gfp
+iteration counts, extension-mask computes/memo hits) -- observe-only, so
+an instrumented check returns bit-identical extensions.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ from ..core.assignments import ProbabilityAssignment
 from ..core.facts import Fact
 from ..core.model import Point, System
 from ..errors import LogicError
+from ..obs.recorder import get_recorder
 from ..trees.probabilistic_system import ProbabilisticSystem
 from .syntax import (
     And,
@@ -90,9 +95,11 @@ class Model:
         -- compose with plain bitwise operators.
         """
         if formula in self._extension_masks:
+            get_recorder().counter("model.extension_mask_memo_hits")
             return self._extension_masks[formula]
         mask = self._compute_extension_mask(formula)
         self._extension_masks[formula] = mask
+        get_recorder().counter("model.extension_masks_computed")
         return mask
 
     def holds(self, formula: Formula, point: Point) -> bool:
@@ -257,9 +264,20 @@ class Model:
         knowledge.
         """
         current = self._full_mask
+        iterations = 0
         while True:
+            iterations += 1
             updated = everyone(sub_mask & current)
             if updated == current:
+                recorder = get_recorder()
+                recorder.counter("model.gfp_fixpoints")
+                recorder.counter("model.gfp_iterations", iterations)
+                recorder.event(
+                    "gfp",
+                    representation="mask",
+                    iterations=iterations,
+                    fixpoint_size=current.bit_count(),
+                )
                 return current
             current = updated
 
@@ -294,9 +312,20 @@ class Model:
         operators.
         """
         current = self._all_points()
+        iterations = 0
         while True:
+            iterations += 1
             updated = everyone(sub_extension & current)
             if updated == current:
+                recorder = get_recorder()
+                recorder.counter("model.gfp_fixpoints")
+                recorder.counter("model.gfp_iterations", iterations)
+                recorder.event(
+                    "gfp",
+                    representation="points",
+                    iterations=iterations,
+                    fixpoint_size=len(current),
+                )
                 return current
             current = updated
 

@@ -1,0 +1,48 @@
+"""Deterministic observability: recorders, metrics, and JSONL tracing.
+
+The reproduction's results are exact and deterministic; this subpackage
+makes the *computation* of those results inspectable without ever being
+able to perturb them.  Instrumented code (the bitmask measure kernels,
+the model-checking fixpoints, the fault-tolerant sweep engine) reports
+counters, gauges, events and timing spans to the process-global
+:func:`get_recorder`, which defaults to the no-op :class:`NullRecorder`.
+
+* :class:`MetricsRecorder` aggregates in memory (cache hit rates, gfp
+  iteration counts, retry totals) for benchmark reports.
+* :class:`TraceRecorder` streams schema ``repro-trace/1`` JSONL for the
+  ``tools/tracereport`` CLI.
+* :mod:`repro.obs.clock` quarantines every wall-clock read in the
+  library (statically enforced by reprolint RL008).
+
+See ``docs/observability.md`` for the recorder protocol, the trace
+schema, and a worked example.
+"""
+
+from . import clock
+from .metrics import MetricsRecorder, SpanStats
+from .recorder import (
+    MultiRecorder,
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    get_recorder,
+    set_recorder,
+    use_recorder,
+)
+from .trace import TRACE_SCHEMA, TraceRecorder, read_trace
+
+__all__ = [
+    "MetricsRecorder",
+    "MultiRecorder",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "SpanStats",
+    "TRACE_SCHEMA",
+    "TraceRecorder",
+    "clock",
+    "get_recorder",
+    "read_trace",
+    "set_recorder",
+    "use_recorder",
+]

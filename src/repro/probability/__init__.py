@@ -12,6 +12,8 @@ from .bitset import (
     IntervalCache,
     OutcomeIndex,
     get_default_backend,
+    kernel_totals,
+    reset_kernel_totals,
     set_default_backend,
     use_backend,
 )
@@ -60,6 +62,8 @@ __all__ = [
     "IntervalCache",
     "BACKENDS",
     "get_default_backend",
+    "kernel_totals",
+    "reset_kernel_totals",
     "set_default_backend",
     "use_backend",
     "as_fraction",

@@ -16,7 +16,12 @@ module provides the representation that makes that algebra cheap:
 * :func:`set_default_backend` / :func:`use_backend` switch newly built
   spaces between the ``"bitmask"`` engine and the retained ``"naive"``
   frozenset kernels, for the differential tests and the ablation
-  benchmark.
+  benchmark.  Switching emits a ``backend_switch`` event through
+  :mod:`repro.obs`, so traces show which kernel actually ran.
+* :func:`kernel_totals` / :func:`reset_kernel_totals` snapshot the
+  process-wide cache hit/miss/eviction and kernel-dispatch counters that
+  the observability layer (``repro.obs``, ``tools/tracereport``,
+  ``BENCH_4.json``) reports.
 
 The bitmask layer accelerates *set algebra only*: every probability that
 flows through it stays an exact :class:`fractions.Fraction`.
@@ -28,14 +33,82 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Optional, Tuple
 
+from ..obs.recorder import get_recorder
+
 __all__ = [
     "OutcomeIndex",
     "IntervalCache",
     "BACKENDS",
+    "count_naive_query",
     "get_default_backend",
+    "kernel_totals",
+    "reset_kernel_totals",
     "set_default_backend",
     "use_backend",
 ]
+
+
+class _KernelTotals:
+    """Process-wide aggregate of every measure-kernel statistic.
+
+    Individual :class:`IntervalCache` instances keep their own counters,
+    but spaces are constructed by the thousands inside a sweep (every
+    conditioning step builds one), so the per-process aggregate is what
+    the observability layer snapshots.  Updates are single integer
+    increments on the hot path -- deliberately cheaper than calling into
+    a recorder per cache probe.
+    """
+
+    __slots__ = ("hits", "misses", "evictions", "naive_queries", "backend_switches")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.naive_queries = 0
+        self.backend_switches = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "cache_evictions": self.evictions,
+            "naive_queries": self.naive_queries,
+            "backend_switches": self.backend_switches,
+        }
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.naive_queries = 0
+        self.backend_switches = 0
+
+
+_TOTALS = _KernelTotals()
+
+
+def kernel_totals() -> Dict[str, int]:
+    """Snapshot of the process-wide measure-kernel counters.
+
+    ``cache_hits``/``cache_misses``/``cache_evictions`` aggregate every
+    :class:`IntervalCache` in the process; ``naive_queries`` counts
+    interval-kernel calls on the naive (frozenset) backend;
+    ``backend_switches`` counts :func:`set_default_backend` changes.
+    """
+    return _TOTALS.snapshot()
+
+
+def reset_kernel_totals() -> Dict[str, int]:
+    """Zero the process-wide kernel counters; returns the old snapshot."""
+    previous = _TOTALS.snapshot()
+    _TOTALS.reset()
+    return previous
+
+
+def count_naive_query() -> None:
+    """Count one naive-backend kernel dispatch (called by the space)."""
+    _TOTALS.naive_queries += 1
 
 
 class OutcomeIndex:
@@ -151,7 +224,7 @@ class IntervalCache:
     of a sweep stay resident.
     """
 
-    __slots__ = ("_entries", "_maxsize", "hits", "misses")
+    __slots__ = ("_entries", "_maxsize", "hits", "misses", "evictions")
 
     def __init__(self, maxsize: int = 4096) -> None:
         if maxsize < 1:
@@ -160,6 +233,7 @@ class IntervalCache:
         self._maxsize = maxsize
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -173,9 +247,11 @@ class IntervalCache:
         entry = self._entries.get(mask)
         if entry is None:
             self.misses += 1
+            _TOTALS.misses += 1
             return None
         self._entries.move_to_end(mask)
         self.hits += 1
+        _TOTALS.hits += 1
         return entry
 
     def put(self, mask: int, entry: IntervalEntry) -> None:
@@ -186,6 +262,27 @@ class IntervalCache:
         entries[mask] = entry
         if len(entries) > self._maxsize:
             entries.popitem(last=False)
+            self.evictions += 1
+            _TOTALS.evictions += 1
+
+    def stats(self) -> Dict[str, int]:
+        """This cache's counters and occupancy as one snapshot dict.
+
+        ``hits``/``misses``/``evictions`` are monotonic over the cache's
+        lifetime (:meth:`clear` does not reset them); ``size`` is the
+        current entry count, bounded by ``maxsize``.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._entries),
+            "maxsize": self._maxsize,
+        }
+
+    def clear(self) -> None:
+        """Drop every cached entry (the monotonic counters are kept)."""
+        self._entries.clear()
 
 
 # ----------------------------------------------------------------------
@@ -217,6 +314,9 @@ def set_default_backend(name: str) -> str:
         raise ValueError(f"unknown measure backend {name!r}; expected one of {BACKENDS}")
     previous = _default_backend
     _default_backend = name
+    if name != previous:
+        _TOTALS.backend_switches += 1
+        get_recorder().event("backend_switch", backend=name, previous=previous)
     return previous
 
 

@@ -33,7 +33,12 @@ from ..errors import (
     ZeroMeasureConditioningError,
 )
 from .algebra import Atom, check_partition, restrict_partition
-from .bitset import IntervalCache, OutcomeIndex, get_default_backend
+from .bitset import (
+    IntervalCache,
+    OutcomeIndex,
+    count_naive_query,
+    get_default_backend,
+)
 from .fractionutil import ONE, ZERO, FractionLike, as_fraction
 
 Outcome = Hashable
@@ -488,6 +493,7 @@ class FiniteProbabilitySpace:
 
     def is_measurable_naive(self, event: Iterable[Outcome]) -> bool:
         """:meth:`is_measurable` via frozenset scans (ablation baseline)."""
+        count_naive_query()
         event_set = frozenset(event)
         if not event_set <= self._outcomes:
             return False
@@ -501,6 +507,7 @@ class FiniteProbabilitySpace:
 
     def measure_naive(self, event: Iterable[Outcome]) -> Fraction:
         """:meth:`measure` via frozenset scans (ablation baseline)."""
+        count_naive_query()
         event_set = frozenset(event)
         if not event_set <= self._outcomes:
             raise NotMeasurableError("event contains outcomes outside the sample space")
@@ -520,6 +527,7 @@ class FiniteProbabilitySpace:
 
     def inner_measure_naive(self, event: Iterable[Outcome]) -> Fraction:
         """:meth:`inner_measure` via frozenset scans (ablation baseline)."""
+        count_naive_query()
         event_set = frozenset(event) & self._outcomes
         total = ZERO
         for atom in self._atoms:
@@ -529,6 +537,7 @@ class FiniteProbabilitySpace:
 
     def outer_measure_naive(self, event: Iterable[Outcome]) -> Fraction:
         """:meth:`outer_measure` via frozenset scans (ablation baseline)."""
+        count_naive_query()
         event_set = frozenset(event) & self._outcomes
         total = ZERO
         for atom in self._atoms:
@@ -538,6 +547,7 @@ class FiniteProbabilitySpace:
 
     def measure_interval_naive(self, event: Iterable[Outcome]) -> Tuple[Fraction, Fraction]:
         """:meth:`measure_interval` via frozenset scans (ablation baseline)."""
+        count_naive_query()
         event_set = frozenset(event) & self._outcomes
         inner = ZERO
         outer = ZERO

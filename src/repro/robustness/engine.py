@@ -48,6 +48,8 @@ from pickle import PicklingError
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, TypeVar
 
 from ..errors import RetryExhaustedError, TaskTimeoutError
+from ..obs.clock import monotonic
+from ..obs.recorder import Recorder, get_recorder
 
 __all__ = [
     "POOL_INFRASTRUCTURE_ERRORS",
@@ -165,6 +167,14 @@ class TaskAttempt:
     backoff: float = 0.0
 
 
+#: Counter name bumped per failed attempt, keyed by its logged outcome.
+_OUTCOME_COUNTERS = {
+    "raised": "engine.raised",
+    "timeout": "engine.timeouts",
+    "worker-lost": "engine.worker_lost",
+}
+
+
 @dataclass(frozen=True)
 class _TaskOutcome:
     """Worker-side envelope: task results and task errors are both data.
@@ -241,6 +251,9 @@ class _EngineState:
         self.results: Dict[int, object] = {}
         self.attempt_log: Dict[int, List[TaskAttempt]] = {}
         self._next_attempt: Dict[int, int] = {}
+        # Captured once per run: every attempt/retry/recovery observation
+        # of this engine invocation reports to the same recorder.
+        self.recorder: Recorder = get_recorder()
 
     def register(self, index: int) -> None:
         self._next_attempt[index] = 0
@@ -265,6 +278,10 @@ class _EngineState:
         )
         self.results[index] = value
         self._next_attempt.pop(index, None)
+        recorder = self.recorder
+        recorder.counter("engine.attempts")
+        recorder.counter("engine.tasks_ok")
+        recorder.event("task_attempt", index=index, attempt=attempt, outcome="ok")
         if self.on_result is not None:
             self.on_result(index, value)
 
@@ -289,7 +306,21 @@ class _EngineState:
         log.append(
             TaskAttempt(attempt=attempt, outcome=outcome, error=error_text, backoff=backoff)
         )
+        recorder = self.recorder
+        recorder.counter("engine.attempts")
+        recorder.counter(_OUTCOME_COUNTERS.get(outcome, f"engine.{outcome}"))
+        recorder.event(
+            "task_attempt",
+            index=index,
+            attempt=attempt,
+            outcome=outcome,
+            error=error_text,
+            backoff=backoff,
+        )
         if exhausted:
+            recorder.event(
+                "task_exhausted", index=index, attempts=len(log), outcome=outcome
+            )
             message = (
                 f"task {index} ({_short_repr(self.tasks[index])}) failed after "
                 f"{len(log)} recorded attempt(s); last outcome: {outcome}"
@@ -303,6 +334,7 @@ class _EngineState:
             if outcome == "timeout":
                 raise TaskTimeoutError(message, **details) from cause
             raise RetryExhaustedError(message, **details) from cause
+        recorder.counter("engine.retries")
         self._next_attempt[index] = attempt + 1
         return backoff
 
@@ -330,6 +362,12 @@ def _run_pool(state: _EngineState, max_workers: Optional[int]) -> None:
                 try:
                     pool = ProcessPoolExecutor(max_workers=max_workers)
                 except POOL_INFRASTRUCTURE_ERRORS:
+                    state.recorder.counter("engine.pool_fallbacks")
+                    state.recorder.event(
+                        "pool_fallback",
+                        reason="process pool creation refused",
+                        remaining=len(state.incomplete_indices()),
+                    )
                     return
             pending = state.incomplete_indices()
             submitted: Dict[int, int] = {}
@@ -425,8 +463,20 @@ def _run_pool(state: _EngineState, max_workers: Optional[int]) -> None:
                 if pool is not None:
                     pool.shutdown(wait=False, cancel_futures=True)
                 pool = None
+                if not fall_back and state.has_incomplete():
+                    state.recorder.counter("engine.pool_recoveries")
+                    state.recorder.event(
+                        "pool_recovery",
+                        requeued=len(state.incomplete_indices()),
+                    )
             state.sleep(round_backoff)
             if fall_back:
+                state.recorder.counter("engine.pool_fallbacks")
+                state.recorder.event(
+                    "pool_fallback",
+                    reason="payload could not cross the process boundary",
+                    remaining=len(state.incomplete_indices()),
+                )
                 return
     finally:
         if pool is not None:
@@ -442,7 +492,7 @@ def _run_serial(state: _EngineState) -> None:
     for index in state.incomplete_indices():
         while index not in state.results:
             attempt = state.attempt_number(index)
-            started = time.monotonic()
+            started = monotonic()
             try:
                 value = _call(state.function, state.tasks[index], index, attempt)
             except Exception as error:
@@ -452,7 +502,7 @@ def _run_serial(state: _EngineState) -> None:
                     )
                 )
                 continue
-            elapsed = time.monotonic() - started
+            elapsed = monotonic() - started
             if state.timeout is not None and elapsed > state.timeout:
                 # In-process execution cannot preempt a task; overruns are
                 # detected after the fact and still cost an attempt, so
@@ -524,7 +574,10 @@ def run_tasks(
     for index in range(len(task_list)):
         if index not in state.results:
             state.register(index)
-    if max_workers != 1 and len(state.incomplete_indices()) > 1:
-        _run_pool(state, max_workers)
-    _run_serial(state)
+    with state.recorder.span(
+        "run_tasks", tasks=len(task_list), pending=len(state.incomplete_indices())
+    ):
+        if max_workers != 1 and len(state.incomplete_indices()) > 1:
+            _run_pool(state, max_workers)
+        _run_serial(state)
     return [state.results[index] for index in range(len(task_list))]

@@ -21,7 +21,16 @@ if str(REPO_ROOT) not in sys.path:
 from tools.reprolint import all_rules, lint_paths  # noqa: E402
 from tools.reprolint.cli import main as cli_main  # noqa: E402
 
-ALL_RULE_IDS = {"RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"}
+ALL_RULE_IDS = {
+    "RL001",
+    "RL002",
+    "RL003",
+    "RL004",
+    "RL005",
+    "RL006",
+    "RL007",
+    "RL008",
+}
 
 
 def make_package(tmp_path, files):
@@ -55,7 +64,7 @@ def rule_ids(tmp_path, files):
 # ----------------------------------------------------------------------
 
 
-def test_all_seven_rules_registered():
+def test_all_eight_rules_registered():
     assert {rule.rule_id for rule in all_rules()} == ALL_RULE_IDS
 
 
@@ -506,6 +515,107 @@ def test_rl007_suppressible_per_line(tmp_path):
         },
     )
     assert "RL007" not in ids
+
+
+# ----------------------------------------------------------------------
+# RL008 wall-clock quarantine
+# ----------------------------------------------------------------------
+
+
+def test_rl008_time_attribute_read_outside_obs(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/robustness/bad.py": """\
+            import time
+
+            def stamp():
+                return time.monotonic()
+            """
+        },
+    )
+    assert "RL008" in ids
+
+
+def test_rl008_from_time_import_clock(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {"repro/core/bad.py": "from time import perf_counter\n"},
+    )
+    assert "RL008" in ids
+
+
+def test_rl008_datetime_import_banned(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/attack/bad.py": "import datetime\n",
+            "repro/logic/bad.py": "from datetime import datetime\n",
+        },
+    )
+    assert ids.count("RL008") == 2
+
+
+def test_rl008_obs_subpackage_exempt(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/obs/clock.py": """\
+            import time
+
+            perf_counter = time.perf_counter
+            monotonic = time.monotonic
+            """
+        },
+    )
+    assert "RL008" not in ids
+
+
+def test_rl008_time_sleep_allowed_everywhere(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/robustness/good.py": """\
+            import time
+            from time import sleep
+
+            def wait(seconds):
+                time.sleep(seconds)
+                sleep(seconds)
+            """
+        },
+    )
+    assert "RL008" not in ids
+
+
+def test_rl008_obs_clock_wrappers_allowed(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/robustness/good.py": """\
+            from ..obs.clock import monotonic
+
+            def stamp():
+                return monotonic()
+            """
+        },
+    )
+    assert "RL008" not in ids
+
+
+def test_rl008_suppressible_per_line(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/systems/mixed.py": """\
+            import time
+
+            def stamp():
+                return time.time()  # reprolint: disable=RL008
+            """
+        },
+    )
+    assert "RL008" not in ids
 
 
 # ----------------------------------------------------------------------

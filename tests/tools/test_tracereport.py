@@ -1,0 +1,129 @@
+"""The tracereport CLI: folding repro-trace/1 JSONL into summaries."""
+
+import json
+import sys
+from fractions import Fraction
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from repro.obs import TraceRecorder, read_trace, use_recorder  # noqa: E402
+from repro.attack.sweep import guarantee_sweep  # noqa: E402
+from repro.probability import reset_kernel_totals  # noqa: E402
+from repro.robustness import RetryPolicy, run_tasks  # noqa: E402
+from repro.testing import FaultInjectingTask, FaultPlan  # noqa: E402
+
+from tools.tracereport import render_report, summarize  # noqa: E402
+from tools.tracereport.cli import main as cli_main  # noqa: E402
+
+
+def _double(value):
+    return value * 2
+
+
+def make_trace(path):
+    """Record a sweep plus a chaos engine run into ``path``."""
+    reset_kernel_totals()
+    plan = FaultPlan.from_seed(seed=3, task_count=5, kinds=("raise",), rate=0.6)
+    recorder = TraceRecorder(path)
+    with use_recorder(recorder):
+        guarantee_sweep([1, 2], [Fraction(1, 2)])
+        run_tasks(
+            FaultInjectingTask(_double, plan),
+            list(range(5)),
+            max_workers=1,
+            policy=RetryPolicy(max_attempts=4, base_delay=0.0),
+            sleep=lambda _seconds: None,
+        )
+    recorder.close()
+    return path
+
+
+class TestSummarize:
+    def test_folds_spans_counters_and_cache(self, tmp_path):
+        records = read_trace(make_trace(tmp_path / "t.jsonl"))
+        summary = summarize(records)
+        assert summary["spans"]["guarantee_sweep"]["count"] == 1
+        assert summary["spans"]["sweep_row"]["count"] == 6
+        assert summary["counters"]["engine.tasks_ok"] == 5
+        # hit rate is exact, from the last cache_stats event
+        rate = summary["cache"]["hit_rate"]
+        assert isinstance(rate, Fraction)
+        assert 0 <= rate <= 1
+
+    def test_spans_sorted_by_total_seconds(self, tmp_path):
+        records = read_trace(make_trace(tmp_path / "t.jsonl"))
+        totals = [
+            stats["total_seconds"]
+            for stats in summarize(records)["spans"].values()
+        ]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_retry_histogram_counts_attempts_per_task(self, tmp_path):
+        records = read_trace(make_trace(tmp_path / "t.jsonl"))
+        retries = summarize(records)["retries"]
+        assert retries["tasks"] == 5
+        assert sum(retries["attempts_per_task"].values()) == 5
+        outcomes = retries["outcomes"]
+        assert outcomes["ok"] == 5
+        assert sum(outcomes.values()) == sum(
+            int(attempts) * tasks
+            for attempts, tasks in retries["attempts_per_task"].items()
+        )
+
+    def test_gfp_section_from_events(self):
+        records = [
+            {"type": "header", "schema": "repro-trace/1"},
+            {"type": "event", "kind": "gfp", "fields": {"iterations": 3}},
+            {"type": "event", "kind": "gfp", "fields": {"iterations": 1}},
+        ]
+        gfp = summarize(records)["gfp"]
+        assert gfp == {"fixpoints": 2, "total_iterations": 4, "max_iterations": 3}
+
+    def test_empty_trace_summary(self):
+        summary = summarize([{"type": "header", "schema": "repro-trace/1"}])
+        assert summary["counters"] == {}
+        assert summary["spans"] == {}
+        assert "cache" not in summary
+        assert "no spans" in render_report(summary)
+
+
+class TestRenderReport:
+    def test_report_names_the_headline_sections(self, tmp_path):
+        records = read_trace(make_trace(tmp_path / "t.jsonl"))
+        text = render_report(summarize(records))
+        assert "Top spans (by total seconds)" in text
+        assert "Measure-kernel cache" in text
+        assert "Retry histogram (attempts per task)" in text
+        assert "hit rate" in text
+
+
+class TestCli:
+    def test_plain_output_exit_zero(self, tmp_path, capsys):
+        trace = make_trace(tmp_path / "t.jsonl")
+        assert cli_main([str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Top spans" in out
+        assert "engine.tasks_ok" in out
+
+    def test_json_output_round_trips(self, tmp_path, capsys):
+        trace = make_trace(tmp_path / "t.jsonl")
+        assert cli_main(["--json", str(trace)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counters"]["engine.tasks_ok"] == 5
+        # exact Fraction rendered via json_ready as "p/q"
+        assert "/" in payload["cache"]["hit_rate"] or payload["cache"][
+            "hit_rate"
+        ] in ("0", "1")
+
+    def test_invalid_trace_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"type": "counter"}\n{"oops": 1}\n', encoding="utf-8")
+        assert cli_main([str(bad)]) == 2
+        assert "tracereport:" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert cli_main([str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err

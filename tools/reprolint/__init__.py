@@ -1,19 +1,23 @@
 """reprolint: AST-based invariant checker for this reproduction.
 
-Six rules guard the properties the paper's executable theorems rely on:
+Eight rules guard the properties the paper's executable theorems rely on:
 
 * RL001 -- exact arithmetic (no floats) in probability/, core/,
   betting/, logic/; ``probability/fractionutil.py`` is the single
   sanctioned float boundary.
-* RL002 -- package layering
-  ``probability -> core -> {logic, systems, trees} -> betting -> attack``
-  with no runtime back-edges (``if TYPE_CHECKING:`` imports are exempt).
+* RL002 -- package layering ``{obs, probability, reporting} -> core ->
+  {logic, systems, trees} -> betting -> attack -> robustness`` with no
+  runtime back-edges (``if TYPE_CHECKING:`` imports are exempt).
 * RL003 -- every public function in the theorem-bearing modules cites
   the paper result it implements.
 * RL004 -- no mutable default arguments.
 * RL005 -- no bare ``except:``.
 * RL006 -- ``__all__`` in each ``__init__.py`` exists and only lists
   names the module actually binds.
+* RL007 -- every ``raise`` names a builtin or a ``ReproError`` subclass,
+  so ``except ReproError`` stays a complete domain handler.
+* RL008 -- wall-clock reads only inside ``repro/obs/``
+  (``time.sleep`` stays allowed: it affects scheduling, never results).
 
 Usage::
 

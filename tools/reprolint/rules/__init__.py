@@ -12,6 +12,7 @@ from . import (  # noqa: F401  (imported for the registration side effect)
     rl005_bare_except,
     rl006_public_api,
     rl007_error_hierarchy,
+    rl008_clock_quarantine,
 )
 
 __all__ = [
@@ -22,4 +23,5 @@ __all__ = [
     "rl005_bare_except",
     "rl006_public_api",
     "rl007_error_hierarchy",
+    "rl008_clock_quarantine",
 ]

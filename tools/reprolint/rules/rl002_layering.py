@@ -11,18 +11,23 @@ from ..registry import Rule, register
 #: The architecture, lowest layer first.  A module may import its own
 #: layer or any lower one; importing a *higher* layer is a back-edge.
 #:
-#:     errors < probability < {core, reporting} < {logic, systems, trees}
-#:            < betting < attack < robustness
+#:     errors < {obs, probability, reporting} < core
+#:            < {logic, systems, trees} < betting < attack < robustness
 #:
 #: ``reporting`` is a single top-level module rather than a subpackage,
 #: but it is an import *target* of layered code (robustness streams exact
 #: rows through its JSON codecs), so it needs a position in the DAG; it
-#: only imports probability, hence layer 2.
+#: only imports probability's fraction utilities, hence layer 1.
+#: ``obs`` is the observability leaf: every instrumented layer (the
+#: probability kernels, the model checker, the sweep engine) imports it,
+#: so it must sit at the bottom; it reads only ``errors``, ``reporting``
+#: (same layer, for the exact-Fraction JSON codec) and the stdlib.
 LAYERS = {
     "errors": 0,
+    "obs": 1,
     "probability": 1,
+    "reporting": 1,
     "core": 2,
-    "reporting": 2,
     "logic": 3,
     "systems": 3,
     "trees": 3,
@@ -39,7 +44,7 @@ UNCONSTRAINED_LAYER = max(LAYERS.values()) + 1
 @register
 class LayeringRule(Rule):
     rule_id = "RL002"
-    title = "import DAG: probability -> core -> {logic, systems, trees} -> betting -> attack -> robustness"
+    title = "import DAG: {obs, probability, reporting} -> core -> {logic, systems, trees} -> betting -> attack -> robustness"
     rationale = """\
 The codebase mirrors the paper's construction order: Section 3 builds
 probability spaces on runs (probability/, trees/), Section 4-5 define

@@ -1,0 +1,59 @@
+"""Command-line interface: ``python -m tools.tracereport TRACE``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.errors import TraceError
+from repro.obs import read_trace
+from repro.reporting import json_ready
+
+from .report import render_report, summarize
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tracereport",
+        description=(
+            "Summarise a repro-trace/1 JSONL trace: top timing spans, "
+            "counters, measure-kernel cache hit rate, gfp iteration "
+            "counts, and the sweep engine's retry histogram."
+        ),
+    )
+    parser.add_argument("trace", help="path to a repro-trace/1 JSONL file")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the summary as JSON instead of plain-text tables",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        records = read_trace(args.trace)
+    except TraceError as error:
+        print(f"tracereport: {error}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"tracereport: cannot read {args.trace!r}: {error}", file=sys.stderr)
+        return 2
+    summary = summarize(records)
+    try:
+        if args.json:
+            print(json.dumps(json_ready(summary), indent=2))
+        else:
+            print(render_report(summary))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; the summary it asked
+        # for was delivered, so this is not an error.
+        sys.stderr.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,180 @@
+"""Pure trace-to-summary folding (no I/O; the CLI wraps this)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence
+
+from repro.reporting import render_table
+
+#: Counters whose totals get their own "gfp fixpoints" table rather
+#: than (only) a row in the generic counter listing.
+_GFP_EVENT_KIND = "gfp"
+
+
+def summarize(records: Sequence[Dict]) -> Dict:
+    """Fold trace records into one JSON-ready summary dict.
+
+    ``records`` is the output of :func:`repro.obs.read_trace`: the
+    header plus counter/gauge/event/span records in stream order.
+    """
+    counters: Dict[str, int] = {}
+    spans: Dict[str, Dict[str, float]] = {}
+    gfp_events: List[Dict] = []
+    attempts_by_task: Dict[int, int] = {}
+    outcome_counts: Dict[str, int] = {}
+    last_cache_stats: Optional[Dict] = None
+    events = 0
+
+    for record in records:
+        kind = record.get("type")
+        if kind == "counter":
+            name = record["name"]
+            counters[name] = counters.get(name, 0) + int(record.get("value", 1))
+        elif kind == "span-end":
+            name = record["name"]
+            seconds = float(record.get("seconds", 0.0))
+            stats = spans.get(name)
+            if stats is None:
+                spans[name] = {
+                    "count": 1,
+                    "total_seconds": seconds,
+                    "max_seconds": seconds,
+                }
+            else:
+                stats["count"] += 1
+                stats["total_seconds"] += seconds
+                stats["max_seconds"] = max(stats["max_seconds"], seconds)
+        elif kind == "event":
+            events += 1
+            fields = record.get("fields", {})
+            event_kind = record.get("kind")
+            if event_kind == "cache_stats":
+                last_cache_stats = dict(fields)
+            elif event_kind == _GFP_EVENT_KIND:
+                gfp_events.append(dict(fields))
+            elif event_kind == "task_attempt":
+                index = fields.get("index")
+                if index is not None:
+                    attempts_by_task[index] = attempts_by_task.get(index, 0) + 1
+                outcome = fields.get("outcome", "?")
+                outcome_counts[outcome] = outcome_counts.get(outcome, 0) + 1
+
+    histogram: Dict[int, int] = {}
+    for count in attempts_by_task.values():
+        histogram[count] = histogram.get(count, 0) + 1
+
+    summary: Dict = {
+        "records": len(records),
+        "events": events,
+        "counters": dict(sorted(counters.items())),
+        "spans": {
+            name: dict(stats)
+            for name, stats in sorted(
+                spans.items(), key=lambda item: -item[1]["total_seconds"]
+            )
+        },
+        "gfp": {
+            "fixpoints": len(gfp_events),
+            "total_iterations": sum(e.get("iterations", 0) for e in gfp_events),
+            "max_iterations": max(
+                (e.get("iterations", 0) for e in gfp_events), default=0
+            ),
+        },
+        "retries": {
+            "tasks": len(attempts_by_task),
+            "attempts_per_task": {
+                str(attempts): tasks for attempts, tasks in sorted(histogram.items())
+            },
+            "outcomes": dict(sorted(outcome_counts.items())),
+        },
+    }
+    if last_cache_stats is not None:
+        hits = int(last_cache_stats.get("cache_hits", 0))
+        misses = int(last_cache_stats.get("cache_misses", 0))
+        summary["cache"] = dict(last_cache_stats)
+        summary["cache"]["hit_rate"] = (
+            Fraction(hits, hits + misses) if hits + misses else None
+        )
+    return summary
+
+
+def render_report(summary: Dict) -> str:
+    """Render a :func:`summarize` result as plain-text tables."""
+    sections: List[str] = []
+
+    span_rows = [
+        [
+            name,
+            stats["count"],
+            f"{stats['total_seconds']:.6f}",
+            f"{stats['total_seconds'] / stats['count']:.6f}",
+            f"{stats['max_seconds']:.6f}",
+        ]
+        for name, stats in summary["spans"].items()
+    ]
+    if span_rows:
+        sections.append(
+            render_table(
+                "Top spans (by total seconds)",
+                ["span", "count", "total s", "mean s", "max s"],
+                span_rows,
+            )
+        )
+
+    counter_rows = [[name, value] for name, value in summary["counters"].items()]
+    if counter_rows:
+        sections.append(render_table("Counters", ["counter", "total"], counter_rows))
+
+    cache = summary.get("cache")
+    if cache is not None:
+        rate = cache.get("hit_rate")
+        sections.append(
+            render_table(
+                "Measure-kernel cache",
+                ["hits", "misses", "evictions", "naive queries", "hit rate"],
+                [
+                    [
+                        cache.get("cache_hits", 0),
+                        cache.get("cache_misses", 0),
+                        cache.get("cache_evictions", 0),
+                        cache.get("naive_queries", 0),
+                        rate if rate is not None else "n/a",
+                    ]
+                ],
+            )
+        )
+
+    gfp = summary["gfp"]
+    if gfp["fixpoints"]:
+        sections.append(
+            render_table(
+                "gfp fixpoints",
+                ["fixpoints", "total iterations", "max iterations"],
+                [[gfp["fixpoints"], gfp["total_iterations"], gfp["max_iterations"]]],
+            )
+        )
+
+    retries = summary["retries"]
+    if retries["tasks"]:
+        sections.append(
+            render_table(
+                "Retry histogram (attempts per task)",
+                ["attempts", "tasks"],
+                [
+                    [attempts, tasks]
+                    for attempts, tasks in retries["attempts_per_task"].items()
+                ],
+            )
+        )
+        sections.append(
+            render_table(
+                "Attempt outcomes",
+                ["outcome", "attempts"],
+                list(retries["outcomes"].items()),
+            )
+        )
+
+    if not sections:
+        return "(trace contains no spans, counters, or recognised events)"
+    return "\n\n".join(sections)
