@@ -6,7 +6,7 @@ BENCH ?= BENCH_4.json
 # Trace file consumed by `make trace-report` (see docs/observability.md).
 TRACE ?= trace.jsonl
 
-.PHONY: install test test-chaos bench bench-json bench-json-smoke examples quicktest lint lint-json trace-report clean
+.PHONY: install test test-chaos bench bench-json bench-json-smoke examples quicktest lint lint-json trace-report trace-diff clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -44,6 +44,12 @@ bench-json-smoke:
 # Summarise a repro-trace/1 JSONL trace (see docs/observability.md).
 trace-report:
 	PYTHONPATH=src $(PYTHON) -m tools.tracereport $(TRACE)
+
+# Diff two traces / derivations / bench reports: counter deltas,
+# hit-rate shift, timing ratios, first diverging record or derivation
+# node.  Usage: make trace-diff A=run1.jsonl B=run2.jsonl
+trace-diff:
+	PYTHONPATH=src $(PYTHON) -m tools.tracediff $(A) $(B)
 
 examples:
 	@for script in examples/*.py; do \

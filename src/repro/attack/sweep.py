@@ -22,7 +22,10 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..core.model import Point
 from ..core.standard import standard_assignments
+from ..logic.semantics import Model
+from ..logic.syntax import PrAtLeast, Prop
 from ..obs.recorder import get_recorder
 from ..probability.bitset import kernel_totals
 from ..probability.fractionutil import FractionLike, ONE, as_fraction
@@ -46,6 +49,45 @@ def post_threshold(attack: AttackSystem) -> Fraction:
         for agent in attack.group
         for point in system.points
     )
+
+
+def post_threshold_witness(attack: AttackSystem) -> Tuple[Fraction, int, Point]:
+    """:func:`post_threshold` with its argmin: ``(threshold, agent, point)``.
+
+    The (agent, point) pair attaining the minimum inner probability is
+    the binding constraint of the Proposition 11 guarantee -- the place
+    where the ``C^eps phi_CA`` claim is tightest.  Ties break
+    deterministically: agents in group order, points in point-index
+    order, so the witness is stable across runs and processes (what the
+    per-row provenance events and ``tools/tracediff`` rely on).
+    """
+    post = standard_assignments(attack.psys)["post"]
+    index = attack.psys.point_index
+    points = sorted(attack.psys.system.points, key=index.position)
+    best: Optional[Tuple[Fraction, int, Point]] = None
+    for agent in attack.group:
+        for point in points:
+            inner = post.inner_probability(agent, point, attack.coordinated)
+            if best is None or inner < best[0]:
+                best = (inner, agent, point)
+    assert best is not None  # systems always have at least one point
+    return best
+
+
+def row_provenance_derivation(attack: AttackSystem):
+    """The ``repro-explain/1`` derivation behind one sweep row's threshold.
+
+    Explains ``Pr_i(coord) >= threshold`` at the row's witness point
+    under ``P_post`` -- the exact Section 5 inner-measure computation
+    (sample space, cells, witness event) that produced the row's
+    ``post_threshold``.  This is what the ``provenance=True`` sweep mode
+    attaches to each ``row_provenance`` event.
+    """
+    threshold, agent, point = post_threshold_witness(attack)
+    post = standard_assignments(attack.psys)["post"]
+    model = Model(post, {"coord": attack.coordinated})
+    formula = PrAtLeast(agent, Prop("coord"), threshold)
+    return model.explain(formula, point)
 
 
 def prior_threshold(attack: AttackSystem) -> Fraction:
@@ -128,19 +170,36 @@ def sweep_row_from_attack(task: SweepTask, attack: AttackSystem) -> SweepRow:
     )
 
 
-def sweep_row_of(task: SweepTask) -> SweepRow:
+def sweep_row_of(task: SweepTask, provenance: bool = False) -> SweepRow:
     """Compute one :class:`SweepRow` from a :data:`SweepTask`.
 
     Module-level (not a closure) so :func:`repro.attack.parallel.parallel_map`
     can send it to worker processes.
+
+    With ``provenance=True`` (opt-in, default off) the row additionally
+    emits a ``row_provenance`` event carrying the full
+    ``repro-explain/1`` derivation of the row's ``post_threshold`` at
+    its witness point (:func:`row_provenance_derivation`).  The event is
+    observe-only: the returned row is byte-identical either way.
     """
     name, builder, messengers, loss, _threshold = task
     recorder = get_recorder()
     with recorder.span(
         "sweep_row", protocol=name, messengers=messengers, loss=loss
     ):
-        row = sweep_row_from_attack(task, builder(messengers, loss))
+        attack = builder(messengers, loss)
+        row = sweep_row_from_attack(task, attack)
         recorder.event("cache_stats", **kernel_totals())
+        if provenance:
+            derivation = row_provenance_derivation(attack)
+            recorder.event(
+                "row_provenance",
+                protocol=name,
+                messengers=messengers,
+                loss=loss,
+                fingerprint=derivation.fingerprint(),
+                derivation=derivation.json_ready(),
+            )
         return row
 
 
@@ -149,11 +208,16 @@ def guarantee_sweep(
     losses: Sequence[FractionLike],
     builders: Optional[Dict[str, Builder]] = None,
     epsilon: FractionLike = Fraction(99, 100),
+    provenance: bool = False,
 ) -> List[SweepRow]:
-    """Sweep protocols over messenger counts and loss probabilities."""
+    """Sweep protocols over messenger counts and loss probabilities.
+
+    ``provenance=True`` opts every row into a ``row_provenance`` event
+    with its threshold derivation; see :func:`sweep_row_of`.
+    """
     tasks = sweep_tasks(messenger_counts, losses, builders, epsilon)
     with get_recorder().span("guarantee_sweep", tasks=len(tasks)):
-        return [sweep_row_of(task) for task in tasks]
+        return [sweep_row_of(task, provenance=provenance) for task in tasks]
 
 
 def crossover_messengers(

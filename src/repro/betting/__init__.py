@@ -14,6 +14,8 @@ from .embedded import (
 )
 from .game import BettingRule, acceptance_set_rule
 from .safety import (
+    SafetyCertificate,
+    safety_certificate,
     breaks_even,
     breaks_even_analytic,
     breaks_even_with,
@@ -63,6 +65,8 @@ __all__ = [
     "breaks_even",
     "breaks_even_with",
     "breaks_even_analytic",
+    "SafetyCertificate",
+    "safety_certificate",
     "is_safe",
     "is_safe_analytic",
     "refuting_strategy",

@@ -23,8 +23,9 @@ expectation, which the paper shows keeps Theorem 7 true.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from fractions import Fraction
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, FrozenSet, Iterable, Optional, Sequence, Tuple
 
 from ..core.assignments import ProbabilityAssignment
 from ..core.facts import Fact
@@ -197,3 +198,109 @@ def refuting_strategy(
                 elsewhere_payoff=1,
             )
     return None
+
+
+# ----------------------------------------------------------------------
+# Safety certificates (provenance for Theorems 7-8)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SafetyCertificate:
+    """The full evidence behind one safety verdict (Theorems 7-8).
+
+    When the bet is safe, ``witness_event`` is the measurable event
+    realising the inner bound at the *minimising* candidate point -- the
+    concrete event whose measure certifies ``(mu_id)_* >= alpha`` at the
+    tightest ``d in K_i(c)``.  When it is unsafe, ``counterexample`` is
+    the first candidate (in point-index order) where the bound fails and
+    ``refutation`` is the Theorem 7 proof's strategy that wins money
+    there.  ``candidates`` lists every point of ``K_i(c)`` with its
+    exact inner probability, so the min/argmin is re-checkable.
+    """
+
+    agent: int
+    point: Point
+    fact_name: str
+    alpha: Fraction
+    safe: bool
+    #: Every candidate of ``K_i(c)`` (point-index order) with its exact
+    #: inner probability ``(mu_id)_*(phi)``.
+    candidates: Tuple[Tuple[Point, Fraction], ...]
+    #: The candidate attaining the minimum inner probability.
+    minimising_candidate: Point
+    #: ``min_d (mu_id)_*(phi)`` -- safety holds iff this is ``>= alpha``.
+    min_inner: Fraction
+    #: When safe: the measurable witness event at the minimising candidate.
+    witness_event: Optional[FrozenSet[Point]]
+    #: The witness event's exact measure (equals ``min_inner`` when safe).
+    witness_measure: Optional[Fraction]
+    #: When unsafe: the first candidate where the bound fails.
+    counterexample: Optional[Point]
+    #: When unsafe: the opponent strategy refuting safety there.
+    refutation: Optional[Strategy]
+
+
+def safety_certificate(
+    opponent_assignment: ProbabilityAssignment,
+    agent: int,
+    opponent: int,
+    point: Point,
+    fact: Fact,
+    alpha: FractionLike,
+) -> SafetyCertificate:
+    """:func:`is_safe_analytic` with its work shown (Theorems 7-8).
+
+    Theorem 7: ``Bet(phi, alpha)`` is safe for ``p_i`` against ``p_j`` at
+    ``c`` iff ``(P^j, c) |= K_i^alpha phi``, i.e. the inner probability
+    of ``phi`` is at least ``alpha`` at every ``d in K_i(c)``.  The
+    certificate materialises both directions: the witness event whose
+    exact measure realises the bound at the tightest candidate when the
+    bet is safe, and the failing candidate plus the refuting strategy
+    (the proof's construction, Theorem 8's sharpness direction) when it
+    is not.  Candidate order follows the system's shared point index, so
+    certificates are deterministic and diffable across runs.
+    """
+    threshold = as_fraction(alpha)
+    psys = opponent_assignment.psys
+    system = psys.system
+    index = psys.point_index
+    ordered = sorted(system.knowledge_set(agent, point), key=index.position)
+    candidates = tuple(
+        (candidate, opponent_assignment.inner_probability(agent, candidate, fact))
+        for candidate in ordered
+    )
+    minimising_candidate, min_inner = min(candidates, key=lambda pair: pair[1])
+    safe = min_inner >= threshold
+    witness_event: Optional[FrozenSet[Point]] = None
+    witness_measure: Optional[Fraction] = None
+    counterexample: Optional[Point] = None
+    refutation: Optional[Strategy] = None
+    if safe:
+        space = opponent_assignment.space(agent, minimising_candidate)
+        event = opponent_assignment.satisfying_points(
+            agent, minimising_candidate, fact
+        )
+        witness_event = frozenset(space.inner_witness(event))
+        witness_measure = space.inner_measure(event)
+    else:
+        counterexample = next(
+            candidate for candidate, inner in candidates if inner < threshold
+        )
+        refutation = refuting_strategy(
+            opponent_assignment, agent, opponent, point, fact, threshold
+        )
+    return SafetyCertificate(
+        agent=agent,
+        point=point,
+        fact_name=fact.name,
+        alpha=threshold,
+        safe=safe,
+        candidates=candidates,
+        minimising_candidate=minimising_candidate,
+        min_inner=min_inner,
+        witness_event=witness_event,
+        witness_measure=witness_measure,
+        counterexample=counterexample,
+        refutation=refutation,
+    )

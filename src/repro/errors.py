@@ -175,6 +175,17 @@ class TraceError(ReproError):
     """
 
 
+class ProvenanceError(ReproError):
+    """A derivation payload does not conform to the ``repro-explain/1`` schema.
+
+    Raised when a reader (``tools/tracediff``,
+    :func:`repro.obs.provenance.derivation_from_json`) is handed a payload
+    whose schema marker is missing or wrong, or whose node structure is not
+    a well-formed derivation tree, so a report is never silently built from
+    a file that was not produced by ``Model.explain``.
+    """
+
+
 class WorkerTaskError(ReproError):
     """A task raised inside a worker process and the original exception
     could not cross the process boundary (it was unpicklable).

@@ -26,7 +26,7 @@ from ..core.assignments import ProbabilityAssignment
 from ..core.facts import Fact
 from ..core.model import Point, System
 from ..errors import LogicError
-from ..obs.recorder import get_recorder
+from ..obs.recorder import NULL_RECORDER, get_recorder
 from ..trees.probabilistic_system import ProbabilisticSystem
 from .syntax import (
     And,
@@ -125,6 +125,35 @@ class Model:
         / ``P_post`` / ``P_fut`` while holding everything else fixed.
         """
         return Model(assignment, self.valuation)
+
+    def explain(
+        self,
+        formula: Formula,
+        point: Point,
+        assignment: Optional[ProbabilityAssignment] = None,
+    ):
+        """A :class:`~repro.obs.provenance.Derivation` for ``formula`` at
+        ``point``: the full Section 5 evidence behind :meth:`holds`.
+
+        The derivation records, per node, the semantic clause applied and
+        the paper definition it instantiates -- for ``Pr_i(phi) >= alpha``
+        the sample space ``S(i, c)``, its cells with exact measures and
+        the inner-measure witness event (Section 5); for ``K_i`` a
+        counterexample point when it fails (the Theorem 7 refutation
+        direction); for ``C_G^alpha`` the gfp iteration snapshots
+        (Section 8).  ``assignment`` evaluates under a different
+        probability assignment (the Section 6 lattice) without mutating
+        this model.  The verdict always agrees with :meth:`holds` -- the
+        explain layer re-derives, it never decides.
+        """
+        # Local import: logic.explain sits above logic.semantics in the
+        # intra-package DAG (RL002); the cold explain path may reach up.
+        from .explain import explain as build_derivation
+
+        model = self
+        if assignment is not None and assignment is not self.assignment:
+            model = self.with_assignment(assignment)
+        return build_derivation(model, formula, point)
 
     # ------------------------------------------------------------------
     # Recursive cases
@@ -263,13 +292,26 @@ class Model:
         point, matching the Section 8 definition of (probabilistic) common
         knowledge.
         """
+        recorder = get_recorder()
+        # Identity check against the singleton (the sanctioned
+        # "uninstrumented" test): per-iteration snapshots are provenance
+        # events and must cost nothing on the default path.
+        snapshot = recorder is not NULL_RECORDER
         current = self._full_mask
         iterations = 0
         while True:
             iterations += 1
             updated = everyone(sub_mask & current)
+            if snapshot:
+                recorder.event(
+                    "gfp_iteration",
+                    representation="mask",
+                    iteration=iterations,
+                    current_size=current.bit_count(),
+                    updated_size=updated.bit_count(),
+                    updated_mask=updated,
+                )
             if updated == current:
-                recorder = get_recorder()
                 recorder.counter("model.gfp_fixpoints")
                 recorder.counter("model.gfp_iterations", iterations)
                 recorder.event(
@@ -311,13 +353,23 @@ class Model:
         common-knowledge checkers) pass point-set-level ``everyone``
         operators.
         """
+        recorder = get_recorder()
+        snapshot = recorder is not NULL_RECORDER
         current = self._all_points()
         iterations = 0
         while True:
             iterations += 1
             updated = everyone(sub_extension & current)
+            if snapshot:
+                recorder.event(
+                    "gfp_iteration",
+                    representation="points",
+                    iteration=iterations,
+                    current_size=len(current),
+                    updated_size=len(updated),
+                    updated_mask=self._index.mask_of_known(updated),
+                )
             if updated == current:
-                recorder = get_recorder()
                 recorder.counter("model.gfp_fixpoints")
                 recorder.counter("model.gfp_iterations", iterations)
                 recorder.event(

@@ -11,6 +11,10 @@ counters, gauges, events and timing spans to the process-global
   iteration counts, retry totals) for benchmark reports.
 * :class:`TraceRecorder` streams schema ``repro-trace/1`` JSONL for the
   ``tools/tracereport`` CLI.
+* :class:`ProvenanceRecorder` collects semantic provenance -- the
+  ``repro-explain/1`` derivation trees built by ``Model.explain`` and the
+  gfp iteration snapshots of the common-knowledge fixpoints -- for
+  ``tools/tracediff`` and the auditability layer.
 * :mod:`repro.obs.clock` quarantines every wall-clock read in the
   library (statically enforced by reprolint RL008).
 
@@ -20,6 +24,16 @@ schema, and a worked example.
 
 from . import clock
 from .metrics import MetricsRecorder, SpanStats
+from .provenance import (
+    EXPLAIN_SCHEMA,
+    Derivation,
+    DerivationNode,
+    ProvenanceRecorder,
+    derivation_from_json,
+    read_derivation,
+    render_derivation,
+    write_derivation,
+)
 from .recorder import (
     MultiRecorder,
     NULL_RECORDER,
@@ -32,17 +46,25 @@ from .recorder import (
 from .trace import TRACE_SCHEMA, TraceRecorder, read_trace
 
 __all__ = [
+    "Derivation",
+    "DerivationNode",
+    "EXPLAIN_SCHEMA",
     "MetricsRecorder",
     "MultiRecorder",
     "NULL_RECORDER",
     "NullRecorder",
+    "ProvenanceRecorder",
     "Recorder",
     "SpanStats",
     "TRACE_SCHEMA",
     "TraceRecorder",
     "clock",
+    "derivation_from_json",
     "get_recorder",
+    "read_derivation",
     "read_trace",
+    "render_derivation",
     "set_recorder",
     "use_recorder",
+    "write_derivation",
 ]

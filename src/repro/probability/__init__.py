@@ -54,9 +54,10 @@ from .fractionutil import (
     check_probability,
     format_fraction,
 )
-from .space import FiniteProbabilitySpace
+from .space import CellMeasure, FiniteProbabilitySpace
 
 __all__ = [
+    "CellMeasure",
     "FiniteProbabilitySpace",
     "OutcomeIndex",
     "IntervalCache",

@@ -23,6 +23,7 @@ ablation benchmark (``benchmarks/bench_ablation_bitset.py``).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from fractions import Fraction
 from typing import Callable, Dict, FrozenSet, Hashable, Iterable, Mapping, Optional, Tuple
 
@@ -51,6 +52,22 @@ def _gcd(a: int, b: int) -> int:
     while b:
         a, b = b, a % b
     return a
+
+
+@dataclass(frozen=True)
+class CellMeasure:
+    """One sigma-algebra atom's relation to an event, with its exact measure.
+
+    The provenance layer (``Model.explain``) reports the Section 5
+    inner/outer computation cell by cell: ``contained`` atoms contribute
+    to the inner measure ``mu_*``, ``overlapping`` atoms to the outer
+    measure ``mu^*``, and the measures are exact Fractions throughout.
+    """
+
+    outcomes: FrozenSet[Outcome]
+    measure: Fraction
+    contained: bool
+    overlapping: bool
 
 
 class FiniteProbabilitySpace:
@@ -482,6 +499,54 @@ class FiniteProbabilitySpace:
             return self.measure_interval_naive(event)
         entry = self._interval_entry(self._index.mask_of_known(event))
         return entry[0], entry[1]
+
+    # ------------------------------------------------------------------
+    # Measure: provenance hooks (cold path, backend-independent)
+    # ------------------------------------------------------------------
+
+    def event_cells(self, event: Iterable[Outcome]) -> Tuple[CellMeasure, ...]:
+        """The per-atom decomposition of an event's measure interval.
+
+        Section 5 computes ``mu_*(event)`` as the total mass of atoms
+        contained in the event and ``mu^*(event)`` as the mass of atoms
+        meeting it; this returns that computation cell by cell -- one
+        :class:`CellMeasure` per atom of ``X``, in atom order, with the
+        atom's exact measure and its contained/overlapping relation to
+        the event.  Summing the contained (resp. overlapping) cells
+        reproduces :meth:`inner_measure` (resp. :meth:`outer_measure`)
+        exactly, which is what lets a derivation be re-audited from its
+        serialised cells alone.  Cold path: used by ``Model.explain``,
+        never by the model checker itself.
+        """
+        event_set = frozenset(event) & self._outcomes
+        probabilities = self._probabilities
+        cells = []
+        for atom in self._atoms:
+            overlap = atom & event_set
+            cells.append(
+                CellMeasure(
+                    outcomes=atom,
+                    measure=probabilities[atom],
+                    contained=bool(overlap) and overlap == atom,
+                    overlapping=bool(overlap),
+                )
+            )
+        return tuple(cells)
+
+    def inner_witness(self, event: Iterable[Outcome]) -> Event:
+        """The measurable set realising the inner measure of an event.
+
+        The union of the atoms contained in the event: the largest
+        measurable subset, whose measure *is* ``mu_*(event)`` (Section 5).
+        This is the witness a ``Pr_i(phi) >= alpha`` derivation carries --
+        an explicit event the agent could bet on.
+        """
+        event_set = frozenset(event) & self._outcomes
+        witness: FrozenSet[Outcome] = frozenset()
+        for atom in self._atoms:
+            if atom and atom <= event_set:
+                witness |= atom
+        return witness
 
     # ------------------------------------------------------------------
     # Measure: naive kernels (retained frozenset scans)

@@ -100,3 +100,63 @@ class TestCrossover:
         at = build_ca2(messengers=crossover)
         assert achieves(at, assignment_for(at, "post"), Fraction(9, 10))
         assert not achieves(below, assignment_for(below, "post"), Fraction(9, 10))
+
+
+class TestRowProvenance:
+    def test_witness_attains_the_threshold(self):
+        from repro.attack import post_threshold_witness
+
+        attack = build_ca2(messengers=2)
+        threshold, agent, point = post_threshold_witness(attack)
+        assert threshold == post_threshold(attack)
+        post = assignment_for(attack, "post")
+        assert post.inner_probability(agent, point, attack.coordinated) == threshold
+        assert agent in attack.group
+
+    def test_witness_is_deterministic(self):
+        from repro.attack import post_threshold_witness
+
+        attack = build_ca2(messengers=2)
+        assert post_threshold_witness(attack) == post_threshold_witness(attack)
+
+    def test_row_derivation_explains_the_threshold(self):
+        from repro.attack import row_provenance_derivation
+        from repro.logic import audit_derivation, Model
+        from repro.reporting import fraction_from_json
+
+        attack = build_ca2(messengers=2)
+        derivation = row_provenance_derivation(attack)
+        assert derivation.holds  # Pr >= threshold holds at its own argmin
+        assert derivation.assignment == "post"
+        alpha = fraction_from_json(derivation.root.detail["alpha"])
+        assert alpha == post_threshold(attack)
+        post = assignment_for(attack, "post")
+        model = Model(post, {"coord": attack.coordinated})
+        assert audit_derivation(model, derivation) == []
+
+    def test_provenance_sweep_rows_equal_plain_rows(self):
+        from repro.obs import ProvenanceRecorder, use_recorder
+
+        plain = guarantee_sweep([1, 2], [Fraction(1, 2)])
+        recorder = ProvenanceRecorder()
+        with use_recorder(recorder):
+            instrumented = guarantee_sweep([1, 2], [Fraction(1, 2)], provenance=True)
+        assert instrumented == plain
+        derivations = recorder.derivations
+        assert len(derivations) == len(plain)
+        # events arrive in row order: each derivation proves its row's
+        # threshold (the alpha of the Pr >= alpha formula it explains)
+        from repro.reporting import fraction_from_json
+
+        for row, derivation in zip(plain, derivations):
+            assert derivation.holds
+            alpha = fraction_from_json(derivation.root.detail["alpha"])
+            assert alpha == row.post_threshold
+
+    def test_provenance_defaults_off(self):
+        from repro.obs import ProvenanceRecorder, use_recorder
+
+        recorder = ProvenanceRecorder()
+        with use_recorder(recorder):
+            guarantee_sweep([1], [Fraction(1, 2)])
+        assert recorder.of_kind("row_provenance") == []

@@ -157,3 +157,66 @@ class TestRefutingStrategy:
             for d in coin.psys.system.knowledge_set(0, c1)
         ]
         assert min(losses) < 0
+
+
+class TestSafetyCertificate:
+    def test_safe_certificate_carries_checked_witness(self, coin, against_p2, c1):
+        from repro.betting import safety_certificate
+
+        certificate = safety_certificate(against_p2, 0, 1, c1, coin.heads, HALF)
+        assert certificate.safe
+        assert certificate.safe == is_safe_analytic(
+            against_p2, 0, c1, coin.heads, HALF
+        )
+        assert certificate.min_inner >= HALF
+        assert certificate.counterexample is None
+        assert certificate.refutation is None
+        # the witness event's measure really is the inner bound at the
+        # minimising candidate (Theorem 7's quantity, re-derived)
+        space = against_p2.space(0, certificate.minimising_candidate)
+        assert space.measure(certificate.witness_event) == certificate.witness_measure
+        assert certificate.witness_measure == certificate.min_inner
+
+    def test_unsafe_certificate_carries_refutation(self, coin, against_p3, c1):
+        from repro.betting import BettingRule, safety_certificate
+
+        certificate = safety_certificate(against_p3, 0, 2, c1, coin.heads, HALF)
+        assert not certificate.safe
+        assert certificate.min_inner < HALF
+        assert certificate.witness_event is None
+        assert certificate.counterexample is not None
+        # the counterexample is the first failing candidate in index order
+        index = coin.psys.point_index
+        ordered = sorted(
+            coin.psys.system.knowledge_set(0, c1), key=index.position
+        )
+        first_failing = next(
+            d
+            for d in ordered
+            if against_p3.inner_probability(0, d, coin.heads) < HALF
+        )
+        assert certificate.counterexample == first_failing
+        # and the recorded refutation really wins money off the agent there
+        rule = BettingRule(coin.heads, HALF)
+        losses = [
+            expected_winnings(
+                against_p3.space(0, d), rule.winnings(certificate.refutation)
+            )
+            for d in coin.psys.system.knowledge_set(0, c1)
+        ]
+        assert min(losses) < 0
+
+    def test_candidates_enumerate_knowledge_set_in_index_order(
+        self, coin, against_p2, c1
+    ):
+        from repro.betting import safety_certificate
+
+        certificate = safety_certificate(against_p2, 0, 1, c1, coin.heads, HALF)
+        index = coin.psys.point_index
+        listed = [candidate for candidate, _ in certificate.candidates]
+        assert listed == sorted(
+            coin.psys.system.knowledge_set(0, c1), key=index.position
+        )
+        assert min(inner for _, inner in certificate.candidates) == (
+            certificate.min_inner
+        )

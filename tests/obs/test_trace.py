@@ -187,3 +187,73 @@ class TestReadTrace:
         lines = self._valid_lines()
         lines.insert(1, "")
         assert len(read_trace(lines)) == 3
+
+
+class TestHalfWrittenTail:
+    """A killed writer truncates mid-record; the reader must tolerate it.
+
+    The chaos harness kills workers at arbitrary moments, so a trace's
+    final line can stop at *any* byte.  Whatever the cut point, reading
+    the file must either drop exactly the half-written final record or
+    raise TraceError -- never crash with anything else, never corrupt an
+    earlier record.
+    """
+
+    def _trace_bytes(self):
+        buffer = io.StringIO()
+        recorder = TraceRecorder(buffer)
+        recorder.counter("alpha", 1)
+        recorder.event("cache", rate=Fraction(99, 256))
+        with recorder.span("work", phase="final"):
+            pass
+        recorder.close()
+        return buffer.getvalue().encode("utf-8")
+
+    def test_every_byte_boundary_of_the_final_record(self):
+        data = self._trace_bytes()
+        full_records = read_trace(data.decode("utf-8").splitlines())
+        last_line_start = data.rstrip(b"\n").rfind(b"\n") + 1
+        # cut at every byte boundary inside the final record (including
+        # cutting it away entirely and keeping it whole)
+        for cut in range(last_line_start, len(data) + 1):
+            truncated = data[:cut].decode("utf-8", errors="strict")
+            records = read_trace(truncated.splitlines())
+            # a cut that leaves the final record complete JSON (e.g.
+            # only the trailing newline is missing) keeps it; any other
+            # cut drops exactly the half-written record
+            tail = data[last_line_start:cut].decode("utf-8").strip()
+            try:
+                json.loads(tail)
+                complete = bool(tail)
+            except json.JSONDecodeError:
+                complete = False
+            if complete:
+                assert records == full_records
+            else:
+                assert records == full_records[:-1]
+
+    @given(cut=st.integers(min_value=0, max_value=10_000))
+    def test_any_prefix_parses_or_raises_trace_error(self, cut):
+        data = self._trace_bytes()
+        truncated = data[: min(cut, len(data))].decode("utf-8")
+        lines = truncated.splitlines()
+        try:
+            records = read_trace(lines)
+        except TraceError:
+            # acceptable only when the header itself was cut
+            assert truncated.count("\n") == 0
+            return
+        # whole records survive byte-for-byte: every parsed record is a
+        # prefix of the full record list
+        full_records = read_trace(data.decode("utf-8").splitlines())
+        assert records == full_records[: len(records)]
+
+    def test_truncation_never_reorders_or_alters_fractions(self):
+        data = self._trace_bytes()
+        # cut right after the exact-fraction event line
+        lines = data.decode("utf-8").splitlines()
+        event_line = next(i for i, l in enumerate(lines) if '"cache"' in l)
+        kept = "\n".join(lines[: event_line + 1]) + "\n" + lines[event_line + 1][:5]
+        records = read_trace(kept.splitlines())
+        event = next(r for r in records if r["type"] == "event")
+        assert fraction_from_json(event["fields"]["rate"]) == Fraction(99, 256)

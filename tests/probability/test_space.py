@@ -224,3 +224,45 @@ class TestDerivedSpaces:
     def test_extends_requires_same_outcomes(self, die):
         other = FiniteProbabilitySpace.uniform(range(5))
         assert not die.extends(other)
+
+
+class TestEventCells:
+    def test_cells_partition_the_space(self, coarse):
+        from repro.probability import CellMeasure
+
+        cells = coarse.event_cells({1, 2, 5})
+        assert all(isinstance(cell, CellMeasure) for cell in cells)
+        assert sum((cell.measure for cell in cells), Fraction(0)) == 1
+        assert len(cells) == 2
+
+    def test_contained_cells_sum_to_inner_measure(self, coarse):
+        event = {1, 2, 3, 5}
+        cells = coarse.event_cells(event)
+        contained = sum(
+            (cell.measure for cell in cells if cell.contained), Fraction(0)
+        )
+        overlapping = sum(
+            (cell.measure for cell in cells if cell.overlapping), Fraction(0)
+        )
+        inner, outer = coarse.measure_interval(event)
+        assert contained == inner == Fraction(1, 2)
+        assert overlapping == outer == 1
+
+    def test_inner_witness_is_measurable_and_attains_the_bound(self, coarse):
+        event = {1, 2, 3, 5}
+        witness = coarse.inner_witness(event)
+        assert witness <= set(event)
+        assert coarse.is_measurable(witness)
+        assert coarse.measure(witness) == coarse.inner_measure(event)
+
+    def test_empty_event_has_no_contained_cells(self, die):
+        cells = die.event_cells(set())
+        assert not any(cell.contained for cell in cells)
+        assert not any(cell.overlapping for cell in cells)
+        assert die.inner_witness(set()) == frozenset()
+
+    def test_powerset_algebra_cells_are_singletons(self, die):
+        event = {2, 4}
+        cells = die.event_cells(event)
+        contained = [cell for cell in cells if cell.contained]
+        assert {outcome for cell in contained for outcome in cell.outcomes} == event

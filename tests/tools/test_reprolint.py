@@ -216,6 +216,81 @@ def test_rl002_top_level_helpers_unconstrained(tmp_path):
     assert "RL002" not in ids
 
 
+def test_rl002_intra_package_back_edge_semantics_imports_explain(tmp_path):
+    # logic.semantics must not need logic.explain at import time
+    ids = rule_ids(
+        tmp_path,
+        {"repro/logic/semantics.py": "from .explain import explain\n"},
+    )
+    assert "RL002" in ids
+
+
+def test_rl002_intra_package_forward_edge_allowed(tmp_path):
+    # logic.explain sits above logic.semantics and may import it
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/logic/explain.py": "from .semantics import Model\n",
+            "repro/logic/semantics.py": "class Model:\n    pass\n",
+        },
+    )
+    assert "RL002" not in ids
+
+
+def test_rl002_intra_package_function_local_import_sanctioned(tmp_path):
+    # the deferral Model.explain uses: a lower module may reach a higher
+    # one inside the function that needs it
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/logic/semantics.py": """\
+            def explain_entry(model, formula, point):
+                from .explain import explain
+                return explain(model, formula, point)
+            """,
+            "repro/logic/explain.py": "def explain(m, f, p):\n    return None\n",
+        },
+    )
+    assert "RL002" not in ids
+
+
+def test_rl002_intra_package_obs_recorder_must_not_import_provenance(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {"repro/obs/recorder.py": "from .provenance import ProvenanceRecorder\n"},
+    )
+    assert "RL002" in ids
+
+
+def test_rl002_intra_package_provenance_may_import_recorder(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/obs/provenance.py": "from .recorder import Recorder\n",
+            "repro/obs/recorder.py": "class Recorder:\n    pass\n",
+        },
+    )
+    assert "RL002" not in ids
+
+
+def test_rl002_intra_package_relative_module_form(tmp_path):
+    # ``from . import explain`` is the same back-edge in another spelling
+    ids = rule_ids(
+        tmp_path,
+        {"repro/logic/syntax.py": "from . import explain\n"},
+    )
+    assert "RL002" in ids
+
+
+def test_rl002_intra_package_init_exempt(tmp_path):
+    root = make_package(tmp_path, {"repro/logic/explain.py": "X = 1\n"})
+    (root / "repro" / "logic" / "__init__.py").write_text(
+        'from .explain import X\n\n__all__ = ["X"]\n', encoding="utf-8"
+    )
+    violations, _ = lint_paths([str(root)])
+    assert "RL002" not in [v.rule_id for v in violations]
+
+
 # ----------------------------------------------------------------------
 # RL003 paper traceability
 # ----------------------------------------------------------------------
@@ -270,6 +345,46 @@ def test_rl003_cited_function_passes(tmp_path):
 def test_rl003_only_applies_to_theorem_modules(tmp_path):
     ids = rule_ids(
         tmp_path, {"repro/core/model.py": "def helper(x):\n    return x\n"}
+    )
+    assert "RL003" not in ids
+
+
+def test_rl003_covers_the_provenance_layer(tmp_path):
+    # logic/explain.py and obs/provenance.py are traceable modules: an
+    # uncited public function in either is a violation
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/logic/explain.py": """\
+            def explain(model, formula, point):
+                \"\"\"Build a derivation tree.\"\"\"
+                return None
+            """,
+            "repro/obs/provenance.py": """\
+            def render_derivation(derivation):
+                \"\"\"Pretty-print a derivation.\"\"\"
+                return ""
+            """,
+        },
+    )
+    assert ids.count("RL003") == 2
+
+
+def test_rl003_cited_provenance_functions_pass(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/logic/explain.py": """\
+            def explain(model, formula, point):
+                \"\"\"Derive the Section 5 evidence for a verdict.\"\"\"
+                return None
+            """,
+            "repro/obs/provenance.py": """\
+            def json_pure(value):
+                \"\"\"Normalise per the exactness demands of Section 5.\"\"\"
+                return value
+            """,
+        },
     )
     assert "RL003" not in ids
 

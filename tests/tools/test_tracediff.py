@@ -1,0 +1,226 @@
+"""The tracediff CLI: run-to-run regression analysis on artifacts."""
+
+import json
+import sys
+from fractions import Fraction
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from repro.attack import build_ca2, row_provenance_derivation  # noqa: E402
+from repro.attack.sweep import guarantee_sweep  # noqa: E402
+from repro.obs import TraceRecorder, use_recorder, write_derivation  # noqa: E402
+from repro.probability import reset_kernel_totals  # noqa: E402
+from repro.robustness import RetryPolicy, run_tasks  # noqa: E402
+from repro.testing import FaultInjectingTask, FaultPlan  # noqa: E402
+
+from tools.tracediff import diff_artifacts, render_diff  # noqa: E402
+from tools.tracediff.cli import main as cli_main  # noqa: E402
+
+
+def _double(value):
+    return value * 2
+
+
+def make_chaos_trace(path, seed, provenance=False):
+    """A seeded sweep + chaos engine run: deterministic given the seed."""
+    reset_kernel_totals()
+    plan = FaultPlan.from_seed(seed=seed, task_count=5, kinds=("raise",), rate=0.6)
+    recorder = TraceRecorder(path)
+    with use_recorder(recorder):
+        guarantee_sweep([1, 2], [Fraction(1, 2)], provenance=provenance)
+        run_tasks(
+            FaultInjectingTask(_double, plan),
+            list(range(5)),
+            max_workers=1,
+            policy=RetryPolicy(max_attempts=4, base_delay=0.0),
+            sleep=lambda _seconds: None,
+        )
+    recorder.close()
+    return path
+
+
+class TestTraceDiff:
+    def test_identical_seeds_diverge_nowhere(self, tmp_path):
+        # the pinned acceptance case: same seed, same fault plan ->
+        # byte-identical content, zero divergence
+        a = make_chaos_trace(tmp_path / "a.jsonl", seed=7)
+        b = make_chaos_trace(tmp_path / "b.jsonl", seed=7)
+        summary = diff_artifacts(str(a), str(b))
+        assert summary["kind"] == "trace"
+        assert summary["diverged"] is False
+        assert summary["first_divergence"] is None
+        assert summary["counter_deltas"] == {}
+        assert summary["hit_rate"]["shift"] == 0
+
+    def test_different_fault_plans_are_localised(self, tmp_path):
+        a = make_chaos_trace(tmp_path / "a.jsonl", seed=7)
+        b = make_chaos_trace(tmp_path / "b.jsonl", seed=8)
+        summary = diff_artifacts(str(a), str(b))
+        assert summary["diverged"] is True
+        divergence = summary["first_divergence"]
+        # localised: a concrete record index with both sides summarised
+        assert isinstance(divergence["index"], int)
+        assert divergence["a"] != divergence["b"]
+        # different fault plans retry differently: a counter delta names it
+        assert any(
+            name.startswith("engine.") for name in summary["counter_deltas"]
+        )
+
+    def test_timing_ratios_are_informational_not_divergence(self, tmp_path):
+        a = make_chaos_trace(tmp_path / "a.jsonl", seed=7)
+        b = make_chaos_trace(tmp_path / "b.jsonl", seed=7)
+        summary = diff_artifacts(str(a), str(b))
+        # spans took (almost surely) different wall time, yet no divergence
+        assert summary["timing_ratios"]
+        assert "guarantee_sweep" in summary["timing_ratios"]
+        assert summary["diverged"] is False
+
+    def test_embedded_derivations_diff_to_a_node(self, tmp_path):
+        # two traces whose only content difference is inside the embedded
+        # row_provenance derivations: build them by hand from real payloads
+        d1 = row_provenance_derivation(build_ca2(2, Fraction(1, 2)))
+        d2 = row_provenance_derivation(build_ca2(3, Fraction(1, 2)))
+        header = {"type": "header", "schema": "repro-trace/1", "seq": 0, "ts": 0.0}
+        for name, payload in (("a", d1), ("b", d2)):
+            lines = [
+                json.dumps(header),
+                json.dumps(
+                    {
+                        "type": "event",
+                        "kind": "row_provenance",
+                        "fields": {
+                            "fingerprint": payload.fingerprint(),
+                            "derivation": payload.json_ready(),
+                        },
+                        "seq": 1,
+                        "ts": 0.0,
+                    }
+                ),
+            ]
+            (tmp_path / f"{name}.jsonl").write_text(
+                "\n".join(lines) + "\n", encoding="utf-8"
+            )
+        summary = diff_artifacts(str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl"))
+        assert summary["diverged"] is True
+        node = summary["derivation_divergence"]
+        assert node is not None
+        assert node["diverged"] is True
+        assert node["first_divergence"]["path"].startswith(("root", "formula"))
+
+
+class TestExplainDiff:
+    def test_identical_derivations_collide(self, tmp_path):
+        derivation = row_provenance_derivation(build_ca2(2, Fraction(1, 2)))
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_derivation(derivation, a)
+        write_derivation(derivation, b)
+        summary = diff_artifacts(str(a), str(b))
+        assert summary["kind"] == "explain"
+        assert summary["diverged"] is False
+        assert summary["fingerprint_a"] == summary["fingerprint_b"]
+
+    def test_first_diverging_node_is_reported(self, tmp_path):
+        d1 = row_provenance_derivation(build_ca2(2, Fraction(1, 2)))
+        d2 = row_provenance_derivation(build_ca2(3, Fraction(1, 2)))
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_derivation(d1, a)
+        write_derivation(d2, b)
+        summary = diff_artifacts(str(a), str(b))
+        assert summary["diverged"] is True
+        divergence = summary["first_divergence"]
+        assert divergence is not None
+        assert "path" in divergence and "field" in divergence
+
+
+class TestBenchDiff:
+    def test_self_diff_is_clean_and_ratios_reported(self, tmp_path):
+        bench = REPO_ROOT / "BENCH_4.json"
+        summary = diff_artifacts(str(bench), str(bench))
+        assert summary["kind"] == "bench"
+        assert summary["diverged"] is False
+        assert summary["result_divergences"] == []
+        assert all(
+            entry["ratio"] in (1.0, None)
+            for entry in summary["timing_ratios"].values()
+        )
+
+    def test_changed_results_diverge_but_timing_does_not(self, tmp_path):
+        document = json.loads((REPO_ROOT / "BENCH_4.json").read_text())
+        timing_only = json.loads(json.dumps(document))
+        for entry in timing_only["benchmarks"]:
+            entry["seconds"] = entry.get("seconds", 0.0) * 10
+        changed = json.loads(json.dumps(document))
+        changed["benchmarks"][0]["results"] = {"tampered": True}
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps(document), encoding="utf-8")
+        slow = tmp_path / "slow.json"
+        slow.write_text(json.dumps(timing_only), encoding="utf-8")
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(changed), encoding="utf-8")
+        assert diff_artifacts(str(base), str(slow))["diverged"] is False
+        summary = diff_artifacts(str(base), str(bad))
+        assert summary["diverged"] is True
+        assert summary["first_divergence"]["benchmark"] == (
+            summary["result_divergences"][0]["name"]
+        )
+
+
+class TestCli:
+    def test_zero_divergence_exit_zero(self, tmp_path, capsys):
+        a = make_chaos_trace(tmp_path / "a.jsonl", seed=7)
+        b = make_chaos_trace(tmp_path / "b.jsonl", seed=7)
+        assert cli_main([str(a), str(b)]) == 0
+        assert "identical content" in capsys.readouterr().out
+
+    def test_divergence_exit_zero_without_flag(self, tmp_path, capsys):
+        a = make_chaos_trace(tmp_path / "a.jsonl", seed=7)
+        b = make_chaos_trace(tmp_path / "b.jsonl", seed=8)
+        assert cli_main([str(a), str(b)]) == 0
+        assert "DIVERGED" in capsys.readouterr().out
+
+    def test_divergence_exit_one_with_flag(self, tmp_path, capsys):
+        a = make_chaos_trace(tmp_path / "a.jsonl", seed=7)
+        b = make_chaos_trace(tmp_path / "b.jsonl", seed=8)
+        assert cli_main(["--fail-on-divergence", str(a), str(b)]) == 1
+
+    def test_json_output_round_trips(self, tmp_path, capsys):
+        a = make_chaos_trace(tmp_path / "a.jsonl", seed=7)
+        b = make_chaos_trace(tmp_path / "b.jsonl", seed=8)
+        assert cli_main(["--json", str(a), str(b)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "trace"
+        assert payload["diverged"] is True
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        a = make_chaos_trace(tmp_path / "a.jsonl", seed=7)
+        assert cli_main([str(a), str(tmp_path / "absent.jsonl")]) == 2
+        assert "tracediff:" in capsys.readouterr().err
+
+    def test_unrecognised_schema_exits_two(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"schema": "repro-mystery/9"}', encoding="utf-8")
+        assert cli_main([str(bogus), str(bogus)]) == 2
+        assert "unrecognised" in capsys.readouterr().err
+
+    def test_kind_mismatch_exits_two(self, tmp_path, capsys):
+        trace = make_chaos_trace(tmp_path / "a.jsonl", seed=7)
+        derivation = row_provenance_derivation(build_ca2(2, Fraction(1, 2)))
+        explain_path = tmp_path / "d.json"
+        write_derivation(derivation, explain_path)
+        assert cli_main([str(trace), str(explain_path)]) == 2
+        assert "cannot diff" in capsys.readouterr().err
+
+
+class TestRender:
+    def test_render_names_the_sections(self, tmp_path):
+        a = make_chaos_trace(tmp_path / "a.jsonl", seed=7)
+        b = make_chaos_trace(tmp_path / "b.jsonl", seed=8)
+        text = render_diff(diff_artifacts(str(a), str(b)))
+        assert "counter deltas" in text
+        assert "timing ratios (informational, B/A)" in text
+        assert "first divergence" in text

@@ -127,3 +127,47 @@ class TestCli:
     def test_missing_file_exits_two(self, tmp_path, capsys):
         assert cli_main([str(tmp_path / "absent.jsonl")]) == 2
         assert "cannot read" in capsys.readouterr().err
+
+
+class TestEmptyTrace:
+    """Pins for the zero-event edge: a trace with no records at all.
+
+    A zero-byte file is *not* a valid trace (no header record), so both
+    output modes must exit 2 with a diagnostic on stderr and print
+    nothing to stdout -- never crash, never emit partial JSON.  A
+    header-only trace (a run that recorded nothing) is valid and exits 0.
+    """
+
+    def test_zero_byte_file_exits_two_plain(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_bytes(b"")
+        assert cli_main([str(empty)]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "trace is empty" in captured.err
+
+    def test_zero_byte_file_exits_two_json(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_bytes(b"")
+        assert cli_main(["--json", str(empty)]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "trace is empty" in captured.err
+
+    def test_whitespace_only_file_exits_two(self, tmp_path, capsys):
+        blank = tmp_path / "blank.jsonl"
+        blank.write_text("\n\n  \n", encoding="utf-8")
+        assert cli_main([str(blank)]) == 2
+        assert "trace is empty" in capsys.readouterr().err
+
+    def test_header_only_trace_exits_zero_both_modes(self, tmp_path, capsys):
+        from repro.obs import TraceRecorder
+
+        path = tmp_path / "header-only.jsonl"
+        TraceRecorder(path).close()
+        assert cli_main([str(path)]) == 0
+        assert "no spans" in capsys.readouterr().out
+        assert cli_main(["--json", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counters"] == {}
+        assert payload["spans"] == {}

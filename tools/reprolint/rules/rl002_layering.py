@@ -40,6 +40,35 @@ LAYERS = {
 #: sit above every layer and may import anything.
 UNCONSTRAINED_LAYER = max(LAYERS.values()) + 1
 
+#: Intra-subpackage layering, for the subpackages whose modules have a
+#: meaningful internal order.  Same reading as :data:`LAYERS`: a module
+#: may import its own intra-layer or a lower one *at module scope*;
+#: function-local imports are the sanctioned deferral for a lower
+#: module that needs a higher one at call time (``logic.semantics``
+#: building a ``logic.explain`` derivation inside ``Model.explain``).
+#: Package initialisers are exempt -- re-exporting the whole subpackage
+#: is their job.
+INTRA_LAYERS = {
+    "obs": {
+        "clock": 0,
+        "recorder": 0,
+        "metrics": 1,
+        "trace": 1,
+        "provenance": 1,
+    },
+    "logic": {
+        "syntax": 0,
+        "language": 1,
+        "parser": 1,
+        "semantics": 1,
+        "axioms": 2,
+        "common_knowledge": 2,
+        # explain re-derives what semantics decides, so it sits above
+        # the checker: semantics may never need a derivation to answer.
+        "explain": 3,
+    },
+}
+
 
 @register
 class LayeringRule(Rule):
@@ -77,6 +106,39 @@ signature."""
                         f"'{target}' (layer {target_layer}); move the "
                         "dependency down or gate it behind TYPE_CHECKING",
                     )
+        yield from self._check_intra(module, type_checking_nodes, package_parts)
+
+    def _check_intra(
+        self,
+        module: Module,
+        type_checking_nodes: Set[int],
+        package_parts: Tuple[str, ...],
+    ) -> Iterator[Violation]:
+        intra = INTRA_LAYERS.get(module.subpackage)
+        if intra is None or module.is_package_init or len(module.rel_parts) != 2:
+            return
+        importer_name = module.rel_parts[-1]
+        importer_layer = intra.get(importer_name)
+        if importer_layer is None:
+            return
+        # Module scope only: anything under a def is a sanctioned
+        # call-time deferral, so walk top-level statements without
+        # descending into function bodies.
+        for node in _module_scope_nodes(module.tree):
+            if id(node) in type_checking_nodes:
+                continue
+            for target in _intra_import_targets(node, module, package_parts):
+                target_layer = intra.get(target)
+                if target_layer is not None and target_layer > importer_layer:
+                    yield self.violation(
+                        module, node,
+                        f"intra-package back-edge: '{module.subpackage}."
+                        f"{importer_name}' (layer {importer_layer}) imports "
+                        f"'{module.subpackage}.{target}' (layer "
+                        f"{target_layer}) at module scope; defer the import "
+                        "into the function that needs it or gate it behind "
+                        "TYPE_CHECKING",
+                    )
 
 
 def _project_import_targets(
@@ -97,6 +159,42 @@ def _project_import_targets(
         else:
             # ``from . import x`` at the package root: each alias is a
             # subpackage of the root.
+            for alias in node.names:
+                yield alias.name.split(".")[0]
+
+
+def _module_scope_nodes(tree: ast.Module) -> Iterator[ast.AST]:
+    """All nodes reachable from module scope without entering a def."""
+    pending = list(tree.body)
+    while pending:
+        node = pending.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        pending.extend(ast.iter_child_nodes(node))
+
+
+def _intra_import_targets(
+    node: ast.AST, module: Module, package_parts: Tuple[str, ...]
+) -> Iterator[str]:
+    """Yield sibling-module names for imports inside ``module.subpackage``."""
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            parts = alias.name.split(".")
+            if (
+                parts[0] == module.root_package
+                and len(parts) > 2
+                and parts[1] == module.subpackage
+            ):
+                yield parts[2]
+    elif isinstance(node, ast.ImportFrom):
+        resolved = _resolve(node, module, package_parts)
+        if resolved is None or not resolved or resolved[0] != module.subpackage:
+            return
+        if len(resolved) > 1:
+            yield resolved[1]
+        else:
+            # ``from . import semantics`` inside the subpackage
             for alias in node.names:
                 yield alias.name.split(".")[0]
 

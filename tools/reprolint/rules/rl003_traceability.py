@@ -17,6 +17,13 @@ TRACEABLE_MODULES = frozenset(
         ("core", "assignments"),
         ("core", "agreement"),
         ("robustness", "validate"),
+        # The provenance layer *is* a traceability claim: every
+        # derivation node cites the definition it instantiates, so the
+        # builders and the data model must say which paper statements
+        # (the Section 5 semantics, the Section 8 fixed point, Theorems
+        # 7-8's witnesses) their output encodes.
+        ("logic", "explain"),
+        ("obs", "provenance"),
     }
 )
 

@@ -1,0 +1,553 @@
+"""Diff engine for observability artifacts (content vs. timing).
+
+The central design split: a diff separates *content* -- counters, event
+payloads, exact ``"p/q"`` probabilities, derivation trees -- from
+*timing* -- ``ts`` stamps, span ``seconds``, sequence numbers.  Content
+is deterministic under the repo's seeded pipelines, so any content
+divergence between two runs of the same configuration is a regression;
+timing drifts with the machine and is reported as ratios but never
+treated as divergence.
+"""
+
+from __future__ import annotations
+
+import json
+from fractions import Fraction
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ProvenanceError, TraceError
+from repro.obs.provenance import (
+    EXPLAIN_SCHEMA,
+    Derivation,
+    DerivationNode,
+    derivation_from_json,
+)
+from repro.obs.trace import TRACE_SCHEMA, read_trace
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "diff_artifacts",
+    "diff_bench",
+    "diff_derivations",
+    "diff_traces",
+    "load_artifact",
+    "render_diff",
+]
+
+#: Benchmark-report schema this tool understands (``scripts/collect_bench``).
+BENCH_SCHEMA = "repro-bench/2"
+
+#: Record keys that vary run to run without the content differing: the
+#: wall-clock quarantine (``ts``, ``seconds``) plus bookkeeping ids
+#: (``seq``, ``span``, ``parent``) that shift when unrelated records are
+#: interleaved.
+VOLATILE_KEYS = frozenset({"seq", "ts", "span", "parent", "seconds"})
+
+
+# ----------------------------------------------------------------------
+# Loading / format detection
+# ----------------------------------------------------------------------
+
+
+def load_artifact(path: str) -> Tuple[str, Any]:
+    """Load ``path`` and auto-detect its format.
+
+    Returns ``(kind, payload)`` where ``kind`` is ``"trace"`` (payload: a
+    record list from :func:`repro.obs.trace.read_trace`), ``"explain"``
+    (payload: a :class:`~repro.obs.provenance.Derivation`), or
+    ``"bench"`` (payload: the decoded ``repro-bench/2`` document).
+    Raises :class:`~repro.errors.TraceError` or
+    :class:`~repro.errors.ProvenanceError` when the file matches no
+    known schema.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError:
+        document = None
+    if isinstance(document, dict):
+        schema = document.get("schema")
+        if schema == EXPLAIN_SCHEMA:
+            return "explain", derivation_from_json(document)
+        if schema == BENCH_SCHEMA:
+            if not isinstance(document.get("benchmarks"), list):
+                raise TraceError(
+                    f"{path!r}: {BENCH_SCHEMA} document has no 'benchmarks' list"
+                )
+            return "bench", document
+        if schema == TRACE_SCHEMA and document.get("type") == "header":
+            # A header-only trace is a single JSON object and a valid
+            # one-line JSONL file at the same time; treat it as a trace.
+            return "trace", read_trace(text.splitlines())
+        raise TraceError(
+            f"{path!r}: unrecognised artifact schema {schema!r} "
+            f"(expected {TRACE_SCHEMA!r}, {EXPLAIN_SCHEMA!r}, or {BENCH_SCHEMA!r})"
+        )
+    return "trace", read_trace(text.splitlines())
+
+
+# ----------------------------------------------------------------------
+# Normalisation
+# ----------------------------------------------------------------------
+
+
+def normalize_record(record: Mapping[str, Any]) -> Dict[str, Any]:
+    """A trace record with its volatile (timing/bookkeeping) keys removed.
+
+    What remains is the deterministic content two identically-seeded
+    runs must agree on byte for byte.
+    """
+    return {key: value for key, value in record.items() if key not in VOLATILE_KEYS}
+
+
+def _fold_counters(records: Sequence[Mapping[str, Any]]) -> Dict[str, int]:
+    totals: Dict[str, int] = {}
+    for record in records:
+        if record.get("type") == "counter":
+            name = str(record.get("name"))
+            totals[name] = totals.get(name, 0) + int(record.get("value", 0))
+    return totals
+
+
+def _span_totals(records: Sequence[Mapping[str, Any]]) -> Dict[str, Dict[str, Any]]:
+    totals: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        if record.get("type") == "span-end":
+            name = str(record.get("name"))
+            entry = totals.setdefault(name, {"count": 0, "seconds": 0.0})
+            entry["count"] += 1
+            entry["seconds"] += float(record.get("seconds", 0.0))
+    return totals
+
+
+def _last_cache_stats(
+    records: Sequence[Mapping[str, Any]],
+) -> Optional[Mapping[str, Any]]:
+    last = None
+    for record in records:
+        if record.get("type") == "event" and record.get("kind") == "cache_stats":
+            last = record.get("fields")
+    return last if isinstance(last, Mapping) else None
+
+
+def _hit_rate(stats: Optional[Mapping[str, Any]]) -> Optional[Fraction]:
+    if stats is None:
+        return None
+    hits = int(stats.get("cache_hits", 0))
+    misses = int(stats.get("cache_misses", 0))
+    if hits + misses == 0:
+        return None
+    return Fraction(hits, hits + misses)
+
+
+def _record_summary(record: Optional[Mapping[str, Any]]) -> Optional[Dict[str, Any]]:
+    """A compact, human-scannable stand-in for one normalised record."""
+    if record is None:
+        return None
+    summary: Dict[str, Any] = {"type": record.get("type")}
+    for key in ("name", "kind", "value", "schema"):
+        if key in record:
+            summary[key] = record[key]
+    fields = record.get("fields")
+    if isinstance(fields, Mapping):
+        summary["fields"] = {
+            key: (
+                "<derivation>"
+                if key == "derivation"
+                else fields[key]
+            )
+            for key in sorted(fields)
+        }
+    return summary
+
+
+# ----------------------------------------------------------------------
+# Derivation diff
+# ----------------------------------------------------------------------
+
+
+def _node_divergence(
+    a: DerivationNode, b: DerivationNode, path: str
+) -> Optional[Dict[str, Any]]:
+    """The first diverging node of two derivation trees, depth-first.
+
+    A node's own content is compared before its children, so the
+    reported path is the shallowest, leftmost point of disagreement.
+    """
+    for field_name in ("rule", "formula", "point", "holds", "definition", "detail"):
+        value_a = getattr(a, field_name)
+        value_b = getattr(b, field_name)
+        if value_a != value_b:
+            return {
+                "path": path,
+                "field": field_name,
+                "rule": a.rule,
+                "a": value_a,
+                "b": value_b,
+            }
+    if len(a.children) != len(b.children):
+        return {
+            "path": path,
+            "field": "children",
+            "rule": a.rule,
+            "a": len(a.children),
+            "b": len(b.children),
+        }
+    for position, (child_a, child_b) in enumerate(zip(a.children, b.children)):
+        found = _node_divergence(child_a, child_b, f"{path}.children[{position}]")
+        if found is not None:
+            return found
+    return None
+
+
+def diff_derivations(a: Derivation, b: Derivation) -> Dict[str, Any]:
+    """Compare two ``repro-explain/1`` derivations.
+
+    Equal fingerprints mean byte-identical canonical JSON -- zero
+    divergence by construction.  Otherwise the trees are walked in
+    parallel to the first diverging node (the shallowest, leftmost
+    disagreement), which localises *where* the two evaluations parted.
+    """
+    summary: Dict[str, Any] = {
+        "kind": "explain",
+        "fingerprint_a": a.fingerprint(),
+        "fingerprint_b": b.fingerprint(),
+        "formula_a": a.formula,
+        "formula_b": b.formula,
+        "diverged": False,
+        "first_divergence": None,
+    }
+    if summary["fingerprint_a"] == summary["fingerprint_b"]:
+        return summary
+    summary["diverged"] = True
+    for field_name in ("assignment", "formula", "point"):
+        value_a = getattr(a, field_name)
+        value_b = getattr(b, field_name)
+        if value_a != value_b:
+            summary["first_divergence"] = {
+                "path": field_name,
+                "field": field_name,
+                "a": value_a,
+                "b": value_b,
+            }
+            return summary
+    summary["first_divergence"] = _node_divergence(a.root, b.root, "root")
+    return summary
+
+
+def _embedded_derivation(record: Mapping[str, Any]) -> Optional[Derivation]:
+    fields = record.get("fields")
+    if not isinstance(fields, Mapping):
+        return None
+    payload = fields.get("derivation")
+    if not isinstance(payload, Mapping):
+        return None
+    try:
+        return derivation_from_json(payload)
+    except ProvenanceError:
+        return None
+
+
+# ----------------------------------------------------------------------
+# Trace diff
+# ----------------------------------------------------------------------
+
+
+def diff_traces(
+    records_a: Sequence[Mapping[str, Any]],
+    records_b: Sequence[Mapping[str, Any]],
+) -> Dict[str, Any]:
+    """Compare two ``repro-trace/1`` record streams.
+
+    Reports folded counter deltas, per-span timing ratios (informational
+    only), the exact cache hit-rate shift, and the first position where
+    the normalised streams disagree.  When the first diverging records
+    both embed a derivation (``row_provenance`` / ``derivation``
+    events), the diff recurses into the trees and also reports the first
+    diverging derivation node.
+    """
+    counters_a = _fold_counters(records_a)
+    counters_b = _fold_counters(records_b)
+    counter_deltas = {
+        name: {
+            "a": counters_a.get(name, 0),
+            "b": counters_b.get(name, 0),
+            "delta": counters_b.get(name, 0) - counters_a.get(name, 0),
+        }
+        for name in sorted(set(counters_a) | set(counters_b))
+        if counters_a.get(name, 0) != counters_b.get(name, 0)
+    }
+
+    spans_a = _span_totals(records_a)
+    spans_b = _span_totals(records_b)
+    timing_ratios = {}
+    for name in sorted(set(spans_a) | set(spans_b)):
+        entry_a = spans_a.get(name, {"count": 0, "seconds": 0.0})
+        entry_b = spans_b.get(name, {"count": 0, "seconds": 0.0})
+        ratio = (
+            round(entry_b["seconds"] / entry_a["seconds"], 4)
+            if entry_a["seconds"] > 0.0
+            else None
+        )
+        timing_ratios[name] = {
+            "count_a": entry_a["count"],
+            "count_b": entry_b["count"],
+            "seconds_a": round(entry_a["seconds"], 6),
+            "seconds_b": round(entry_b["seconds"], 6),
+            "ratio": ratio,
+        }
+
+    rate_a = _hit_rate(_last_cache_stats(records_a))
+    rate_b = _hit_rate(_last_cache_stats(records_b))
+    hit_rate = {
+        "a": rate_a,
+        "b": rate_b,
+        "shift": (rate_b - rate_a) if rate_a is not None and rate_b is not None else None,
+    }
+
+    normalized_a = [normalize_record(record) for record in records_a]
+    normalized_b = [normalize_record(record) for record in records_b]
+    first_divergence: Optional[Dict[str, Any]] = None
+    derivation_divergence: Optional[Dict[str, Any]] = None
+    limit = min(len(normalized_a), len(normalized_b))
+    for position in range(limit):
+        if normalized_a[position] != normalized_b[position]:
+            record_a = normalized_a[position]
+            record_b = normalized_b[position]
+            first_divergence = {
+                "index": position,
+                "a": _record_summary(record_a),
+                "b": _record_summary(record_b),
+            }
+            inner_a = _embedded_derivation(record_a)
+            inner_b = _embedded_derivation(record_b)
+            if inner_a is not None and inner_b is not None:
+                derivation_divergence = diff_derivations(inner_a, inner_b)
+            break
+    else:
+        if len(normalized_a) != len(normalized_b):
+            first_divergence = {
+                "index": limit,
+                "a": _record_summary(normalized_a[limit])
+                if len(normalized_a) > limit
+                else None,
+                "b": _record_summary(normalized_b[limit])
+                if len(normalized_b) > limit
+                else None,
+            }
+
+    return {
+        "kind": "trace",
+        "records_a": len(records_a),
+        "records_b": len(records_b),
+        "counter_deltas": counter_deltas,
+        "timing_ratios": timing_ratios,
+        "hit_rate": hit_rate,
+        "diverged": first_divergence is not None,
+        "first_divergence": first_divergence,
+        "derivation_divergence": derivation_divergence,
+    }
+
+
+# ----------------------------------------------------------------------
+# Bench diff
+# ----------------------------------------------------------------------
+
+
+def _bench_key(entry: Mapping[str, Any]) -> str:
+    """Alignment key for one benchmark entry.
+
+    A report may legitimately repeat a benchmark name across backends or
+    parameter sets (``BENCH_4.json`` runs ``scalability_pipeline`` once
+    per backend), so the key folds in whatever distinguishes the runs.
+    """
+    name = str(entry.get("name"))
+    backend = entry.get("backend")
+    params = entry.get("params")
+    suffix = ""
+    if backend is not None:
+        suffix += f"[{backend}]"
+    if params:
+        suffix += json.dumps(params, sort_keys=True)
+    return name + suffix
+
+
+def diff_bench(doc_a: Mapping[str, Any], doc_b: Mapping[str, Any]) -> Dict[str, Any]:
+    """Compare two ``repro-bench/2`` reports, aligned by benchmark.
+
+    Entries align on name plus backend/params (names repeat across
+    backends).  Exact ``results`` must match (content divergence);
+    ``seconds`` are reported as ratios only, so timing drift between
+    machines or runs never fails a diff.
+    """
+    by_name_a = {_bench_key(entry): entry for entry in doc_a.get("benchmarks", [])}
+    by_name_b = {_bench_key(entry): entry for entry in doc_b.get("benchmarks", [])}
+    only_a = sorted(set(by_name_a) - set(by_name_b))
+    only_b = sorted(set(by_name_b) - set(by_name_a))
+    result_divergences = []
+    timing_ratios = {}
+    counter_deltas: Dict[str, Dict[str, Any]] = {}
+    for name in sorted(set(by_name_a) & set(by_name_b)):
+        entry_a = by_name_a[name]
+        entry_b = by_name_b[name]
+        seconds_a = float(entry_a.get("seconds", 0.0))
+        seconds_b = float(entry_b.get("seconds", 0.0))
+        timing_ratios[name] = {
+            "seconds_a": round(seconds_a, 6),
+            "seconds_b": round(seconds_b, 6),
+            "ratio": round(seconds_b / seconds_a, 4) if seconds_a > 0.0 else None,
+        }
+        results_a = entry_a.get("results")
+        results_b = entry_b.get("results")
+        if results_a != results_b:
+            result_divergences.append(
+                {"name": name, "a": results_a, "b": results_b}
+            )
+        for counter in sorted(
+            set(entry_a.get("counters", {})) | set(entry_b.get("counters", {}))
+        ):
+            value_a = entry_a.get("counters", {}).get(counter, 0)
+            value_b = entry_b.get("counters", {}).get(counter, 0)
+            if value_a != value_b:
+                counter_deltas[f"{name}.{counter}"] = {
+                    "a": value_a,
+                    "b": value_b,
+                    "delta": value_b - value_a,
+                }
+    diverged = bool(result_divergences or only_a or only_b)
+    return {
+        "kind": "bench",
+        "benchmarks_a": len(by_name_a),
+        "benchmarks_b": len(by_name_b),
+        "only_in_a": only_a,
+        "only_in_b": only_b,
+        "result_divergences": result_divergences,
+        "counter_deltas": counter_deltas,
+        "timing_ratios": timing_ratios,
+        "diverged": diverged,
+        "first_divergence": (
+            {"benchmark": result_divergences[0]["name"]}
+            if result_divergences
+            else ({"benchmark": (only_a + only_b)[0]} if diverged else None)
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Entry point + rendering
+# ----------------------------------------------------------------------
+
+
+def diff_artifacts(path_a: str, path_b: str) -> Dict[str, Any]:
+    """Load, kind-check, and diff two artifact files.
+
+    The two files must be the same kind of artifact; mixing (say) a
+    trace with a bench report raises :class:`~repro.errors.TraceError`.
+    """
+    kind_a, payload_a = load_artifact(path_a)
+    kind_b, payload_b = load_artifact(path_b)
+    if kind_a != kind_b:
+        raise TraceError(
+            f"cannot diff a {kind_a} artifact against a {kind_b} artifact "
+            f"({path_a!r} vs {path_b!r})"
+        )
+    if kind_a == "trace":
+        summary = diff_traces(payload_a, payload_b)
+    elif kind_a == "explain":
+        summary = diff_derivations(payload_a, payload_b)
+    else:
+        summary = diff_bench(payload_a, payload_b)
+    summary["a"] = path_a
+    summary["b"] = path_b
+    return summary
+
+
+def _render_divergence(divergence: Optional[Mapping[str, Any]], lines: List[str]) -> None:
+    if divergence is None:
+        lines.append("first divergence: none")
+        return
+    lines.append(f"first divergence: {json.dumps(divergence, default=str, sort_keys=True)}")
+
+
+def render_diff(summary: Mapping[str, Any]) -> str:
+    """Plain-text rendering of a diff summary."""
+    lines: List[str] = []
+    kind = summary.get("kind")
+    verdict = "DIVERGED" if summary.get("diverged") else "identical content"
+    lines.append(f"tracediff [{kind}]: {verdict}")
+    lines.append(f"  A: {summary.get('a', '?')}")
+    lines.append(f"  B: {summary.get('b', '?')}")
+    if kind == "trace":
+        lines.append(
+            f"records: {summary['records_a']} vs {summary['records_b']}"
+        )
+        deltas = summary.get("counter_deltas", {})
+        if deltas:
+            lines.append("counter deltas:")
+            for name, entry in deltas.items():
+                lines.append(
+                    f"  {name}: {entry['a']} -> {entry['b']} ({entry['delta']:+d})"
+                )
+        else:
+            lines.append("counter deltas: none")
+        rate = summary.get("hit_rate", {})
+        if rate.get("a") is not None or rate.get("b") is not None:
+            lines.append(
+                f"cache hit rate: {rate.get('a')} -> {rate.get('b')}"
+                + (f" (shift {rate['shift']})" if rate.get("shift") is not None else "")
+            )
+        ratios = summary.get("timing_ratios", {})
+        if ratios:
+            lines.append("timing ratios (informational, B/A):")
+            for name, entry in ratios.items():
+                ratio = entry["ratio"]
+                shown = f"{ratio:.4f}" if ratio is not None else "n/a"
+                lines.append(
+                    f"  {name}: {entry['seconds_a']:.6f}s -> "
+                    f"{entry['seconds_b']:.6f}s (x{shown})"
+                )
+        _render_divergence(summary.get("first_divergence"), lines)
+        derivation = summary.get("derivation_divergence")
+        if derivation is not None:
+            node = derivation.get("first_divergence")
+            if node is not None:
+                lines.append(
+                    "first diverging derivation node: "
+                    f"{node.get('path')} [{node.get('field')}]"
+                )
+    elif kind == "explain":
+        lines.append(f"fingerprint A: {summary.get('fingerprint_a')}")
+        lines.append(f"fingerprint B: {summary.get('fingerprint_b')}")
+        node = summary.get("first_divergence")
+        if node is not None:
+            lines.append(
+                f"first diverging derivation node: {node.get('path')} "
+                f"[{node.get('field')}]: {node.get('a')!r} vs {node.get('b')!r}"
+            )
+        else:
+            lines.append("first divergence: none")
+    elif kind == "bench":
+        lines.append(
+            f"benchmarks: {summary['benchmarks_a']} vs {summary['benchmarks_b']}"
+        )
+        for side, names in (("A", summary["only_in_a"]), ("B", summary["only_in_b"])):
+            if names:
+                lines.append(f"only in {side}: {', '.join(names)}")
+        for divergence in summary.get("result_divergences", []):
+            lines.append(f"results differ: {divergence['name']}")
+        deltas = summary.get("counter_deltas", {})
+        if deltas:
+            lines.append("counter deltas:")
+            for name, entry in deltas.items():
+                lines.append(
+                    f"  {name}: {entry['a']} -> {entry['b']} ({entry['delta']:+d})"
+                )
+        ratios = summary.get("timing_ratios", {})
+        if ratios:
+            lines.append("timing ratios (informational, B/A):")
+            for name, entry in ratios.items():
+                ratio = entry["ratio"]
+                shown = f"{ratio:.4f}" if ratio is not None else "n/a"
+                lines.append(f"  {name}: x{shown}")
+    return "\n".join(lines)
