@@ -6,7 +6,7 @@ BENCH ?= BENCH_4.json
 # Trace file consumed by `make trace-report` (see docs/observability.md).
 TRACE ?= trace.jsonl
 
-.PHONY: install test test-chaos bench bench-json bench-json-smoke examples quicktest lint lint-json trace-report trace-diff clean
+.PHONY: install test test-chaos bench bench-json bench-json-smoke examples quicktest lint lint-json flow-lint flow-json flow-report trace-report trace-diff clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -23,13 +23,26 @@ quicktest:
 test-chaos:
 	PYTHONPATH=src PYTHONFAULTHANDLER=1 $(PYTHON) -m pytest tests/robustness -q
 
-# reprolint: AST-based invariant checker (exact arithmetic, layering,
-# paper traceability).  See docs/static_analysis.md.
+# Both static-analysis tiers (see docs/static_analysis.md):
+#   tier 1, reprolint  -- intra-file syntactic invariants, also run on tools/
+#   tier 2, reproflow  -- whole-program dataflow (determinism, exactness
+#                         taint, pool pickle-safety, effect contracts)
 lint:
-	$(PYTHON) -m tools.reprolint src/repro
+	$(PYTHON) -m tools.reprolint src/repro tools
+	$(PYTHON) -m tools.reproflow src/repro
 
 lint-json:
-	$(PYTHON) -m tools.reprolint --json src/repro
+	$(PYTHON) -m tools.reprolint --json src/repro tools
+
+flow-lint:
+	$(PYTHON) -m tools.reproflow src/repro
+
+flow-json:
+	$(PYTHON) -m tools.reproflow --json src/repro
+
+# Full repro-flow/1 artifact: callgraph, effect summaries, payload closure.
+flow-report:
+	$(PYTHON) -m tools.reproflow --report flow-report.json src/repro
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
@@ -64,3 +77,4 @@ artifacts:
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null || true
 	rm -rf .pytest_cache .hypothesis .benchmarks build *.egg-info
+	rm -f .reproflow-cache.json

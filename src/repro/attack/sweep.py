@@ -36,6 +36,10 @@ from .protocols import AttackSystem, build_ca1, build_ca1_adaptive, build_ca2
 def post_threshold(attack: AttackSystem) -> Fraction:
     """The supremum of ``eps`` with ``C^eps phi_CA`` at all points (P_post).
 
+    Deterministic. Exact Fraction minimum over a fixed point set; same
+    attack system, same threshold, in every process.
+    Exact. Inner probabilities and the minimum stay in Fractions.
+
     Since ``phi_CA`` is a fact about the run, ``E^eps`` at all points is
     equivalent to ``eps <= min inner-probability`` across all agents and
     points; by the induction rule that already gives ``C^eps`` everywhere,
@@ -172,6 +176,10 @@ def sweep_row_from_attack(task: SweepTask, attack: AttackSystem) -> SweepRow:
 
 def sweep_row_of(task: SweepTask, provenance: bool = False) -> SweepRow:
     """Compute one :class:`SweepRow` from a :data:`SweepTask`.
+
+    Deterministic. The row is a pure function of the task tuple -- the
+    property the retry/resume machinery and the process pool both
+    assume (RL009 checks the whole closure).
 
     Module-level (not a closure) so :func:`repro.attack.parallel.parallel_map`
     can send it to worker processes.

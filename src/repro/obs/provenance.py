@@ -57,6 +57,11 @@ EXPLAIN_SCHEMA = "repro-explain/1"
 def json_pure(value):
     """Normalise a value to the *pure* JSON subset derivations are built on.
 
+    Deterministic. Same value in, same normal form out -- no ids, no
+    clock, no iteration-order dependence.
+    Exact. Floats are rejected outright, so nothing downstream can
+    round.
+
     Section 5's semantics is exact, so its provenance must be too:
     :class:`fractions.Fraction` values become their ``"p/q"`` strings
     (matching :func:`repro.reporting.json_ready` /
@@ -172,6 +177,9 @@ class Derivation:
 
     def fingerprint(self) -> str:
         """A content hash stable across processes and runs.
+
+        Deterministic. The hash is a pure function of the derivation's
+        content -- ``tools/tracediff`` depends on it.
 
         Every field of a derivation is deterministic (no timestamps, no
         ids), so the SHA-256 of the canonical sorted-key serialisation

@@ -55,6 +55,11 @@ __all__ = [
 def task_fingerprint(task: SweepTask) -> Dict[str, object]:
     """The sweep coordinates identifying one task (Section 8).
 
+    Deterministic. The fingerprint depends only on the task tuple, so
+    resumed and fresh runs key the same cell identically.
+    Exact. Loss and epsilon serialise as Fraction strings -- no float
+    ever enters a checkpoint key.
+
     Deliberately excludes the builder callable: two runs constructing
     the same (protocol, messengers, loss, epsilon) cell must produce
     interchangeable rows, and callables have no stable serial form.
@@ -69,7 +74,11 @@ def task_fingerprint(task: SweepTask) -> Dict[str, object]:
 
 
 def row_to_record(index: int, task: SweepTask, row: SweepRow) -> Dict[str, object]:
-    """One checkpoint record: task position, fingerprint, and exact row."""
+    """One checkpoint record: task position, fingerprint, and exact row.
+
+    Exact. Every probability in the record is a Fraction string;
+    round-tripping through :func:`row_from_record` is lossless.
+    """
     return {
         "index": index,
         "task": task_fingerprint(task),
@@ -78,7 +87,11 @@ def row_to_record(index: int, task: SweepTask, row: SweepRow) -> Dict[str, objec
 
 
 def row_from_record(record: Dict[str, object]) -> SweepRow:
-    """Rebuild the exact :class:`SweepRow` a record encodes."""
+    """Rebuild the exact :class:`SweepRow` a record encodes.
+
+    Exact. The inverse of :func:`row_to_record`: Fraction strings come
+    back as the same Fractions, bit for bit.
+    """
     row = record["row"]
     return SweepRow(
         protocol=row["protocol"],

@@ -84,9 +84,10 @@ _MASK64 = (1 << 64) - 1
 def _unit_jitter(seed: int, index: int, attempt: int) -> float:
     """A deterministic pseudo-uniform value in ``[0, 1)``.
 
-    SplitMix64-style integer mixing of ``(seed, index, attempt)``: the
-    jitter is a pure function of its arguments, so backoff schedules are
-    reproducible run-over-run without any global random state.
+    Deterministic. SplitMix64-style integer mixing of ``(seed, index,
+    attempt)``: the jitter is a pure function of its arguments, so
+    backoff schedules are reproducible run-over-run without any global
+    random state.
     """
     value = (
         seed * 0x9E3779B97F4A7C15
@@ -144,7 +145,9 @@ class RetryPolicy:
     def backoff_delay(self, index: int, attempt: int) -> float:
         """Seconds to wait before retrying task ``index`` after ``attempt``.
 
-        Deterministic: same policy, same task, same attempt -> same delay.
+        Deterministic. Same policy, same task, same attempt -> same
+        delay; the float is a *schedule* (like ``time.sleep``), never a
+        result, so it stays outside the exactness contracts.
         """
         raw = min(self.base_delay * self.backoff_factor**attempt, self.max_delay)
         if self.jitter == 0.0 or raw == 0.0:

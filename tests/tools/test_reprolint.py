@@ -839,10 +839,39 @@ def test_cli_list_rules(capsys):
         assert rule_id in out
 
 
-def test_cli_syntax_error_exits_two(tmp_path, capsys):
+def test_cli_syntax_error_is_rl000_not_crash(tmp_path, capsys):
+    """A file that does not parse is an RL000 diagnostic (exit 1), never a
+    traceback, and never aborts the scan of its siblings."""
     bad = tmp_path / "broken.py"
     bad.write_text("def f(:\n", encoding="utf-8")
-    assert cli_main([str(bad)]) == 2
+    fine_but_bad = tmp_path / "repro" / "betting" / "floaty.py"
+    fine_but_bad.parent.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("__all__ = []\n")
+    (tmp_path / "repro" / "betting" / "__init__.py").write_text("__all__ = []\n")
+    fine_but_bad.write_text("ALPHA = 0.5\n", encoding="utf-8")
+    assert cli_main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "broken.py:1" in out
+    assert "RL000" in out
+    assert "does not parse" in out
+    # The broken sibling did not stop RL001 from seeing the float.
+    assert "RL001" in out
+
+
+def test_rl000_reports_syntax_error_position(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("x = 1\ndef f(:\n", encoding="utf-8")
+    violations, errors = lint_paths([str(bad)])
+    assert errors == []
+    assert [v.rule_id for v in violations] == ["RL000"]
+    assert violations[0].line == 2
+
+
+def test_rl000_is_not_suppressible(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("# reprolint: disable=RL000\ndef f(:\n", encoding="utf-8")
+    violations, _ = lint_paths([str(bad)])
+    assert [v.rule_id for v in violations] == ["RL000"]
 
 
 def test_module_invocation_matches_issue_contract(tmp_path):
@@ -878,3 +907,127 @@ def test_tools_directory_is_clean_of_generic_rules():
     assert not errors
     generic = [v for v in violations if v.rule_id in {"RL004", "RL005"}]
     assert not generic, "\n".join(v.render() for v in generic)
+
+
+def test_tools_directory_is_violation_free():
+    """All rules -- including the tools-layering arm of RL002 -- pass."""
+    violations, errors = lint_paths([str(REPO_ROOT / "tools")])
+    assert not errors
+    assert not violations, "\n".join(v.render() for v in violations)
+
+
+# ----------------------------------------------------------------------
+# RL002: the tools/ packages keep to repro's read-only surface
+# ----------------------------------------------------------------------
+
+
+def test_rl002_tools_may_use_readonly_surface(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "tools/mytool/cli.py": """\
+                from repro.errors import TraceError
+                from repro.obs import read_trace
+                from repro.obs.provenance import read_derivation
+                from repro.reporting import json_ready
+                """
+        },
+    )
+    assert "RL002" not in ids
+
+
+def test_rl002_tools_must_not_import_repro_internals(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {"tools/mytool/cli.py": "from repro.core.model import Point\n"},
+    )
+    assert ids.count("RL002") == 1
+
+
+def test_rl002_tools_flags_plain_import_form(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {"tools/mytool/cli.py": "import repro.logic.semantics\n"},
+    )
+    assert ids.count("RL002") == 1
+
+
+def test_rl002_tools_flags_from_repro_import_subpackage(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {"tools/mytool/cli.py": "from repro import attack\n"},
+    )
+    assert ids.count("RL002") == 1
+
+
+# ----------------------------------------------------------------------
+# Suppression audit: unknown ids warn, stale ones are reportable
+# ----------------------------------------------------------------------
+
+
+def test_unknown_rule_suppression_warns_but_does_not_fail(tmp_path, capsys):
+    target = tmp_path / "x.py"
+    target.write_text("# reprolint: disable=RL999\nVALUE = 1\n", encoding="utf-8")
+    assert cli_main([str(target)]) == 0
+    err = capsys.readouterr().err
+    assert "unknown rule" in err
+    assert "RL999" in err
+
+
+def test_flow_tier_suppression_is_neither_unknown_nor_stale(tmp_path, capsys):
+    """RL009-RL012 belong to tools/reproflow; the intra-file tier must
+    not second-guess their suppressions."""
+    root = make_package(
+        tmp_path,
+        {"repro/core/x.py": "VALUE = 1  # reproflow: disable=RL010\n"},
+    )
+    assert cli_main([str(root), "--report-stale-suppressions"]) == 0
+    captured = capsys.readouterr()
+    assert "RL010" not in captured.out + captured.err
+
+
+def test_stale_suppression_only_reported_with_flag(tmp_path, capsys):
+    root = make_package(
+        tmp_path,
+        {"repro/betting/x.py": "VALUE = 1  # reprolint: disable=RL001\n"},
+    )
+    assert cli_main([str(root)]) == 0
+    capsys.readouterr()
+    assert cli_main([str(root), "--report-stale-suppressions"]) == 1
+    out = capsys.readouterr().out
+    assert "stale" in out
+    assert "RL001" in out
+
+
+def test_used_suppression_is_not_stale(tmp_path, capsys):
+    root = make_package(
+        tmp_path,
+        {"repro/betting/x.py": "ALPHA = 0.5  # reprolint: disable=RL001\n"},
+    )
+    assert cli_main([str(root), "--report-stale-suppressions"]) == 0
+
+
+def test_file_wide_suppression_makes_line_scoped_duplicate_stale(tmp_path, capsys):
+    """File-wide wins, so a line-scoped duplicate never fires and must be
+    reported as stale -- pinning the interaction order."""
+    source = (
+        "# reprolint: disable=RL001\n"
+        "ALPHA = 0.5  # reprolint: disable=RL001\n"
+    )
+    root = make_package(tmp_path, {"repro/betting/x.py": source})
+    assert cli_main([str(root), "--report-stale-suppressions"]) == 1
+    out = capsys.readouterr().out
+    assert out.count("stale") == 1
+    assert ":2:" in out  # the trailing (line-scoped) declaration is the stale one
+
+
+def test_stale_suppressions_in_json_mode(tmp_path, capsys):
+    root = make_package(
+        tmp_path,
+        {"repro/betting/x.py": "VALUE = 1  # reprolint: disable=RL004\n"},
+    )
+    assert cli_main([str(root), "--json", "--report-stale-suppressions"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["violations"] == []
+    assert len(payload["stale_suppressions"]) == 1
+    assert payload["stale_suppressions"][0]["rule"] == "RL004"

@@ -1,0 +1,78 @@
+"""sha256-keyed cache of per-module extraction summaries.
+
+Extraction (one AST walk per file) dominates analyzer runtime on a
+clean tree, and its output depends only on the file's bytes -- so it is
+cached keyed by content hash.  The cross-module fixpoint is *always*
+recomputed from the (possibly cached) summaries: it depends on the set
+of files analyzed, which the cache key cannot see, and it is cheap.
+
+The cache file is plain JSON, invalidated wholesale when the schema or
+extractor version changes, and safe to delete at any time (``make
+clean`` does).  A corrupt or unreadable cache degrades to a cold run,
+never to an error.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+from .extract import EXTRACT_SCHEMA
+
+CACHE_SCHEMA = "reproflow-cache/1"
+
+DEFAULT_CACHE_PATH = ".reproflow-cache.json"
+
+
+class SummaryCache:
+    """Load/store extraction summaries keyed by ``(path, sha256)``."""
+
+    def __init__(self, cache_path: Optional[str]) -> None:
+        self.cache_path = cache_path
+        self._entries: Dict[str, Dict[str, object]] = {}
+        self.hits = 0
+        self.misses = 0
+        if cache_path is None or not os.path.exists(cache_path):
+            return
+        try:
+            with open(cache_path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return  # cold run; the save below rewrites it
+        if (
+            isinstance(data, dict)
+            and data.get("schema") == CACHE_SCHEMA
+            and data.get("extractor") == EXTRACT_SCHEMA
+            and isinstance(data.get("modules"), dict)
+        ):
+            self._entries = data["modules"]
+
+    def get(self, path: str, sha256: str) -> Optional[Dict[str, object]]:
+        entry = self._entries.get(path)
+        if entry is not None and entry.get("sha256") == sha256:
+            self.hits += 1
+            return entry.get("summary")  # type: ignore[return-value]
+        self.misses += 1
+        return None
+
+    def put(self, path: str, sha256: str, summary: Dict[str, object]) -> None:
+        self._entries[path] = {"sha256": sha256, "summary": summary}
+
+    def save(self) -> None:
+        if self.cache_path is None:
+            return
+        payload = {
+            "schema": CACHE_SCHEMA,
+            "extractor": EXTRACT_SCHEMA,
+            "modules": {path: self._entries[path] for path in sorted(self._entries)},
+        }
+        try:
+            with open(self.cache_path, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=1, sort_keys=True)
+                handle.write("\n")
+        except OSError:
+            pass  # a read-only checkout still analyzes fine
+
+
+__all__ = ["CACHE_SCHEMA", "DEFAULT_CACHE_PATH", "SummaryCache"]

@@ -1,4 +1,4 @@
-"""Command-line interface: ``python -m tools.reprolint [paths...]``."""
+"""Command-line interface: ``python -m tools.reproflow [paths...]``."""
 
 from __future__ import annotations
 
@@ -7,21 +7,24 @@ import json
 import sys
 from typing import List, Optional
 
-from .engine import lint_paths_report
-from .registry import all_rules, get_rule
+from .cache import DEFAULT_CACHE_PATH, SummaryCache
+from .engine import analyze_paths
+from .report import build_report
+from .rules.base import FLOW_REGISTRY
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="reprolint",
+        prog="reproflow",
         description=(
-            "AST-based invariant checker for the Halpern & Tuttle "
-            "reproduction: exact probability arithmetic, package layering, "
-            "and paper traceability."
+            "Whole-program dataflow analyzer for the Halpern & Tuttle "
+            "reproduction: call-graph effect inference guarding task-payload "
+            "determinism (RL009), exactness taint (RL010), process-pool "
+            "pickle safety (RL011), and docstring effect contracts (RL012)."
         ),
     )
     parser.add_argument(
-        "paths", nargs="*", help="files or directories to lint (e.g. src/repro)"
+        "paths", nargs="*", help="files or directories to analyze (e.g. src/repro)"
     )
     parser.add_argument(
         "--json",
@@ -29,20 +32,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit violations as a JSON array instead of path:line:col lines",
     )
     parser.add_argument(
+        "--report",
+        metavar="FILE",
+        help="write the full repro-flow/1 report artifact (callgraph, effect "
+        "summaries, payload closure) to FILE; '-' for stdout",
+    )
+    parser.add_argument(
         "--explain",
         metavar="RL00X",
-        help="print the rationale for one rule (with the paper section it protects) and exit",
+        help="print the rationale for one flow rule and exit",
     )
     parser.add_argument(
         "--list-rules",
         action="store_true",
-        help="list registered rule ids and titles and exit",
+        help="list registered flow rule ids and titles and exit",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="FILE",
+        default=DEFAULT_CACHE_PATH,
+        help=f"extraction cache file (default: {DEFAULT_CACHE_PATH})",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="re-extract every file, neither reading nor writing the cache",
     )
     parser.add_argument(
         "--report-stale-suppressions",
         action="store_true",
         help=(
-            "also report 'reprolint: disable=' comments that matched no "
+            "also report RL009-RL012 'disable=' comments that matched no "
             "violation in this run (exit 1 when any are found)"
         ),
     )
@@ -55,7 +75,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.explain:
         try:
-            rule = get_rule(args.explain.strip().upper())
+            rule = FLOW_REGISTRY.get_rule(args.explain.strip().upper())
         except KeyError as exc:
             print(str(exc.args[0]), file=sys.stderr)
             return 2
@@ -65,22 +85,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.list_rules:
-        for rule in all_rules():
+        for rule in FLOW_REGISTRY.all_rules():
             print(f"{rule.rule_id}  {rule.title}")
         return 0
 
     if not args.paths:
-        parser.error("no paths given (try: python -m tools.reprolint src/repro)")
+        parser.error("no paths given (try: python -m tools.reproflow src/repro)")
 
-    report = lint_paths_report(args.paths)
+    cache = None if args.no_cache else SummaryCache(args.cache)
+    report = analyze_paths(args.paths, cache=cache)
     violations = report.violations
 
-    # A suppression naming an unknown rule waives nothing; always warn,
-    # never fail -- the run's verdict is about the code, not the comment.
     for warning in report.unknown_suppressions:
-        print(f"reprolint: warning: {warning.render()}", file=sys.stderr)
+        print(f"reproflow: warning: {warning.render()}", file=sys.stderr)
 
     stale = report.stale_suppressions if args.report_stale_suppressions else []
+
+    if args.report:
+        artifact = json.dumps(build_report(report), indent=2, sort_keys=True)
+        if args.report == "-":
+            print(artifact)
+        else:
+            with open(args.report, "w", encoding="utf-8") as handle:
+                handle.write(artifact)
+                handle.write("\n")
 
     if args.json:
         if args.report_stale_suppressions:
@@ -110,13 +138,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(warning.render())
         if violations:
             print(
-                f"reprolint: {len(violations)} violation(s) "
-                f"(suppress a line with '# reprolint: disable=<RULE>')",
+                f"reproflow: {len(violations)} violation(s) "
+                f"(suppress a line with '# reproflow: disable=<RULE>')",
                 file=sys.stderr,
             )
         if stale:
             print(
-                f"reprolint: {len(stale)} stale suppression(s)", file=sys.stderr
+                f"reproflow: {len(stale)} stale suppression(s)", file=sys.stderr
             )
     return 1 if violations or stale else 0
 

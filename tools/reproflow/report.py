@@ -1,0 +1,61 @@
+"""The ``repro-flow/1`` report artifact.
+
+Content-only and deterministic, per the tracediff conventions: every
+list is sorted, file identity is (path, sha256), and there are no
+timestamps, host names, or cache statistics -- two runs over identical
+trees produce byte-identical reports, so the artifact is diffable and
+CI can archive it per commit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .engine import FlowReport
+from .program import TRANSITIVE_EFFECTS
+from .rules.base import payload_roots
+
+REPORT_SCHEMA = "repro-flow/1"
+
+
+def build_report(report: FlowReport) -> Dict[str, object]:
+    program = report.program
+    payload: Dict[str, object] = {
+        "schema": REPORT_SCHEMA,
+        "files": [
+            {"path": path, "sha256": report.file_hashes[path]}
+            for path in sorted(report.file_hashes)
+        ],
+        "violations": [v.as_dict() for v in report.violations],
+        "suppressed": [v.as_dict() for v in report.suppressed],
+        "stale_suppressions": [
+            {
+                "path": w.path,
+                "line": w.line,
+                "rule": w.rule_id,
+                "message": w.message,
+            }
+            for w in report.stale_suppressions
+        ],
+    }
+    if program is None:
+        return payload
+    effects: Dict[str, List[str]] = {}
+    for (fqn, effect), _cause in program.effect_cause.items():
+        effects.setdefault(fqn, []).append(effect)
+    payload["callgraph"] = [
+        {"caller": caller, "callee": callee, "line": line}
+        for caller, callee, line in program.call_edges()
+    ]
+    payload["effects"] = {
+        fqn: sorted(effects[fqn], key=TRANSITIVE_EFFECTS.index)
+        for fqn in sorted(effects)
+    }
+    payload["returns_float"] = sorted(program.returns_float)
+    roots = sorted({fqn for fqn, _origin in payload_roots(program)})
+    payload["task_payload_roots"] = roots
+    payload["task_payload_closure"] = program.transitive_closure(roots)
+    return payload
+
+
+__all__ = ["REPORT_SCHEMA", "build_report"]

@@ -1,0 +1,14 @@
+"""Whole-program rules (RL009-RL012).
+
+Importing this package populates :data:`~tools.reproflow.rules.base.FLOW_REGISTRY`.
+"""
+
+from . import (  # noqa: F401
+    rl009_determinism,
+    rl010_exactness_taint,
+    rl011_pickle_safety,
+    rl012_contract_drift,
+)
+from .base import FLOW_REGISTRY, FlowRule, register
+
+__all__ = ["FLOW_REGISTRY", "FlowRule", "register"]

@@ -1,0 +1,62 @@
+"""RL012 — docstring effect contracts must match inferred effects."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ...reprolint.model import Violation
+from ..program import Program
+from .base import FlowRule, register
+from .rl009_determinism import BANNED_EFFECTS, _EFFECT_LABEL
+
+
+@register
+class ContractDriftRule(FlowRule):
+    rule_id = "RL012"
+    title = "declared Deterministic./Exact. contracts must hold"
+    rationale = """\
+The observability and robustness layers lean on effect *contracts*
+stated in docstrings: a line reading ``Deterministic.`` promises the
+function's result depends only on its arguments (no clock, no unseeded
+randomness, no global mutation, transitively), and ``Exact.`` promises
+it computes with Fractions end to end (no float usage outside the
+sanctioned ``fractionutil`` boundary).  Checkpoint fingerprints, replay
+validation, and the tracediff conventions all cite these contracts --
+silently outgrowing one (a refactor adds a perf_counter call three
+levels down) invalidates reasoning that still *looks* documented.
+
+This rule re-derives each declared contract from the whole-program
+effect inference and reports drift at the function's definition, with
+the call chain to the contradicting site.  Fix by restoring the
+property or deleting the stale declaration; a known-benign divergence
+can be waived on the ``def`` line with ``# reproflow: disable=RL012``."""
+
+    def check_program(self, program: Program) -> Iterator[Violation]:
+        for fqn in sorted(program.functions):
+            info = program.functions[fqn]
+            contracts = info.record.get("contracts", [])
+            if not contracts:
+                continue
+            if "deterministic" in contracts:
+                for effect in BANNED_EFFECTS:
+                    if (fqn, effect) not in program.effect_cause:
+                        continue
+                    chain = program.effect_chain(fqn, effect)
+                    yield self.flow_violation(
+                        info,
+                        info.line,
+                        f"'{fqn}' declares 'Deterministic.' but "
+                        f"{_EFFECT_LABEL[effect]}; "
+                        f"chain: {program.render_chain(chain)}",
+                    )
+            if "exact" in contracts and fqn in program.uses_float:
+                chain = program.uses_float_chain(fqn)
+                yield self.flow_violation(
+                    info,
+                    info.line,
+                    f"'{fqn}' declares 'Exact.' but uses float arithmetic; "
+                    f"chain: {program.render_chain(chain)}",
+                )
+
+
+__all__ = ["ContractDriftRule"]

@@ -19,32 +19,67 @@ Eight rules guard the properties the paper's executable theorems rely on:
 * RL008 -- wall-clock reads only inside ``repro/obs/``
   (``time.sleep`` stays allowed: it affects scheduling, never results).
 
+RL000 is the reserved tool-level diagnostic: a file the analyzer cannot
+parse is reported (exit 1) instead of crashing the run or hiding its
+siblings' findings.  RL009-RL012 live in the second, whole-program tier
+(``tools/reproflow``), which shares this package's module model,
+registry class, and suppression syntax.
+
 Usage::
 
-    python -m tools.reprolint src/repro            # human output, exit 1 on findings
+    python -m tools.reprolint src/repro tools      # human output, exit 1 on findings
     python -m tools.reprolint --json src/repro     # machine-readable
     python -m tools.reprolint --explain RL001      # rule rationale
     python -m tools.reprolint --list-rules
+    python -m tools.reprolint --report-stale-suppressions src/repro
 
 Suppress with ``# reprolint: disable=RL001`` -- file-wide on a standalone
-comment line, single-line as a trailing comment.
+comment line, single-line as a trailing comment.  Suppressions that no
+longer match any violation are reported by
+``--report-stale-suppressions``; suppressions naming unknown rule ids
+always warn.
 """
 
-from .engine import LintError, lint_module, lint_paths, load_module
-from .model import Module, Suppressions, Violation, parse_suppressions
-from .registry import Rule, all_rules, get_rule, register
+from .engine import (
+    LintError,
+    LintReport,
+    SuppressionWarning,
+    lint_module,
+    lint_paths,
+    lint_paths_report,
+    load_module,
+    tool_error_violation,
+)
+from .model import (
+    FLOW_RULE_IDS,
+    TOOL_ERROR_RULE_ID,
+    Module,
+    SuppressionDecl,
+    Suppressions,
+    Violation,
+    parse_suppressions,
+)
+from .registry import Registry, Rule, all_rules, get_rule, register
 
 __all__ = [
+    "FLOW_RULE_IDS",
     "LintError",
+    "LintReport",
     "Module",
+    "Registry",
     "Rule",
+    "SuppressionDecl",
+    "SuppressionWarning",
     "Suppressions",
+    "TOOL_ERROR_RULE_ID",
     "Violation",
     "all_rules",
     "get_rule",
     "lint_module",
     "lint_paths",
+    "lint_paths_report",
     "load_module",
     "parse_suppressions",
     "register",
+    "tool_error_violation",
 ]

@@ -4,23 +4,64 @@ from __future__ import annotations
 
 import ast
 import os
-from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Set, Tuple
 
 from . import rules as _rules  # noqa: F401  (populates the registry)
-from .model import Module, Violation, parse_suppressions
+from .model import (
+    FLOW_RULE_IDS,
+    TOOL_ERROR_RULE_ID,
+    Module,
+    SuppressionDecl,
+    Violation,
+    parse_suppressions,
+)
 from .registry import Rule, all_rules
 
 
 @dataclass(frozen=True)
 class LintError:
-    """A file reprolint could not analyse (syntax error, unreadable)."""
+    """A file reprolint could not analyse (syntax error, unreadable).
+
+    Kept for API compatibility; since the RL000 change these no longer
+    abort a run -- :func:`lint_paths` folds them into ordinary
+    :data:`~tools.reprolint.model.TOOL_ERROR_RULE_ID` violations so one
+    broken file cannot hide findings in the rest of the tree.
+    """
 
     path: str
     message: str
 
     def render(self) -> str:
         return f"{self.path}: error: {self.message}"
+
+
+@dataclass(frozen=True)
+class SuppressionWarning:
+    """A suppression comment worth flagging: unknown rule id, or stale."""
+
+    path: str
+    line: int
+    rule_id: str
+    kind: str  # "unknown-rule" | "stale"
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.kind}: {self.message}"
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run learned, including the suppression audit."""
+
+    violations: List[Violation] = field(default_factory=list)
+    #: Suppressions naming a rule id no tier knows.  Always surfaced
+    #: (a typo like ``disable=RL01`` waives nothing, silently).
+    unknown_suppressions: List[SuppressionWarning] = field(default_factory=list)
+    #: Suppressions that matched no violation in this run; reported only
+    #: under ``--report-stale-suppressions`` because intra-file runs on a
+    #: subtree legitimately miss whole-tree context.
+    stale_suppressions: List[SuppressionWarning] = field(default_factory=list)
 
 
 def iter_python_files(paths: Sequence[str]) -> List[str]:
@@ -91,26 +132,125 @@ def lint_module(module: Module, rules: Iterable[Rule]) -> List[Violation]:
     return violations
 
 
+def tool_error_violation(path: str, exc: Exception) -> Violation:
+    """The RL000 diagnostic for a file the analyzer could not read/parse.
+
+    A :class:`SyntaxError` carries its own position; anything else (an
+    unreadable file, a null byte) is pinned to line 1.  RL000 is not
+    suppressible -- an unparseable file cannot vouch for itself.
+    """
+    line = 1
+    col = 0
+    if isinstance(exc, SyntaxError):
+        line = exc.lineno or 1
+        col = (exc.offset or 1) - 1
+        detail = exc.msg or str(exc)
+        message = f"file does not parse: {detail}"
+    else:
+        message = f"file could not be analysed: {type(exc).__name__}: {exc}"
+    return Violation(
+        path=path, line=line, col=col, rule_id=TOOL_ERROR_RULE_ID, message=message
+    )
+
+
+def _suppression_warnings(
+    module: Module, known_rule_ids: Set[str]
+) -> Tuple[List[SuppressionWarning], List[SuppressionDecl]]:
+    """Split a module's suppression audit into unknown-id warnings and
+    the declarations eligible for staleness reporting."""
+    unknown: List[SuppressionWarning] = []
+    stale_candidates: List[SuppressionDecl] = []
+    for decl in module.suppressions.declarations:
+        if decl.rule_id not in known_rule_ids:
+            unknown.append(
+                SuppressionWarning(
+                    path=module.path,
+                    line=decl.line,
+                    rule_id=decl.rule_id,
+                    kind="unknown-rule",
+                    message=(
+                        f"suppression names unknown rule {decl.rule_id!r} "
+                        "and waives nothing (typo?)"
+                    ),
+                )
+            )
+        elif decl.rule_id not in FLOW_RULE_IDS:
+            # Flow-tier suppressions are invisible to this tier's
+            # violations, so only this tier's own ids can be judged stale.
+            stale_candidates.append(decl)
+    return unknown, stale_candidates
+
+
+def lint_paths_report(paths: Sequence[str]) -> LintReport:
+    """Lint every python file reachable from ``paths``, with the audit.
+
+    Unparseable or unreadable files become
+    :data:`~tools.reprolint.model.TOOL_ERROR_RULE_ID` violations rather
+    than aborting the run, so the rest of the tree is still checked.
+    """
+    rules = all_rules()
+    known_rule_ids = (
+        {rule.rule_id for rule in rules} | FLOW_RULE_IDS | {TOOL_ERROR_RULE_ID}
+    )
+    report = LintReport()
+    stale_by_module: List[Tuple[Module, List[SuppressionDecl]]] = []
+    for path in iter_python_files(paths):
+        try:
+            module = load_module(path)
+        except (OSError, SyntaxError, ValueError) as exc:
+            report.violations.append(tool_error_violation(path, exc))
+            continue
+        report.violations.extend(lint_module(module, rules))
+        unknown, stale_candidates = _suppression_warnings(module, known_rule_ids)
+        report.unknown_suppressions.extend(unknown)
+        stale_by_module.append((module, stale_candidates))
+    # Staleness is judged after the whole run: by now every violation the
+    # run produced has marked the declarations it consumed.
+    for module, candidates in stale_by_module:
+        unused = {decl.key() for decl in module.suppressions.stale_declarations()}
+        for decl in candidates:
+            if decl.key() in unused:
+                scope = "file-wide" if decl.scope == "file" else "line-scoped"
+                report.stale_suppressions.append(
+                    SuppressionWarning(
+                        path=module.path,
+                        line=decl.line,
+                        rule_id=decl.rule_id,
+                        kind="stale",
+                        message=(
+                            f"{scope} suppression of {decl.rule_id} matched no "
+                            "violation; delete it (the finding it waived is gone)"
+                        ),
+                    )
+                )
+    report.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    report.unknown_suppressions.sort(key=lambda w: (w.path, w.line, w.rule_id))
+    report.stale_suppressions.sort(key=lambda w: (w.path, w.line, w.rule_id))
+    return report
+
+
 def lint_paths(
     paths: Sequence[str],
 ) -> Tuple[List[Violation], List[LintError]]:
     """Lint every python file reachable from ``paths``.
 
     Returns ``(violations, errors)``, each sorted for stable output.
+    The ``errors`` list is always empty since the RL000 change (parse
+    failures are RL000 violations now); the tuple shape is kept for the
+    existing callers and tests.
     """
-    rules = all_rules()
-    violations: List[Violation] = []
-    errors: List[LintError] = []
-    for path in iter_python_files(paths):
-        try:
-            module = load_module(path)
-        except (OSError, SyntaxError, ValueError) as exc:
-            errors.append(LintError(path=path, message=str(exc)))
-            continue
-        violations.extend(lint_module(module, rules))
-    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
-    errors.sort(key=lambda e: e.path)
-    return violations, errors
+    report = lint_paths_report(paths)
+    return report.violations, []
 
 
-__all__ = ["LintError", "iter_python_files", "lint_module", "lint_paths", "load_module"]
+__all__ = [
+    "LintError",
+    "LintReport",
+    "SuppressionWarning",
+    "iter_python_files",
+    "lint_module",
+    "lint_paths",
+    "lint_paths_report",
+    "load_module",
+    "tool_error_violation",
+]

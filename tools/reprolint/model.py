@@ -12,12 +12,26 @@ from __future__ import annotations
 import ast
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 #: Comment syntax: ``# reprolint: disable=RL001`` or ``=RL001,RL004``.
 #: On a standalone comment line the suppression applies to the whole file;
 #: as a trailing comment it applies to violations reported on that line.
-SUPPRESSION_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Z0-9,\s]+)")
+#: ``# reproflow: disable=...`` is the same mechanism spelled for the
+#: whole-program tier (tools/reproflow); both tools honour both tags --
+#: the rule ids live in one namespace.
+SUPPRESSION_RE = re.compile(r"#\s*repro(?:lint|flow):\s*disable=([A-Z0-9,\s]+)")
+
+#: Diagnostic id reserved for tool-level failures (a file the analyzer
+#: could not parse).  Not a registry rule and not suppressible: a file
+#: that does not parse cannot be vouched for by any comment inside it.
+TOOL_ERROR_RULE_ID = "RL000"
+
+#: Rule ids owned by the whole-program tier (``tools/reproflow``).  The
+#: intra-file tier must treat suppressions naming them as known -- never
+#: "unknown rule id", never stale -- because only the flow tier can see
+#: the violations they suppress.
+FLOW_RULE_IDS = frozenset({"RL009", "RL010", "RL011", "RL012"})
 
 
 @dataclass(frozen=True)
@@ -43,17 +57,55 @@ class Violation:
         }
 
 
+@dataclass(frozen=True)
+class SuppressionDecl:
+    """One parsed suppression declaration, addressable for audits.
+
+    ``scope`` is ``"file"`` for a standalone comment line (file-wide) or
+    ``"line"`` for a trailing comment; ``line`` is where the comment sits
+    either way.
+    """
+
+    rule_id: str
+    line: int
+    scope: str
+
+    def key(self) -> Tuple[str, Optional[int]]:
+        """The usage-tracking key :meth:`Suppressions.suppresses` marks."""
+        return (self.rule_id, None if self.scope == "file" else self.line)
+
+
 @dataclass
 class Suppressions:
-    """Per-file and per-line rule suppressions parsed from comments."""
+    """Per-file and per-line rule suppressions parsed from comments.
+
+    Besides answering :meth:`suppresses`, the object tracks which
+    declarations actually matched a violation (``used``), so the engine
+    can report the stale ones -- a suppression that matches nothing is a
+    fixed violation whose waiver should have been deleted, or a typo
+    that silently waives nothing.
+    """
 
     file_wide: Set[str] = field(default_factory=set)
     by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    declarations: List[SuppressionDecl] = field(default_factory=list)
+    used: Set[Tuple[str, Optional[int]]] = field(default_factory=set)
 
     def suppresses(self, violation: Violation) -> bool:
+        # File-wide wins first, mirroring how reviewers read the file:
+        # a line-scoped duplicate of a file-wide waiver never fires and
+        # is therefore reported as stale.
         if violation.rule_id in self.file_wide:
+            self.used.add((violation.rule_id, None))
             return True
-        return violation.rule_id in self.by_line.get(violation.line, set())
+        if violation.rule_id in self.by_line.get(violation.line, set()):
+            self.used.add((violation.rule_id, violation.line))
+            return True
+        return False
+
+    def stale_declarations(self) -> List[SuppressionDecl]:
+        """Declarations that suppressed nothing, in source order."""
+        return [decl for decl in self.declarations if decl.key() not in self.used]
 
 
 def parse_suppressions(source_lines: Sequence[str]) -> Suppressions:
@@ -64,6 +116,11 @@ def parse_suppressions(source_lines: Sequence[str]) -> Suppressions:
             continue
         rules = {part.strip() for part in match.group(1).split(",") if part.strip()}
         before_comment = line[: line.index("#")].strip()
+        scope = "line" if before_comment else "file"
+        for rule_id in sorted(rules):
+            suppressions.declarations.append(
+                SuppressionDecl(rule_id=rule_id, line=lineno, scope=scope)
+            )
         if before_comment:
             suppressions.by_line.setdefault(lineno, set()).update(rules)
         else:
@@ -110,9 +167,12 @@ class Module:
 
 
 __all__ = [
+    "FLOW_RULE_IDS",
     "Module",
     "SUPPRESSION_RE",
+    "SuppressionDecl",
     "Suppressions",
+    "TOOL_ERROR_RULE_ID",
     "Violation",
     "parse_suppressions",
 ]

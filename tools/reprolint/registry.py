@@ -1,23 +1,26 @@
-"""Pluggable rule registry.
+"""Pluggable rule registry shared by both static-analysis tiers.
 
 A rule is a class with a unique ``rule_id``, a one-line ``title``, a
 ``rationale`` tying the invariant back to the paper, and a ``check``
-method yielding :class:`~tools.reprolint.model.Violation` objects for one
-module.  Registering is one decorator::
+method yielding :class:`~tools.reprolint.model.Violation` objects.
+Registering is one decorator::
 
     @register
     class MyRule(Rule):
         rule_id = "RL042"
         ...
 
-New rule modules only need to be imported from
-``tools.reprolint.rules.__init__`` to take effect; the engine and CLI
-discover them through this registry.
+``Registry`` is the reusable container: reprolint keeps its intra-file
+rules in the module-level default instance (the functions below), while
+``tools/reproflow`` instantiates its own :class:`Registry` for the
+whole-program rules -- same registration, lookup, ``--list-rules`` and
+``--explain`` machinery, different rule universe.  New rule modules only
+need to be imported from their tier's ``rules.__init__`` to take effect.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Type
+from typing import Dict, Generic, Iterator, List, Type, TypeVar
 
 from .model import Module, Violation
 
@@ -40,30 +43,56 @@ class Rule:
         return module.violation(node, self.rule_id, message)  # type: ignore[arg-type]
 
 
-_REGISTRY: Dict[str, Rule] = {}
+_RuleT = TypeVar("_RuleT", bound=Rule)
+
+
+class Registry(Generic[_RuleT]):
+    """A rule-id keyed collection of singleton rule instances."""
+
+    def __init__(self) -> None:
+        self._rules: Dict[str, _RuleT] = {}
+
+    def register(self, rule_class: Type[_RuleT]) -> Type[_RuleT]:
+        """Class decorator adding a rule (as a singleton) to this registry."""
+        rule = rule_class()
+        if not rule.rule_id:
+            raise ValueError(f"{rule_class.__name__} has no rule_id")
+        if rule.rule_id in self._rules:
+            raise ValueError(f"duplicate rule id {rule.rule_id}")
+        self._rules[rule.rule_id] = rule
+        return rule_class
+
+    def all_rules(self) -> List[_RuleT]:
+        return [self._rules[rule_id] for rule_id in sorted(self._rules)]
+
+    def rule_ids(self) -> List[str]:
+        return sorted(self._rules)
+
+    def get_rule(self, rule_id: str) -> _RuleT:
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            known = ", ".join(sorted(self._rules))
+            raise KeyError(f"unknown rule {rule_id!r} (known: {known})") from None
+
+
+#: The intra-file tier's registry; the functions below are its
+#: historical module-level spelling, kept because every rule module and
+#: test imports them.
+DEFAULT_REGISTRY: Registry[Rule] = Registry()
 
 
 def register(rule_class: Type[Rule]) -> Type[Rule]:
-    """Class decorator adding a rule (as a singleton instance) to the registry."""
-    rule = rule_class()
-    if not rule.rule_id:
-        raise ValueError(f"{rule_class.__name__} has no rule_id")
-    if rule.rule_id in _REGISTRY:
-        raise ValueError(f"duplicate rule id {rule.rule_id}")
-    _REGISTRY[rule.rule_id] = rule
-    return rule_class
+    """Class decorator adding a rule to the default (intra-file) registry."""
+    return DEFAULT_REGISTRY.register(rule_class)
 
 
 def all_rules() -> List[Rule]:
-    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+    return DEFAULT_REGISTRY.all_rules()
 
 
 def get_rule(rule_id: str) -> Rule:
-    try:
-        return _REGISTRY[rule_id]
-    except KeyError:
-        known = ", ".join(sorted(_REGISTRY))
-        raise KeyError(f"unknown rule {rule_id!r} (known: {known})") from None
+    return DEFAULT_REGISTRY.get_rule(rule_id)
 
 
-__all__ = ["Rule", "all_rules", "get_rule", "register"]
+__all__ = ["DEFAULT_REGISTRY", "Registry", "Rule", "all_rules", "get_rule", "register"]

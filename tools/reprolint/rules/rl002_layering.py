@@ -40,6 +40,21 @@ LAYERS = {
 #: sit above every layer and may import anything.
 UNCONSTRAINED_LAYER = max(LAYERS.values()) + 1
 
+#: The ``repro`` surface the repository tooling may consume.  The tools
+#: (reprolint, reproflow, tracereport, tracediff) sit *outside* the
+#: library: they audit its artifacts, so they may read the observe-only
+#: layers -- ``errors`` (to catch), ``reporting`` (exact JSON codecs),
+#: ``obs`` (trace/derivation schemas) -- but never the computational
+#: internals (core, logic, probability, ...).  A tool that imported the
+#: model checker could silently *recompute* instead of *audit*, and
+#: every internal import couples the tools to refactors they should
+#: survive.
+TOOLS_ALLOWED_REPRO_SUBPACKAGES = frozenset({"errors", "obs", "reporting"})
+
+#: Root package of the repository tooling, checked against the repro
+#: read-only surface above.
+TOOLS_ROOT = "tools"
+
 #: Intra-subpackage layering, for the subpackages whose modules have a
 #: meaningful internal order.  Same reading as :data:`LAYERS`: a module
 #: may import its own intra-layer or a lower one *at module scope*;
@@ -90,6 +105,9 @@ sanctioned way for a lower layer to name a higher layer's type in a
 signature."""
 
     def check(self, module: Module) -> Iterator[Violation]:
+        if module.root_package == TOOLS_ROOT:
+            yield from self._check_tools(module)
+            return
         importer_layer = LAYERS.get(module.subpackage, UNCONSTRAINED_LAYER)
         type_checking_nodes = _type_checking_only_nodes(module.tree)
         package_parts = module.rel_parts[:-1]
@@ -107,6 +125,23 @@ signature."""
                         "dependency down or gate it behind TYPE_CHECKING",
                     )
         yield from self._check_intra(module, type_checking_nodes, package_parts)
+
+    def _check_tools(self, module: Module) -> Iterator[Violation]:
+        """Tooling may only touch repro's sanctioned read-only surface."""
+        type_checking_nodes = _type_checking_only_nodes(module.tree)
+        for node in ast.walk(module.tree):
+            if id(node) in type_checking_nodes:
+                continue
+            for target in _repro_import_targets(node):
+                if target not in TOOLS_ALLOWED_REPRO_SUBPACKAGES:
+                    allowed = ", ".join(sorted(TOOLS_ALLOWED_REPRO_SUBPACKAGES))
+                    yield self.violation(
+                        module, node,
+                        f"tools/ imports repro internals ('repro.{target}'); "
+                        f"the tooling's sanctioned read-only surface is "
+                        f"{{{allowed}}} -- audit artifacts, don't recompute "
+                        "them",
+                    )
 
     def _check_intra(
         self,
@@ -139,6 +174,29 @@ signature."""
                         "into the function that needs it or gate it behind "
                         "TYPE_CHECKING",
                     )
+
+
+def _repro_import_targets(node: ast.AST) -> Iterator[str]:
+    """Yield the ``repro`` subpackage (or top-level module) name for each
+    absolute import of the library in ``node`` -- the view a ``tools/``
+    module has, where ``repro`` is an external package."""
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            parts = alias.name.split(".")
+            if parts[0] == "repro":
+                # ``import repro`` alone exposes every subpackage.
+                yield parts[1] if len(parts) > 1 else "repro"
+    elif isinstance(node, ast.ImportFrom):
+        if node.level != 0 or node.module is None:
+            return
+        parts = node.module.split(".")
+        if parts[0] != "repro":
+            return
+        if len(parts) > 1:
+            yield parts[1]
+        else:
+            for alias in node.names:
+                yield alias.name.split(".")[0]
 
 
 def _project_import_targets(

@@ -126,7 +126,12 @@ def _is_errors_module(module: Module) -> bool:
 
 
 def _targets_errors_module(node: ast.ImportFrom, module: Module) -> bool:
-    """True iff an ImportFrom pulls names from the project errors module."""
+    """True iff an ImportFrom pulls names from the project errors module.
+
+    ``repro.errors`` is always recognised, whatever package the importer
+    lives in: the repository tooling under ``tools/`` consumes the same
+    hierarchy (it is part of the sanctioned read-only surface, RL002).
+    """
     if node.level == 0:
-        return node.module == f"{module.root_package}.errors"
+        return node.module in (f"{module.root_package}.errors", "repro.errors")
     return node.module == "errors"
