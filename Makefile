@@ -2,7 +2,7 @@
 
 PYTHON ?= python3
 # Benchmark report for the current PR (see docs/performance.md).
-BENCH ?= BENCH_4.json
+BENCH ?= BENCH_7.json
 # Trace file consumed by `make trace-report` (see docs/observability.md).
 TRACE ?= trace.jsonl
 

@@ -1,0 +1,144 @@
+"""Word-array backend workloads: >=100k-point systems (ISSUE 7).
+
+Two workloads sized past the practical range of per-atom bigint folds,
+run identically under the ``bitmask`` and ``wordarray`` backends so
+``collect.py`` can cross-check results and report honest speedups:
+
+* ``block_space`` -- a *non-powerset* algebra with 12_800 atoms of 8
+  outcomes each (102_400 outcomes total) queried through
+  ``measure_interval_mask``.  The bitmask engine folds every atom mask
+  per query; the word-array :class:`~repro.probability.wordmask.SpaceKernel`
+  answers from one ``unpackbits``/``bincount`` pass.
+* ``flat_gfp`` -- a flat computation tree (root plus 51_200 uniform
+  leaves, horizon 2 = 102_400 points) whose two agents carry deliberately
+  misaligned block partitions, so ``CommonKnows`` needs ~64 greatest-fixed-
+  point iterations of knowledge folds -- the hot path the word-array
+  :class:`~repro.probability.wordmask.PartitionKernel` batches.
+
+Both builders are deterministic; every probability stays an exact
+Fraction under either backend.
+"""
+
+from fractions import Fraction
+
+from repro.core import ProbabilityAssignment
+from repro.core.facts import Fact
+from repro.core.model import GlobalState
+from repro.core.standard import PostAssignment
+from repro.logic import CommonKnows, Model, Prop
+from repro.probability import FiniteProbabilitySpace
+from repro.trees import ComputationTree, single_tree_system
+
+#: Full-size parameters (102_400 outcomes / points) and the CI smoke
+#: shrink (3_200 points) -- same shapes, two orders of magnitude apart.
+FULL = {"n_atoms": 12_800, "block": 8, "n_leaves": 51_200, "chain_block": 64, "cutoff": 4_096}
+SMOKE = {"n_atoms": 400, "block": 8, "n_leaves": 1_600, "chain_block": 16, "cutoff": 256}
+
+
+# ----------------------------------------------------------------------
+# Workload 1: non-powerset measure queries
+# ----------------------------------------------------------------------
+
+
+def build_block_space(n_atoms: int, block: int) -> FiniteProbabilitySpace:
+    """``n_atoms`` atoms of ``block`` consecutive outcomes, varied weights.
+
+    Must be constructed under the backend being benchmarked (backend
+    choice is latched at construction time).
+    """
+    atoms = tuple(
+        frozenset(range(i * block, (i + 1) * block)) for i in range(n_atoms)
+    )
+    weights = [(i % 97) + 1 for i in range(n_atoms)]
+    total = sum(weights)
+    probabilities = {
+        atom: Fraction(weight, total) for atom, weight in zip(atoms, weights)
+    }
+    # A one-entry interval cache: the benchmark's distinct query masks
+    # thrash the LRU, so repeated passes re-run the measure kernel
+    # instead of replaying cached intervals.
+    return FiniteProbabilitySpace(atoms, probabilities, interval_cache_maxsize=1)
+
+
+def measure_query_masks(space: FiniteProbabilitySpace, n_queries: int):
+    """Deterministic query masks: half measurable, half strict covers.
+
+    Built through ``event_mask`` so they are valid under whatever outcome
+    order the space's index chose.  Odd queries take whole atoms (exactly
+    measurable); even queries straddle atom boundaries, exercising the
+    inner/outer split.
+    """
+    n_atoms = len(space.atoms)
+    n_outcomes = len(space.outcomes)
+    block = n_outcomes // n_atoms
+    masks = []
+    for q in range(n_queries):
+        stride = q + 2
+        if q % 2:
+            event = [
+                outcome
+                for i in range(0, n_atoms, stride)
+                for outcome in range(i * block, (i + 1) * block)
+            ]
+        else:
+            event = list(range(q, n_outcomes, stride))
+        masks.append(space.event_mask(event))
+    return masks
+
+
+def measure_workload(space: FiniteProbabilitySpace, masks):
+    """Interval-measure every mask; the intervals are the cross-check value."""
+    return [space.measure_interval_mask(mask) for mask in masks]
+
+
+# ----------------------------------------------------------------------
+# Workload 2: flat-tree common-knowledge fixpoint
+# ----------------------------------------------------------------------
+
+
+def build_flat_system(n_leaves: int, chain_block: int, cutoff: int):
+    """Root plus ``n_leaves`` uniform leaves; two-agent block partitions.
+
+    Agent 0 partitions leaves into aligned blocks ``r // chain_block``.
+    Agent 1 uses half-offset blocks below ``cutoff`` and aligned blocks
+    above it, so a single violating leaf starts a knowledge knockout
+    that cascades one half-block per gfp iteration until the aligned
+    region stops it: ``cutoff // (chain_block // 2)`` iterations.
+    """
+    half = chain_block // 2
+    root = GlobalState("root", ("r", "r"))
+    leaves = []
+    children = {root: leaves}
+    edges = {}
+    probability = Fraction(1, n_leaves)
+    for r in range(n_leaves):
+        if r < cutoff:
+            local1 = ("m", (r + half) // chain_block)
+        else:
+            local1 = ("a", r // chain_block)
+        leaf = GlobalState(("leaf", r), (r // chain_block, local1))
+        leaves.append(leaf)
+        edges[(root, leaf)] = probability
+    tree = ComputationTree("A", root, children, edges, validate=False)
+    return single_tree_system(tree)
+
+
+def flat_gfp_workload(psys, assignment):
+    """Fresh model, then ``C_{0,1} phi`` where phi fails at leaf 0 only.
+
+    Returns the common-knowledge extension mask (the cross-check value)
+    and the surviving point count.
+    """
+    violating = GlobalState(("leaf", 0), (0, ("m", 0)))
+
+    def predicate(point):
+        return point.global_state != violating
+
+    model = Model(assignment, {"ok": Fact(predicate, name="ok")})
+    mask = model.extension_mask(CommonKnows((0, 1), Prop("ok")))
+    return mask, mask.bit_count()
+
+
+def flat_gfp_assignment(psys) -> ProbabilityAssignment:
+    """The post assignment (built once, shared by both backends)."""
+    return ProbabilityAssignment(PostAssignment(psys))

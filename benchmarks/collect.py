@@ -13,9 +13,17 @@ snapshot from the observability layer (:mod:`repro.obs`): measure-kernel
 cache hits/misses, gfp iteration counts, engine retry totals -- so a
 perf regression can be told apart from a workload change (same seconds,
 different counters means the workload moved; same counters, different
-seconds means the code got slower).  ``--trace PATH`` additionally
-streams the whole run as ``repro-trace/1`` JSONL for
-``tools/tracereport``.
+seconds means the code got slower).  Every record is additionally
+stamped with the measure ``backend`` it ran under and the ``points``
+count of its system (``None`` for sweep records that span many systems)
+-- additive fields, so ``tools/tracediff`` keeps accepting artifacts
+written before they existed.  ``--trace PATH`` additionally streams the
+whole run as ``repro-trace/1`` JSONL for ``tools/tracereport``.
+
+The word-array records (``wordarray_measure``/``wordarray_gfp``) run the
+same >=100k-point workload under ``bitmask`` and ``wordarray`` and
+assert the results identical before reporting either timing; they are
+skipped (with a note in ``skipped``) when numpy is unavailable.
 
 All probabilities in the report stay exact: Fractions are serialised as
 ``"p/q"`` strings.  Wall-clock seconds are, of course, floats.
@@ -43,18 +51,23 @@ from repro.probability import (  # noqa: E402
     kernel_totals,
     reset_kernel_totals,
     use_backend,
+    wordmask,
 )
 from repro.reporting import write_bench_json  # noqa: E402
 
+import bench_wordarray  # noqa: E402
 from bench_scalability import pipeline  # noqa: E402
 
 #: Baselines carried forward across reports so every BENCH_<n>.json is
 #: self-contained: the 10-toss scalability pipeline at the PR 1 tip
-#: (commit 0bc943a, before the bitmask measure engine), and the same
-#: pipeline as measured in BENCH_2.json once the bitmask engine landed.
+#: (commit 0bc943a, before the bitmask measure engine), the same
+#: pipeline as measured in BENCH_2.json once the bitmask engine landed,
+#: and as measured in BENCH_4.json (tracing instrumentation in place) --
+#: the no-regression reference for the word-array PR.
 BASELINES = {
     "scalability_pipeline_tosses10_pre_pr_seconds": 0.574,
     "scalability_pipeline_tosses10_bench2_seconds": 0.1822,
+    "scalability_pipeline_tosses10_bench4_seconds": 0.1588,
 }
 
 PRE_PR_PIPELINE_SECONDS = BASELINES["scalability_pipeline_tosses10_pre_pr_seconds"]
@@ -90,14 +103,15 @@ def _timed(function, repeats: int, trace=None):
 
 def bench_pipeline(records, tosses: int, backend: str, repeats: int, trace) -> None:
     """The full scalability pipeline under one measure backend."""
-    with use_backend(backend):
+    with use_backend(backend) as active:
         seconds, (points, interval, clocked), counters = _timed(
             lambda: pipeline(tosses), repeats, trace
         )
     records.append(
         {
             "name": "scalability_pipeline",
-            "backend": backend,
+            "backend": active,
+            "points": points,
             "params": {"tosses": tosses},
             "system": {"runs": 2**tosses, "points": points},
             "seconds": round(seconds, 4),
@@ -123,6 +137,8 @@ def bench_sweep(records, messengers, repeats: int, trace) -> None:
         {
             "name": "guarantee_sweep_serial",
             "backend": get_default_backend(),
+            # one row per (messengers, loss) system -- no single size
+            "points": None,
             "params": {"messengers": list(messengers), "losses": losses},
             "system": system_size,
             "seconds": round(serial_seconds, 4),
@@ -134,6 +150,7 @@ def bench_sweep(records, messengers, repeats: int, trace) -> None:
         {
             "name": "guarantee_sweep_parallel",
             "backend": get_default_backend(),
+            "points": None,
             "params": {"messengers": list(messengers), "losses": losses},
             "system": system_size,
             "seconds": round(parallel_seconds, 4),
@@ -166,6 +183,7 @@ def bench_common_knowledge(records, messengers: int, repeats: int, trace) -> Non
         {
             "name": "common_knowledge_ca2",
             "backend": get_default_backend(),
+            "points": points,
             "params": {"messengers": messengers},
             "system": {"points": points},
             "seconds": round(seconds, 4),
@@ -208,6 +226,7 @@ def bench_robust_sweep(records, messengers, repeats: int, trace) -> None:
         {
             "name": "robust_sweep_chaos",
             "backend": get_default_backend(),
+            "points": None,
             "params": {
                 "messengers": list(messengers),
                 "losses": losses,
@@ -222,10 +241,115 @@ def bench_robust_sweep(records, messengers, repeats: int, trace) -> None:
     )
 
 
+def bench_wordarray_measure(records, params, n_queries: int, repeats: int, trace) -> None:
+    """Non-powerset interval measures at ``n_atoms * block`` outcomes.
+
+    The space is built per backend (backend choice latches at
+    construction) with ``interval_cache_maxsize=1``, so the ``n_queries``
+    distinct masks thrash the LRU and every repeat re-runs the kernel
+    instead of replaying the cache.  Intervals are asserted identical
+    across backends before either record is written.
+    """
+    n_outcomes = params["n_atoms"] * params["block"]
+    timings = {}
+    intervals = {}
+    for backend in ("bitmask", "wordarray"):
+        with use_backend(backend) as active:
+            space = bench_wordarray.build_block_space(
+                params["n_atoms"], params["block"]
+            )
+            masks = bench_wordarray.measure_query_masks(space, n_queries)
+            seconds, value, counters = _timed(
+                lambda: bench_wordarray.measure_workload(space, masks),
+                repeats,
+                trace,
+            )
+        timings[active] = (seconds, counters)
+        intervals[active] = value
+    if intervals["bitmask"] != intervals["wordarray"]:
+        raise AssertionError("wordarray intervals differ from bitmask intervals")
+    for backend, (seconds, counters) in timings.items():
+        records.append(
+            {
+                "name": "wordarray_measure",
+                "backend": backend,
+                "points": n_outcomes,
+                "params": {
+                    "n_atoms": params["n_atoms"],
+                    "block": params["block"],
+                    "queries": n_queries,
+                },
+                "system": {"outcomes": n_outcomes, "atoms": params["n_atoms"]},
+                "seconds": round(seconds, 4),
+                "counters": counters,
+                "results": {"intervals_match_bitmask": True},
+            }
+        )
+
+
+def bench_wordarray_gfp(records, params, repeats: int, trace) -> None:
+    """Common-knowledge gfp on a flat >=100k-point two-agent system.
+
+    The system and assignment are built once per backend outside the
+    timer; each repeat builds a fresh :class:`Model` (no extension memo
+    carry-over), so best-of measures the steady-state fixpoint folds.
+    Extension masks are asserted identical across backends.
+    """
+    timings = {}
+    extension = {}
+    for backend in ("bitmask", "wordarray"):
+        with use_backend(backend) as active:
+            psys = bench_wordarray.build_flat_system(
+                params["n_leaves"], params["chain_block"], params["cutoff"]
+            )
+            assignment = bench_wordarray.flat_gfp_assignment(psys)
+            seconds, (mask, survivors), counters = _timed(
+                lambda: bench_wordarray.flat_gfp_workload(psys, assignment),
+                repeats,
+                trace,
+            )
+        timings[active] = (seconds, counters, survivors)
+        extension[active] = mask
+    if extension["bitmask"] != extension["wordarray"]:
+        raise AssertionError("wordarray gfp extension differs from bitmask")
+    points = params["n_leaves"] * 2
+    for backend, (seconds, counters, survivors) in timings.items():
+        records.append(
+            {
+                "name": "wordarray_gfp",
+                "backend": backend,
+                "points": points,
+                "params": {
+                    "n_leaves": params["n_leaves"],
+                    "chain_block": params["chain_block"],
+                    "cutoff": params["cutoff"],
+                },
+                "system": {"points": points, "agents": 2},
+                "seconds": round(seconds, 4),
+                "counters": counters,
+                "results": {
+                    "survivors": survivors,
+                    "extension_matches_bitmask": True,
+                },
+            }
+        )
+
+
+def _record_seconds(records, name: str, backend: str):
+    return next(
+        (
+            record["seconds"]
+            for record in records
+            if record["name"] == name and record["backend"] == backend
+        ),
+        None,
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--output", default="BENCH_4.json", help="where to write the report"
+        "--output", default="BENCH_7.json", help="where to write the report"
     )
     parser.add_argument(
         "--smoke",
@@ -243,6 +367,9 @@ def main(argv=None) -> int:
     sweep_messengers = [1, 2] if args.smoke else [1, 2, 4, 7]
     ck_messengers = 2 if args.smoke else 4
     repeats = 1 if args.smoke else 5
+    wordarray_params = bench_wordarray.SMOKE if args.smoke else bench_wordarray.FULL
+    wordarray_queries = 8 if args.smoke else 24
+    wordarray_repeats = 1 if args.smoke else 3
 
     trace = None
     if args.trace:
@@ -252,13 +379,30 @@ def main(argv=None) -> int:
 
     records: list = []
     errors: list = []
-    for runner in (
+    skipped: list = []
+    runners = [
         lambda: bench_pipeline(records, tosses, "bitmask", repeats, trace),
         lambda: bench_pipeline(records, tosses, "naive", repeats, trace),
+        lambda: bench_pipeline(records, tosses, "wordarray", repeats, trace),
         lambda: bench_sweep(records, sweep_messengers, repeats, trace),
         lambda: bench_common_knowledge(records, ck_messengers, repeats, trace),
         lambda: bench_robust_sweep(records, sweep_messengers, repeats, trace),
-    ):
+    ]
+    if wordmask.available():
+        runners.extend(
+            [
+                lambda: bench_wordarray_measure(
+                    records, wordarray_params, wordarray_queries,
+                    wordarray_repeats, trace,
+                ),
+                lambda: bench_wordarray_gfp(
+                    records, wordarray_params, wordarray_repeats, trace
+                ),
+            ]
+        )
+    else:
+        skipped.append("wordarray_measure/wordarray_gfp: numpy unavailable")
+    for runner in runners:
         try:
             runner()
         except Exception:  # noqa: BLE001 - report every failure, then exit 1
@@ -268,7 +412,7 @@ def main(argv=None) -> int:
 
     payload = {
         "schema": "repro-bench/2",
-        "pr": 4,
+        "pr": 7,
         "generated_by": "benchmarks/collect.py"
         + (" --smoke" if args.smoke else ""),
         "smoke": args.smoke,
@@ -277,28 +421,30 @@ def main(argv=None) -> int:
             # one core means the parallel sweep can only tie the serial
             # one; the record is still useful as an overhead measurement
             "cpu_count": os.cpu_count(),
+            "numpy": wordmask.available(),
         },
         "default_backend": get_default_backend(),
         "baselines": dict(BASELINES),
         "benchmarks": records,
+        "skipped": skipped,
         "errors": errors,
     }
-    if not args.smoke:
-        bitmask = next(
-            (
-                record["seconds"]
-                for record in records
-                if record["name"] == "scalability_pipeline"
-                and record["backend"] == "bitmask"
-            ),
-            None,
+    derived = {}
+    bitmask_pipeline = _record_seconds(records, "scalability_pipeline", "bitmask")
+    if not args.smoke and bitmask_pipeline:
+        derived["pipeline_speedup_vs_pre_pr"] = round(
+            PRE_PR_PIPELINE_SECONDS / bitmask_pipeline, 2
         )
-        if bitmask:
-            payload["derived"] = {
-                "pipeline_speedup_vs_pre_pr": round(
-                    PRE_PR_PIPELINE_SECONDS / bitmask, 2
-                )
-            }
+    for name, key in (
+        ("wordarray_measure", "wordarray_measure_speedup_vs_bitmask"),
+        ("wordarray_gfp", "wordarray_gfp_speedup_vs_bitmask"),
+    ):
+        bitmask_seconds = _record_seconds(records, name, "bitmask")
+        wordarray_seconds = _record_seconds(records, name, "wordarray")
+        if bitmask_seconds and wordarray_seconds:
+            derived[key] = round(bitmask_seconds / wordarray_seconds, 2)
+    if derived:
+        payload["derived"] = derived
     text = write_bench_json(args.output, payload)
     print(text)
     if errors:

@@ -29,11 +29,13 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from fractions import Fraction
+from functools import partial
 from pickle import PicklingError
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Union
 
 from ..errors import WorkerTaskError
 from ..obs.recorder import get_recorder
+from ..probability.bitset import get_default_backend
 from ..probability.fractionutil import FractionLike
 from .sweep import Builder, SweepRow, sweep_row_of, sweep_tasks
 
@@ -144,12 +146,23 @@ def parallel_guarantee_sweep(
     builders: Optional[Dict[str, Builder]] = None,
     epsilon: FractionLike = Fraction(99, 100),
     max_workers: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> List[SweepRow]:
     """:func:`~repro.attack.sweep.guarantee_sweep`, fanned across processes.
 
     Row-for-row identical to the serial sweep (same task enumeration, same
     ordering, same exact Fractions); custom ``builders`` must be
     module-level callables so they can be shipped to workers.
+
+    The measure backend is resolved *here* (``backend`` if given, else
+    the parent's process default) and shipped to the workers inside the
+    task function: worker processes start with the module default
+    ``"bitmask"``, so without this the parent's ``use_backend`` choice
+    would silently not apply to them.
     """
     tasks = sweep_tasks(messenger_counts, losses, builders, epsilon)
-    return parallel_map(sweep_row_of, tasks, max_workers=max_workers)
+    active = backend if backend is not None else get_default_backend()
+    # functools.partial of a module-level function pickles by reference,
+    # so the bound backend string crosses the process boundary intact.
+    row_of = partial(sweep_row_of, backend=active)
+    return parallel_map(row_of, tasks, max_workers=max_workers)

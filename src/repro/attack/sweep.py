@@ -27,7 +27,7 @@ from ..core.standard import standard_assignments
 from ..logic.semantics import Model
 from ..logic.syntax import PrAtLeast, Prop
 from ..obs.recorder import get_recorder
-from ..probability.bitset import kernel_totals
+from ..probability.bitset import kernel_totals, use_backend
 from ..probability.fractionutil import FractionLike, ONE, as_fraction
 from .analysis import achieves, run_level_probability
 from .protocols import AttackSystem, build_ca1, build_ca1_adaptive, build_ca2
@@ -174,15 +174,24 @@ def sweep_row_from_attack(task: SweepTask, attack: AttackSystem) -> SweepRow:
     )
 
 
-def sweep_row_of(task: SweepTask, provenance: bool = False) -> SweepRow:
+def sweep_row_of(
+    task: SweepTask,
+    provenance: bool = False,
+    backend: Optional[str] = None,
+) -> SweepRow:
     """Compute one :class:`SweepRow` from a :data:`SweepTask`.
 
     Deterministic. The row is a pure function of the task tuple -- the
     property the retry/resume machinery and the process pool both
-    assume (RL009 checks the whole closure).
+    assume (RL009 checks the whole closure).  Rows are backend-independent:
+    every measure engine computes identical exact Fractions, so ``backend``
+    selects *how* the row is computed, never *what* it contains.
 
     Module-level (not a closure) so :func:`repro.attack.parallel.parallel_map`
-    can send it to worker processes.
+    can send it to worker processes; ``backend`` rides along as a plain
+    string, which is how the parallel runner propagates the caller's
+    engine choice into freshly spawned workers (whose process-global
+    default would otherwise be ``"bitmask"``).
 
     With ``provenance=True`` (opt-in, default off) the row additionally
     emits a ``row_provenance`` event carrying the full
@@ -190,6 +199,9 @@ def sweep_row_of(task: SweepTask, provenance: bool = False) -> SweepRow:
     its witness point (:func:`row_provenance_derivation`).  The event is
     observe-only: the returned row is byte-identical either way.
     """
+    if backend is not None:
+        with use_backend(backend):
+            return sweep_row_of(task, provenance=provenance)
     name, builder, messengers, loss, _threshold = task
     recorder = get_recorder()
     with recorder.span(
@@ -217,14 +229,20 @@ def guarantee_sweep(
     builders: Optional[Dict[str, Builder]] = None,
     epsilon: FractionLike = Fraction(99, 100),
     provenance: bool = False,
+    backend: Optional[str] = None,
 ) -> List[SweepRow]:
     """Sweep protocols over messenger counts and loss probabilities.
 
     ``provenance=True`` opts every row into a ``row_provenance`` event
     with its threshold derivation; see :func:`sweep_row_of`.
+    ``backend`` runs the whole sweep under a specific measure engine
+    (``None`` keeps the process default); rows are identical either way.
     """
     tasks = sweep_tasks(messenger_counts, losses, builders, epsilon)
     with get_recorder().span("guarantee_sweep", tasks=len(tasks)):
+        if backend is not None:
+            with use_backend(backend):
+                return [sweep_row_of(task, provenance=provenance) for task in tasks]
         return [sweep_row_of(task, provenance=provenance) for task in tasks]
 
 

@@ -206,6 +206,7 @@ def induced_point_space(
         tuple(atoms),
         tuple(weight_of[atom] for atom in atoms),
         total_weight,
+        interval_cache_maxsize=psys.interval_cache_maxsize,
     )
 
 

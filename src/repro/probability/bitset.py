@@ -39,7 +39,9 @@ __all__ = [
     "OutcomeIndex",
     "IntervalCache",
     "BACKENDS",
+    "count_mask_conversion",
     "count_naive_query",
+    "count_wordarray_query",
     "get_default_backend",
     "kernel_totals",
     "reset_kernel_totals",
@@ -59,7 +61,15 @@ class _KernelTotals:
     a recorder per cache probe.
     """
 
-    __slots__ = ("hits", "misses", "evictions", "naive_queries", "backend_switches")
+    __slots__ = (
+        "hits",
+        "misses",
+        "evictions",
+        "naive_queries",
+        "backend_switches",
+        "wordarray_queries",
+        "mask_conversions",
+    )
 
     def __init__(self) -> None:
         self.hits = 0
@@ -67,6 +77,8 @@ class _KernelTotals:
         self.evictions = 0
         self.naive_queries = 0
         self.backend_switches = 0
+        self.wordarray_queries = 0
+        self.mask_conversions = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -75,6 +87,8 @@ class _KernelTotals:
             "cache_evictions": self.evictions,
             "naive_queries": self.naive_queries,
             "backend_switches": self.backend_switches,
+            "wordarray_queries": self.wordarray_queries,
+            "mask_conversions": self.mask_conversions,
         }
 
     def reset(self) -> None:
@@ -83,6 +97,8 @@ class _KernelTotals:
         self.evictions = 0
         self.naive_queries = 0
         self.backend_switches = 0
+        self.wordarray_queries = 0
+        self.mask_conversions = 0
 
 
 _TOTALS = _KernelTotals()
@@ -94,6 +110,9 @@ def kernel_totals() -> Dict[str, int]:
     ``cache_hits``/``cache_misses``/``cache_evictions`` aggregate every
     :class:`IntervalCache` in the process; ``naive_queries`` counts
     interval-kernel calls on the naive (frozenset) backend;
+    ``wordarray_queries`` counts vectorized kernel dispatches and
+    ``mask_conversions`` the int-mask <-> word-array crossings of the
+    ``wordarray`` backend (:mod:`repro.probability.wordmask`);
     ``backend_switches`` counts :func:`set_default_backend` changes.
     """
     return _TOTALS.snapshot()
@@ -109,6 +128,16 @@ def reset_kernel_totals() -> Dict[str, int]:
 def count_naive_query() -> None:
     """Count one naive-backend kernel dispatch (called by the space)."""
     _TOTALS.naive_queries += 1
+
+
+def count_wordarray_query() -> None:
+    """Count one wordarray-backend kernel dispatch (called by wordmask)."""
+    _TOTALS.wordarray_queries += 1
+
+
+def count_mask_conversion() -> None:
+    """Count one int-mask <-> word-array conversion at the index boundary."""
+    _TOTALS.mask_conversions += 1
 
 
 class OutcomeIndex:
@@ -289,10 +318,12 @@ class IntervalCache:
 # Backend selection
 # ----------------------------------------------------------------------
 
-#: The two measure engines: ``"bitmask"`` (indexed ints, default) and
-#: ``"naive"`` (the original frozenset scans, kept for differential
-#: testing and the ablation benchmark).
-BACKENDS: Tuple[str, ...] = ("bitmask", "naive")
+#: The three measure engines: ``"bitmask"`` (indexed ints, default),
+#: ``"wordarray"`` (numpy uint64 word arrays, for >=100k-point systems;
+#: needs numpy and degrades to ``"bitmask"`` without it) and ``"naive"``
+#: (the original frozenset scans, kept for differential testing and the
+#: ablation benchmark).
+BACKENDS: Tuple[str, ...] = ("bitmask", "wordarray", "naive")
 
 _default_backend = "bitmask"
 
@@ -307,11 +338,32 @@ def set_default_backend(name: str) -> str:
 
     Existing spaces keep the backend they were built with: the choice is
     baked in at construction, which is what lets the ablation benchmark
-    time the two engines on identically constructed inputs.
+    time the engines on identically constructed inputs.
+
+    Requesting ``"wordarray"`` without numpy installed degrades
+    gracefully to ``"bitmask"`` (numpy is an optional extra, never a
+    hard dependency): a ``backend_fallback`` event records the
+    substitution and the returned previous backend still restores
+    correctly through :func:`use_backend`.
     """
     global _default_backend
     if name not in BACKENDS:
         raise ValueError(f"unknown measure backend {name!r}; expected one of {BACKENDS}")
+    if name == "wordarray":
+        # Function-local import: the numpy probe is deferred until the
+        # backend is actually requested, so bitmask-only processes never
+        # pay it (and the module cycle wordmask -> bitset stays one-way
+        # at module scope).
+        from . import wordmask
+
+        if not wordmask.available():
+            get_recorder().event(
+                "backend_fallback",
+                requested="wordarray",
+                backend="bitmask",
+                reason="numpy unavailable",
+            )
+            name = "bitmask"
     previous = _default_backend
     _default_backend = name
     if name != previous:
@@ -322,9 +374,13 @@ def set_default_backend(name: str) -> str:
 
 @contextmanager
 def use_backend(name: str) -> Iterator[str]:
-    """Context manager: build spaces with ``name`` inside the block."""
+    """Context manager: build spaces with ``name`` inside the block.
+
+    Yields the backend actually in effect -- ``"bitmask"`` when
+    ``"wordarray"`` was requested without numpy available.
+    """
     previous = set_default_backend(name)
     try:
-        yield name
+        yield get_default_backend()
     finally:
         set_default_backend(previous)

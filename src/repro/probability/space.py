@@ -11,14 +11,19 @@ measure ``mu`` given by one exact :class:`~fractions.Fraction` per atom.
 Inner and outer measures (Section 5) and the two-valued inner/outer
 expectations of Appendix B.2 are first-class operations.
 
-Two measure engines back the set-algebra kernels (see
+Three measure engines back the set-algebra kernels (see
 :mod:`repro.probability.bitset`): the default **bitmask** engine indexes
 outcomes to bit positions at construction, turning every atom/event test
 into integer bitwise operations with an LRU-cached ``mask -> (inner,
-outer)`` table, while the retained **naive** engine scans frozensets as
-the original implementation did.  Both compute identical exact Fractions;
-the ``*_naive`` kernels stay public for differential tests and the
-ablation benchmark (``benchmarks/bench_ablation_bitset.py``).
+outer)`` table; the **wordarray** engine keeps that index and cache but
+answers cache misses with the vectorized numpy kernels of
+:mod:`repro.probability.wordmask` (built for >=100k-point systems, and
+notably *without* materialising per-atom masks, whose powerset cost is
+quadratic in the point count); and the retained **naive** engine scans
+frozensets as the original implementation did.  All three compute
+identical exact Fractions; the ``*_naive`` kernels stay public for
+differential tests and the ablation benchmark
+(``benchmarks/bench_ablation_bitset.py``).
 """
 
 from __future__ import annotations
@@ -98,23 +103,27 @@ class FiniteProbabilitySpace:
         "_atom_weights",
         "_weight_denominator",
         "_interval_cache",
+        "_word_kernel",
+        "_cache_maxsize",
     )
 
-    #: Bound on the per-space LRU cache of ``event mask -> (inner, outer,
-    #: contained)`` entries (bitmask backend only).
+    #: Default bound on the per-space LRU cache of ``event mask ->
+    #: (inner, outer, contained)`` entries (bitmask/wordarray backends).
+    #: Overridable per space via ``interval_cache_maxsize``.
     interval_cache_size = 4096
 
     def __init__(
         self,
         atoms: Iterable[Atom],
         atom_probabilities: Mapping[Atom, FractionLike],
+        interval_cache_maxsize: Optional[int] = None,
     ) -> None:
         atom_tuple = tuple(frozenset(atom) for atom in atoms)
         outcomes = frozenset().union(*atom_tuple) if atom_tuple else frozenset()
         self._atoms: Tuple[Atom, ...] = check_partition(outcomes, atom_tuple)
         self._outcomes: Event = outcomes
         self._check_measure(atom_probabilities)
-        self._finalise()
+        self._finalise(cache_maxsize=interval_cache_maxsize)
 
     def _check_measure(self, atom_probabilities: Mapping[Atom, FractionLike]) -> None:
         probabilities: Dict[Atom, Fraction] = {}
@@ -156,6 +165,7 @@ class FiniteProbabilitySpace:
         self,
         weights: Optional[Tuple[int, ...]] = None,
         denominator: Optional[int] = None,
+        cache_maxsize: Optional[int] = None,
     ) -> None:
         """Build the per-outcome and (bitmask backend) per-mask indexes.
 
@@ -165,6 +175,12 @@ class FiniteProbabilitySpace:
         exact: the common denominator is a multiple of every atom's
         denominator by construction.  Callers that already hold the
         measure in weight form pass ``weights``/``denominator`` directly.
+
+        On the wordarray backend the outcome index and interval cache are
+        built exactly as for bitmask, but per-atom int masks are *not*
+        materialised (for a powerset algebra they cost O(n^2) bits in
+        total); cache misses go to a lazily built
+        :class:`~repro.probability.wordmask.SpaceKernel` instead.
         """
         if weights is None:
             probabilities = self._probabilities_dict
@@ -181,16 +197,20 @@ class FiniteProbabilitySpace:
         self._atom_weights: Tuple[int, ...] = weights
         self._weight_denominator: int = denominator
         self._backend = get_default_backend()
+        self._cache_maxsize: Optional[int] = cache_maxsize
         self._atom_of_dict: Optional[Dict[Outcome, Atom]] = None
-        if self._backend == "bitmask":
+        self._word_kernel = None
+        if self._backend in ("bitmask", "wordarray"):
             index = OutcomeIndex(
                 outcome for atom in self._atoms for outcome in atom
             )
             self._index: Optional[OutcomeIndex] = index
-            if all(len(atom) == 1 for atom in self._atoms):
+            if self._backend == "wordarray":
+                self._atom_masks: Tuple[int, ...] = ()
+            elif all(len(atom) == 1 for atom in self._atoms):
                 # powerset algebra: the index enumerated outcomes in atom
                 # order, so atom i owns exactly bit i
-                self._atom_masks: Tuple[int, ...] = tuple(
+                self._atom_masks = tuple(
                     1 << position for position in range(len(self._atoms))
                 )
             else:
@@ -198,7 +218,7 @@ class FiniteProbabilitySpace:
                     index.mask_of(atom) for atom in self._atoms
                 )
             self._interval_cache: Optional[IntervalCache] = IntervalCache(
-                self.interval_cache_size
+                cache_maxsize if cache_maxsize is not None else self.interval_cache_size
             )
         else:
             self._index = None
@@ -223,6 +243,7 @@ class FiniteProbabilitySpace:
         atom_tuple: Tuple[Atom, ...],
         atom_probabilities: Mapping[Atom, FractionLike],
         validate_measure: bool = True,
+        interval_cache_maxsize: Optional[int] = None,
     ) -> "FiniteProbabilitySpace":
         """Internal fast constructor for atoms already known to partition.
 
@@ -246,7 +267,7 @@ class FiniteProbabilitySpace:
             self._check_measure(atom_probabilities)
         else:
             self._probabilities = dict(atom_probabilities)
-        self._finalise()
+        self._finalise(cache_maxsize=interval_cache_maxsize)
         return self
 
     @classmethod
@@ -255,6 +276,7 @@ class FiniteProbabilitySpace:
         atom_tuple: Tuple[Atom, ...],
         weights: Tuple[int, ...],
         denominator: int,
+        interval_cache_maxsize: Optional[int] = None,
     ) -> "FiniteProbabilitySpace":
         """Internal constructor from integer atom weights.
 
@@ -271,7 +293,11 @@ class FiniteProbabilitySpace:
             frozenset().union(*atom_tuple) if atom_tuple else frozenset()
         )
         self._probabilities_dict = None
-        self._finalise(weights=tuple(weights), denominator=denominator)
+        self._finalise(
+            weights=tuple(weights),
+            denominator=denominator,
+            cache_maxsize=interval_cache_maxsize,
+        )
         return self
 
     # ------------------------------------------------------------------
@@ -280,7 +306,9 @@ class FiniteProbabilitySpace:
 
     @classmethod
     def from_point_masses(
-        cls, masses: Mapping[Outcome, FractionLike]
+        cls,
+        masses: Mapping[Outcome, FractionLike],
+        interval_cache_maxsize: Optional[int] = None,
     ) -> "FiniteProbabilitySpace":
         """Space whose sigma-algebra is the full powerset (singleton atoms).
 
@@ -293,7 +321,11 @@ class FiniteProbabilitySpace:
             atom = frozenset((outcome,))
             atoms.append(atom)
             probabilities[atom] = mass
-        return cls._from_checked_partition(tuple(atoms), probabilities)
+        return cls._from_checked_partition(
+            tuple(atoms),
+            probabilities,
+            interval_cache_maxsize=interval_cache_maxsize,
+        )
 
     @classmethod
     def uniform(cls, outcomes: Iterable[Outcome]) -> "FiniteProbabilitySpace":
@@ -353,6 +385,16 @@ class FiniteProbabilitySpace:
         return self._weight_denominator
 
     @property
+    def interval_cache_maxsize(self) -> Optional[int]:
+        """The per-space interval-cache bound override, if one was given.
+
+        ``None`` means the class default :attr:`interval_cache_size`
+        applies.  Derived spaces (:meth:`condition`, :meth:`product`,
+        :meth:`coarsen`) inherit the override.
+        """
+        return self._cache_maxsize
+
+    @property
     def outcome_index(self) -> OutcomeIndex:
         """The ``outcome -> bit position`` index (bitmask backend only)."""
         if self._index is None:
@@ -395,21 +437,47 @@ class FiniteProbabilitySpace:
     # of the atoms wholly inside the event.  The event is measurable iff
     # ``contained`` equals its mask, and then ``mu(event) == inner``.
 
+    def _build_word_kernel(self):
+        """The wordarray backend's :class:`~repro.probability.wordmask.SpaceKernel`.
+
+        Built lazily on the first cache miss -- spaces constructed only to
+        be conditioned or inspected never pay for it -- and kept for the
+        space's lifetime.
+        """
+        from . import wordmask
+
+        kernel = wordmask.SpaceKernel(
+            self._atoms,
+            self._index.position,
+            len(self._index),
+            self._atom_weights,
+            self._weight_denominator,
+            all(len(atom) == 1 for atom in self._atoms),
+        )
+        self._word_kernel = kernel
+        return kernel
+
     def _interval_entry(self, mask: int) -> Tuple[Fraction, Fraction, int]:
         cache = self._interval_cache
         entry = cache.get(mask)
         if entry is None:
-            inner = 0
-            outer = 0
-            contained = 0
-            for atom_mask, weight in zip(self._atom_masks, self._atom_weights):
-                overlap = atom_mask & mask
-                if overlap:
-                    outer += weight
-                    if overlap == atom_mask:
-                        inner += weight
-                        contained |= atom_mask
             denominator = self._weight_denominator
+            if self._backend == "wordarray":
+                kernel = self._word_kernel
+                if kernel is None:
+                    kernel = self._build_word_kernel()
+                inner, outer, contained = kernel.interval_mask(mask)
+            else:
+                inner = 0
+                outer = 0
+                contained = 0
+                for atom_mask, weight in zip(self._atom_masks, self._atom_weights):
+                    overlap = atom_mask & mask
+                    if overlap:
+                        outer += weight
+                        if overlap == atom_mask:
+                            inner += weight
+                            contained |= atom_mask
             entry = (
                 Fraction(inner, denominator),
                 Fraction(outer, denominator),
@@ -646,7 +714,10 @@ class FiniteProbabilitySpace:
             for atom in new_atoms
         }
         return FiniteProbabilitySpace._from_checked_partition(
-            new_atoms, probabilities, validate_measure=False
+            new_atoms,
+            probabilities,
+            validate_measure=False,
+            interval_cache_maxsize=self._cache_maxsize,
         )
 
     def conditional_probability(
@@ -776,7 +847,9 @@ class FiniteProbabilitySpace:
         """
         blocks = tuple(frozenset(block) for block in partition)
         probabilities = {block: self.measure(block) for block in blocks}
-        return FiniteProbabilitySpace(blocks, probabilities)
+        return FiniteProbabilitySpace(
+            blocks, probabilities, interval_cache_maxsize=self._cache_maxsize
+        )
 
     def product(self, other: "FiniteProbabilitySpace") -> "FiniteProbabilitySpace":
         """Independent product space over pairs of outcomes."""
@@ -794,7 +867,10 @@ class FiniteProbabilitySpace:
                     self._probabilities[left] * other._probabilities[right]
                 )
         return FiniteProbabilitySpace._from_checked_partition(
-            tuple(atoms), probabilities, validate_measure=False
+            tuple(atoms),
+            probabilities,
+            validate_measure=False,
+            interval_cache_maxsize=self._cache_maxsize,
         )
 
     def extends(self, other: "FiniteProbabilitySpace") -> bool:

@@ -1,0 +1,430 @@
+"""Word-array mask kernels: the ``"wordarray"`` measure backend.
+
+Python-int bitmasks (:mod:`repro.probability.bitset`) are fast at the
+1k-11k points the seed examples use, but every AND/OR/popcount walks a
+30-bit digit array under the interpreter, one object at a time.  This
+module re-represents masks as little-endian ``numpy.uint64`` arrays --
+``n_words = ceil(n_bits / 64)`` words per mask -- so the same set algebra
+runs as vectorized C loops over machine words:
+
+* conversion at the :class:`~repro.probability.bitset.OutcomeIndex`
+  boundary (:func:`mask_to_words` / :func:`words_to_mask` /
+  :func:`stack_masks`), counted by the process-wide kernel totals;
+* elementwise kernels (:func:`union_words`, :func:`intersect_words`,
+  :func:`complement_words` with tail-word masking, :func:`subset_words`,
+  :func:`popcount_words`);
+* batched kernels over *collections* of masks: the stacked
+  ``(n_rows, n_words)`` containment fold :func:`fold_contained_rows`,
+  and -- because both sigma-algebra atoms and an agent's information
+  classes *partition* their universe -- the :class:`PartitionKernel`,
+  which answers "which blocks are wholly inside this target?" with one
+  ``unpackbits`` + ``bincount`` pass instead of one subset test per
+  block.  :class:`SpaceKernel` specialises that to the Section 5
+  interval query ``(mu_*, mu^*, contained)`` with exact integer weight
+  sums.
+
+Exactness contract: numpy arrays live strictly *inside* this module.
+Every weight sum crosses back to Python as an exact ``int`` (summed in
+``int64`` only when the space's common denominator proves no overflow is
+possible, in Python ints otherwise), and the space layer wraps those
+ints into :class:`fractions.Fraction`.  No float is ever produced --
+``tools/reproflow`` RL010 lists this module as a sanctioned numeric
+boundary on that basis.
+
+numpy is an *optional* dependency: when it is missing,
+:func:`available` is False, ``set_default_backend("wordarray")``
+degrades to ``"bitmask"``, and every kernel here raises
+:class:`~repro.errors.BackendError` if called anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, List, Sequence, Tuple
+
+from ..errors import BackendError
+from .bitset import count_mask_conversion, count_wordarray_query
+
+try:  # pragma: no cover - exercised via the no-numpy CI leg
+    import numpy
+except ImportError:  # pragma: no cover
+    numpy = None  # type: ignore[assignment]
+
+__all__ = [
+    "WORD_BITS",
+    "PartitionKernel",
+    "SpaceKernel",
+    "available",
+    "bits_of_words",
+    "complement_words",
+    "equal_words",
+    "fold_contained_rows",
+    "full_words",
+    "intersect_words",
+    "mask_to_words",
+    "popcount_words",
+    "stack_masks",
+    "subset_words",
+    "union_words",
+    "word_count",
+    "words_from_bits",
+    "words_to_mask",
+    "zero_words",
+]
+
+#: Bits per mask word (``numpy.uint64``).
+WORD_BITS = 64
+
+
+def available() -> bool:
+    """True iff numpy is importable, i.e. the backend can actually run."""
+    return numpy is not None
+
+
+def _require():
+    if numpy is None:
+        raise BackendError(
+            "the 'wordarray' backend needs numpy (install the 'wordarray' "
+            "extra); set_default_backend falls back to 'bitmask' without it"
+        )
+    return numpy
+
+
+def word_count(n_bits: int) -> int:
+    """Words needed for an ``n_bits``-bit mask: ``ceil(n_bits / 64)``."""
+    return (n_bits + WORD_BITS - 1) // WORD_BITS
+
+
+# ----------------------------------------------------------------------
+# int mask <-> word array conversion (the OutcomeIndex boundary)
+# ----------------------------------------------------------------------
+
+
+def mask_to_words(mask: int, n_words: int):
+    """A Python-int mask as a little-endian ``uint64`` array of ``n_words``.
+
+    Bit ``i`` of the mask is bit ``i % 64`` of word ``i // 64``.  Raises
+    ``OverflowError`` if the mask does not fit -- callers clamp to the
+    universe first.  Counted as one mask conversion in the kernel totals.
+    """
+    np = _require()
+    count_mask_conversion()
+    data = mask.to_bytes(n_words * 8, "little")
+    # bytearray, not bytes: frombuffer on bytes yields a read-only array.
+    return np.frombuffer(bytearray(data), dtype="<u8")
+
+
+def words_to_mask(words) -> int:
+    """The Python-int mask a word array encodes (inverse of
+    :func:`mask_to_words`); counted as one mask conversion."""
+    np = _require()
+    count_mask_conversion()
+    contiguous = np.ascontiguousarray(words, dtype="<u8")
+    return int.from_bytes(contiguous.tobytes(), "little")
+
+
+def stack_masks(masks: Sequence[int], n_words: int):
+    """A ``(len(masks), n_words)`` matrix, one mask per row.
+
+    This is the batched boundary crossing: all rows are serialised into
+    one buffer, so downstream folds (:func:`fold_contained_rows`) touch
+    a single contiguous matrix.  Counts ``len(masks)`` conversions.
+    """
+    np = _require()
+    for _ in masks:
+        count_mask_conversion()
+    data = b"".join(mask.to_bytes(n_words * 8, "little") for mask in masks)
+    return np.frombuffer(bytearray(data), dtype="<u8").reshape(len(masks), n_words)
+
+
+def zero_words(n_words: int):
+    """The empty mask as a word array."""
+    np = _require()
+    return np.zeros(n_words, dtype="<u8")
+
+
+def full_words(n_bits: int):
+    """The full ``n_bits``-universe mask, with the tail word masked."""
+    np = _require()
+    n_words = word_count(n_bits)
+    words = np.full(n_words, np.uint64(0xFFFFFFFFFFFFFFFF), dtype="<u8")
+    tail = n_bits % WORD_BITS
+    if n_words and tail:
+        words[-1] = np.uint64((1 << tail) - 1)
+    return words
+
+
+# ----------------------------------------------------------------------
+# Elementwise kernels
+# ----------------------------------------------------------------------
+
+
+def union_words(left, right):
+    """Elementwise ``left | right``."""
+    return _require().bitwise_or(left, right)
+
+
+def intersect_words(left, right):
+    """Elementwise ``left & right``."""
+    return _require().bitwise_and(left, right)
+
+
+def complement_words(words, n_bits: int):
+    """``~words`` within an ``n_bits`` universe.
+
+    The tail word is re-masked so bits past ``n_bits`` stay clear -- the
+    classic off-by-one of fixed-width complements, pinned by the
+    differential suite on non-multiple-of-64 universes.
+    """
+    np = _require()
+    out = np.bitwise_not(words)
+    tail = n_bits % WORD_BITS
+    if out.shape[-1] and tail:
+        out[..., -1] &= np.uint64((1 << tail) - 1)
+    return out
+
+
+def subset_words(left, right) -> bool:
+    """True iff every bit of ``left`` is set in ``right``."""
+    np = _require()
+    return not bool(np.bitwise_and(left, np.bitwise_not(right)).any())
+
+
+def equal_words(left, right) -> bool:
+    """True iff the two word arrays encode the same mask."""
+    np = _require()
+    return bool(np.array_equal(left, right))
+
+
+if numpy is not None and hasattr(numpy, "bitwise_count"):
+
+    def popcount_words(words) -> int:
+        """Total set bits across the array (numpy >= 2.0 ``bitwise_count``)."""
+        return int(numpy.bitwise_count(words).sum())
+
+else:  # pragma: no cover - numpy 1.x / no-numpy fallback
+
+    def popcount_words(words) -> int:
+        """Total set bits across the array (byte-LUT fold for numpy 1.x)."""
+        np = _require()
+        lut = np.array([bin(value).count("1") for value in range(256)], dtype="<u8")
+        as_bytes = np.ascontiguousarray(words, dtype="<u8").view(np.uint8)
+        return int(lut[as_bytes].sum())
+
+
+# ----------------------------------------------------------------------
+# Bit vector <-> word array
+# ----------------------------------------------------------------------
+
+
+def bits_of_words(words, n_bits: int):
+    """The first ``n_bits`` bits of a word array as a ``uint8`` 0/1 vector."""
+    np = _require()
+    as_bytes = np.ascontiguousarray(words, dtype="<u8").view(np.uint8)
+    return np.unpackbits(as_bytes, bitorder="little")[:n_bits]
+
+
+def words_from_bits(bits, n_words: int):
+    """A word array from a 0/1 (or bool) vector, zero-padded to the tail."""
+    np = _require()
+    padded = np.zeros(n_words * WORD_BITS, dtype=np.uint8)
+    padded[: len(bits)] = bits
+    return np.packbits(padded, bitorder="little").view("<u8")
+
+
+# ----------------------------------------------------------------------
+# Batched kernels
+# ----------------------------------------------------------------------
+
+
+def fold_contained_rows(matrix, target):
+    """OR of the rows of a stacked mask matrix wholly contained in ``target``.
+
+    The batched knowledge fold: with one row per information class, this
+    is the extension of ``K_i`` applied to ``target`` -- every class is
+    tested in a single ``(n_rows, n_words)`` array operation instead of
+    one Python-level subset test per class.  Counted as one wordarray
+    query.  (When the rows *partition* the universe,
+    :class:`PartitionKernel` computes the same fold in O(n_bits) via
+    ``bincount`` -- preferred on the hot paths.)
+    """
+    np = _require()
+    count_wordarray_query()
+    n_words = matrix.shape[1]
+    violates = np.bitwise_and(matrix, np.bitwise_not(target)).any(axis=1)
+    kept = matrix[~violates]
+    if kept.shape[0] == 0:
+        return np.zeros(n_words, dtype="<u8")
+    return np.bitwise_or.reduce(kept, axis=0)
+
+
+class PartitionKernel:
+    """Batched containment queries against a fixed partition of a universe.
+
+    Both uses of the knowledge/measure kernels are folds over a
+    *partition*: an agent's information classes partition the system's
+    points (Section 2), and a sigma-algebra's atoms partition the sample
+    space (Section 5).  For a partition, "which blocks are wholly inside
+    the target?" needs no per-block subset test: unpack the target to a
+    bit vector once, count hits per block with ``bincount``, and a block
+    is contained iff its hit count equals its size.  That makes the fold
+    O(n_bits) with vectorized constants, independent of the block count.
+    """
+
+    __slots__ = ("_ids", "_sizes", "_n_bits", "_n_words", "_n_blocks")
+
+    def __init__(self, block_ids, n_blocks: int, n_bits: int) -> None:
+        np = _require()
+        self._ids = np.ascontiguousarray(block_ids, dtype=np.int64)
+        self._n_blocks = n_blocks
+        self._n_bits = n_bits
+        self._n_words = word_count(n_bits)
+        self._sizes = np.bincount(self._ids, minlength=n_blocks)
+
+    @classmethod
+    def from_blocks(
+        cls,
+        blocks: Iterable[Iterable[Hashable]],
+        position: Callable[[Hashable], int],
+        n_bits: int,
+    ) -> "PartitionKernel":
+        """Build from explicit blocks and a ``member -> bit`` positioner.
+
+        The blocks must partition ``range(n_bits)`` under ``position`` --
+        true by construction for information classes over a point index
+        and for algebra atoms over an outcome index.
+        """
+        np = _require()
+        ids = np.zeros(n_bits, dtype=np.int64)
+        n_blocks = 0
+        for block_index, block in enumerate(blocks):
+            n_blocks = block_index + 1
+            for member in block:
+                ids[position(member)] = block_index
+        return cls(ids, n_blocks, n_bits)
+
+    @property
+    def n_blocks(self) -> int:
+        return self._n_blocks
+
+    @property
+    def n_words(self) -> int:
+        return self._n_words
+
+    def hit_counts(self, target):
+        """Per-block count of target bits (``bincount`` over set bits)."""
+        np = _require()
+        bits = bits_of_words(target, self._n_bits).view(np.bool_)
+        return np.bincount(self._ids[bits], minlength=self._n_blocks)
+
+    def contained_blocks(self, target):
+        """Bool vector: block ``j`` is wholly inside the target."""
+        return self.hit_counts(target) == self._sizes
+
+    def knowledge_words(self, target):
+        """The union of the blocks wholly inside ``target``, as words.
+
+        With blocks = an agent's information classes this is exactly the
+        extension mask of ``K_i`` applied to ``target`` (Section 2): a
+        point satisfies ``K_i phi`` iff its whole class does.  Counted
+        as one wordarray query.
+        """
+        count_wordarray_query()
+        contained = self.contained_blocks(target)
+        return words_from_bits(contained[self._ids], self._n_words)
+
+
+class SpaceKernel:
+    """The Section 5 interval query over one space, vectorized.
+
+    Computes ``(inner, outer, contained)`` for an event mask: the total
+    *integer* weight of atoms contained in / overlapping the event, plus
+    the union of the contained atoms -- the exact triple the bitmask
+    backend's per-atom Python fold produces, as one array pass.
+
+    Exactness: weights are the space's integer atom weights over a
+    common denominator.  When the denominator fits a signed 64-bit word,
+    subset sums are bounded by it and an ``int64`` sum is provably
+    exact; otherwise the weights are summed as Python ints over the
+    selected indices.  Either way the caller receives plain ints and
+    builds the Fractions.
+    """
+
+    __slots__ = (
+        "_n_bits",
+        "_n_words",
+        "_universe",
+        "_powerset",
+        "_partition",
+        "_weights_list",
+        "_weights64",
+    )
+
+    #: Weight sums stay in int64 only while the total weight is provably
+    #: below this bound (no overflow possible for any subset sum).
+    INT64_SAFE_DENOMINATOR = 2**63
+
+    def __init__(
+        self,
+        atoms: Sequence[Iterable[Hashable]],
+        position: Callable[[Hashable], int],
+        n_bits: int,
+        weights: Sequence[int],
+        denominator: int,
+        powerset: bool,
+    ) -> None:
+        np = _require()
+        self._n_bits = n_bits
+        self._n_words = word_count(n_bits)
+        self._universe = (1 << n_bits) - 1
+        self._powerset = powerset
+        if powerset:
+            # Atom i owns exactly bit i (the index enumerates outcomes in
+            # atom order), so the weight vector is already bit-aligned.
+            self._partition = None
+        else:
+            ids = np.zeros(n_bits, dtype=np.int64)
+            for atom_index, atom in enumerate(atoms):
+                for outcome in atom:
+                    ids[position(outcome)] = atom_index
+            self._partition = PartitionKernel(ids, len(atoms), n_bits)
+        self._weights_list: List[int] = list(weights)
+        if denominator < self.INT64_SAFE_DENOMINATOR:
+            self._weights64 = np.array(self._weights_list, dtype=np.int64)
+        else:
+            self._weights64 = None
+
+    def _weight_sum(self, selected) -> int:
+        """Exact total weight of the selected atoms (bool vector)."""
+        np = _require()
+        weights64 = self._weights64
+        if weights64 is not None:
+            return int(weights64[selected].sum(dtype=np.int64))
+        weights = self._weights_list
+        return sum(weights[index] for index in np.flatnonzero(selected).tolist())
+
+    def interval_mask(self, mask: int) -> Tuple[int, int, int]:
+        """``(inner weight, outer weight, contained mask)`` for an event.
+
+        Matches the bitmask fold bit for bit: stray mask bits outside
+        the universe contribute nothing and are never part of the
+        contained mask (so ``contained == mask`` still characterises
+        measurability).  Counted as one wordarray query.
+        """
+        np = _require()
+        count_wordarray_query()
+        clamped = mask & self._universe
+        words = mask_to_words(clamped, self._n_words)
+        bits = bits_of_words(words, self._n_bits).view(np.bool_)
+        if self._partition is None:
+            weight = self._weight_sum(bits)
+            return weight, weight, clamped
+        partition = self._partition
+        hits = partition.hit_counts(words)
+        contained = hits == partition._sizes
+        overlapping = hits.astype(np.bool_)
+        inner = self._weight_sum(contained)
+        outer = self._weight_sum(overlapping)
+        contained_mask = words_to_mask(
+            words_from_bits(contained[partition._ids], self._n_words)
+        )
+        return inner, outer, contained_mask

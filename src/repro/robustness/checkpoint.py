@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import os
+from contextlib import ExitStack
 from fractions import Fraction
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -36,6 +37,7 @@ from ..attack.sweep import (
     sweep_tasks,
 )
 from ..errors import CheckpointError
+from ..probability.bitset import get_default_backend, use_backend
 from ..probability.fractionutil import FractionLike
 from ..reporting import fraction_from_json, json_ready
 from .engine import RetryPolicy, run_tasks
@@ -55,14 +57,21 @@ __all__ = [
 def task_fingerprint(task: SweepTask) -> Dict[str, object]:
     """The sweep coordinates identifying one task (Section 8).
 
-    Deterministic. The fingerprint depends only on the task tuple, so
-    resumed and fresh runs key the same cell identically.
+    Deterministic. The fingerprint depends only on the task tuple and
+    the active measure backend, so resumed and fresh runs key the same
+    cell identically.
     Exact. Loss and epsilon serialise as Fraction strings -- no float
     ever enters a checkpoint key.
 
     Deliberately excludes the builder callable: two runs constructing
     the same (protocol, messengers, loss, epsilon) cell must produce
     interchangeable rows, and callables have no stable serial form.
+
+    The ``backend`` field is *provenance, not identity*: rows are
+    backend-independent exact Fractions, so :meth:`SweepCheckpoint.load`
+    ignores it when matching records to tasks -- a sweep checkpointed
+    under ``bitmask`` resumes cleanly under ``wordarray`` and vice
+    versa, and checkpoints written before the field existed still load.
     """
     name, _builder, messengers, loss, epsilon = task
     return {
@@ -70,7 +79,13 @@ def task_fingerprint(task: SweepTask) -> Dict[str, object]:
         "messengers": messengers,
         "loss": str(Fraction(loss)),
         "epsilon": str(Fraction(epsilon)),
+        "backend": get_default_backend(),
     }
+
+
+def _identity_fingerprint(fingerprint: Dict[str, object]) -> Dict[str, object]:
+    """A fingerprint's identity fields: everything except ``backend``."""
+    return {key: value for key, value in fingerprint.items() if key != "backend"}
 
 
 def row_to_record(index: int, task: SweepTask, row: SweepRow) -> Dict[str, object]:
@@ -163,7 +178,7 @@ class SweepCheckpoint:
                     f"sweep has {len(tasks)} tasks"
                 )
             expected = task_fingerprint(tasks[index])
-            if fingerprint != expected:
+            if _identity_fingerprint(fingerprint) != _identity_fingerprint(expected):
                 raise CheckpointError(
                     f"checkpoint line {position + 1} was computed for "
                     f"{fingerprint!r}, but task {index} of this sweep is "
@@ -171,6 +186,34 @@ class SweepCheckpoint:
                 )
             completed[index] = row
         return completed
+
+
+class _BackendBoundTask:
+    """A task function bound to run under a fixed measure backend.
+
+    Worker processes start with the module default backend
+    (``"bitmask"``), so the engine's task callable must carry the
+    caller's choice across the process boundary itself.  A class rather
+    than ``functools.partial`` because the engine's ``wants_context``
+    protocol is an attribute probe on the callable -- a partial would
+    hide the wrapped function's opt-in and silently drop the
+    :class:`~repro.robustness.engine.TaskContext` argument.  Instances
+    pickle by value (function by reference, backend as a string).
+    """
+
+    __slots__ = ("function", "backend")
+
+    def __init__(self, function: Callable, backend: str) -> None:
+        self.function = function
+        self.backend = backend
+
+    @property
+    def wants_context(self) -> bool:
+        return bool(getattr(self.function, "wants_context", False))
+
+    def __call__(self, task, *args, **kwargs):
+        with use_backend(self.backend):
+            return self.function(task, *args, **kwargs)
 
 
 def strict_sweep_row_of(task: SweepTask) -> SweepRow:
@@ -200,6 +243,7 @@ def robust_guarantee_sweep(
     strict: bool = False,
     task_function: Optional[Callable[[SweepTask], SweepRow]] = None,
     sleep=None,
+    backend: Optional[str] = None,
 ) -> List[SweepRow]:
     """The guarantee sweep of Section 8 on the fault-tolerant engine.
 
@@ -212,30 +256,44 @@ def robust_guarantee_sweep(
     every built system against the paper's structural invariants before
     measuring it.  ``task_function`` overrides the per-task callable
     (the chaos tests inject faults through it); ``sleep`` overrides the
-    backoff sleeper.
+    backoff sleeper.  ``backend`` runs every task -- in workers too,
+    where the process default would otherwise apply -- under the named
+    measure engine (``None``: the caller's process default); rows are
+    backend-independent, so checkpoints resume across backends.
     """
     tasks = sweep_tasks(messenger_counts, losses, builders, epsilon)
     if task_function is None:
         task_function = strict_sweep_row_of if strict else sweep_row_of
+    active = backend if backend is not None else get_default_backend()
+    if backend is not None or active != "bitmask":
+        # The default-on-default case stays unwrapped so the engine sees
+        # the exact callables the chaos tests fingerprint.
+        task_function = _BackendBoundTask(task_function, active)
     checkpoint = SweepCheckpoint(checkpoint_path) if checkpoint_path is not None else None
-    completed = checkpoint.load(tasks) if checkpoint is not None else {}
-    on_result = None
-    if checkpoint is not None:
-        def on_result(index: int, row: SweepRow) -> None:
-            checkpoint.append(index, tasks[index], row)
     keywords = {}
     if sleep is not None:
         keywords["sleep"] = sleep
-    return run_tasks(
-        task_function,
-        tasks,
-        max_workers=max_workers,
-        policy=policy,
-        timeout=timeout,
-        completed=completed,
-        on_result=on_result,
-        **keywords,
-    )
+    with ExitStack() as stack:
+        if backend is not None:
+            # Activate the engine in the parent too, so the fingerprints
+            # streamed by on_result record the backend that actually
+            # computed the rows (provenance), not the ambient default.
+            stack.enter_context(use_backend(backend))
+        completed = checkpoint.load(tasks) if checkpoint is not None else {}
+        on_result = None
+        if checkpoint is not None:
+            def on_result(index: int, row: SweepRow) -> None:
+                checkpoint.append(index, tasks[index], row)
+        return run_tasks(
+            task_function,
+            tasks,
+            max_workers=max_workers,
+            policy=policy,
+            timeout=timeout,
+            completed=completed,
+            on_result=on_result,
+            **keywords,
+        )
 
 
 def resume_guarantee_sweep(
@@ -250,6 +308,7 @@ def resume_guarantee_sweep(
     strict: bool = False,
     task_function: Optional[Callable[[SweepTask], SweepRow]] = None,
     sleep=None,
+    backend: Optional[str] = None,
 ) -> List[SweepRow]:
     """Resume a checkpointed sweep, re-running only its incomplete tasks.
 
@@ -257,6 +316,9 @@ def resume_guarantee_sweep(
     mandatory checkpoint: rows already in the JSONL file (fingerprints
     verified against this sweep's task list, Section 8 coordinates) are
     returned verbatim in their deterministic positions, never re-run.
+    The checkpoint's recorded backend is provenance only -- resuming
+    under a different ``backend`` is sound because rows are exact
+    Fractions on every engine.
     """
     return robust_guarantee_sweep(
         messenger_counts,
@@ -270,4 +332,5 @@ def resume_guarantee_sweep(
         strict=strict,
         task_function=task_function,
         sleep=sleep,
+        backend=backend,
     )

@@ -1,0 +1,136 @@
+"""Word-array knowledge folds agree with the bitmask folds, bit for bit.
+
+A model built under the ``wordarray`` backend routes ``K_i``, ``E_G``
+and the ``C_G`` greatest fixed point through the batched
+:class:`~repro.probability.wordmask.PartitionKernel`; the same formulas
+checked under ``bitmask`` must yield identical extension masks on a real
+system (the three-agent coin example, whose masks straddle nothing, and
+a 70-plus-point repeated-coin system whose masks span word boundaries).
+"""
+
+import pytest
+
+from repro.core import standard_assignments
+from repro.examples_lib import repeated_coin_system, three_agent_coin_system
+from repro.logic import Model, parse
+from repro.obs import Recorder, use_recorder
+from repro.probability import use_backend, wordmask
+
+pytestmark = pytest.mark.skipif(
+    not wordmask.available(), reason="numpy not installed"
+)
+
+FORMULAS = [
+    "K0 heads",
+    "K2 heads",
+    "!K1 heads",
+    "E{0,1} (heads | !heads)",
+    "E{0,1,2} heads",
+    "C{0,1} (heads | !heads)",
+    "C{0,1,2} heads",
+    "K0 (K1 heads | !heads)",
+    "C{0,1} !K2 !heads",
+]
+
+
+def build_models(example_factory, prop_of):
+    example = example_factory()
+    post = standard_assignments(example.psys)["post"]
+    with use_backend("bitmask"):
+        bitmask_model = Model(post, {"heads": prop_of(example)})
+    with use_backend("wordarray"):
+        wordarray_model = Model(post, {"heads": prop_of(example)})
+    assert not bitmask_model._words
+    assert wordarray_model._words
+    return bitmask_model, wordarray_model
+
+
+@pytest.fixture(scope="module")
+def coin_models():
+    return build_models(three_agent_coin_system, lambda example: example.heads)
+
+
+@pytest.fixture(scope="module")
+def wide_models():
+    """Masks over >64 points: word arrays carry a partial tail word."""
+    return build_models(
+        lambda: repeated_coin_system(4),
+        lambda example: example.most_recent_heads,
+    )
+
+
+@pytest.mark.parametrize("text", FORMULAS)
+def test_extension_masks_identical(coin_models, text):
+    bitmask_model, wordarray_model = coin_models
+    formula = parse(text)
+    assert wordarray_model.extension_mask(formula) == bitmask_model.extension_mask(
+        formula
+    )
+    assert wordarray_model.extension(formula) == bitmask_model.extension(formula)
+
+
+@pytest.mark.parametrize("text", FORMULAS)
+def test_extension_masks_identical_past_one_word(wide_models, text):
+    bitmask_model, wordarray_model = wide_models
+    assert len(wordarray_model._index) > 64
+    assert wordarray_model._n_words >= 2
+    formula = parse(text)
+    assert wordarray_model.extension_mask(formula) == bitmask_model.extension_mask(
+        formula
+    )
+
+
+def test_empty_group_everyone_is_the_full_space(coin_models):
+    bitmask_model, wordarray_model = coin_models
+    full = wordarray_model._full_mask
+    assert wordarray_model._everyone_mask((), full) == full
+    assert wordarray_model._everyone_mask((), 0) == full
+    assert bitmask_model._everyone_mask((), 0) == full
+
+
+def test_backend_latches_at_model_construction(coin_models):
+    _, wordarray_model = coin_models
+    # built under wordarray, still word-routed after the backend reverts
+    assert wordarray_model._words
+    formula = parse("C{0,1,2} heads")
+    with use_backend("bitmask"):
+        mask = wordarray_model.extension_mask(formula)
+    with use_backend("wordarray"):
+        fresh = Model(
+            wordarray_model.assignment, dict(wordarray_model.valuation)
+        )
+        assert fresh.extension_mask(formula) == mask
+
+
+class _EventRecorder(Recorder):
+    def __init__(self):
+        self.events = []
+
+    def event(self, kind, **fields):
+        self.events.append((kind, fields))
+
+
+def test_gfp_events_report_wordarray_representation():
+    example = three_agent_coin_system()
+    post = standard_assignments(example.psys)["post"]
+    formula = parse("C{0,1} heads")
+    recorder = _EventRecorder()
+    with use_backend("wordarray"):
+        model = Model(post, {"heads": example.heads})
+        with use_recorder(recorder):
+            word_mask = model.extension_mask(formula)
+    gfp_events = [fields for kind, fields in recorder.events if kind == "gfp"]
+    assert gfp_events and all(
+        fields["representation"] == "wordarray" for fields in gfp_events
+    )
+    iteration_events = [
+        fields for kind, fields in recorder.events if kind == "gfp_iteration"
+    ]
+    assert iteration_events
+    # the per-iteration snapshots expose plain int masks, like the int path
+    assert all(
+        isinstance(fields["updated_mask"], int) for fields in iteration_events
+    )
+    with use_backend("bitmask"):
+        int_model = Model(post, {"heads": example.heads})
+    assert word_mask == int_model.extension_mask(formula)

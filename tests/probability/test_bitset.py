@@ -135,7 +135,7 @@ class TestIntervalCache:
 class TestBackendSwitch:
     def test_default_is_bitmask(self):
         assert get_default_backend() == "bitmask"
-        assert set(BACKENDS) == {"bitmask", "naive"}
+        assert set(BACKENDS) == {"bitmask", "wordarray", "naive"}
 
     def test_use_backend_restores_on_exit(self):
         with use_backend("naive"):

@@ -1,37 +1,53 @@
-"""Differential suite: bitmask measure kernels == naive kernels, exactly.
+"""Differential suite: wordarray == bitmask == naive kernels, exactly.
 
-Hypothesis drives random algebras over 0..7 -- including non-powerset
-ones, since the random partition regularly produces multi-outcome atoms
--- random rational masses, and random events that may split atoms or
-mention outcomes outside the sample space.  Every kernel of the bitmask
-engine must agree with the retained ``*_naive`` implementation and with a
-space constructed under the naive backend, value-for-value as exact
+Hypothesis drives random algebras -- including non-powerset ones, since
+the random partition regularly produces multi-outcome atoms -- random
+rational masses, and random events that may split atoms or mention
+outcomes outside the sample space.  Every kernel of the bitmask engine
+must agree with the retained ``*_naive`` implementation, and a space
+constructed under each backend (``naive``, ``bitmask``, and -- when
+numpy is present -- ``wordarray``) must agree value-for-value as exact
 Fractions.
+
+Two universes run the same properties: the seed's 8 outcomes, and a
+70-outcome universe whose masks span two ``uint64`` words with a partial
+tail word -- the word-array backend's classic off-by-one site.
 """
 
 from fractions import Fraction
 
 import pytest
-from hypothesis import given
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import NotMeasurableError
-from repro.probability import FiniteProbabilitySpace, use_backend
+from repro.probability import FiniteProbabilitySpace, use_backend, wordmask
 
 OUTCOMES = tuple(range(8))
+#: Non-multiple-of-64 so word-array masks carry a partial tail word.
+WIDE_OUTCOMES = tuple(range(70))
 #: Outcomes never in the space: inner/outer measures must ignore them,
-#: ``measure``/``is_measurable`` must reject them -- on both engines.
+#: ``measure``/``is_measurable`` must reject them -- on every engine.
 FOREIGN = (98, 99)
+
+#: Backends every space-level property is run under.
+THREE_BACKENDS = ("naive", "bitmask") + (
+    ("wordarray",) if wordmask.available() else ()
+)
 
 
 @st.composite
-def partitions(draw):
-    """Random partition of 0..7 plus random rational atom masses."""
+def partitions(draw, outcomes=OUTCOMES, max_label=3):
+    """Random partition of the universe plus random rational atom masses."""
     labels = draw(
-        st.lists(st.integers(0, 3), min_size=len(OUTCOMES), max_size=len(OUTCOMES))
+        st.lists(
+            st.integers(0, max_label),
+            min_size=len(outcomes),
+            max_size=len(outcomes),
+        )
     )
     blocks: dict = {}
-    for outcome, label in zip(OUTCOMES, labels):
+    for outcome, label in zip(outcomes, labels):
         blocks.setdefault(label, set()).add(outcome)
     atoms = [frozenset(block) for block in blocks.values()]
     weights = draw(
@@ -45,6 +61,36 @@ def partitions(draw):
 
 
 events = st.sets(st.sampled_from(OUTCOMES + FOREIGN)).map(frozenset)
+wide_events = st.sets(st.sampled_from(WIDE_OUTCOMES + FOREIGN)).map(frozenset)
+
+
+def build_spaces(atoms, probabilities):
+    """The same algebra constructed under every available backend."""
+    spaces = {}
+    for backend in THREE_BACKENDS:
+        with use_backend(backend):
+            spaces[backend] = FiniteProbabilitySpace(atoms, probabilities)
+        assert spaces[backend].backend == backend
+    return spaces
+
+
+def assert_spaces_agree(spaces, event):
+    reference = spaces["naive"]
+    expected_interval = reference.measure_interval(event)
+    expected_measurable = reference.is_measurable(event)
+    for backend, space in spaces.items():
+        assert space.is_measurable(event) == expected_measurable, backend
+        interval = space.measure_interval(event)
+        assert interval == expected_interval, backend
+        inner, outer = interval
+        assert type(inner) is Fraction and type(outer) is Fraction
+        try:
+            expected = reference.measure_naive(event)
+        except NotMeasurableError:
+            with pytest.raises(NotMeasurableError):
+                space.measure(event)
+        else:
+            assert space.measure(event) == expected, backend
 
 
 @given(partitions(), events)
@@ -70,26 +116,40 @@ def test_bitmask_kernels_match_naive_kernels(partition, event):
 @given(partitions(), events)
 def test_backends_agree_on_identical_inputs(partition, event):
     atoms, probabilities = partition
-    with use_backend("naive"):
-        naive_space = FiniteProbabilitySpace(atoms, probabilities)
-    bitmask_space = FiniteProbabilitySpace(atoms, probabilities)
-    assert naive_space.backend == "naive"
-    assert bitmask_space.backend == "bitmask"
-    assert bitmask_space.is_measurable(event) == naive_space.is_measurable(event)
-    assert bitmask_space.measure_interval(event) == naive_space.measure_interval(event)
-    inner, outer = bitmask_space.measure_interval(event)
-    assert type(inner) is Fraction and type(outer) is Fraction
+    assert_spaces_agree(build_spaces(atoms, probabilities), event)
+
+
+@settings(max_examples=40)
+@given(partitions(outcomes=WIDE_OUTCOMES, max_label=12), wide_events)
+def test_backends_agree_on_tail_word_universes(partition, event):
+    """70 outcomes: two words per mask, partial tail word, many atoms."""
+    atoms, probabilities = partition
+    assert_spaces_agree(build_spaces(atoms, probabilities), event)
+
+
+@settings(max_examples=40)
+@given(partitions(outcomes=WIDE_OUTCOMES, max_label=12), wide_events)
+def test_inner_outer_split_on_tail_word_universes(partition, event):
+    atoms, probabilities = partition
+    spaces = build_spaces(atoms, probabilities)
+    reference = spaces["naive"]
+    for backend, space in spaces.items():
+        assert space.inner_measure(event) == reference.inner_measure(event), backend
+        assert space.outer_measure(event) == reference.outer_measure(event), backend
 
 
 @given(partitions())
 def test_conditioning_agrees_across_backends(partition):
     atoms, probabilities = partition
     conditioning_event = frozenset(atoms[0])
-    with use_backend("naive"):
-        naive_space = FiniteProbabilitySpace(atoms, probabilities)
-        naive_conditioned = naive_space.condition(conditioning_event)
-    bitmask_conditioned = FiniteProbabilitySpace(atoms, probabilities).condition(
-        conditioning_event
-    )
-    for atom in naive_conditioned.atoms:
-        assert bitmask_conditioned.measure(atom) == naive_conditioned.measure(atom)
+    conditioned = {}
+    for backend in THREE_BACKENDS:
+        with use_backend(backend):
+            conditioned[backend] = FiniteProbabilitySpace(
+                atoms, probabilities
+            ).condition(conditioning_event)
+    reference = conditioned["naive"]
+    for atom in reference.atoms:
+        expected = reference.measure(atom)
+        for backend, space in conditioned.items():
+            assert space.measure(atom) == expected, backend

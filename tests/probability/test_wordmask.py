@@ -1,0 +1,332 @@
+"""Unit tests for the word-array mask kernels (``probability.wordmask``).
+
+Every kernel is checked against the Python-int reference semantics on
+widths straddling the 64-bit word boundary (the tail-word masking is the
+classic off-by-one), plus the no-numpy degradation contract: kernels
+raise :class:`BackendError`, ``available()`` goes False, and
+``set_default_backend("wordarray")`` falls back to ``"bitmask"`` with a
+``backend_fallback`` event.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import BackendError
+from repro.obs import Recorder, use_recorder
+from repro.probability import (
+    get_default_backend,
+    kernel_totals,
+    reset_kernel_totals,
+    set_default_backend,
+    use_backend,
+    wordmask,
+)
+
+requires_numpy = pytest.mark.skipif(
+    not wordmask.available(), reason="numpy not installed"
+)
+
+#: Widths straddling the word boundary; 70 and 130 exercise tail masking.
+WIDTHS = (1, 63, 64, 65, 70, 128, 130)
+
+
+def sample_mask(n_bits: int, salt: int = 0) -> int:
+    """A deterministic, irregular mask with bits spread over the width."""
+    mask = 0
+    for bit in range(n_bits):
+        if (bit * 2654435761 + salt) % 3 != 0:
+            mask |= 1 << bit
+    return mask
+
+
+@requires_numpy
+class TestConversions:
+    @pytest.mark.parametrize("n_bits", WIDTHS)
+    def test_round_trip(self, n_bits):
+        n_words = wordmask.word_count(n_bits)
+        for salt in (0, 1, 2):
+            mask = sample_mask(n_bits, salt)
+            words = wordmask.mask_to_words(mask, n_words)
+            assert len(words) == n_words
+            assert wordmask.words_to_mask(words) == mask
+
+    def test_word_count(self):
+        assert [wordmask.word_count(n) for n in (0, 1, 64, 65, 128, 129)] == [
+            0, 1, 1, 2, 2, 3,
+        ]
+
+    def test_oversized_mask_is_rejected(self):
+        with pytest.raises(OverflowError):
+            wordmask.mask_to_words(1 << 64, 1)
+
+    @pytest.mark.parametrize("n_bits", WIDTHS)
+    def test_stack_masks(self, n_bits):
+        n_words = wordmask.word_count(n_bits)
+        masks = [sample_mask(n_bits, salt) for salt in range(4)]
+        matrix = wordmask.stack_masks(masks, n_words)
+        assert matrix.shape == (4, n_words)
+        for row, mask in zip(matrix, masks):
+            assert wordmask.words_to_mask(row) == mask
+
+    @pytest.mark.parametrize("n_bits", WIDTHS)
+    def test_bit_vector_round_trip(self, n_bits):
+        n_words = wordmask.word_count(n_bits)
+        mask = sample_mask(n_bits)
+        words = wordmask.mask_to_words(mask, n_words)
+        bits = wordmask.bits_of_words(words, n_bits)
+        assert len(bits) == n_bits
+        assert [int(b) for b in bits] == [(mask >> i) & 1 for i in range(n_bits)]
+        rebuilt = wordmask.words_from_bits(bits, n_words)
+        assert wordmask.words_to_mask(rebuilt) == mask
+
+
+@requires_numpy
+class TestElementwiseKernels:
+    @pytest.mark.parametrize("n_bits", WIDTHS)
+    def test_full_and_zero(self, n_bits):
+        full = wordmask.full_words(n_bits)
+        assert wordmask.words_to_mask(full) == (1 << n_bits) - 1
+        assert wordmask.popcount_words(full) == n_bits
+        assert wordmask.words_to_mask(wordmask.zero_words(wordmask.word_count(n_bits))) == 0
+
+    @pytest.mark.parametrize("n_bits", WIDTHS)
+    def test_union_intersect_complement(self, n_bits):
+        n_words = wordmask.word_count(n_bits)
+        a, b = sample_mask(n_bits, 0), sample_mask(n_bits, 1)
+        wa = wordmask.mask_to_words(a, n_words)
+        wb = wordmask.mask_to_words(b, n_words)
+        assert wordmask.words_to_mask(wordmask.union_words(wa, wb)) == a | b
+        assert wordmask.words_to_mask(wordmask.intersect_words(wa, wb)) == a & b
+        universe = (1 << n_bits) - 1
+        complement = wordmask.complement_words(wa, n_bits)
+        # tail bits past n_bits must stay clear
+        assert wordmask.words_to_mask(complement) == universe & ~a
+
+    @pytest.mark.parametrize("n_bits", WIDTHS)
+    def test_subset_and_equal(self, n_bits):
+        n_words = wordmask.word_count(n_bits)
+        a = sample_mask(n_bits, 0)
+        sub = a & sample_mask(n_bits, 1)
+        wa = wordmask.mask_to_words(a, n_words)
+        wsub = wordmask.mask_to_words(sub, n_words)
+        assert wordmask.subset_words(wsub, wa)
+        assert wordmask.subset_words(wa, wa)
+        assert wordmask.equal_words(wa, wa)
+        if sub != a:
+            assert not wordmask.subset_words(wa, wsub)
+            assert not wordmask.equal_words(wa, wsub)
+
+    @pytest.mark.parametrize("n_bits", WIDTHS)
+    def test_popcount_matches_bit_count(self, n_bits):
+        n_words = wordmask.word_count(n_bits)
+        for salt in range(3):
+            mask = sample_mask(n_bits, salt)
+            words = wordmask.mask_to_words(mask, n_words)
+            assert wordmask.popcount_words(words) == mask.bit_count()
+
+
+@requires_numpy
+class TestBatchedKernels:
+    @pytest.mark.parametrize("n_bits", (65, 70, 130))
+    def test_fold_contained_rows_matches_int_fold(self, n_bits):
+        n_words = wordmask.word_count(n_bits)
+        rows = [sample_mask(n_bits, salt) for salt in range(6)]
+        target = sample_mask(n_bits, 7)
+        matrix = wordmask.stack_masks(rows, n_words)
+        target_words = wordmask.mask_to_words(target, n_words)
+        expected = 0
+        for row in rows:
+            if row & ~target == 0:
+                expected |= row
+        folded = wordmask.fold_contained_rows(matrix, target_words)
+        assert wordmask.words_to_mask(folded) == expected
+
+    @pytest.mark.parametrize("n_bits", (70, 130))
+    def test_partition_kernel_matches_int_reference(self, n_bits):
+        block_of = [bit % 7 for bit in range(n_bits)]
+        blocks = [
+            [bit for bit in range(n_bits) if block_of[bit] == label]
+            for label in range(7)
+        ]
+        kernel = wordmask.PartitionKernel.from_blocks(
+            blocks, lambda bit: bit, n_bits
+        )
+        assert kernel.n_blocks == 7
+        block_masks = [
+            sum(1 << bit for bit in block) for block in blocks
+        ]
+        for salt in range(4):
+            # union of whole blocks plus a straddling remainder
+            target = block_masks[salt] | block_masks[(salt + 2) % 7]
+            target |= sample_mask(n_bits, salt) & block_masks[(salt + 4) % 7]
+            expected = 0
+            for block_mask in block_masks:
+                if block_mask & ~target == 0:
+                    expected |= block_mask
+            n_words = wordmask.word_count(n_bits)
+            words = wordmask.mask_to_words(target, n_words)
+            hits = kernel.hit_counts(words)
+            assert [int(h) for h in hits] == [
+                (target & block_mask).bit_count() for block_mask in block_masks
+            ]
+            result = kernel.knowledge_words(words)
+            assert wordmask.words_to_mask(result) == expected
+
+
+@requires_numpy
+class TestSpaceKernel:
+    def build(self, denominator_shift: int = 0):
+        """A 70-outcome, 10-atom kernel; shifting inflates the denominator
+        past ``INT64_SAFE_DENOMINATOR`` to force the Python-int sum path."""
+        n_bits = 70
+        atoms = [
+            [outcome for outcome in range(n_bits) if outcome % 10 == label]
+            for label in range(10)
+        ]
+        weights = [(label + 1) << denominator_shift for label in range(10)]
+        denominator = sum(weights)
+        kernel = wordmask.SpaceKernel(
+            atoms, lambda outcome: outcome, n_bits, weights, denominator, False
+        )
+        atom_masks = [sum(1 << o for o in atom) for atom in atoms]
+        return kernel, atom_masks, weights, n_bits
+
+    def reference(self, mask, atom_masks, weights):
+        inner = outer = 0
+        contained = 0
+        for atom_mask, weight in zip(atom_masks, weights):
+            if atom_mask & mask:
+                outer += weight
+            if atom_mask & ~mask == 0:
+                inner += weight
+                contained |= atom_mask
+        return inner, outer, contained
+
+    @pytest.mark.parametrize("shift", (0, 64))
+    def test_interval_matches_reference(self, shift):
+        kernel, atom_masks, weights, n_bits = self.build(shift)
+        if shift:
+            assert sum(weights) >= wordmask.SpaceKernel.INT64_SAFE_DENOMINATOR
+        for salt in range(4):
+            mask = sample_mask(n_bits, salt) | atom_masks[salt]
+            assert kernel.interval_mask(mask) == self.reference(
+                mask, atom_masks, weights
+            )
+
+    def test_stray_bits_are_clamped(self):
+        kernel, atom_masks, weights, n_bits = self.build()
+        mask = atom_masks[3] | (1 << (n_bits + 5))
+        inner, outer, contained = kernel.interval_mask(mask)
+        assert (inner, outer, contained) == self.reference(
+            atom_masks[3], atom_masks, weights
+        )
+        # contained == clamped mask still characterises measurability
+        assert contained == atom_masks[3]
+
+    def test_powerset_short_circuit(self):
+        n_bits = 70
+        weights = list(range(1, n_bits + 1))
+        kernel = wordmask.SpaceKernel(
+            [[outcome] for outcome in range(n_bits)],
+            lambda outcome: outcome,
+            n_bits,
+            weights,
+            sum(weights),
+            True,
+        )
+        mask = sample_mask(n_bits)
+        weight = sum(
+            weight
+            for outcome, weight in enumerate(weights)
+            if mask & (1 << outcome)
+        )
+        assert kernel.interval_mask(mask) == (weight, weight, mask)
+
+
+@requires_numpy
+class TestKernelCounters:
+    def test_conversions_and_queries_are_counted(self):
+        reset_kernel_totals()
+        n_words = wordmask.word_count(70)
+        words = wordmask.mask_to_words(sample_mask(70), n_words)
+        wordmask.words_to_mask(words)
+        wordmask.stack_masks([1, 2, 3], n_words)
+        totals = kernel_totals()
+        assert totals["mask_conversions"] == 5
+        assert totals["wordarray_queries"] == 0
+        matrix = wordmask.stack_masks([1, 2], n_words)
+        wordmask.fold_contained_rows(matrix, words)
+        kernel = wordmask.PartitionKernel.from_blocks(
+            [range(70)], lambda bit: bit, 70
+        )
+        kernel.knowledge_words(words)
+        assert kernel_totals()["wordarray_queries"] == 2
+        reset_kernel_totals()
+        assert kernel_totals()["mask_conversions"] == 0
+
+
+class _EventRecorder(Recorder):
+    def __init__(self):
+        self.events = []
+
+    def event(self, kind, **fields):
+        self.events.append((kind, fields))
+
+
+class TestNumpyAbsent:
+    """The degradation contract, simulated by monkeypatching numpy away."""
+
+    def test_available_and_kernels_raise(self, monkeypatch):
+        monkeypatch.setattr(wordmask, "numpy", None)
+        assert not wordmask.available()
+        with pytest.raises(BackendError):
+            wordmask.mask_to_words(1, 1)
+        with pytest.raises(BackendError):
+            wordmask.full_words(64)
+        with pytest.raises(BackendError):
+            wordmask.zero_words(1)
+
+    def test_set_default_backend_falls_back_with_event(self, monkeypatch):
+        monkeypatch.setattr(wordmask, "numpy", None)
+        recorder = _EventRecorder()
+        previous = get_default_backend()
+        try:
+            with use_recorder(recorder):
+                set_default_backend("wordarray")
+            assert get_default_backend() == "bitmask"
+        finally:
+            set_default_backend(previous)
+        fallbacks = [f for kind, f in recorder.events if kind == "backend_fallback"]
+        assert len(fallbacks) == 1
+        assert fallbacks[0]["requested"] == "wordarray"
+        assert fallbacks[0]["backend"] == "bitmask"
+        assert "numpy" in fallbacks[0]["reason"]
+
+    def test_use_backend_yields_effective_backend(self, monkeypatch):
+        monkeypatch.setattr(wordmask, "numpy", None)
+        with use_backend("wordarray") as active:
+            assert active == "bitmask"
+            assert get_default_backend() == "bitmask"
+
+    @requires_numpy
+    def test_space_degrades_to_bitmask_exactly(self, monkeypatch):
+        from repro.probability import FiniteProbabilitySpace
+
+        atoms = [frozenset({0, 1}), frozenset({2})]
+        probabilities = {
+            atoms[0]: Fraction(2, 3),
+            atoms[1]: Fraction(1, 3),
+        }
+        queries = (frozenset({0, 1}), frozenset({0}), frozenset({0, 2}))
+        with use_backend("wordarray"):
+            reference = FiniteProbabilitySpace(atoms, probabilities)
+        # query before numpy disappears: the word kernel builds lazily
+        expected = [reference.measure_interval(event) for event in queries]
+        monkeypatch.setattr(wordmask, "numpy", None)
+        with use_backend("wordarray") as active:
+            assert active == "bitmask"
+            degraded = FiniteProbabilitySpace(atoms, probabilities)
+        assert degraded.backend == "bitmask"
+        for event, interval in zip(queries, expected):
+            assert degraded.measure_interval(event) == interval

@@ -167,10 +167,10 @@ def test_mutation_lambda_payload_is_rl011(tmp_path):
     tree = copy_tree(tmp_path)
     parallel = tree / "attack" / "parallel.py"
     source = parallel.read_text()
-    assert "parallel_map(sweep_row_of," in source
+    assert "parallel_map(row_of," in source
     source = source.replace(
-        "parallel_map(sweep_row_of,",
-        "parallel_map(lambda task: sweep_row_of(task),",
+        "parallel_map(row_of,",
+        "parallel_map(lambda task: row_of(task),",
         1,
     )
     parallel.write_text(source)
@@ -195,9 +195,9 @@ def test_mutation_nested_function_payload_is_rl011(tmp_path):
     source = parallel.read_text()
     # Define a function *inside* the caller and ship it as the payload.
     source = source.replace(
-        "    return parallel_map(sweep_row_of, tasks, max_workers=max_workers)",
+        "    return parallel_map(row_of, tasks, max_workers=max_workers)",
         "    def _nested(task):\n"
-        "        return sweep_row_of(task)\n"
+        "        return row_of(task)\n"
         "    return parallel_map(_nested, tasks, max_workers=max_workers)",
         1,
     )
@@ -243,6 +243,93 @@ def test_mutation_contract_drift_is_rl012(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# sanctioned boundaries are load-bearing, not decorative
+# ---------------------------------------------------------------------------
+
+
+def test_wordmask_float_boundary_sanction_is_load_bearing(tmp_path, monkeypatch):
+    """Dropping wordmask from FLOAT_BOUNDARY_MODULES re-taints its callers.
+
+    A float-classified helper inside ``wordmask`` reaches exact code
+    through an outside-scope wrapper (``attack.analysis``); the sanction
+    is the only thing keeping that chain off RL010's books.
+    """
+    import tools.reproflow.program as flow_program
+
+    tree = copy_tree(tmp_path)
+    wordmask = tree / "probability" / "wordmask.py"
+    wordmask.write_text(
+        wordmask.read_text() + "\n\ndef _mut_scale():\n    return float(1)\n"
+    )
+    analysis = tree / "attack" / "analysis.py"
+    analysis.write_text(
+        analysis.read_text()
+        + "\n\nfrom repro.probability import wordmask as _mut_wordmask\n"
+        "\n\ndef _mut_wrapper():\n"
+        "    return _mut_wordmask._mut_scale()\n"
+    )
+    algebra = tree / "probability" / "algebra.py"
+    source = algebra.read_text() + (
+        "\n\nfrom repro.attack import analysis as _mut_analysis\n"
+        "\n\ndef _mut_exact_caller():\n"
+        "    return _mut_analysis._mut_wrapper()\n"
+    )
+    algebra.write_text(source)
+    call_line = (
+        source.splitlines().index("    return _mut_analysis._mut_wrapper()") + 1
+    )
+
+    # Sanctioned: wordmask is a numeric boundary, nothing fires.
+    assert "repro.probability.wordmask" in flow_program.FLOAT_BOUNDARY_MODULES
+    assert run_flow([tree]).violations == []
+
+    monkeypatch.setattr(
+        flow_program,
+        "FLOAT_BOUNDARY_MODULES",
+        flow_program.FLOAT_BOUNDARY_MODULES - {"repro.probability.wordmask"},
+    )
+    found = violations_of(run_flow([tree]), "RL010")
+    assert len(found) == 1
+    violation = found[0]
+    assert violation.path == str(algebra)
+    assert violation.line == call_line
+    assert "repro.attack.analysis._mut_wrapper" in violation.message
+    assert "repro.probability.wordmask._mut_scale" in violation.message
+
+
+def test_use_backend_restoring_scope_sanction_is_load_bearing(monkeypatch):
+    """Without RESTORING_SCOPE_FUNCTIONS the real tree stops being clean.
+
+    ``use_backend`` mutates the module-default backend but restores it in
+    a ``finally``; the sanction stops that confined effect from
+    propagating to ``sweep_row_of``.  Unsanctioned, the real chain
+    surfaces as both RL009 (stateful task payload) and RL012 (contract
+    drift on a ``Deterministic.`` declaration) -- proof the skip is what
+    keeps the committed tree violation-free, not an accident of shape.
+    """
+    import tools.reproflow.program as flow_program
+
+    assert (
+        "repro.probability.bitset.use_backend"
+        in flow_program.RESTORING_SCOPE_FUNCTIONS
+    )
+    monkeypatch.setattr(flow_program, "RESTORING_SCOPE_FUNCTIONS", frozenset())
+    report = run_flow([SRC_REPRO])
+    rl009 = violations_of(report, "RL009")
+    assert any(
+        "mutates module-global state" in v.message
+        and "repro.attack.sweep.sweep_row_of" in v.message
+        for v in rl009
+    )
+    rl012 = violations_of(report, "RL012")
+    assert any(
+        v.message.startswith("'repro.attack.sweep.sweep_row_of' declares")
+        and "use_backend" in v.message
+        for v in rl012
+    )
+
+
+# ---------------------------------------------------------------------------
 # suppressions
 # ---------------------------------------------------------------------------
 
@@ -251,8 +338,8 @@ def test_flow_suppression_waives_and_is_not_stale(tmp_path):
     tree = copy_tree(tmp_path)
     parallel = tree / "attack" / "parallel.py"
     source = parallel.read_text().replace(
-        "    return parallel_map(sweep_row_of, tasks, max_workers=max_workers)",
-        "    return parallel_map(lambda task: sweep_row_of(task), tasks,"
+        "    return parallel_map(row_of, tasks, max_workers=max_workers)",
+        "    return parallel_map(lambda task: row_of(task), tasks,"
         " max_workers=max_workers)  # reproflow: disable=RL011",
         1,
     )
@@ -340,8 +427,8 @@ def test_cache_round_trip_same_findings(tmp_path):
     parallel = tree / "attack" / "parallel.py"
     parallel.write_text(
         parallel.read_text().replace(
-            "parallel_map(sweep_row_of,",
-            "parallel_map(lambda task: sweep_row_of(task),",
+            "parallel_map(row_of,",
+            "parallel_map(lambda task: row_of(task),",
             1,
         )
     )
@@ -424,8 +511,8 @@ def test_report_mentions_mutation_violation(tmp_path):
     parallel = tree / "attack" / "parallel.py"
     parallel.write_text(
         parallel.read_text().replace(
-            "parallel_map(sweep_row_of,",
-            "parallel_map(lambda task: sweep_row_of(task),",
+            "parallel_map(row_of,",
+            "parallel_map(lambda task: row_of(task),",
             1,
         )
     )
@@ -457,8 +544,8 @@ def test_cli_json_and_exit_one_on_finding(tmp_path):
     parallel = tree / "attack" / "parallel.py"
     parallel.write_text(
         parallel.read_text().replace(
-            "parallel_map(sweep_row_of,",
-            "parallel_map(lambda task: sweep_row_of(task),",
+            "parallel_map(row_of,",
+            "parallel_map(lambda task: row_of(task),",
             1,
         )
     )

@@ -28,9 +28,13 @@ This rule walks the resolved call graph and flags every call edge from
 a function in an exact subpackage to a float-returning function outside
 it, with the chain down to the float's origin.  Inside-scope float
 sources stay RL001's (intra-file, faster) business.
-``repro.probability.fractionutil`` is the sanctioned boundary: its
-functions *consume* floats and return Fractions, so they are never
-treated as float sources.  Convert at the boundary
+Two modules are sanctioned boundaries, never treated as float sources:
+``repro.probability.fractionutil``, whose functions *consume* floats
+and return Fractions, and ``repro.probability.wordmask``, whose numpy
+``uint64`` arrays stay strictly internal -- every public weight sum
+comes back as a plain Python int (accumulated in ``int64`` only when
+the space's denominator proves overflow impossible) for the space
+layer to wrap into a Fraction.  Convert at the boundary
 (``fractionutil.fraction_of``) or return Fractions from the helper;
 deliberate float plumbing may be waived per line with
 ``# reproflow: disable=RL010``."""
