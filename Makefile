@@ -2,11 +2,12 @@
 
 PYTHON ?= python3
 # Benchmark report for the current PR (see docs/performance.md).
-BENCH ?= BENCH_7.json
-# Trace file consumed by `make trace-report` (see docs/observability.md).
+BENCH ?= BENCH_9.json
+# Trace file consumed by `make trace-report` / `make trace-top`
+# (see docs/observability.md).
 TRACE ?= trace.jsonl
 
-.PHONY: install test test-chaos bench bench-json bench-json-smoke examples quicktest lint lint-json flow-lint flow-json flow-report trace-report trace-diff clean
+.PHONY: install test test-chaos bench bench-json bench-json-smoke examples quicktest lint lint-json flow-lint flow-json flow-report trace-report trace-top trace-diff clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -57,6 +58,11 @@ bench-json-smoke:
 # Summarise a repro-trace/1 JSONL trace (see docs/observability.md).
 trace-report:
 	PYTHONPATH=src $(PYTHON) -m tools.tracereport $(TRACE)
+
+# Live top-style sweep monitor over a repro-trace/1 JSONL being written
+# by another process.  Pass --once/--json via TOP_ARGS for CI use.
+trace-top:
+	PYTHONPATH=src $(PYTHON) -m tools.reprotop $(TOP_ARGS) $(TRACE)
 
 # Diff two traces / derivations / bench reports: counter deltas,
 # hit-rate shift, timing ratios, first diverging record or derivation

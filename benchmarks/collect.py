@@ -18,7 +18,10 @@ stamped with the measure ``backend`` it ran under and the ``points``
 count of its system (``None`` for sweep records that span many systems)
 -- additive fields, so ``tools/tracediff`` keeps accepting artifacts
 written before they existed.  ``--trace PATH`` additionally streams the
-whole run as ``repro-trace/1`` JSONL for ``tools/tracereport``.
+whole run as ``repro-trace/1`` JSONL for ``tools/tracereport``, and
+``--metrics PATH`` streams one ``repro-metrics/1`` snapshot per
+workload (labelled by benchmark) for ``tools/reprotop`` /
+``tracereport --metrics``.
 
 The word-array records (``wordarray_measure``/``wordarray_gfp``) run the
 same >=100k-point workload under ``bitmask`` and ``wordarray`` and
@@ -45,7 +48,13 @@ sys.path.insert(0, str(ROOT / "src"))
 sys.path.insert(0, str(ROOT / "benchmarks"))
 
 from repro.attack import guarantee_sweep, parallel_guarantee_sweep  # noqa: E402
-from repro.obs import MetricsRecorder, MultiRecorder, use_recorder  # noqa: E402
+from repro.obs import (  # noqa: E402
+    MetricsRecorder,
+    MetricsSnapshotWriter,
+    MultiRecorder,
+    take_snapshot,
+    use_recorder,
+)
 from repro.probability import (  # noqa: E402
     get_default_backend,
     kernel_totals,
@@ -73,7 +82,12 @@ BASELINES = {
 PRE_PR_PIPELINE_SECONDS = BASELINES["scalability_pipeline_tosses10_pre_pr_seconds"]
 
 
-def _timed(function, repeats: int, trace=None):
+#: ``--metrics`` destination, installed by :func:`main`; ``_timed``
+#: appends one labelled ``repro-metrics/1`` snapshot per workload.
+_SNAPSHOTS: MetricsSnapshotWriter = None
+
+
+def _timed(function, repeats: int, trace=None, label: str = ""):
     """Best-of-``repeats`` wall time, the (stable) return value, and the
     observability counters of the final repeat.
 
@@ -82,10 +96,13 @@ def _timed(function, repeats: int, trace=None):
     so the reported counters describe exactly one execution of the
     workload.  The workloads are deterministic, so every repeat produces
     the same counters; timing keeps best-of to shed scheduler noise.
+    With ``--metrics`` in effect, the final repeat's aggregates are also
+    written as one ``repro-metrics/1`` snapshot labelled ``label``.
     """
     best = None
     value = None
     counters = {}
+    metrics = None
     for _ in range(repeats):
         reset_kernel_totals()
         metrics = MetricsRecorder()
@@ -98,6 +115,8 @@ def _timed(function, repeats: int, trace=None):
         counters.update(kernel_totals())
         if best is None or elapsed < best:
             best = elapsed
+    if _SNAPSHOTS is not None and metrics is not None:
+        _SNAPSHOTS.write(take_snapshot(metrics, label=label))
     return best, value, counters
 
 
@@ -105,7 +124,8 @@ def bench_pipeline(records, tosses: int, backend: str, repeats: int, trace) -> N
     """The full scalability pipeline under one measure backend."""
     with use_backend(backend) as active:
         seconds, (points, interval, clocked), counters = _timed(
-            lambda: pipeline(tosses), repeats, trace
+            lambda: pipeline(tosses), repeats, trace,
+            label=f"scalability_pipeline[{backend}]",
         )
     records.append(
         {
@@ -125,10 +145,12 @@ def bench_sweep(records, messengers, repeats: int, trace) -> None:
     """Serial vs parallel guarantee sweep on identical task lists."""
     losses = [Fraction(1, 2)]
     serial_seconds, serial_rows, serial_counters = _timed(
-        lambda: guarantee_sweep(messengers, losses), repeats, trace
+        lambda: guarantee_sweep(messengers, losses), repeats, trace,
+        label="guarantee_sweep_serial",
     )
     parallel_seconds, parallel_rows, parallel_counters = _timed(
-        lambda: parallel_guarantee_sweep(messengers, losses), repeats, trace
+        lambda: parallel_guarantee_sweep(messengers, losses), repeats, trace,
+        label="guarantee_sweep_parallel",
     )
     if serial_rows != parallel_rows:
         raise AssertionError("parallel sweep rows differ from serial rows")
@@ -178,7 +200,9 @@ def bench_common_knowledge(records, messengers: int, repeats: int, trace) -> Non
         )
         return len(attack.psys.system.points), len(model.extension(formula))
 
-    seconds, (points, extension_size), counters = _timed(workload, repeats, trace)
+    seconds, (points, extension_size), counters = _timed(
+        workload, repeats, trace, label="common_knowledge_ca2"
+    )
     records.append(
         {
             "name": "common_knowledge_ca2",
@@ -219,7 +243,9 @@ def bench_robust_sweep(records, messengers, repeats: int, trace) -> None:
             sleep=lambda _seconds: None,
         )
 
-    seconds, rows, counters = _timed(workload, repeats, trace)
+    seconds, rows, counters = _timed(
+        workload, repeats, trace, label="robust_sweep_chaos"
+    )
     if rows != [sweep_row_of(task) for task in tasks]:
         raise AssertionError("chaos sweep rows differ from serial rows")
     records.append(
@@ -263,6 +289,7 @@ def bench_wordarray_measure(records, params, n_queries: int, repeats: int, trace
                 lambda: bench_wordarray.measure_workload(space, masks),
                 repeats,
                 trace,
+                label=f"wordarray_measure[{backend}]",
             )
         timings[active] = (seconds, counters)
         intervals[active] = value
@@ -307,6 +334,7 @@ def bench_wordarray_gfp(records, params, repeats: int, trace) -> None:
                 lambda: bench_wordarray.flat_gfp_workload(psys, assignment),
                 repeats,
                 trace,
+                label=f"wordarray_gfp[{backend}]",
             )
         timings[active] = (seconds, counters, survivors)
         extension[active] = mask
@@ -335,6 +363,68 @@ def bench_wordarray_gfp(records, params, repeats: int, trace) -> None:
         )
 
 
+def bench_obs_overhead(records, tosses: int, repeats: int) -> None:
+    """The telemetry bill: pipeline under NullRecorder vs MetricsRecorder.
+
+    The instrumented run aggregates in memory only (no trace fan-out --
+    streaming JSONL is priced separately by ``--trace`` runs), so the
+    derived ``obs_overhead_ratio`` isolates what the recorder protocol
+    itself costs a pure computation.  Target: within 3% of the
+    uninstrumented baseline.  Results are asserted identical first.
+    """
+
+    def best_of(instrumented: bool):
+        best = None
+        value = None
+        for _ in range(repeats):
+            reset_kernel_totals()
+            recorder = MetricsRecorder() if instrumented else None
+            start = time.perf_counter()
+            if recorder is None:
+                value = pipeline(tosses)
+            else:
+                with use_recorder(recorder):
+                    value = pipeline(tosses)
+            elapsed = time.perf_counter() - start
+            if best is None or elapsed < best:
+                best = elapsed
+        return best, value
+
+    null_seconds, null_value = best_of(False)
+    metrics_seconds, metrics_value = best_of(True)
+    if null_value != metrics_value:
+        raise AssertionError("instrumented pipeline results differ from baseline")
+    points = null_value[0]
+    for recorder_name, seconds in (
+        ("null", null_seconds),
+        ("metrics", metrics_seconds),
+    ):
+        records.append(
+            {
+                "name": "obs_overhead_pipeline",
+                "backend": get_default_backend(),
+                "points": points,
+                "params": {"tosses": tosses, "recorder": recorder_name},
+                "system": {"runs": 2**tosses, "points": points},
+                "seconds": round(seconds, 4),
+                "counters": {},
+                "results": {"matches_uninstrumented": True},
+            }
+        )
+
+
+def _overhead_seconds(records, recorder_name: str):
+    return next(
+        (
+            record["seconds"]
+            for record in records
+            if record["name"] == "obs_overhead_pipeline"
+            and record["params"].get("recorder") == recorder_name
+        ),
+        None,
+    )
+
+
 def _record_seconds(records, name: str, backend: str):
     return next(
         (
@@ -349,7 +439,7 @@ def _record_seconds(records, name: str, backend: str):
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--output", default="BENCH_7.json", help="where to write the report"
+        "--output", default="BENCH_9.json", help="where to write the report"
     )
     parser.add_argument(
         "--smoke",
@@ -360,6 +450,14 @@ def main(argv=None) -> int:
         "--trace",
         metavar="PATH",
         help="also stream the whole run as repro-trace/1 JSONL to PATH",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help=(
+            "also write one repro-metrics/1 snapshot per workload to PATH "
+            "(labelled by benchmark name)"
+        ),
     )
     args = parser.parse_args(argv)
 
@@ -376,6 +474,9 @@ def main(argv=None) -> int:
         from repro.obs import TraceRecorder
 
         trace = TraceRecorder(args.trace)
+    global _SNAPSHOTS
+    if args.metrics:
+        _SNAPSHOTS = MetricsSnapshotWriter(args.metrics)
 
     records: list = []
     errors: list = []
@@ -387,6 +488,7 @@ def main(argv=None) -> int:
         lambda: bench_sweep(records, sweep_messengers, repeats, trace),
         lambda: bench_common_knowledge(records, ck_messengers, repeats, trace),
         lambda: bench_robust_sweep(records, sweep_messengers, repeats, trace),
+        lambda: bench_obs_overhead(records, tosses, repeats),
     ]
     if wordmask.available():
         runners.extend(
@@ -409,10 +511,13 @@ def main(argv=None) -> int:
             errors.append(traceback.format_exc())
     if trace is not None:
         trace.close()
+    if _SNAPSHOTS is not None:
+        _SNAPSHOTS.close()
+        _SNAPSHOTS = None
 
     payload = {
         "schema": "repro-bench/2",
-        "pr": 7,
+        "pr": 9,
         "generated_by": "benchmarks/collect.py"
         + (" --smoke" if args.smoke else ""),
         "smoke": args.smoke,
@@ -435,6 +540,10 @@ def main(argv=None) -> int:
         derived["pipeline_speedup_vs_pre_pr"] = round(
             PRE_PR_PIPELINE_SECONDS / bitmask_pipeline, 2
         )
+    null_seconds = _overhead_seconds(records, "null")
+    metrics_seconds = _overhead_seconds(records, "metrics")
+    if null_seconds and metrics_seconds:
+        derived["obs_overhead_ratio"] = round(metrics_seconds / null_seconds, 4)
     for name, key in (
         ("wordarray_measure", "wordarray_measure_speedup_vs_bitmask"),
         ("wordarray_gfp", "wordarray_gfp_speedup_vs_bitmask"),

@@ -34,7 +34,8 @@ from pickle import PicklingError
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar, Union
 
 from ..errors import WorkerTaskError
-from ..obs.recorder import get_recorder
+from ..obs.recorder import NULL_RECORDER, get_recorder
+from ..obs.snapshot import ObsDeltaCapture, merge_worker_delta
 from ..probability.bitset import get_default_backend
 from ..probability.fractionutil import FractionLike
 from .sweep import Builder, SweepRow, sweep_row_of, sweep_tasks
@@ -69,11 +70,14 @@ class _TaskFailure:
 
     ``error`` is the original exception when it survives a pickle
     round-trip; otherwise it is ``None`` and ``summary`` alone describes
-    the failure.
+    the failure.  ``obs_delta``/``worker`` carry the attempt's shipped
+    observations when the parent asked for telemetry.
     """
 
     summary: str
     error: Optional[BaseException] = None
+    obs_delta: Optional[Dict] = None
+    worker: Optional[int] = None
 
     def reraise(self):
         if self.error is not None:
@@ -81,11 +85,38 @@ class _TaskFailure:
         raise WorkerTaskError(self.summary)
 
 
-def _enveloped_call(payload: Tuple[Callable, object]) -> Union[object, _TaskFailure]:
-    """Run one task in a worker, converting its exception into a value."""
-    function, item = payload
+@dataclass(frozen=True)
+class _TaskSuccess:
+    """Worker-side envelope pairing a result with its observation delta.
+
+    Only used when telemetry shipping is on: the plain (unwrapped)
+    return value stays the envelope for uninstrumented runs, so the
+    byte-identical fast path is untouched.
+    """
+
+    value: object
+    obs_delta: Optional[Dict] = None
+    worker: Optional[int] = None
+
+
+def _enveloped_call(
+    payload: Tuple[Callable, object, bool]
+) -> Union[object, _TaskSuccess, _TaskFailure]:
+    """Run one task in a worker, converting its exception into a value.
+
+    The trailing ``ship_obs`` flag mirrors the sweep engine's: set by
+    the parent exactly when it has a real recorder installed, it runs
+    the task under an :class:`~repro.obs.snapshot.ObsDeltaCapture` and
+    ships the delta home inside the envelope.
+    """
+    function, item, ship_obs = payload
+    capture = ObsDeltaCapture() if ship_obs else None
     try:
-        return function(item)
+        if capture is not None:
+            with capture:
+                value = function(item)
+        else:
+            return function(item)
     except Exception as error:
         summary = f"{type(error).__name__}: {error}"
         # Round-trip, not just dumps: an exception that pickles but fails
@@ -94,8 +125,17 @@ def _enveloped_call(payload: Tuple[Callable, object]) -> Union[object, _TaskFail
         try:
             pickle.loads(pickle.dumps(error))
         except Exception:
-            return _TaskFailure(summary=summary)
-        return _TaskFailure(summary=summary, error=error)
+            error = None
+        failure = _TaskFailure(summary=summary, error=error)
+        if capture is not None:
+            failure = _TaskFailure(
+                summary=summary,
+                error=error,
+                obs_delta=capture.delta,
+                worker=capture.worker,
+            )
+        return failure
+    return _TaskSuccess(value=value, obs_delta=capture.delta, worker=capture.worker)
 
 
 def parallel_map(
@@ -121,10 +161,16 @@ def parallel_map(
         recorder.counter("parallel.tasks", len(work))
         if len(work) <= 1 or max_workers == 1:
             return [function(item) for item in work]
+        # Ship worker observations only when someone is listening; the
+        # identity check keeps uninstrumented payloads byte-identical.
+        ship_obs = recorder is not NULL_RECORDER
         try:
             with ProcessPoolExecutor(max_workers=max_workers) as pool:
                 outcomes = list(
-                    pool.map(_enveloped_call, [(function, item) for item in work])
+                    pool.map(
+                        _enveloped_call,
+                        [(function, item, ship_obs) for item in work],
+                    )
                 )
         except POOL_FALLBACK_ERRORS as error:
             recorder.counter("parallel.pool_fallbacks")
@@ -132,10 +178,20 @@ def parallel_map(
                 "pool_fallback", reason=f"{type(error).__name__}: {error}"
             )
             return [function(item) for item in work]
+        # Merge every shipped delta before any reraise: the work behind a
+        # failing map still happened, and its counters stay attributable.
+        for outcome in outcomes:
+            if (
+                isinstance(outcome, (_TaskSuccess, _TaskFailure))
+                and outcome.obs_delta is not None
+            ):
+                merge_worker_delta(recorder, outcome.obs_delta, worker=outcome.worker)
         results: List[_Result] = []
         for outcome in outcomes:
             if isinstance(outcome, _TaskFailure):
                 outcome.reraise()
+            if isinstance(outcome, _TaskSuccess):
+                outcome = outcome.value
             results.append(outcome)
         return results
 

@@ -15,6 +15,10 @@ counters, gauges, events and timing spans to the process-global
   ``repro-explain/1`` derivation trees built by ``Model.explain`` and the
   gfp iteration snapshots of the common-knowledge fixpoints -- for
   ``tools/tracediff`` and the auditability layer.
+* :mod:`repro.obs.snapshot` freezes aggregates into ``repro-metrics/1``
+  snapshots and ships per-attempt deltas across process boundaries --
+  the cross-process telemetry the sweep engine's workers use, so the
+  parent's counters cover the whole sweep.
 * :mod:`repro.obs.clock` quarantines every wall-clock read in the
   library (statically enforced by reprolint RL008).
 
@@ -43,16 +47,30 @@ from .recorder import (
     set_recorder,
     use_recorder,
 )
+from .snapshot import (
+    METRICS_SCHEMA,
+    MetricsSnapshotWriter,
+    ObsDeltaCapture,
+    merge_worker_delta,
+    read_snapshot,
+    read_snapshots,
+    snapshot_delta,
+    take_snapshot,
+    write_snapshot,
+)
 from .trace import TRACE_SCHEMA, TraceRecorder, read_trace
 
 __all__ = [
     "Derivation",
     "DerivationNode",
     "EXPLAIN_SCHEMA",
+    "METRICS_SCHEMA",
     "MetricsRecorder",
+    "MetricsSnapshotWriter",
     "MultiRecorder",
     "NULL_RECORDER",
     "NullRecorder",
+    "ObsDeltaCapture",
     "ProvenanceRecorder",
     "Recorder",
     "SpanStats",
@@ -61,10 +79,15 @@ __all__ = [
     "clock",
     "derivation_from_json",
     "get_recorder",
+    "merge_worker_delta",
     "read_derivation",
+    "read_snapshot",
+    "read_snapshots",
     "read_trace",
     "render_derivation",
     "set_recorder",
+    "snapshot_delta",
+    "take_snapshot",
     "use_recorder",
-    "write_derivation",
+    "write_snapshot",
 ]

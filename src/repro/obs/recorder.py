@@ -26,9 +26,11 @@ The active recorder is process-global state, installed with
 :func:`set_recorder` or scoped with the :func:`use_recorder` context
 manager, and read by instrumented code through :func:`get_recorder`.
 Worker processes spawned by the parallel runners start with the default
-:class:`NullRecorder`; tracing a sweep end-to-end therefore means
-running it serially (``max_workers=1``), while the engine- and
-pool-level events are always recorded parent-side.
+:class:`NullRecorder`; when the *parent* has a real recorder installed,
+the runners capture each attempt's observations worker-side
+(:class:`repro.obs.snapshot.ObsDeltaCapture`) and ship the delta back
+inside the task envelope, so parent-side counters cover the whole sweep
+-- see ``docs/observability.md``.
 """
 
 from __future__ import annotations

@@ -13,6 +13,7 @@ from .bitset import (
     OutcomeIndex,
     get_default_backend,
     kernel_totals,
+    merge_kernel_totals,
     reset_kernel_totals,
     set_default_backend,
     use_backend,
@@ -64,6 +65,7 @@ __all__ = [
     "BACKENDS",
     "get_default_backend",
     "kernel_totals",
+    "merge_kernel_totals",
     "reset_kernel_totals",
     "set_default_backend",
     "use_backend",

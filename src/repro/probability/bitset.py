@@ -44,6 +44,7 @@ __all__ = [
     "count_wordarray_query",
     "get_default_backend",
     "kernel_totals",
+    "merge_kernel_totals",
     "reset_kernel_totals",
     "set_default_backend",
     "use_backend",
@@ -123,6 +124,35 @@ def reset_kernel_totals() -> Dict[str, int]:
     previous = _TOTALS.snapshot()
     _TOTALS.reset()
     return previous
+
+
+#: ``kernel_totals()`` snapshot key -> :class:`_KernelTotals` attribute,
+#: the mapping :func:`merge_kernel_totals` folds shipped deltas through.
+_TOTALS_ATTRS = {
+    "cache_hits": "hits",
+    "cache_misses": "misses",
+    "cache_evictions": "evictions",
+    "naive_queries": "naive_queries",
+    "backend_switches": "backend_switches",
+    "wordarray_queries": "wordarray_queries",
+    "mask_conversions": "mask_conversions",
+}
+
+
+def merge_kernel_totals(delta: Dict[str, int]) -> None:
+    """Fold a shipped kernel-totals delta into this process's counters.
+
+    The cross-process telemetry layer (:mod:`repro.obs.snapshot`) ships
+    each worker attempt's ``kernel_totals()`` delta back to the parent,
+    which merges it here so a post-sweep :func:`kernel_totals` reflects
+    the whole sweep rather than only parent-side work.  Keys follow the
+    :func:`kernel_totals` snapshot; unknown keys are ignored so older
+    parents tolerate newer workers.
+    """
+    for key, attr in _TOTALS_ATTRS.items():
+        value = int(delta.get(key, 0))
+        if value:
+            setattr(_TOTALS, attr, getattr(_TOTALS, attr) + value)
 
 
 def count_naive_query() -> None:

@@ -63,17 +63,33 @@ def print_table(
 # ----------------------------------------------------------------------
 
 
+#: Ints whose decimal rendering would exceed CPython's default
+#: ``int_max_str_digits`` limit (4300 digits) make ``json.dumps`` raise,
+#: so :func:`json_ready` encodes them as exact ``"0x..."`` hex strings
+#: instead (hex conversion is not subject to the limit).  The bound is in
+#: bits and sits safely below the first over-limit value, so the point
+#: masks of >=100k-point word-array systems serialise losslessly while
+#: every int that *could* appear in an existing artifact keeps its plain
+#: JSON number representation.
+_INT_DECIMAL_SAFE_BITS = 14_000
+
+
 def json_ready(value):
     """Recursively convert a value to something ``json.dumps`` accepts.
 
     Fractions become exact ``"p/q"`` strings (``"1/256"``, ``"1"``) --
     the reproduction never rounds a probability, not even in a report.
-    Dataclasses, mappings, and sequences are converted element-wise.
+    Huge ints (wider than :data:`_INT_DECIMAL_SAFE_BITS` bits, e.g. the
+    point mask of a 100k-point system) become exact ``"0x..."`` strings;
+    ``int(text, 16)`` restores them.  Dataclasses, mappings, and
+    sequences are converted element-wise.
     """
     if isinstance(value, bool) or value is None:
         return value
     if isinstance(value, Fraction):
         return str(value)
+    if isinstance(value, int) and value.bit_length() > _INT_DECIMAL_SAFE_BITS:
+        return hex(value)
     if isinstance(value, (int, float, str)):
         return value
     if dataclasses.is_dataclass(value) and not isinstance(value, type):

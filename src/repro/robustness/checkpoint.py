@@ -244,6 +244,7 @@ def robust_guarantee_sweep(
     task_function: Optional[Callable[[SweepTask], SweepRow]] = None,
     sleep=None,
     backend: Optional[str] = None,
+    progress_every: Optional[int] = None,
 ) -> List[SweepRow]:
     """The guarantee sweep of Section 8 on the fault-tolerant engine.
 
@@ -260,6 +261,10 @@ def robust_guarantee_sweep(
     where the process default would otherwise apply -- under the named
     measure engine (``None``: the caller's process default); rows are
     backend-independent, so checkpoints resume across backends.
+    ``progress_every`` emits a ``sweep_progress`` event every that many
+    completed rows (see :func:`repro.robustness.engine.run_tasks`);
+    pair it with a :class:`~repro.obs.trace.TraceRecorder` and tail the
+    file with ``tools/reprotop`` for a live sweep monitor.
     """
     tasks = sweep_tasks(messenger_counts, losses, builders, epsilon)
     if task_function is None:
@@ -292,6 +297,7 @@ def robust_guarantee_sweep(
             timeout=timeout,
             completed=completed,
             on_result=on_result,
+            progress_every=progress_every,
             **keywords,
         )
 
@@ -309,6 +315,7 @@ def resume_guarantee_sweep(
     task_function: Optional[Callable[[SweepTask], SweepRow]] = None,
     sleep=None,
     backend: Optional[str] = None,
+    progress_every: Optional[int] = None,
 ) -> List[SweepRow]:
     """Resume a checkpointed sweep, re-running only its incomplete tasks.
 
@@ -333,4 +340,5 @@ def resume_guarantee_sweep(
         task_function=task_function,
         sleep=sleep,
         backend=backend,
+        progress_every=progress_every,
     )

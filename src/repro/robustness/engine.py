@@ -38,18 +38,25 @@ rows row-for-row identical to the serial sweep.
 
 from __future__ import annotations
 
+import os
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pickle import PicklingError
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple, TypeVar
 
 from ..errors import RetryExhaustedError, TaskTimeoutError
 from ..obs.clock import monotonic
-from ..obs.recorder import Recorder, get_recorder
+from ..obs.recorder import NULL_RECORDER, Recorder, get_recorder
+from ..obs.snapshot import ObsDeltaCapture, merge_worker_delta
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _resource = None
 
 __all__ = [
     "POOL_INFRASTRUCTURE_ERRORS",
@@ -184,13 +191,19 @@ class _TaskOutcome:
 
     ``error`` holds the original exception when it survives a pickle
     round-trip; otherwise ``error_text`` alone carries its worker-side
-    description.
+    description.  When the parent asked for telemetry shipping,
+    ``obs_delta`` carries the attempt's observation delta
+    (:class:`~repro.obs.snapshot.ObsDeltaCapture`) and ``worker`` the
+    pid that computed it -- attached to failures too, so a raising
+    attempt's partial work stays attributable.
     """
 
     ok: bool
     value: object = None
     error: Optional[BaseException] = None
     error_text: str = ""
+    obs_delta: Optional[Dict] = None
+    worker: Optional[int] = None
 
 
 def _describe_error(error: BaseException) -> str:
@@ -216,14 +229,30 @@ def _call(function: Callable, task, index: int, attempt: int):
     return function(task)
 
 
-def _execute_task(payload: Tuple[Callable, object, int, int]) -> _TaskOutcome:
-    """Module-level worker entry point (picklable by reference)."""
-    function, task, index, attempt = payload
+def _execute_task(payload: Tuple[Callable, object, int, int, bool]) -> _TaskOutcome:
+    """Module-level worker entry point (picklable by reference).
+
+    The trailing ``ship_obs`` payload flag is set by the parent exactly
+    when it has a real recorder installed: the attempt then runs under
+    an :class:`~repro.obs.snapshot.ObsDeltaCapture` and the envelope
+    carries the observation delta home.  With the flag off the path is
+    unchanged -- uninstrumented sweeps pay nothing.
+    """
+    function, task, index, attempt, ship_obs = payload
+    capture = ObsDeltaCapture() if ship_obs else None
     try:
-        value = _call(function, task, index, attempt)
+        if capture is not None:
+            with capture:
+                value = _call(function, task, index, attempt)
+        else:
+            value = _call(function, task, index, attempt)
     except Exception as error:
-        return _capture_failure(error)
-    return _TaskOutcome(ok=True, value=value)
+        outcome = _capture_failure(error)
+    else:
+        outcome = _TaskOutcome(ok=True, value=value)
+    if capture is not None:
+        outcome = replace(outcome, obs_delta=capture.delta, worker=capture.worker)
+    return outcome
 
 
 def _short_repr(value, limit: int = 200) -> str:
@@ -231,6 +260,18 @@ def _short_repr(value, limit: int = 200) -> str:
     if len(text) > limit:
         text = text[: limit - 3] + "..."
     return text
+
+
+def _maxrss_kb() -> Optional[int]:
+    """Peak resident set size of this process, or ``None`` off-POSIX.
+
+    ``ru_maxrss`` is kibibytes on Linux and bytes on macOS; the value is
+    reported raw as a gauge (timing-class data, never content), so the
+    platform difference only affects how a human reads a dashboard.
+    """
+    if _resource is None:
+        return None
+    return int(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss)
 
 
 class _EngineState:
@@ -244,6 +285,7 @@ class _EngineState:
         timeout: Optional[float],
         on_result: Optional[Callable[[int, object], None]],
         sleep: Callable[[float], None],
+        progress_every: Optional[int] = None,
     ) -> None:
         self.function = function
         self.tasks = tasks
@@ -251,12 +293,19 @@ class _EngineState:
         self.timeout = timeout
         self.on_result = on_result
         self._sleep = sleep
+        self.progress_every = progress_every
         self.results: Dict[int, object] = {}
         self.attempt_log: Dict[int, List[TaskAttempt]] = {}
         self._next_attempt: Dict[int, int] = {}
+        self.retries = 0
+        self._started = monotonic()
         # Captured once per run: every attempt/retry/recovery observation
         # of this engine invocation reports to the same recorder.
         self.recorder: Recorder = get_recorder()
+        # Workers only capture-and-ship deltas when someone is listening;
+        # the identity check keeps the uninstrumented path byte-for-byte
+        # what it was.
+        self.ship_obs = self.recorder is not NULL_RECORDER
 
     def register(self, index: int) -> None:
         self._next_attempt[index] = 0
@@ -275,6 +324,32 @@ class _EngineState:
         if seconds > 0:
             self._sleep(seconds)
 
+    def emit_progress(self, force: bool = False) -> None:
+        """One ``sweep_progress`` event, on the configured cadence.
+
+        ``done``/``total``/``retries`` are deterministic content (the
+        completion order the engine reports in is the deterministic
+        harvest order); ``elapsed_seconds`` and the ``maxrss_kb`` gauge
+        are timing, which ``tools/tracediff`` strips accordingly.
+        """
+        if not self.progress_every:
+            return
+        done = len(self.results)
+        total = len(self.tasks)
+        if not force and done % self.progress_every != 0:
+            return
+        maxrss = _maxrss_kb()
+        if maxrss is not None:
+            self.recorder.gauge("engine.maxrss_kb", maxrss)
+        self.recorder.event(
+            "sweep_progress",
+            done=done,
+            total=total,
+            retries=self.retries,
+            elapsed_seconds=round(monotonic() - self._started, 9),
+            maxrss_kb=maxrss,
+        )
+
     def record_success(self, index: int, attempt: int, value) -> None:
         self.attempt_log.setdefault(index, []).append(
             TaskAttempt(attempt=attempt, outcome="ok")
@@ -287,6 +362,7 @@ class _EngineState:
         recorder.event("task_attempt", index=index, attempt=attempt, outcome="ok")
         if self.on_result is not None:
             self.on_result(index, value)
+        self.emit_progress(force=not self.has_incomplete())
 
     def record_failure(
         self,
@@ -338,11 +414,26 @@ class _EngineState:
                 raise TaskTimeoutError(message, **details) from cause
             raise RetryExhaustedError(message, **details) from cause
         recorder.counter("engine.retries")
+        self.retries += 1
         self._next_attempt[index] = attempt + 1
         return backoff
 
     def record_outcome(self, index: int, attempt: int, outcome: _TaskOutcome) -> float:
-        """Fold a worker envelope into the state; returns any backoff."""
+        """Fold a worker envelope into the state; returns any backoff.
+
+        The shipped observation delta (if any) merges first, exactly
+        once: the pool loop reads each future at most once, and killed
+        workers never produced an envelope, so retries and kills cannot
+        double-count a single attempt's work.
+        """
+        if outcome.obs_delta is not None:
+            merge_worker_delta(
+                self.recorder,
+                outcome.obs_delta,
+                worker=outcome.worker,
+                index=index,
+                attempt=attempt,
+            )
         if outcome.ok:
             self.record_success(index, attempt, outcome.value)
             return 0.0
@@ -380,7 +471,14 @@ def _run_pool(state: _EngineState, max_workers: Optional[int]) -> None:
                     attempt = state.attempt_number(index)
                     submitted[index] = attempt
                     futures[index] = pool.submit(
-                        _execute_task, (state.function, state.tasks[index], index, attempt)
+                        _execute_task,
+                        (
+                            state.function,
+                            state.tasks[index],
+                            index,
+                            attempt,
+                            state.ship_obs,
+                        ),
                     )
             except (BrokenProcessPool, RuntimeError):
                 # The pool died between rounds; tasks not yet submitted
@@ -531,6 +629,7 @@ def run_tasks(
     completed: Optional[Mapping[int, _Result]] = None,
     on_result: Optional[Callable[[int, _Result], None]] = None,
     sleep: Callable[[float], None] = time.sleep,
+    progress_every: Optional[int] = None,
 ) -> List[_Result]:
     """Run ``function`` over ``tasks`` fault-tolerantly, in task order.
 
@@ -558,6 +657,13 @@ def run_tasks(
     sleep:
         Injectable sleeper for the backoff delays (tests pass a stub, so
         chaos suites never wait on real clocks).
+    progress_every:
+        Emit a ``sweep_progress`` event (done/total, retry count, exact
+        elapsed seconds from :mod:`repro.obs.clock`, and a ``maxrss_kb``
+        gauge) after every ``progress_every`` completed tasks, plus once
+        at the start and once at the end.  ``None`` (the default)
+        disables progress telemetry; ``tools/reprotop`` tails these
+        events from a live trace.
 
     Returns the results in the order of ``tasks`` -- identical to
     ``[function(task) for task in tasks]`` whenever that serial run would
@@ -566,8 +672,16 @@ def run_tasks(
     task_list = list(tasks)
     if max_workers is not None and max_workers < 1:
         raise ValueError("run_tasks needs at least one worker")
+    if progress_every is not None and progress_every < 1:
+        raise ValueError("progress_every must be a positive cadence (or None)")
     state = _EngineState(
-        function, task_list, policy or RetryPolicy(), timeout, on_result, sleep
+        function,
+        task_list,
+        policy or RetryPolicy(),
+        timeout,
+        on_result,
+        sleep,
+        progress_every=progress_every,
     )
     if completed:
         for index, value in completed.items():
@@ -580,6 +694,9 @@ def run_tasks(
     with state.recorder.span(
         "run_tasks", tasks=len(task_list), pending=len(state.incomplete_indices())
     ):
+        # Opening event so a resumed sweep's monitor knows immediately
+        # how much the checkpoint already covered.
+        state.emit_progress(force=True)
         if max_workers != 1 and len(state.incomplete_indices()) > 1:
             _run_pool(state, max_workers)
         _run_serial(state)

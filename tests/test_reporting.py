@@ -1,8 +1,9 @@
 """Table rendering for the benchmark harness."""
 
+import json
 from fractions import Fraction
 
-from repro.reporting import render_cell, render_table
+from repro.reporting import json_ready, render_cell, render_table
 
 
 class TestRenderCell:
@@ -44,3 +45,20 @@ class TestRenderTable:
     def test_no_trailing_whitespace(self):
         table = render_table("demo", ["a", "b"], [["x", "y"]])
         assert all(line == line.rstrip() for line in table.splitlines())
+
+
+class TestJsonReadyHugeInts:
+    """Ints past CPython's decimal-digit limit go through JSON as hex."""
+
+    def test_small_ints_stay_plain_numbers(self):
+        assert json_ready(2**1024 - 1) == 2**1024 - 1
+
+    def test_100k_bit_mask_round_trips_exactly(self):
+        mask = (1 << 100_000) | 0b1011
+        encoded = json.loads(json.dumps(json_ready(mask)))
+        assert isinstance(encoded, str) and encoded.startswith("0x")
+        assert int(encoded, 16) == mask
+
+    def test_negative_huge_int_round_trips(self):
+        value = -(1 << 20_000)
+        assert int(json_ready(value), 16) == value

@@ -1031,3 +1031,63 @@ def test_stale_suppressions_in_json_mode(tmp_path, capsys):
     assert payload["violations"] == []
     assert len(payload["stale_suppressions"]) == 1
     assert payload["stale_suppressions"][0]["rule"] == "RL004"
+
+
+def test_rl008_raw_clock_read_in_tools_package(tmp_path):
+    # The quarantine covers tools/ too: a monitor must route its clock
+    # reads through repro.obs.clock, never the raw time module.
+    ids = rule_ids(
+        tmp_path,
+        {
+            "tools/sometool/cli.py": """\
+            import time
+
+            def refresh():
+                return time.time()
+            """
+        },
+    )
+    assert "RL008" in ids
+
+
+def test_rl008_reprotop_pattern_passes(tmp_path):
+    # The sanctioned shape of a refresh loop: sleep via the raw time
+    # module (exempt), staleness measured through repro.obs.clock.
+    ids = rule_ids(
+        tmp_path,
+        {
+            "tools/sometool/cli.py": """\
+            import time
+
+            from repro.obs.clock import monotonic
+
+            def refresh(interval):
+                started = monotonic()
+                time.sleep(interval)
+                return monotonic() - started
+            """
+        },
+    )
+    assert "RL008" not in ids
+
+
+def test_rl002_obs_recorder_must_not_import_snapshot(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/obs/recorder.py": "from .snapshot import take_snapshot\n",
+            "repro/obs/snapshot.py": "def take_snapshot():\n    return {}\n",
+        },
+    )
+    assert "RL002" in ids
+
+
+def test_rl002_obs_snapshot_may_import_recorder(tmp_path):
+    ids = rule_ids(
+        tmp_path,
+        {
+            "repro/obs/snapshot.py": "from .recorder import get_recorder\n",
+            "repro/obs/recorder.py": "def get_recorder():\n    return None\n",
+        },
+    )
+    assert "RL002" not in ids

@@ -11,8 +11,9 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 if str(REPO_ROOT) not in sys.path:
     sys.path.insert(0, str(REPO_ROOT))
 
+from repro.errors import TraceError  # noqa: E402
 from repro.attack import build_ca2, row_provenance_derivation  # noqa: E402
-from repro.attack.sweep import guarantee_sweep  # noqa: E402
+from repro.attack.sweep import guarantee_sweep, sweep_row_of, sweep_tasks  # noqa: E402
 from repro.obs import TraceRecorder, use_recorder, write_derivation  # noqa: E402
 from repro.probability import reset_kernel_totals  # noqa: E402
 from repro.robustness import RetryPolicy, run_tasks  # noqa: E402
@@ -224,3 +225,80 @@ class TestRender:
         assert "counter deltas" in text
         assert "timing ratios (informational, B/A)" in text
         assert "first divergence" in text
+
+
+class TestMetricsDiff:
+    def _snapshot(self, path, label="run", extra=0, worker=123):
+        from repro.obs import MetricsRecorder, write_snapshot
+
+        metrics = MetricsRecorder()
+        metrics.counter("model.points", 10 + extra)
+        metrics.counter(f"worker.{worker}.kernel.cache_hits", 5)
+        write_snapshot(path, metrics=metrics, label=label)
+        return path
+
+    def test_metrics_artifacts_detected_and_identical(self, tmp_path):
+        a = self._snapshot(tmp_path / "a.jsonl", worker=111)
+        b = self._snapshot(tmp_path / "b.jsonl", worker=999)
+        summary = diff_artifacts(str(a), str(b))
+        assert summary["kind"] == "metrics"
+        # Worker pids are OS-assigned labels, masked before comparing.
+        assert summary["diverged"] is False
+        assert summary["counter_deltas"] == {}
+
+    def test_counter_divergence_is_content(self, tmp_path):
+        a = self._snapshot(tmp_path / "a.jsonl")
+        b = self._snapshot(tmp_path / "b.jsonl", extra=3)
+        summary = diff_artifacts(str(a), str(b))
+        assert summary["diverged"] is True
+        assert summary["counter_deltas"]["model.points"]["delta"] == 3
+        assert summary["first_divergence"]["field"] == "counters"
+        rendered = render_diff(summary)
+        assert "DIVERGED" in rendered
+        assert "model.points" in rendered
+
+    def test_label_mismatch_is_content(self, tmp_path):
+        a = self._snapshot(tmp_path / "a.jsonl", label="one")
+        b = self._snapshot(tmp_path / "b.jsonl", label="two")
+        summary = diff_artifacts(str(a), str(b))
+        assert summary["diverged"] is True
+        assert summary["first_divergence"]["field"] == "label"
+
+    def test_cannot_mix_metrics_and_trace(self, tmp_path):
+        metrics = self._snapshot(tmp_path / "m.jsonl")
+        trace = make_chaos_trace(tmp_path / "t.jsonl", seed=7)
+        with pytest.raises(TraceError):
+            diff_artifacts(str(metrics), str(trace))
+
+
+class TestWorkerTelemetryNormalisation:
+    def _pool_trace(self, path):
+        from repro.obs import MetricsRecorder, MultiRecorder
+
+        reset_kernel_totals()
+        metrics = MetricsRecorder()
+        recorder = TraceRecorder(path)
+        with use_recorder(MultiRecorder([metrics, recorder])):
+            rows = run_tasks(
+                sweep_row_of,
+                sweep_tasks([1, 2], [Fraction(1, 2)]),
+                max_workers=2,
+                progress_every=1,
+                sleep=lambda _seconds: None,
+            )
+        recorder.close()
+        return metrics, rows
+
+    def test_two_pool_runs_diverge_nowhere(self, tmp_path):
+        # Worker pids, rusage gauges, and elapsed stamps all differ
+        # between these runs; none of that is content.
+        metrics_a, rows_a = self._pool_trace(tmp_path / "a.jsonl")
+        metrics_b, rows_b = self._pool_trace(tmp_path / "b.jsonl")
+        if metrics_a.counters.get("engine.pool_fallbacks") or metrics_b.counters.get(
+            "engine.pool_fallbacks"
+        ):
+            pytest.skip("process pools unavailable")
+        assert rows_a == rows_b
+        summary = diff_artifacts(str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl"))
+        assert summary["diverged"] is False, summary["first_divergence"]
+        assert summary["counter_deltas"] == {}

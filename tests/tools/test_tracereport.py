@@ -171,3 +171,50 @@ class TestEmptyTrace:
         payload = json.loads(capsys.readouterr().out)
         assert payload["counters"] == {}
         assert payload["spans"] == {}
+
+
+class TestMetricsSection:
+    def _artifacts(self, tmp_path):
+        from repro.obs import MetricsRecorder, MultiRecorder, write_snapshot
+        from repro.robustness import run_tasks as run
+
+        reset_kernel_totals()
+        trace_path = tmp_path / "t.jsonl"
+        metrics_path = tmp_path / "m.jsonl"
+        metrics = MetricsRecorder()
+        trace = TraceRecorder(trace_path)
+        with use_recorder(MultiRecorder([metrics, trace])):
+            guarantee_sweep([1, 2], [Fraction(1, 2)])
+        trace.close()
+        metrics.counter("worker.123.kernel.cache_hits", 7)
+        write_snapshot(metrics_path, metrics=metrics, label="pool run")
+        return trace_path, metrics_path
+
+    def test_metrics_flag_folds_worker_counters(self, tmp_path, capsys):
+        trace_path, metrics_path = self._artifacts(tmp_path)
+        code = cli_main(["--json", str(trace_path), "--metrics", str(metrics_path)])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        metrics = payload["metrics"]
+        assert metrics["label"] == "pool run"
+        assert metrics["worker_counters"]["worker.123.kernel.cache_hits"] == 7
+        assert metrics["kernel_totals"]["cache_hits"] >= 0
+
+    def test_metrics_tables_rendered(self, tmp_path, capsys):
+        trace_path, metrics_path = self._artifacts(tmp_path)
+        assert cli_main([str(trace_path), "--metrics", str(metrics_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Worker-merged counters" in out
+        assert "kernel totals" in out
+
+    def test_wrong_schema_metrics_exits_2(self, tmp_path, capsys):
+        trace_path, _metrics = self._artifacts(tmp_path)
+        code = cli_main([str(trace_path), "--metrics", str(trace_path)])
+        assert code == 2
+        assert "repro-metrics/1" in capsys.readouterr().err
+
+    def test_missing_metrics_file_exits_2(self, tmp_path, capsys):
+        trace_path, _metrics = self._artifacts(tmp_path)
+        code = cli_main([str(trace_path), "--metrics", str(tmp_path / "no.jsonl")])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().err

@@ -70,6 +70,10 @@ INTRA_LAYERS = {
         "metrics": 1,
         "trace": 1,
         "provenance": 1,
+        # snapshot aggregates recorder state (and, via call-time-deferred
+        # imports only, the measure-kernel totals), so it sits above the
+        # recorders it reads.
+        "snapshot": 2,
     },
     "logic": {
         "syntax": 0,

@@ -1,8 +1,9 @@
 """tracediff: explain *why* two runs differ, not just that they do.
 
 Compares two observability artifacts -- ``repro-trace/1`` JSONL traces,
-``repro-explain/1`` derivation files, or ``repro-bench/2`` benchmark
-reports (auto-detected) -- and reports:
+``repro-explain/1`` derivation files, ``repro-bench/2`` benchmark
+reports, or ``repro-metrics/1`` snapshot streams (auto-detected) -- and
+reports:
 
 * **counter deltas** -- every monotonic counter whose folded total
   changed between the runs;
@@ -15,8 +16,11 @@ reports (auto-detected) -- and reports:
   ``repro-explain/1`` derivations, the first diverging *derivation node*
   by tree path (aligned by derivation fingerprint).
 
-Two runs with the same seeds and fault plan must produce zero
-divergence; two chaos runs with different fault plans diverge, and the
+For metrics streams the final snapshots are compared: counter and
+kernel-total deltas are content (worker pids masked -- the telemetry
+layer ships deterministic per-attempt deltas, only their pid labels
+vary), span seconds are timing.  Two runs with the same seeds and fault
+plan must produce zero divergence; two chaos runs with different fault plans diverge, and the
 first diverging record localises where.  Usage::
 
     PYTHONPATH=src python -m tools.tracediff A.jsonl B.jsonl
@@ -32,6 +36,7 @@ from .diff import (
     diff_artifacts,
     diff_bench,
     diff_derivations,
+    diff_metrics,
     diff_traces,
     load_artifact,
     render_diff,
@@ -41,6 +46,7 @@ __all__ = [
     "diff_artifacts",
     "diff_bench",
     "diff_derivations",
+    "diff_metrics",
     "diff_traces",
     "load_artifact",
     "render_diff",

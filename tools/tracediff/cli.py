@@ -7,7 +7,7 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.errors import ProvenanceError, TraceError
+from repro.errors import MetricsError, ProvenanceError, TraceError
 from repro.reporting import json_ready
 
 from .diff import diff_artifacts, render_diff
@@ -18,8 +18,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="tracediff",
         description=(
             "Diff two observability artifacts (repro-trace/1 JSONL, "
-            "repro-explain/1 derivation, or repro-bench/2 report; "
-            "auto-detected): counter deltas, cache hit-rate shift, "
+            "repro-explain/1 derivation, repro-bench/2 report, or "
+            "repro-metrics/1 snapshot stream; auto-detected): counter deltas, cache hit-rate shift, "
             "per-span timing ratios, and the first diverging record or "
             "derivation node.  Timing drift is informational; only "
             "content divergence counts as divergence."
@@ -44,7 +44,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         summary = diff_artifacts(args.a, args.b)
-    except (TraceError, ProvenanceError) as error:
+    except (TraceError, ProvenanceError, MetricsError) as error:
         print(f"tracediff: {error}", file=sys.stderr)
         return 2
     except OSError as error:

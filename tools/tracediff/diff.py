@@ -12,6 +12,7 @@ treated as divergence.
 from __future__ import annotations
 
 import json
+import re
 from fractions import Fraction
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -22,6 +23,7 @@ from repro.obs.provenance import (
     DerivationNode,
     derivation_from_json,
 )
+from repro.obs.snapshot import METRICS_SCHEMA, read_snapshots
 from repro.obs.trace import TRACE_SCHEMA, read_trace
 
 __all__ = [
@@ -29,6 +31,7 @@ __all__ = [
     "diff_artifacts",
     "diff_bench",
     "diff_derivations",
+    "diff_metrics",
     "diff_traces",
     "load_artifact",
     "render_diff",
@@ -39,9 +42,29 @@ BENCH_SCHEMA = "repro-bench/2"
 
 #: Record keys that vary run to run without the content differing: the
 #: wall-clock quarantine (``ts``, ``seconds``) plus bookkeeping ids
-#: (``seq``, ``span``, ``parent``) that shift when unrelated records are
-#: interleaved.
-VOLATILE_KEYS = frozenset({"seq", "ts", "span", "parent", "seconds"})
+#: (``seq``, ``span``, ``parent``, and ``repro-metrics/1``'s ``pid``)
+#: that shift when unrelated records are interleaved or the process
+#: changes.
+VOLATILE_KEYS = frozenset({"seq", "ts", "span", "parent", "seconds", "pid"})
+
+#: Worker pids are assigned by the OS, so per-worker counter names
+#: (``worker.12345.kernel.cache_hits``) differ between otherwise
+#: identical runs.  The pool harvests envelopes in deterministic task
+#: order and each shipped delta is the task's own deterministic work, so
+#: masking the pid restores content comparability.
+_WORKER_PID = re.compile(r"^worker\.\d+\.")
+
+#: ``sweep_progress`` fields that are wall-clock/rusage readings, not
+#: content.
+_PROGRESS_TIMING_FIELDS = frozenset({"elapsed_seconds", "maxrss_kb"})
+
+#: Gauges whose values are machine measurements, not content: keep the
+#: record (stream alignment is content) but blank the reading.
+_TIMING_GAUGES = frozenset({"engine.maxrss_kb"})
+
+
+def _mask_worker(name: str) -> str:
+    return _WORKER_PID.sub("worker.[pid].", name)
 
 
 # ----------------------------------------------------------------------
@@ -54,8 +77,9 @@ def load_artifact(path: str) -> Tuple[str, Any]:
 
     Returns ``(kind, payload)`` where ``kind`` is ``"trace"`` (payload: a
     record list from :func:`repro.obs.trace.read_trace`), ``"explain"``
-    (payload: a :class:`~repro.obs.provenance.Derivation`), or
-    ``"bench"`` (payload: the decoded ``repro-bench/2`` document).
+    (payload: a :class:`~repro.obs.provenance.Derivation`), ``"bench"``
+    (payload: the decoded ``repro-bench/2`` document), or ``"metrics"``
+    (payload: a record list from :func:`repro.obs.snapshot.read_snapshots`).
     Raises :class:`~repro.errors.TraceError` or
     :class:`~repro.errors.ProvenanceError` when the file matches no
     known schema.
@@ -80,10 +104,21 @@ def load_artifact(path: str) -> Tuple[str, Any]:
             # A header-only trace is a single JSON object and a valid
             # one-line JSONL file at the same time; treat it as a trace.
             return "trace", read_trace(text.splitlines())
+        if schema == METRICS_SCHEMA and document.get("type") == "header":
+            return "metrics", read_snapshots(text.splitlines())
         raise TraceError(
             f"{path!r}: unrecognised artifact schema {schema!r} "
-            f"(expected {TRACE_SCHEMA!r}, {EXPLAIN_SCHEMA!r}, or {BENCH_SCHEMA!r})"
+            f"(expected {TRACE_SCHEMA!r}, {EXPLAIN_SCHEMA!r}, "
+            f"{BENCH_SCHEMA!r}, or {METRICS_SCHEMA!r})"
         )
+    # Multi-line JSONL: the header's schema field says which stream it is.
+    first_line = next((line for line in text.splitlines() if line.strip()), "")
+    try:
+        header = json.loads(first_line)
+    except json.JSONDecodeError:
+        header = None
+    if isinstance(header, dict) and header.get("schema") == METRICS_SCHEMA:
+        return "metrics", read_snapshots(text.splitlines())
     return "trace", read_trace(text.splitlines())
 
 
@@ -96,16 +131,46 @@ def normalize_record(record: Mapping[str, Any]) -> Dict[str, Any]:
     """A trace record with its volatile (timing/bookkeeping) keys removed.
 
     What remains is the deterministic content two identically-seeded
-    runs must agree on byte for byte.
+    runs must agree on byte for byte.  Cross-process telemetry records
+    get the same treatment at finer grain: worker pids are masked out of
+    counter/gauge names and ``worker_obs_delta`` fields (the OS assigns
+    them), ``sweep_progress`` drops its wall-clock/rusage fields, and
+    shipped span timings reduce to their counts.
     """
-    return {key: value for key, value in record.items() if key not in VOLATILE_KEYS}
+    normalized = {
+        key: value for key, value in record.items() if key not in VOLATILE_KEYS
+    }
+    if normalized.get("type") in ("counter", "gauge") and "name" in normalized:
+        normalized["name"] = _mask_worker(str(normalized["name"]))
+        if normalized["type"] == "gauge" and normalized["name"] in _TIMING_GAUGES:
+            normalized["value"] = None
+    elif normalized.get("type") == "event":
+        fields = normalized.get("fields")
+        if isinstance(fields, Mapping):
+            kind = normalized.get("kind")
+            if kind == "worker_obs_delta":
+                fields = {k: v for k, v in fields.items() if k != "worker"}
+                spans = fields.get("spans")
+                if isinstance(spans, Mapping):
+                    fields["spans"] = {
+                        name: (
+                            entry.get("count") if isinstance(entry, Mapping) else entry
+                        )
+                        for name, entry in spans.items()
+                    }
+                normalized["fields"] = fields
+            elif kind == "sweep_progress":
+                normalized["fields"] = {
+                    k: v for k, v in fields.items() if k not in _PROGRESS_TIMING_FIELDS
+                }
+    return normalized
 
 
 def _fold_counters(records: Sequence[Mapping[str, Any]]) -> Dict[str, int]:
     totals: Dict[str, int] = {}
     for record in records:
         if record.get("type") == "counter":
-            name = str(record.get("name"))
+            name = _mask_worker(str(record.get("name")))
             totals[name] = totals.get(name, 0) + int(record.get("value", 0))
     return totals
 
@@ -351,6 +416,121 @@ def diff_traces(
 
 
 # ----------------------------------------------------------------------
+# Metrics-snapshot diff
+# ----------------------------------------------------------------------
+
+
+def _final_snapshot(records: Sequence[Mapping[str, Any]]) -> Optional[Mapping[str, Any]]:
+    last = None
+    for record in records:
+        if record.get("type") == "snapshot":
+            last = record
+    return last
+
+
+def _masked_ints(mapping: Any) -> Dict[str, int]:
+    if not isinstance(mapping, Mapping):
+        return {}
+    totals: Dict[str, int] = {}
+    for name, value in mapping.items():
+        key = _mask_worker(str(name))
+        totals[key] = totals.get(key, 0) + int(value)
+    return totals
+
+
+def _int_deltas(a: Dict[str, int], b: Dict[str, int]) -> Dict[str, Dict[str, int]]:
+    return {
+        name: {
+            "a": a.get(name, 0),
+            "b": b.get(name, 0),
+            "delta": b.get(name, 0) - a.get(name, 0),
+        }
+        for name in sorted(set(a) | set(b))
+        if a.get(name, 0) != b.get(name, 0)
+    }
+
+
+def diff_metrics(
+    records_a: Sequence[Mapping[str, Any]],
+    records_b: Sequence[Mapping[str, Any]],
+) -> Dict[str, Any]:
+    """Compare two ``repro-metrics/1`` snapshot streams.
+
+    The *final* snapshot of each stream is compared (a stream may
+    checkpoint many snapshots; the last one is the run's totals).
+    Counter and kernel-total deltas are **content** -- after worker
+    telemetry shipping they must match exactly between identically
+    seeded runs, pids masked.  Span timings are reported as ratios only,
+    and the per-record ``ts``/``pid`` stamps were never compared at all
+    (:data:`VOLATILE_KEYS`).
+    """
+    final_a = _final_snapshot(records_a)
+    final_b = _final_snapshot(records_b)
+    summary: Dict[str, Any] = {
+        "kind": "metrics",
+        "snapshots_a": sum(1 for r in records_a if r.get("type") == "snapshot"),
+        "snapshots_b": sum(1 for r in records_b if r.get("type") == "snapshot"),
+        "label_a": final_a.get("label", "") if final_a else None,
+        "label_b": final_b.get("label", "") if final_b else None,
+        "counter_deltas": {},
+        "kernel_deltas": {},
+        "span_count_deltas": {},
+        "timing_ratios": {},
+        "diverged": False,
+        "first_divergence": None,
+    }
+    if final_a is None or final_b is None:
+        if (final_a is None) != (final_b is None):
+            summary["diverged"] = True
+            summary["first_divergence"] = {
+                "field": "snapshots",
+                "a": summary["snapshots_a"],
+                "b": summary["snapshots_b"],
+            }
+        return summary
+    counters_a = _masked_ints(final_a.get("counters"))
+    counters_b = _masked_ints(final_b.get("counters"))
+    summary["counter_deltas"] = _int_deltas(counters_a, counters_b)
+    kernel_a = _masked_ints(final_a.get("kernel_totals"))
+    kernel_b = _masked_ints(final_b.get("kernel_totals"))
+    summary["kernel_deltas"] = _int_deltas(kernel_a, kernel_b)
+
+    spans_a = final_a.get("spans") or {}
+    spans_b = final_b.get("spans") or {}
+    count_a = {str(n): int(e.get("count", 0)) for n, e in spans_a.items()}
+    count_b = {str(n): int(e.get("count", 0)) for n, e in spans_b.items()}
+    summary["span_count_deltas"] = _int_deltas(count_a, count_b)
+    for name in sorted(set(spans_a) | set(spans_b)):
+        seconds_a = float(spans_a.get(name, {}).get("total_seconds", 0.0))
+        seconds_b = float(spans_b.get(name, {}).get("total_seconds", 0.0))
+        summary["timing_ratios"][name] = {
+            "seconds_a": round(seconds_a, 6),
+            "seconds_b": round(seconds_b, 6),
+            "ratio": round(seconds_b / seconds_a, 4) if seconds_a > 0.0 else None,
+        }
+
+    for field, deltas in (
+        ("counters", summary["counter_deltas"]),
+        ("kernel_totals", summary["kernel_deltas"]),
+        ("spans", summary["span_count_deltas"]),
+    ):
+        if deltas:
+            summary["diverged"] = True
+            if summary["first_divergence"] is None:
+                name = next(iter(deltas))
+                summary["first_divergence"] = {"field": field, "name": name, **deltas[name]}
+    if summary["label_a"] != summary["label_b"]:
+        summary["diverged"] = True
+        if summary["first_divergence"] is None:
+            summary["first_divergence"] = {
+                "field": "label",
+                "a": summary["label_a"],
+                "b": summary["label_b"],
+            }
+    return summary
+
+
+# ----------------------------------------------------------------------
 # Bench diff
 # ----------------------------------------------------------------------
 
@@ -456,6 +636,8 @@ def diff_artifacts(path_a: str, path_b: str) -> Dict[str, Any]:
         summary = diff_traces(payload_a, payload_b)
     elif kind_a == "explain":
         summary = diff_derivations(payload_a, payload_b)
+    elif kind_a == "metrics":
+        summary = diff_metrics(payload_a, payload_b)
     else:
         summary = diff_bench(payload_a, payload_b)
     summary["a"] = path_a
@@ -527,6 +709,38 @@ def render_diff(summary: Mapping[str, Any]) -> str:
             )
         else:
             lines.append("first divergence: none")
+    elif kind == "metrics":
+        lines.append(
+            f"snapshots: {summary['snapshots_a']} vs {summary['snapshots_b']}"
+        )
+        if summary.get("label_a") != summary.get("label_b"):
+            lines.append(
+                f"labels: {summary.get('label_a')!r} vs {summary.get('label_b')!r}"
+            )
+        for title, deltas in (
+            ("counter deltas", summary.get("counter_deltas", {})),
+            ("kernel totals deltas", summary.get("kernel_deltas", {})),
+            ("span count deltas", summary.get("span_count_deltas", {})),
+        ):
+            if deltas:
+                lines.append(f"{title}:")
+                for name, entry in deltas.items():
+                    lines.append(
+                        f"  {name}: {entry['a']} -> {entry['b']} ({entry['delta']:+d})"
+                    )
+            else:
+                lines.append(f"{title}: none")
+        ratios = summary.get("timing_ratios", {})
+        if ratios:
+            lines.append("timing ratios (informational, B/A):")
+            for name, entry in ratios.items():
+                ratio = entry["ratio"]
+                shown = f"{ratio:.4f}" if ratio is not None else "n/a"
+                lines.append(
+                    f"  {name}: {entry['seconds_a']:.6f}s -> "
+                    f"{entry['seconds_b']:.6f}s (x{shown})"
+                )
+        _render_divergence(summary.get("first_divergence"), lines)
     elif kind == "bench":
         lines.append(
             f"benchmarks: {summary['benchmarks_a']} vs {summary['benchmarks_b']}"

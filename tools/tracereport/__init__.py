@@ -20,11 +20,18 @@ Usage::
 
     PYTHONPATH=src python -m tools.tracereport trace.jsonl
     PYTHONPATH=src python -m tools.tracereport --json trace.jsonl
+    PYTHONPATH=src python -m tools.tracereport trace.jsonl --metrics m.jsonl
 
-Exit status: 0 on success, 2 when the file is not a valid
-``repro-trace/1`` trace.
+``--metrics`` folds a ``repro-metrics/1`` snapshot into the report as a
+worker-merged counters section -- after a pool sweep the snapshot holds
+the per-worker shipped totals (``worker.<pid>.*``) and the exact
+whole-sweep kernel totals.
+
+Exit status: 0 on success, 2 when the trace is not a valid
+``repro-trace/1`` artifact or the ``--metrics`` file is not a valid
+``repro-metrics/1`` snapshot.
 """
 
-from .report import render_report, summarize
+from .report import render_metrics, render_report, summarize, summarize_metrics
 
-__all__ = ["render_report", "summarize"]
+__all__ = ["render_metrics", "render_report", "summarize", "summarize_metrics"]

@@ -7,11 +7,11 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.errors import TraceError
-from repro.obs import read_trace
+from repro.errors import MetricsError, TraceError
+from repro.obs import read_snapshot, read_trace
 from repro.reporting import json_ready
 
-from .report import render_report, summarize
+from .report import render_metrics, render_report, summarize, summarize_metrics
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -24,6 +24,13 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument("trace", help="path to a repro-trace/1 JSONL file")
+    parser.add_argument(
+        "--metrics",
+        help=(
+            "repro-metrics/1 snapshot to fold in as a worker-merged "
+            "counters section"
+        ),
+    )
     parser.add_argument(
         "--json",
         action="store_true",
@@ -43,11 +50,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"tracereport: cannot read {args.trace!r}: {error}", file=sys.stderr)
         return 2
     summary = summarize(records)
+    if args.metrics:
+        try:
+            snapshot = read_snapshot(args.metrics)
+        except MetricsError as error:
+            print(f"tracereport: {error}", file=sys.stderr)
+            return 2
+        except OSError as error:
+            print(
+                f"tracereport: cannot read {args.metrics!r}: {error}", file=sys.stderr
+            )
+            return 2
+        summary["metrics"] = summarize_metrics(snapshot)
     try:
         if args.json:
             print(json.dumps(json_ready(summary), indent=2))
         else:
-            print(render_report(summary))
+            report = render_report(summary)
+            if "metrics" in summary:
+                report += "\n\n" + render_metrics(summary["metrics"])
+            print(report)
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; the summary it asked
         # for was delivered, so this is not an error.

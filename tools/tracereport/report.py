@@ -99,6 +99,78 @@ def summarize(records: Sequence[Dict]) -> Dict:
     return summary
 
 
+def summarize_metrics(snapshot: Dict) -> Dict:
+    """Fold a ``repro-metrics/1`` snapshot into the report's metrics section.
+
+    The snapshot is one record from :func:`repro.obs.read_snapshot` --
+    typically taken after a pool sweep, so its counters carry the
+    worker-merged totals (``worker.<pid>.*``) the trace alone would lack
+    on an uninstrumented run.  Returned shape::
+
+        {"label": ..., "counters": {...}, "worker_counters": {...},
+         "kernel_totals": {...}, "cache": {...}}
+    """
+    counters = {
+        str(name): int(value)
+        for name, value in snapshot.get("counters", {}).items()
+    }
+    worker_counters = {
+        name: value for name, value in counters.items() if name.startswith("worker.")
+    }
+    cache = dict(snapshot.get("cache", {}))
+    return {
+        "label": snapshot.get("label", ""),
+        "counters": dict(sorted(counters.items())),
+        "worker_counters": dict(sorted(worker_counters.items())),
+        "kernel_totals": dict(snapshot.get("kernel_totals", {})),
+        "cache": cache,
+    }
+
+
+def render_metrics(metrics: Dict) -> str:
+    """Render a :func:`summarize_metrics` result as plain-text tables."""
+    sections: List[str] = []
+    label = metrics.get("label") or "(unlabelled)"
+    kernel = metrics.get("kernel_totals", {})
+    if kernel:
+        sections.append(
+            render_table(
+                f"Metrics snapshot {label}: kernel totals",
+                ["counter", "total"],
+                sorted(kernel.items()),
+            )
+        )
+    worker_counters = metrics.get("worker_counters", {})
+    if worker_counters:
+        sections.append(
+            render_table(
+                "Worker-merged counters",
+                ["counter", "total"],
+                list(worker_counters.items()),
+            )
+        )
+    cache = metrics.get("cache", {})
+    if cache:
+        rate = cache.get("hit_rate")
+        sections.append(
+            render_table(
+                "Snapshot cache",
+                ["hits", "misses", "evictions", "hit rate"],
+                [
+                    [
+                        cache.get("hits", 0),
+                        cache.get("misses", 0),
+                        cache.get("evictions", 0),
+                        rate if rate is not None else "n/a",
+                    ]
+                ],
+            )
+        )
+    if not sections:
+        return "(metrics snapshot carries no kernel, worker, or cache data)"
+    return "\n\n".join(sections)
+
+
 def render_report(summary: Dict) -> str:
     """Render a :func:`summarize` result as plain-text tables."""
     sections: List[str] = []
