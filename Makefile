@@ -2,12 +2,12 @@
 
 PYTHON ?= python3
 # Benchmark report for the current PR (see docs/performance.md).
-BENCH ?= BENCH_9.json
+BENCH ?= BENCH_10.json
 # Trace file consumed by `make trace-report` / `make trace-top`
 # (see docs/observability.md).
 TRACE ?= trace.jsonl
 
-.PHONY: install test test-chaos bench bench-json bench-json-smoke examples quicktest lint lint-json flow-lint flow-json flow-report trace-report trace-top trace-diff clean
+.PHONY: install test test-chaos bench bench-json bench-json-smoke examples quicktest lint lint-json flow-lint flow-json flow-report trace-report trace-top trace-diff audit-verify audit-chaos clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -69,6 +69,17 @@ trace-top:
 # node.  Usage: make trace-diff A=run1.jsonl B=run2.jsonl
 trace-diff:
 	PYTHONPATH=src $(PYTHON) -m tools.tracediff $(A) $(B)
+
+# Verify a repro-audit/1 Merkle bundle without recomputing its sweep:
+# hash chain, checkpoint cross-check, derivation replay (see
+# docs/observability.md).  Usage: make audit-verify AUDIT=sweep.jsonl.audit
+audit-verify:
+	PYTHONPATH=src $(PYTHON) -m tools.verifyaudit $(AUDIT)
+
+# The CI acceptance scenario end to end: chaos-kill an audited sweep,
+# resume it, verifyaudit the merged bundle (exit 0 iff clean).
+audit-chaos:
+	$(PYTHON) benchmarks/audit_chaos_sweep.py --artifact-dir audit-artifacts
 
 examples:
 	@for script in examples/*.py; do \

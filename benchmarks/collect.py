@@ -267,6 +267,129 @@ def bench_robust_sweep(records, messengers, repeats: int, trace) -> None:
     )
 
 
+def bench_audit_overhead(records, messengers, repeats: int) -> None:
+    """The audit bill: checkpointed sweep with and without the Merkle bundle.
+
+    ``audit=True`` rebuilds every row's attack system in the parent and
+    re-derives its threshold derivation before chaining the leaf, so the
+    overhead is real work, not hashing -- this record is why auditing
+    defaults off.  Rows are asserted identical first (the audit path
+    must never change results), and the derived ``audit_overhead_ratio``
+    pins the cost PR-over-PR.
+    """
+    import shutil
+    import tempfile
+
+    from repro.robustness import robust_guarantee_sweep
+
+    losses = [Fraction(1, 2)]
+
+    def best_of(audit: bool):
+        best = None
+        rows = None
+        for _ in range(repeats):
+            scratch = tempfile.mkdtemp(prefix="bench-audit-")
+            try:
+                start = time.perf_counter()
+                rows = robust_guarantee_sweep(
+                    messengers,
+                    losses,
+                    max_workers=1,
+                    checkpoint_path=os.path.join(scratch, "sweep.jsonl"),
+                    audit=audit,
+                )
+                elapsed = time.perf_counter() - start
+            finally:
+                shutil.rmtree(scratch, ignore_errors=True)
+            if best is None or elapsed < best:
+                best = elapsed
+        return best, rows
+
+    plain_seconds, plain_rows = best_of(False)
+    audited_seconds, audited_rows = best_of(True)
+    if plain_rows != audited_rows:
+        raise AssertionError("audited sweep rows differ from unaudited rows")
+    for audit, seconds in ((False, plain_seconds), (True, audited_seconds)):
+        records.append(
+            {
+                "name": "audit_overhead_sweep",
+                "backend": get_default_backend(),
+                "points": None,
+                "params": {
+                    "messengers": list(messengers),
+                    "losses": losses,
+                    "audit": audit,
+                },
+                "system": {"tasks": len(plain_rows)},
+                "seconds": round(seconds, 4),
+                "counters": {},
+                "results": {"rows_match_unaudited": True},
+            }
+        )
+
+
+def bench_explain_dag(records, messengers, losses, repeats: int, trace) -> None:
+    """Hash-consed ``repro-explain/2`` vs ``/1`` on a sweep's derivations.
+
+    Builds the Section 5 threshold derivation behind every row of a
+    guarantee sweep (>=100 rows at full size), encodes them all into one
+    ``/2`` document via :meth:`DerivationStore.encode_many`, and pins
+    both the exact canonical-byte sizes and losslessness (every decoded
+    derivation fingerprint-identical to its source).  The derived
+    ``explain_dag_compression`` ratio is the acceptance number: ``/1``
+    bytes over ``/2`` bytes, > 1 means the DAG encoding is smaller.
+    """
+    from repro.attack import row_provenance_derivation
+    from repro.attack.sweep import sweep_tasks
+    from repro.obs import DerivationStore, encoded_size
+    from repro.obs.derivstore import decode_derivations
+
+    tasks = sweep_tasks(messengers, losses)
+
+    def workload():
+        derivations = [
+            row_provenance_derivation(builder(count, loss))
+            for _name, builder, count, loss, _epsilon in tasks
+        ]
+        store = DerivationStore()
+        document = store.encode_many(derivations)
+        return derivations, store, document
+
+    seconds, (derivations, store, document), counters = _timed(
+        workload, repeats, trace, label="explain_dag_encode"
+    )
+    tree_bytes = sum(encoded_size(d.json_ready()) for d in derivations)
+    dag_bytes = encoded_size(document)
+    decoded = decode_derivations(document)
+    if [d.fingerprint() for d in decoded] != [
+        d.fingerprint() for d in derivations
+    ]:
+        raise AssertionError("repro-explain/2 round trip lost a derivation")
+    records.append(
+        {
+            "name": "explain_dag_encode",
+            "backend": get_default_backend(),
+            "points": None,
+            "params": {
+                "messengers": list(messengers),
+                "losses": losses,
+                "rows": len(tasks),
+            },
+            "system": {"tasks": len(tasks)},
+            "seconds": round(seconds, 4),
+            "counters": counters,
+            "results": {
+                "tree_bytes": tree_bytes,
+                "dag_bytes": dag_bytes,
+                "nodes_added": store.nodes_added,
+                "nodes_deduped": store.nodes_deduped,
+                "lossless_round_trip": True,
+                "dag_smaller": dag_bytes < tree_bytes,
+            },
+        }
+    )
+
+
 def bench_wordarray_measure(records, params, n_queries: int, repeats: int, trace) -> None:
     """Non-powerset interval measures at ``n_atoms * block`` outcomes.
 
@@ -439,7 +562,7 @@ def _record_seconds(records, name: str, backend: str):
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--output", default="BENCH_9.json", help="where to write the report"
+        "--output", default="BENCH_10.json", help="where to write the report"
     )
     parser.add_argument(
         "--smoke",
@@ -468,6 +591,20 @@ def main(argv=None) -> int:
     wordarray_params = bench_wordarray.SMOKE if args.smoke else bench_wordarray.FULL
     wordarray_queries = 8 if args.smoke else 24
     wordarray_repeats = 1 if args.smoke else 3
+    audit_messengers = [1, 2] if args.smoke else [1, 2, 3]
+    explain_messengers = [1, 2] if args.smoke else [1, 2, 3, 4, 5, 6]
+    explain_losses = (
+        [Fraction(1, 2)]
+        if args.smoke
+        else [
+            Fraction(1, 2),
+            Fraction(1, 3),
+            Fraction(1, 4),
+            Fraction(2, 3),
+            Fraction(3, 4),
+            Fraction(1, 5),
+        ]
+    )
 
     trace = None
     if args.trace:
@@ -489,6 +626,10 @@ def main(argv=None) -> int:
         lambda: bench_common_knowledge(records, ck_messengers, repeats, trace),
         lambda: bench_robust_sweep(records, sweep_messengers, repeats, trace),
         lambda: bench_obs_overhead(records, tosses, repeats),
+        lambda: bench_audit_overhead(records, audit_messengers, repeats),
+        lambda: bench_explain_dag(
+            records, explain_messengers, explain_losses, repeats, trace
+        ),
     ]
     if wordmask.available():
         runners.extend(
@@ -517,7 +658,7 @@ def main(argv=None) -> int:
 
     payload = {
         "schema": "repro-bench/2",
-        "pr": 9,
+        "pr": 10,
         "generated_by": "benchmarks/collect.py"
         + (" --smoke" if args.smoke else ""),
         "smoke": args.smoke,
@@ -544,6 +685,22 @@ def main(argv=None) -> int:
     metrics_seconds = _overhead_seconds(records, "metrics")
     if null_seconds and metrics_seconds:
         derived["obs_overhead_ratio"] = round(metrics_seconds / null_seconds, 4)
+    audit_seconds = {
+        record["params"]["audit"]: record["seconds"]
+        for record in records
+        if record["name"] == "audit_overhead_sweep"
+    }
+    if audit_seconds.get(False) and audit_seconds.get(True):
+        derived["audit_overhead_ratio"] = round(
+            audit_seconds[True] / audit_seconds[False], 4
+        )
+    explain_dag = next(
+        (r["results"] for r in records if r["name"] == "explain_dag_encode"), None
+    )
+    if explain_dag and explain_dag["dag_bytes"]:
+        derived["explain_dag_compression"] = round(
+            explain_dag["tree_bytes"] / explain_dag["dag_bytes"], 4
+        )
     for name, key in (
         ("wordarray_measure", "wordarray_measure_speedup_vs_bitmask"),
         ("wordarray_gfp", "wordarray_gfp_speedup_vs_bitmask"),

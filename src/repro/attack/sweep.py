@@ -26,9 +26,11 @@ from ..core.model import Point
 from ..core.standard import standard_assignments
 from ..logic.semantics import Model
 from ..logic.syntax import PrAtLeast, Prop
+from ..obs.audit import AuditBundleWriter
 from ..obs.recorder import get_recorder
-from ..probability.bitset import kernel_totals, use_backend
+from ..probability.bitset import get_default_backend, kernel_totals, use_backend
 from ..probability.fractionutil import FractionLike, ONE, as_fraction
+from ..reporting import json_ready
 from .analysis import achieves, run_level_probability
 from .protocols import AttackSystem, build_ca1, build_ca1_adaptive, build_ca2
 
@@ -133,6 +135,39 @@ DEFAULT_BUILDERS: Dict[str, Builder] = {
 SweepTask = Tuple[str, Builder, int, Fraction, Fraction]
 
 
+def task_fingerprint(task: SweepTask) -> Dict[str, object]:
+    """The sweep coordinates identifying one task (Section 8).
+
+    Deterministic. The fingerprint depends only on the task tuple and
+    the active measure backend, so resumed and fresh runs key the same
+    cell identically.
+    Exact. Loss and epsilon serialise as Fraction strings -- no float
+    ever enters a checkpoint key.
+
+    Deliberately excludes the builder callable: two runs constructing
+    the same (protocol, messengers, loss, epsilon) cell must produce
+    interchangeable rows, and callables have no stable serial form.
+
+    The ``backend`` field is *provenance, not identity*: rows are
+    backend-independent exact Fractions, so checkpoint loading ignores
+    it when matching records to tasks -- a sweep checkpointed under
+    ``bitmask`` resumes cleanly under ``wordarray`` and vice versa, and
+    checkpoints written before the field existed still load.  This is
+    also the ``task`` payload every ``repro-audit/1`` leaf hash commits
+    to, which is why it lives here: both the serial
+    :func:`guarantee_sweep` and the fault-tolerant checkpointed sweep
+    chain the same identity.
+    """
+    name, _builder, messengers, loss, epsilon = task
+    return {
+        "protocol": name,
+        "messengers": messengers,
+        "loss": str(Fraction(loss)),
+        "epsilon": str(Fraction(epsilon)),
+        "backend": get_default_backend(),
+    }
+
+
 def sweep_tasks(
     messenger_counts: Sequence[int],
     losses: Sequence[FractionLike],
@@ -223,6 +258,41 @@ def sweep_row_of(
         return row
 
 
+def audited_sweep_row(task: SweepTask, writer: AuditBundleWriter, index: int) -> SweepRow:
+    """Compute one row and chain it into a ``repro-audit/1`` bundle.
+
+    Builds the attack system once and reuses it for both the row and its
+    ``post_threshold`` derivation (:func:`row_provenance_derivation`),
+    then appends the Merkle leaf binding (task fingerprint, exact row
+    payload, derivation root fingerprint, index) -- the per-row unit of
+    the verifiable-sweep story, replayed by ``tools/verifyaudit``.  The
+    returned row is byte-identical to :func:`sweep_row_of`'s: auditing
+    observes the Section 8 computation, it never perturbs it.
+    """
+    name, builder, messengers, loss, _threshold = task
+    recorder = get_recorder()
+    with recorder.span(
+        "sweep_row", protocol=name, messengers=messengers, loss=loss
+    ):
+        attack = builder(messengers, loss)
+        row = sweep_row_from_attack(task, attack)
+        recorder.event("cache_stats", **kernel_totals())
+        derivation = row_provenance_derivation(attack)
+        chain = writer.append(
+            index, task_fingerprint(task), json_ready(row), derivation
+        )
+        recorder.event(
+            "audit_leaf",
+            protocol=name,
+            messengers=messengers,
+            loss=loss,
+            index=index,
+            fingerprint=derivation.fingerprint(),
+            chain=chain,
+        )
+        return row
+
+
 def guarantee_sweep(
     messenger_counts: Sequence[int],
     losses: Sequence[FractionLike],
@@ -230,6 +300,7 @@ def guarantee_sweep(
     epsilon: FractionLike = Fraction(99, 100),
     provenance: bool = False,
     backend: Optional[str] = None,
+    audit_path=None,
 ) -> List[SweepRow]:
     """Sweep protocols over messenger counts and loss probabilities.
 
@@ -237,13 +308,29 @@ def guarantee_sweep(
     with its threshold derivation; see :func:`sweep_row_of`.
     ``backend`` runs the whole sweep under a specific measure engine
     (``None`` keeps the process default); rows are identical either way.
+    ``audit_path`` (opt-in, default off) additionally chains every row
+    into a ``repro-audit/1`` Merkle bundle at that path -- each leaf
+    binds the task fingerprint, the exact row payload, and the row's
+    threshold-derivation root fingerprint, so ``tools/verifyaudit`` can
+    certify the sweep without recomputing it (see
+    :mod:`repro.obs.audit`); rows are byte-identical either way.
     """
     tasks = sweep_tasks(messenger_counts, losses, builders, epsilon)
+    writer = AuditBundleWriter(audit_path) if audit_path is not None else None
+
+    def rows() -> List[SweepRow]:
+        if writer is not None:
+            return [
+                audited_sweep_row(task, writer, index)
+                for index, task in enumerate(tasks)
+            ]
+        return [sweep_row_of(task, provenance=provenance) for task in tasks]
+
     with get_recorder().span("guarantee_sweep", tasks=len(tasks)):
         if backend is not None:
             with use_backend(backend):
-                return [sweep_row_of(task, provenance=provenance) for task in tasks]
-        return [sweep_row_of(task, provenance=provenance) for task in tasks]
+                return rows()
+        return rows()
 
 
 def crossover_messengers(

@@ -3,7 +3,9 @@
 ``strategies`` models the opponent; ``game`` the rule ``Bet(phi, alpha)``;
 ``safety`` the break-even/safety definitions with both enumerated and
 closed-form evaluation; ``theorems`` the executable Theorems 7-9 and
-Proposition 6; ``embedded`` the Appendix B.3 construction and Theorem 11.
+Proposition 6; ``embedded`` the Appendix B.3 construction and Theorem 11;
+``provenance`` renders safety certificates and Theorem 8 witnesses as
+``repro-explain/1`` derivation trees for the audit layer.
 """
 
 from .embedded import (
@@ -13,6 +15,11 @@ from .embedded import (
     verify_theorem11,
 )
 from .game import BettingRule, acceptance_set_rule
+from .provenance import (
+    safety_derivation,
+    strategy_payload,
+    theorem8_witness_derivation,
+)
 from .safety import (
     SafetyCertificate,
     safety_certificate,
@@ -67,6 +74,9 @@ __all__ = [
     "breaks_even_analytic",
     "SafetyCertificate",
     "safety_certificate",
+    "safety_derivation",
+    "strategy_payload",
+    "theorem8_witness_derivation",
     "is_safe",
     "is_safe_analytic",
     "refuting_strategy",

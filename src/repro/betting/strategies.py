@@ -60,6 +60,21 @@ class Strategy:
         """The payoff offered when the opponent's local state is ``local``."""
         return self._table.get(local, self._default)
 
+    @property
+    def default_payoff(self) -> Payoff:
+        """The payoff offered at local states absent from the table."""
+        return self._default
+
+    def table_items(self):
+        """The explicit (local state, payoff) entries of the strategy.
+
+        The read-only view the betting provenance layer serialises: a
+        strategy is evidence in a Theorem 7/8 refutation, so its full
+        payoff table must be recordable without reaching into private
+        state.
+        """
+        return self._table.items()
+
     def payoff_at(self, point: Point) -> Payoff:
         """The payoff offered at a point (reads the opponent's local state)."""
         return self.payoff(point.local_state(self.agent))

@@ -187,6 +187,20 @@ class MetricsError(ReproError):
     """
 
 
+class AuditError(ReproError):
+    """An audit bundle does not conform to ``repro-audit/1`` or fails its
+    hash chain.
+
+    Raised by the readers and verifiers of :mod:`repro.obs.audit` when a
+    bundle's header is missing or names a foreign schema, when a record
+    is structurally malformed, or -- through the verification report --
+    when a recomputed leaf hash, chain link, or derivation-node
+    fingerprint disagrees with what the bundle recorded, so a sweep is
+    never certified from a file that was tampered with or that
+    :class:`repro.obs.audit.AuditBundleWriter` did not produce.
+    """
+
+
 class ProvenanceError(ReproError):
     """A derivation payload does not conform to the ``repro-explain/1`` schema.
 

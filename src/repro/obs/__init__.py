@@ -15,6 +15,11 @@ counters, gauges, events and timing spans to the process-global
   ``repro-explain/1`` derivation trees built by ``Model.explain`` and the
   gfp iteration snapshots of the common-knowledge fixpoints -- for
   ``tools/tracediff`` and the auditability layer.
+* :mod:`repro.obs.derivstore` hash-conses derivation subtrees by their
+  Merkle fingerprints into the ``repro-explain/2`` DAG encoding (with a
+  lossless bridge to ``repro-explain/1``), and :mod:`repro.obs.audit`
+  chains sweep rows and their derivation roots into ``repro-audit/1``
+  Merkle-chained audit bundles for ``tools/verifyaudit``.
 * :mod:`repro.obs.snapshot` freezes aggregates into ``repro-metrics/1``
   snapshots and ships per-attempt deltas across process boundaries --
   the cross-process telemetry the sweep engine's workers use, so the
@@ -27,6 +32,24 @@ schema, and a worked example.
 """
 
 from . import clock
+from .audit import (
+    AUDIT_SCHEMA,
+    AuditBundle,
+    AuditBundleWriter,
+    bundle_root,
+    read_audit_bundle,
+    verify_bundle,
+)
+from .derivstore import (
+    EXPLAIN_SCHEMA_2,
+    DerivationStore,
+    decode_derivation,
+    downgrade,
+    encode_derivation,
+    encoded_size,
+    node_fingerprint,
+    upgrade,
+)
 from .metrics import MetricsRecorder, SpanStats
 from .provenance import (
     EXPLAIN_SCHEMA,
@@ -61,9 +84,14 @@ from .snapshot import (
 from .trace import TRACE_SCHEMA, TraceRecorder, read_trace
 
 __all__ = [
+    "AUDIT_SCHEMA",
+    "AuditBundle",
+    "AuditBundleWriter",
     "Derivation",
     "DerivationNode",
+    "DerivationStore",
     "EXPLAIN_SCHEMA",
+    "EXPLAIN_SCHEMA_2",
     "METRICS_SCHEMA",
     "MetricsRecorder",
     "MetricsSnapshotWriter",
@@ -76,10 +104,17 @@ __all__ = [
     "SpanStats",
     "TRACE_SCHEMA",
     "TraceRecorder",
+    "bundle_root",
     "clock",
+    "decode_derivation",
     "derivation_from_json",
+    "downgrade",
+    "encode_derivation",
+    "encoded_size",
     "get_recorder",
+    "node_fingerprint",
     "merge_worker_delta",
+    "read_audit_bundle",
     "read_derivation",
     "read_snapshot",
     "read_snapshots",
@@ -88,6 +123,8 @@ __all__ = [
     "set_recorder",
     "snapshot_delta",
     "take_snapshot",
+    "upgrade",
     "use_recorder",
+    "verify_bundle",
     "write_snapshot",
 ]

@@ -1,0 +1,427 @@
+"""Hash-consed derivation DAGs: schema ``repro-explain/2``.
+
+Schema ``repro-explain/1`` (:mod:`repro.obs.provenance`) serialises a
+derivation as a *tree*: every node is written in full where it occurs.
+Large ``C_G^alpha`` explains (Section 8's greatest fixed point over a
+group) repeat near-identical ``K_i^alpha`` subtrees -- the same agent's
+knowledge class produces the same Section 5 evidence at every point of
+the class -- so the tree encoding grows with the number of occurrences,
+not the number of *distinct* derivation steps.
+
+This module hash-conses: every :class:`~repro.obs.provenance.DerivationNode`
+gets a content fingerprint (:func:`node_fingerprint`, the SHA-256 of its
+fields with children replaced by *their* fingerprints -- a Merkle hash of
+the subtree), and schema ``repro-explain/2`` stores each distinct
+subtree once in a node table keyed by fingerprint, with the tree
+structure recovered through fingerprint references.  The encoding is a
+DAG of the derivation's distinct steps:
+
+* :func:`encode_derivation` / :func:`decode_derivation` -- one
+  derivation as a ``repro-explain/2`` document;
+* :func:`upgrade` / :func:`downgrade` -- the lossless schema bridge:
+  ``downgrade(upgrade(doc))`` reproduces the ``repro-explain/1``
+  document byte for byte (canonical serialisation), and fingerprints are
+  invariant under the round trip;
+* :class:`DerivationStore` -- an accumulating node table shared by many
+  derivations (the per-row derivations of a Section 8 guarantee sweep,
+  or one ``C_G^alpha`` formula explained at every point), so subtrees
+  repeated *across* derivations are also stored once
+  (:meth:`DerivationStore.encode_many`).
+
+The audit layer (:mod:`repro.obs.audit`) builds on exactly this: a
+bundle streams each distinct node once and its Merkle leaves bind rows
+to root fingerprints, which transitively bind every node below them.
+
+Like :mod:`repro.obs.provenance`, everything here is pure JSON-ready
+data: no floats (Section 5 semantics is exact), no clocks, no ids -- the
+fingerprint of a node is a function of its content and nothing else.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ProvenanceError
+from .provenance import (
+    EXPLAIN_SCHEMA,
+    Derivation,
+    DerivationNode,
+    derivation_from_json,
+)
+
+__all__ = [
+    "EXPLAIN_SCHEMA_2",
+    "DerivationStore",
+    "decode_derivation",
+    "downgrade",
+    "encode_derivation",
+    "encoded_size",
+    "node_fingerprint",
+    "node_from_table",
+    "node_table",
+    "upgrade",
+]
+
+#: Identifier written into (and demanded from) every DAG-encoded derivation.
+EXPLAIN_SCHEMA_2 = "repro-explain/2"
+
+
+def _canonical(payload) -> str:
+    """The canonical serialisation every fingerprint is computed over.
+
+    Deterministic. ``sort_keys`` plus the compact default separators --
+    the same convention :meth:`repro.obs.provenance.Derivation.fingerprint`
+    already uses, so the two fingerprint families share one byte-level
+    definition of "same content".
+    """
+    return json.dumps(payload, sort_keys=True)
+
+
+def node_payload(node: DerivationNode, child_refs: Sequence[str]) -> Dict:
+    """The JSON-ready form of one node with children as fingerprint refs.
+
+    This is the record stored in a ``repro-explain/2`` node table: every
+    field of the ``repro-explain/1`` node (Section 5's rule, formula,
+    point, verdict, citation, and evidence) except that ``children``
+    holds the child subtrees' fingerprints instead of their bodies.
+    """
+    return {
+        "rule": node.rule,
+        "formula": node.formula,
+        "point": node.point,
+        "holds": node.holds,
+        "definition": node.definition,
+        "detail": node.detail,
+        "children": list(child_refs),
+    }
+
+
+def node_fingerprint(node: DerivationNode) -> str:
+    """The Merkle fingerprint of one derivation subtree.
+
+    Deterministic. The SHA-256 of the node's canonical payload with
+    children replaced by their own fingerprints, so the hash of a node
+    commits transitively to every node below it -- equal fingerprints
+    mean equal subtrees, field for field, all the way down (the
+    hash-consing key, and what the Section 8 audit leaves bind to).
+    Exact. Node content is pure JSON with exact ``"p/q"`` strings
+    (enforced at node construction), so no rounding can ever make two
+    different subtrees collide on a normalised form.
+    """
+    child_refs = [node_fingerprint(child) for child in node.children]
+    return hashlib.sha256(
+        _canonical(node_payload(node, child_refs)).encode("utf-8")
+    ).hexdigest()
+
+
+class DerivationStore:
+    """A content-addressed, hash-consing store of derivation subtrees.
+
+    ``add`` interns every distinct subtree of a
+    :class:`~repro.obs.provenance.DerivationNode` tree exactly once,
+    keyed by :func:`node_fingerprint`, and returns the root's
+    fingerprint.  Repeated ``K_i^alpha`` subtrees -- within one large
+    ``C_G^alpha`` explain (Section 8) or across the rows of a sweep --
+    therefore cost one table entry no matter how often they occur.
+
+    The store only ever grows; it never mutates an interned entry
+    (content addressing makes overwriting meaningless: a different node
+    has a different key).  ``new_refs`` from :meth:`add_new` is what the
+    audit bundle writer streams incrementally, children always before
+    parents, so a reader can verify each record against refs it has
+    already seen.
+    """
+
+    __slots__ = ("_nodes", "nodes_added", "nodes_deduped")
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, Dict] = {}
+        #: Distinct subtrees interned so far.
+        self.nodes_added = 0
+        #: Subtree occurrences answered from the table instead of stored.
+        self.nodes_deduped = 0
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, ref: str) -> bool:
+        return ref in self._nodes
+
+    def payload(self, ref: str) -> Dict:
+        """The stored node payload for one fingerprint."""
+        try:
+            return self._nodes[ref]
+        except KeyError:
+            raise ProvenanceError(
+                f"derivation store has no node {ref!r}"
+            ) from None
+
+    def add(self, node: DerivationNode) -> str:
+        """Intern a subtree (children first); return the root fingerprint."""
+        ref, _new = self._intern(node)
+        return ref
+
+    def add_new(self, node: DerivationNode) -> Tuple[str, List[Tuple[str, Dict]]]:
+        """Intern a subtree and also report which entries are new.
+
+        Returns ``(root_ref, new_entries)`` where ``new_entries`` lists
+        the ``(ref, payload)`` pairs this call added, in dependency
+        order (every child ref precedes any parent that references it) --
+        the exact stream order the audit bundle writes node records in.
+        """
+        new_entries: List[Tuple[str, Dict]] = []
+        ref = self._intern_collecting(node, new_entries)
+        return ref, new_entries
+
+    def _intern(self, node: DerivationNode) -> Tuple[str, bool]:
+        sink: List[Tuple[str, Dict]] = []
+        ref = self._intern_collecting(node, sink)
+        return ref, bool(sink)
+
+    def _intern_collecting(
+        self, node: DerivationNode, new_entries: List[Tuple[str, Dict]]
+    ) -> str:
+        child_refs = [
+            self._intern_collecting(child, new_entries) for child in node.children
+        ]
+        payload = node_payload(node, child_refs)
+        ref = hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+        if ref in self._nodes:
+            self.nodes_deduped += 1
+            return ref
+        self._nodes[ref] = payload
+        self.nodes_added += 1
+        new_entries.append((ref, payload))
+        return ref
+
+    def node(self, ref: str) -> DerivationNode:
+        """Rebuild the :class:`DerivationNode` tree rooted at ``ref``."""
+        return node_from_table(self._nodes, ref)
+
+    def table(self) -> Dict[str, Dict]:
+        """A JSON-ready copy of the node table (fingerprint -> payload)."""
+        return {ref: dict(payload) for ref, payload in self._nodes.items()}
+
+    # -- whole-derivation encoding --------------------------------------
+
+    def encode(self, derivation: Derivation) -> Dict:
+        """One derivation as ``repro-explain/2``, against this store.
+
+        The returned document's ``nodes`` table holds only the subtrees
+        reachable from this derivation's root (a document must be
+        self-contained), but interning happens in the shared store, so
+        encoding many derivations through one store still deduplicates
+        across them -- see :meth:`encode_many` for the combined form.
+        """
+        root_ref = self.add(derivation.root)
+        return {
+            "schema": EXPLAIN_SCHEMA_2,
+            "assignment": derivation.assignment,
+            "formula": derivation.formula,
+            "point": derivation.point,
+            "holds": derivation.holds,
+            "root": root_ref,
+            "nodes": self._reachable(root_ref),
+        }
+
+    def encode_many(self, derivations: Iterable[Derivation]) -> Dict:
+        """Many derivations sharing one node table (``repro-explain/2``).
+
+        This is the DAG form of a *sweep explain* -- one ``C_G^alpha``
+        formula explained at every point, or every row derivation of a
+        Section 8 guarantee sweep: subtrees repeated across derivations
+        are stored once, which is where the encoding wins big over
+        ``repro-explain/1``'s one-tree-per-derivation duplication.
+        """
+        roots: List[Dict] = []
+        refs: List[str] = []
+        for derivation in derivations:
+            ref = self.add(derivation.root)
+            refs.append(ref)
+            roots.append(
+                {
+                    "assignment": derivation.assignment,
+                    "formula": derivation.formula,
+                    "point": derivation.point,
+                    "holds": derivation.holds,
+                    "root": ref,
+                }
+            )
+        nodes: Dict[str, Dict] = {}
+        for ref in refs:
+            nodes.update(self._reachable(ref))
+        return {"schema": EXPLAIN_SCHEMA_2, "roots": roots, "nodes": nodes}
+
+    def _reachable(self, root_ref: str) -> Dict[str, Dict]:
+        reachable: Dict[str, Dict] = {}
+        stack = [root_ref]
+        while stack:
+            ref = stack.pop()
+            if ref in reachable:
+                continue
+            payload = self.payload(ref)
+            reachable[ref] = payload
+            stack.extend(payload["children"])
+        return reachable
+
+
+def node_table(derivation: Derivation) -> Dict[str, Dict]:
+    """The hash-consed node table of one derivation, standalone."""
+    store = DerivationStore()
+    store.add(derivation.root)
+    return store.table()
+
+
+def node_from_table(nodes: Mapping[str, Dict], ref: str, _path: str = "root") -> DerivationNode:
+    """Rebuild a :class:`DerivationNode` tree from a ``repro-explain/2``
+    node table.
+
+    Raises :class:`~repro.errors.ProvenanceError` on a dangling
+    fingerprint reference or a structurally malformed table entry -- a
+    DAG document is only meaningful when every reference resolves.
+    """
+    payload = nodes.get(ref)
+    if payload is None:
+        raise ProvenanceError(
+            f"derivation DAG reference {ref!r} at {_path} resolves to no node"
+        )
+    if not isinstance(payload, Mapping):
+        raise ProvenanceError(f"derivation DAG node {ref!r} is not a JSON object")
+    missing = {"rule", "formula", "holds", "definition", "children"} - set(payload)
+    if missing:
+        raise ProvenanceError(
+            f"derivation DAG node {ref!r} is missing fields {sorted(missing)}"
+        )
+    child_refs = payload["children"]
+    if not isinstance(child_refs, (list, tuple)) or not all(
+        isinstance(child, str) for child in child_refs
+    ):
+        raise ProvenanceError(
+            f"derivation DAG node {ref!r} has non-reference children"
+        )
+    children = tuple(
+        node_from_table(nodes, child, f"{_path}.children[{index}]")
+        for index, child in enumerate(child_refs)
+    )
+    return DerivationNode(
+        rule=payload["rule"],
+        formula=payload["formula"],
+        point=payload.get("point"),
+        holds=bool(payload["holds"]),
+        definition=payload["definition"],
+        detail=payload.get("detail", {}),
+        children=children,
+    )
+
+
+def encode_derivation(derivation: Derivation) -> Dict:
+    """One derivation as a self-contained ``repro-explain/2`` document."""
+    return DerivationStore().encode(derivation)
+
+
+def decode_derivation(payload) -> Derivation:
+    """Decode ``repro-explain/2`` *or* ``repro-explain/1`` to a
+    :class:`~repro.obs.provenance.Derivation`.
+
+    The superset reader: consumers that only need the derivation (the
+    diff and report tools, :func:`repro.logic.explain.audit_derivation`
+    callers) accept either schema through this one entry point; the
+    Section 5 content is identical, only the encoding differs.  Raises
+    :class:`~repro.errors.ProvenanceError` on any other schema or a
+    malformed DAG (dangling reference, missing field).
+    """
+    if isinstance(payload, str):
+        try:
+            payload = json.loads(payload)
+        except json.JSONDecodeError as error:
+            raise ProvenanceError(f"derivation payload is not JSON: {error}") from None
+    if not isinstance(payload, Mapping):
+        raise ProvenanceError("derivation payload is not a JSON object")
+    schema = payload.get("schema")
+    if schema == EXPLAIN_SCHEMA:
+        return derivation_from_json(payload)
+    if schema != EXPLAIN_SCHEMA_2:
+        raise ProvenanceError(
+            f"payload schema is {schema!r}, expected {EXPLAIN_SCHEMA!r} "
+            f"or {EXPLAIN_SCHEMA_2!r}"
+        )
+    if "roots" in payload:
+        raise ProvenanceError(
+            "payload is a multi-root repro-explain/2 document; use "
+            "decode_derivations for sweep explains"
+        )
+    for key in ("assignment", "formula", "point", "root", "nodes"):
+        if key not in payload:
+            raise ProvenanceError(f"derivation DAG payload is missing {key!r}")
+    root = node_from_table(payload["nodes"], payload["root"])
+    return Derivation(
+        assignment=payload["assignment"],
+        formula=payload["formula"],
+        point=payload["point"],
+        root=root,
+    )
+
+
+def decode_derivations(payload: Mapping) -> List[Derivation]:
+    """Decode a multi-root ``repro-explain/2`` document (``encode_many``)."""
+    if payload.get("schema") != EXPLAIN_SCHEMA_2 or "roots" not in payload:
+        raise ProvenanceError(
+            "payload is not a multi-root repro-explain/2 document"
+        )
+    nodes = payload.get("nodes")
+    if not isinstance(nodes, Mapping):
+        raise ProvenanceError("multi-root payload has no node table")
+    derivations: List[Derivation] = []
+    for entry in payload["roots"]:
+        if not isinstance(entry, Mapping) or "root" not in entry:
+            raise ProvenanceError("multi-root payload has a malformed root entry")
+        derivations.append(
+            Derivation(
+                assignment=entry["assignment"],
+                formula=entry["formula"],
+                point=entry["point"],
+                root=node_from_table(nodes, entry["root"]),
+            )
+        )
+    return derivations
+
+
+def upgrade(payload) -> Dict:
+    """Losslessly re-encode a ``repro-explain/1`` document as ``/2``.
+
+    ``downgrade(upgrade(doc))`` is the identity on canonical bytes, and
+    :meth:`Derivation.fingerprint` is invariant: hash-consing changes
+    how the tree is *stored*, never what it *says* (the Section 5
+    evidence is untouched, shared subtrees decode back to equal nodes).
+    A document already in ``/2`` passes through unchanged.
+    """
+    if isinstance(payload, Mapping) and payload.get("schema") == EXPLAIN_SCHEMA_2:
+        return dict(payload)
+    return encode_derivation(derivation_from_json(payload))
+
+
+def downgrade(payload) -> Dict:
+    """Losslessly re-encode a ``repro-explain/2`` document as ``/1``.
+
+    The inverse of :func:`upgrade`: the DAG is unfolded back into the
+    tree form, duplicating shared subtrees exactly where the original
+    tree had them (children reference order is preserved verbatim).  A
+    document already in ``/1`` passes through unchanged.
+    """
+    if isinstance(payload, Mapping) and payload.get("schema") == EXPLAIN_SCHEMA:
+        return dict(payload)
+    return decode_derivation(payload).json_ready()
+
+
+def encoded_size(payload) -> int:
+    """The canonical byte size of a JSON-ready document.
+
+    The single yardstick the benchmarks and acceptance tests use to
+    compare ``repro-explain/1`` against ``/2`` (Section 8's large
+    ``C_G^alpha`` explains are where the DAG form wins): same
+    serialisation convention as the fingerprints, so the comparison is
+    about encoding, not formatting.
+    """
+    return len(_canonical(payload).encode("utf-8"))

@@ -20,6 +20,7 @@ answers under partial failure:
 
 from .checkpoint import (
     SweepCheckpoint,
+    default_audit_path,
     resume_guarantee_sweep,
     robust_guarantee_sweep,
     row_from_record,
@@ -56,6 +57,7 @@ __all__ = [
     "TaskAttempt",
     "TaskContext",
     "ValidationReport",
+    "default_audit_path",
     "resume_guarantee_sweep",
     "robust_guarantee_sweep",
     "row_from_record",

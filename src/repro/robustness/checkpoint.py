@@ -32,11 +32,14 @@ from ..attack.sweep import (
     Builder,
     SweepRow,
     SweepTask,
+    row_provenance_derivation,
     sweep_row_from_attack,
     sweep_row_of,
     sweep_tasks,
+    task_fingerprint,
 )
 from ..errors import CheckpointError
+from ..obs.audit import AuditBundleWriter
 from ..probability.bitset import get_default_backend, use_backend
 from ..probability.fractionutil import FractionLike
 from ..reporting import fraction_from_json, json_ready
@@ -45,6 +48,7 @@ from .validate import validate_system
 
 __all__ = [
     "SweepCheckpoint",
+    "default_audit_path",
     "resume_guarantee_sweep",
     "robust_guarantee_sweep",
     "row_from_record",
@@ -52,35 +56,6 @@ __all__ = [
     "strict_sweep_row_of",
     "task_fingerprint",
 ]
-
-
-def task_fingerprint(task: SweepTask) -> Dict[str, object]:
-    """The sweep coordinates identifying one task (Section 8).
-
-    Deterministic. The fingerprint depends only on the task tuple and
-    the active measure backend, so resumed and fresh runs key the same
-    cell identically.
-    Exact. Loss and epsilon serialise as Fraction strings -- no float
-    ever enters a checkpoint key.
-
-    Deliberately excludes the builder callable: two runs constructing
-    the same (protocol, messengers, loss, epsilon) cell must produce
-    interchangeable rows, and callables have no stable serial form.
-
-    The ``backend`` field is *provenance, not identity*: rows are
-    backend-independent exact Fractions, so :meth:`SweepCheckpoint.load`
-    ignores it when matching records to tasks -- a sweep checkpointed
-    under ``bitmask`` resumes cleanly under ``wordarray`` and vice
-    versa, and checkpoints written before the field existed still load.
-    """
-    name, _builder, messengers, loss, epsilon = task
-    return {
-        "protocol": name,
-        "messengers": messengers,
-        "loss": str(Fraction(loss)),
-        "epsilon": str(Fraction(epsilon)),
-        "backend": get_default_backend(),
-    }
 
 
 def _identity_fingerprint(fingerprint: Dict[str, object]) -> Dict[str, object]:
@@ -231,6 +206,34 @@ def strict_sweep_row_of(task: SweepTask) -> SweepRow:
     return sweep_row_from_attack(task, attack)
 
 
+def default_audit_path(checkpoint_path) -> str:
+    """Where a sweep's audit bundle lives when the caller names only the
+    checkpoint: right alongside it, with an ``.audit`` suffix."""
+    return os.fspath(checkpoint_path) + ".audit"
+
+
+def _audit_append(
+    writer: AuditBundleWriter, index: int, task: SweepTask, row: SweepRow
+) -> None:
+    """Chain one completed row into the sweep's audit bundle.
+
+    Rebuilds the task's attack system in the parent process and
+    re-derives its ``post_threshold`` at the witness point
+    (:func:`repro.attack.sweep.row_provenance_derivation` -- the
+    Section 5 inner-measure evidence behind the Section 8 row), then
+    appends the Merkle leaf over (task fingerprint, exact row payload,
+    derivation root fingerprint, index).  Rebuilding is deliberate: the
+    derivation must come from the *parent's* deterministic replay, not
+    from trusting whatever a (possibly remote, possibly faulty) worker
+    claims -- that is what makes the bundle evidence.  The rebuild cost
+    is why ``audit`` defaults off; ``BENCH_10.json`` pins the overhead.
+    """
+    _name, builder, messengers, loss, _epsilon = task
+    attack = builder(messengers, loss)
+    derivation = row_provenance_derivation(attack)
+    writer.append(index, task_fingerprint(task), json_ready(row), derivation)
+
+
 def robust_guarantee_sweep(
     messenger_counts: Sequence[int],
     losses: Sequence[FractionLike],
@@ -245,6 +248,8 @@ def robust_guarantee_sweep(
     sleep=None,
     backend: Optional[str] = None,
     progress_every: Optional[int] = None,
+    audit: bool = False,
+    audit_path=None,
 ) -> List[SweepRow]:
     """The guarantee sweep of Section 8 on the fault-tolerant engine.
 
@@ -265,8 +270,31 @@ def robust_guarantee_sweep(
     completed rows (see :func:`repro.robustness.engine.run_tasks`);
     pair it with a :class:`~repro.obs.trace.TraceRecorder` and tail the
     file with ``tools/reprotop`` for a live sweep monitor.
+
+    ``audit=True`` (opt-in, default off; implied by an explicit
+    ``audit_path``) additionally chains every completed row into a
+    ``repro-audit/1`` Merkle bundle written alongside the checkpoint
+    (``audit_path``, default ``<checkpoint>.audit``): each leaf binds
+    the task fingerprint, the exact row payload, and the row's
+    parent-recomputed threshold-derivation root, so
+    ``tools/verifyaudit`` can certify the sweep -- including one that
+    was chaos-killed and resumed -- without recomputing it.  Resuming
+    continues the existing chain and *backfills* leaves for checkpoint
+    rows whose audit records were lost to a torn tail, so bundle and
+    checkpoint always end the run covering the same rows.  Auditing
+    requires a ``checkpoint_path`` (the bundle cross-checks it) and
+    never changes the returned rows.
     """
     tasks = sweep_tasks(messenger_counts, losses, builders, epsilon)
+    if audit_path is not None:
+        audit = True
+    if audit and checkpoint_path is None:
+        raise ValueError(
+            "audit=True requires checkpoint_path: the audit bundle is "
+            "verified against the checkpoint it shadows"
+        )
+    if audit and audit_path is None:
+        audit_path = default_audit_path(checkpoint_path)
     if task_function is None:
         task_function = strict_sweep_row_of if strict else sweep_row_of
     active = backend if backend is not None else get_default_backend()
@@ -285,10 +313,20 @@ def robust_guarantee_sweep(
             # computed the rows (provenance), not the ambient default.
             stack.enter_context(use_backend(backend))
         completed = checkpoint.load(tasks) if checkpoint is not None else {}
+        writer = None
+        if audit:
+            writer = AuditBundleWriter(audit_path)
+            # Backfill: a kill can land between the checkpoint append and
+            # the audit append, leaving a row the resumed engine will not
+            # re-run (the checkpoint has it) but the chain never saw.
+            for index in sorted(set(completed) - set(writer.leaf_indexes())):
+                _audit_append(writer, index, tasks[index], completed[index])
         on_result = None
         if checkpoint is not None:
             def on_result(index: int, row: SweepRow) -> None:
                 checkpoint.append(index, tasks[index], row)
+                if writer is not None:
+                    _audit_append(writer, index, tasks[index], row)
         return run_tasks(
             task_function,
             tasks,
@@ -316,6 +354,8 @@ def resume_guarantee_sweep(
     sleep=None,
     backend: Optional[str] = None,
     progress_every: Optional[int] = None,
+    audit: bool = False,
+    audit_path=None,
 ) -> List[SweepRow]:
     """Resume a checkpointed sweep, re-running only its incomplete tasks.
 
@@ -325,7 +365,9 @@ def resume_guarantee_sweep(
     returned verbatim in their deterministic positions, never re-run.
     The checkpoint's recorded backend is provenance only -- resuming
     under a different ``backend`` is sound because rows are exact
-    Fractions on every engine.
+    Fractions on every engine.  ``audit=True`` resumes (or starts) the
+    sweep's ``repro-audit/1`` Merkle bundle as well, backfilling any
+    leaves a kill tore away; see :func:`robust_guarantee_sweep`.
     """
     return robust_guarantee_sweep(
         messenger_counts,
@@ -341,4 +383,6 @@ def resume_guarantee_sweep(
         sleep=sleep,
         backend=backend,
         progress_every=progress_every,
+        audit=audit,
+        audit_path=audit_path,
     )

@@ -1,0 +1,153 @@
+"""Betting-layer provenance: certificates and witnesses as derivations."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.betting import (
+    safety_certificate,
+    safety_derivation,
+    strategy_payload,
+    theorem8_witness,
+    theorem8_witness_derivation,
+)
+from repro.reporting import fraction_from_json
+from repro.core import PostAssignment, opponent_assignment
+from repro.examples_lib import three_agent_coin_system
+from repro.obs import (
+    decode_derivation,
+    downgrade,
+    encode_derivation,
+    upgrade,
+)
+
+HALF = Fraction(1, 2)
+
+
+@pytest.fixture(scope="module")
+def coin():
+    return three_agent_coin_system()
+
+
+@pytest.fixture(scope="module")
+def against_p2(coin):
+    return opponent_assignment(coin.psys, 1)
+
+
+@pytest.fixture(scope="module")
+def against_p3(coin):
+    return opponent_assignment(coin.psys, 2)
+
+
+@pytest.fixture(scope="module")
+def c1(coin):
+    return coin.psys.system.points_at_time(1)[0]
+
+
+def _safe_certificate(coin, against_p2, c1):
+    return safety_certificate(against_p2, 0, 1, c1, coin.heads, HALF)
+
+
+def _unsafe_certificate(coin, against_p3, c1):
+    return safety_certificate(against_p3, 0, 2, c1, coin.heads, HALF)
+
+
+class TestSafetyDerivation:
+    def test_safe_bet_tree_shape(self, coin, against_p2, c1):
+        certificate = _safe_certificate(coin, against_p2, c1)
+        assert certificate.safe
+        derivation = safety_derivation(against_p2, certificate)
+        assert derivation.root.rule == "bet-safe"
+        assert derivation.root.holds is True
+        assert derivation.assignment == against_p2.name
+        rules = [child.rule for child in derivation.root.children]
+        assert rules[-1] == "inner-witness"
+        assert rules[:-1] == ["break-even"] * len(certificate.candidates)
+        for child in derivation.root.children[:-1]:
+            assert child.holds is True
+            assert fraction_from_json(child.detail["inner_probability"]) >= HALF
+
+    def test_unsafe_bet_carries_the_refutation(self, coin, against_p3, c1):
+        certificate = _unsafe_certificate(coin, against_p3, c1)
+        assert not certificate.safe
+        derivation = safety_derivation(against_p3, certificate)
+        assert derivation.root.rule == "bet-unsafe"
+        assert derivation.root.holds is False
+        last = derivation.root.children[-1]
+        assert last.rule == "refuting-strategy"
+        strategy = last.detail["strategy"]
+        assert strategy is not None
+        assert strategy["agent"] == 2
+        assert any(not child.holds for child in derivation.root.children[:-1])
+
+    def test_fingerprint_is_stable_across_rebuilds(self, coin, against_p2, c1):
+        first = safety_derivation(against_p2, _safe_certificate(coin, against_p2, c1))
+        second = safety_derivation(against_p2, _safe_certificate(coin, against_p2, c1))
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_safe_and_unsafe_fingerprints_differ(
+        self, coin, against_p2, against_p3, c1
+    ):
+        safe = safety_derivation(against_p2, _safe_certificate(coin, against_p2, c1))
+        unsafe = safety_derivation(
+            against_p3, _unsafe_certificate(coin, against_p3, c1)
+        )
+        assert safe.fingerprint() != unsafe.fingerprint()
+
+    def test_round_trips_through_both_schemas(self, coin, against_p3, c1):
+        derivation = safety_derivation(
+            against_p3, _unsafe_certificate(coin, against_p3, c1)
+        )
+        doc_1 = derivation.json_ready()
+        doc_2 = encode_derivation(derivation)
+        assert decode_derivation(doc_1).fingerprint() == derivation.fingerprint()
+        assert decode_derivation(doc_2).fingerprint() == derivation.fingerprint()
+        assert downgrade(upgrade(doc_1)) == doc_1
+
+
+class TestTheorem8WitnessDerivation:
+    @pytest.fixture(scope="class")
+    def witness(self, coin):
+        found = theorem8_witness(
+            coin.psys, lambda psys: PostAssignment(psys), agent=0, opponent=2
+        )
+        assert found is not None
+        return found
+
+    def test_tree_records_the_constructive_refutation(self, witness):
+        derivation = theorem8_witness_derivation(witness, agent=0, opponent=2)
+        assert derivation.root.rule == "theorem8-witness"
+        assert derivation.root.holds is False
+        rules = [child.rule for child in derivation.root.children]
+        assert rules == ["escaping-point", "bet-accepted", "expected-loss"]
+        loss = fraction_from_json(
+            derivation.root.children[-1].detail["expected_loss"]
+        )
+        assert loss == witness.expected_loss < 0
+
+    def test_alpha_gap_is_recorded(self, witness):
+        derivation = theorem8_witness_derivation(witness, agent=0, opponent=2)
+        detail = derivation.root.detail
+        assert fraction_from_json(detail["alpha"]) > fraction_from_json(
+            detail["alpha_opponent"]
+        )
+
+    def test_round_trips_through_schema_2(self, witness):
+        derivation = theorem8_witness_derivation(witness, agent=0, opponent=2)
+        decoded = decode_derivation(encode_derivation(derivation))
+        assert decoded.fingerprint() == derivation.fingerprint()
+
+
+class TestStrategyPayload:
+    def test_none_passes_through(self):
+        assert strategy_payload(None) is None
+
+    def test_payload_is_sorted_and_exact(self, coin, against_p3, c1):
+        certificate = _unsafe_certificate(coin, against_p3, c1)
+        payload = strategy_payload(certificate.refutation)
+        assert payload["agent"] == 2
+        locals_ = [entry["local"] for entry in payload["table"]]
+        assert locals_ == sorted(locals_)
+        for entry in payload["table"]:
+            assert isinstance(entry["payoff"], Fraction)
+            assert entry["payoff"] > 0

@@ -1,0 +1,231 @@
+"""Hash-consed ``repro-explain/2``: lossless bridge, Merkle invariants."""
+
+import json
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProvenanceError
+from repro.obs import (
+    EXPLAIN_SCHEMA,
+    EXPLAIN_SCHEMA_2,
+    Derivation,
+    DerivationNode,
+    DerivationStore,
+    decode_derivation,
+    downgrade,
+    encode_derivation,
+    encoded_size,
+    node_fingerprint,
+    upgrade,
+)
+from repro.obs.derivstore import decode_derivations, node_from_table
+
+
+def _canonical(payload):
+    return json.dumps(payload, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis strategy: arbitrary derivation trees with shared shapes
+# ----------------------------------------------------------------------
+
+_points = st.one_of(
+    st.none(),
+    st.fixed_dictionaries(
+        {
+            "bit": st.integers(min_value=0, max_value=7),
+            "time": st.integers(min_value=0, max_value=3),
+            "label": st.sampled_from(["(r0, 0)", "(r1, 1)", "(r2, 2)"]),
+        }
+    ),
+)
+
+_details = st.fixed_dictionaries(
+    {},
+    optional={
+        "measure": st.fractions(min_value=0, max_value=1),
+        "count": st.integers(min_value=0, max_value=9),
+        "witness": st.lists(st.integers(min_value=0, max_value=7), max_size=3),
+    },
+)
+
+
+def _node_builder(children):
+    return st.builds(
+        DerivationNode,
+        rule=st.sampled_from(["prop", "knows", "pr-at-least", "cell", "gfp-step"]),
+        formula=st.sampled_from(["heads", "K0 heads", "Pr0(coord) >= 1/2", "C_G^a coord"]),
+        point=_points,
+        holds=st.booleans(),
+        definition=st.sampled_from(["Section 4", "Section 5", "Theorem 7"]),
+        detail=_details,
+        children=children,
+    )
+
+
+_nodes = st.recursive(
+    _node_builder(st.just(())),
+    lambda inner: _node_builder(st.lists(inner, min_size=1, max_size=3).map(tuple)),
+    max_leaves=10,
+)
+
+_derivations = st.builds(
+    Derivation,
+    assignment=st.sampled_from(["post", "fut", "prior"]),
+    formula=st.sampled_from(["K0 heads", "Pr0(coord) >= 1/2"]),
+    point=_points,
+    root=_nodes,
+)
+
+
+def wide_derivation(copies=6):
+    """One shared subtree referenced ``copies`` times: the dedup case."""
+    shared = DerivationNode(
+        rule="cell",
+        formula="heads",
+        point={"bit": 0, "time": 1, "label": "(r0, 1)"},
+        holds=True,
+        definition="Section 5",
+        detail={"measure": Fraction(1, 2), "mask": 0b1010},
+        children=(
+            DerivationNode(
+                rule="prop",
+                formula="heads",
+                point={"bit": 0, "time": 0, "label": "(r0, 0)"},
+                holds=True,
+                definition="Section 5",
+            ),
+        ),
+    )
+    root = DerivationNode(
+        rule="gfp-step",
+        formula="C_G^a coord",
+        point={"bit": 1, "time": 1, "label": "(r1, 1)"},
+        holds=True,
+        definition="Section 8",
+        children=tuple(shared for _ in range(copies)),
+    )
+    return Derivation(
+        assignment="post",
+        formula="C_G^a coord",
+        point={"bit": 1, "time": 1, "label": "(r1, 1)"},
+        root=root,
+    )
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(_derivations)
+    def test_upgrade_downgrade_is_byte_identity(self, derivation):
+        # the pinned acceptance property: /1 -> /2 -> /1 reproduces the
+        # canonical bytes exactly, for arbitrary derivation trees
+        doc_1 = json.loads(_canonical(derivation.json_ready()))
+        doc_2 = upgrade(doc_1)
+        assert doc_2["schema"] == EXPLAIN_SCHEMA_2
+        back = downgrade(doc_2)
+        assert _canonical(back) == _canonical(doc_1)
+
+    @settings(max_examples=60, deadline=None)
+    @given(_derivations)
+    def test_fingerprint_is_invariant_under_the_bridge(self, derivation):
+        doc_2 = upgrade(derivation.json_ready())
+        decoded = decode_derivation(doc_2)
+        assert decoded.fingerprint() == derivation.fingerprint()
+
+    @settings(max_examples=40, deadline=None)
+    @given(_derivations)
+    def test_node_fingerprint_equals_stored_ref(self, derivation):
+        # the fingerprint function and the store must agree: the /2 root
+        # ref is exactly node_fingerprint of the root
+        doc_2 = encode_derivation(derivation)
+        assert doc_2["root"] == node_fingerprint(derivation.root)
+        for ref, payload in doc_2["nodes"].items():
+            rebuilt = node_from_table(doc_2["nodes"], ref)
+            assert node_fingerprint(rebuilt) == ref
+
+    def test_upgrade_passes_v2_through(self):
+        doc_2 = encode_derivation(wide_derivation())
+        assert upgrade(doc_2) == doc_2
+
+    def test_downgrade_passes_v1_through(self):
+        doc_1 = wide_derivation().json_ready()
+        assert downgrade(doc_1) == doc_1
+
+
+class TestHashConsing:
+    def test_shared_subtrees_stored_once(self):
+        doc_2 = encode_derivation(wide_derivation(copies=6))
+        # root + shared cell + its prop leaf: 3 distinct subtrees,
+        # though the tree form writes the cell and leaf 6 times each
+        assert len(doc_2["nodes"]) == 3
+
+    def test_store_counts_added_and_deduped(self):
+        store = DerivationStore()
+        store.add(wide_derivation(copies=6).root)
+        assert store.nodes_added == 3
+        # 5 repeated cells, each also answering for its leaf child
+        assert store.nodes_deduped == 10
+
+    def test_encoding_wins_on_wide_derivations(self):
+        derivation = wide_derivation(copies=6)
+        assert encoded_size(encode_derivation(derivation)) < encoded_size(
+            derivation.json_ready()
+        )
+
+    def test_encode_many_shares_across_derivations(self):
+        first = wide_derivation(copies=2)
+        second = wide_derivation(copies=3)
+        store = DerivationStore()
+        doc = store.encode_many([first, second])
+        separate = sum(
+            len(encode_derivation(d)["nodes"]) for d in (first, second)
+        )
+        assert len(doc["nodes"]) < separate
+        assert [entry["root"] for entry in doc["roots"]] == [
+            node_fingerprint(first.root),
+            node_fingerprint(second.root),
+        ]
+        decoded = decode_derivations(doc)
+        assert [d.fingerprint() for d in decoded] == [
+            first.fingerprint(),
+            second.fingerprint(),
+        ]
+
+
+class TestMalformedDocuments:
+    def test_dangling_reference_is_an_error(self):
+        doc_2 = encode_derivation(wide_derivation())
+        del doc_2["nodes"][doc_2["root"]]
+        with pytest.raises(ProvenanceError):
+            decode_derivation(doc_2)
+
+    def test_missing_field_is_an_error(self):
+        doc_2 = encode_derivation(wide_derivation())
+        del doc_2["nodes"][doc_2["root"]]["rule"]
+        with pytest.raises(ProvenanceError):
+            decode_derivation(doc_2)
+
+    def test_non_reference_children_are_an_error(self):
+        doc_2 = encode_derivation(wide_derivation())
+        doc_2["nodes"][doc_2["root"]]["children"] = [42]
+        with pytest.raises(ProvenanceError):
+            decode_derivation(doc_2)
+
+    def test_unknown_schema_is_an_error(self):
+        with pytest.raises(ProvenanceError):
+            decode_derivation({"schema": "repro-explain/9"})
+
+    def test_multi_root_document_points_at_decode_derivations(self):
+        doc = DerivationStore().encode_many([wide_derivation()])
+        with pytest.raises(ProvenanceError, match="decode_derivations"):
+            decode_derivation(doc)
+
+    def test_decode_accepts_both_schemas(self):
+        derivation = wide_derivation()
+        from_1 = decode_derivation(derivation.json_ready())
+        from_2 = decode_derivation(encode_derivation(derivation))
+        assert from_1.fingerprint() == from_2.fingerprint()
+        assert from_1.json_ready()["schema"] == EXPLAIN_SCHEMA

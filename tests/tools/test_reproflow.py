@@ -78,7 +78,8 @@ def test_real_tree_contracts_are_seeded_and_clean():
         for fqn, info in program.functions.items()
         if info.record.get("contracts")
     }
-    assert "repro.robustness.checkpoint.task_fingerprint" in contracted
+    # task_fingerprint moved to attack/sweep.py (checkpoint re-exports it).
+    assert "repro.attack.sweep.task_fingerprint" in contracted
     assert "repro.attack.sweep.sweep_row_of" in contracted
     assert "repro.obs.provenance.json_pure" in contracted
     assert violations_of(report, "RL012") == []

@@ -302,3 +302,156 @@ class TestWorkerTelemetryNormalisation:
         summary = diff_artifacts(str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl"))
         assert summary["diverged"] is False, summary["first_divergence"]
         assert summary["counter_deltas"] == {}
+
+
+class TestExplainV2AndAuditDiff:
+    def _write_json(self, path, document):
+        path.write_text(json.dumps(document, sort_keys=True) + "\n")
+        return path
+
+    def test_v1_and_v2_encodings_of_one_derivation_collide(self, tmp_path):
+        from repro.obs import encode_derivation
+
+        derivation = row_provenance_derivation(build_ca2(2, Fraction(1, 2)))
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_derivation(derivation, a)
+        self._write_json(b, encode_derivation(derivation))
+        summary = diff_artifacts(str(a), str(b))
+        assert summary["kind"] == "explain"
+        assert summary["diverged"] is False
+
+    def test_explain_dag_roots_compared_by_membership(self, tmp_path):
+        from repro.obs import DerivationStore
+
+        first = row_provenance_derivation(build_ca2(2, Fraction(1, 2)))
+        second = row_provenance_derivation(build_ca2(3, Fraction(1, 2)))
+        a = self._write_json(
+            tmp_path / "a.json", DerivationStore().encode_many([first, second])
+        )
+        b = self._write_json(
+            tmp_path / "b.json", DerivationStore().encode_many([first])
+        )
+        summary = diff_artifacts(str(a), str(b))
+        assert summary["kind"] == "explain-dag"
+        assert summary["diverged"] is True
+        assert len(summary["only_in_a"]) == 1
+        assert summary["only_in_b"] == []
+
+    def _audited_sweep(self, tmp_path, name):
+        from repro.robustness import default_audit_path, robust_guarantee_sweep
+
+        checkpoint = tmp_path / f"{name}.jsonl"
+        robust_guarantee_sweep(
+            [1, 2],
+            [Fraction(1, 2)],
+            max_workers=1,
+            checkpoint_path=checkpoint,
+            audit=True,
+        )
+        return Path(default_audit_path(checkpoint))
+
+    def test_identical_audited_sweeps_diverge_nowhere(self, tmp_path):
+        a = self._audited_sweep(tmp_path, "a")
+        b = self._audited_sweep(tmp_path, "b")
+        summary = diff_artifacts(str(a), str(b))
+        assert summary["kind"] == "audit"
+        assert summary["diverged"] is False
+        assert summary["first_divergence"] is None
+
+    def test_stale_chain_tamper_is_content_divergence(self, tmp_path):
+        # the recorded chain columns still agree (the tamperer did not
+        # re-derive them); the diff must compare claimed content, not
+        # trust the recorded roots as an equality shortcut
+        a = self._audited_sweep(tmp_path, "a")
+        b = self._audited_sweep(tmp_path, "b")
+        lines = b.read_text().splitlines()
+        edited = []
+        for line in lines:
+            record = json.loads(line)
+            if record.get("type") == "leaf" and record["index"] == 1:
+                record["row"]["post_threshold"] = "1/977"
+            edited.append(json.dumps(record, sort_keys=True))
+        b.write_text("\n".join(edited) + "\n")
+        summary = diff_artifacts(str(a), str(b))
+        assert summary["diverged"] is True
+        divergence = summary["first_divergence"]
+        assert divergence["position"] == 1
+        assert divergence["field"] == "row"
+
+
+class TestBisect:
+    def test_trace_bisect_lands_on_the_divergent_record(self, tmp_path):
+        from tools.tracediff import bisect_artifacts, render_bisect
+
+        a = make_chaos_trace(tmp_path / "a.jsonl", seed=7)
+        b = make_chaos_trace(tmp_path / "b.jsonl", seed=8)
+        summary = bisect_artifacts(str(a), str(b))
+        assert summary["kind"] == "trace"
+        assert summary["diverged"] is True
+        assert summary["pointer"].startswith("record[")
+        # O(log n) probes, not a linear scan
+        assert summary["probes"] <= 16
+        assert "pointer" in render_bisect(summary)
+
+    def test_trace_bisect_self_is_clean(self, tmp_path):
+        from tools.tracediff import bisect_artifacts
+
+        a = make_chaos_trace(tmp_path / "a.jsonl", seed=7)
+        b = make_chaos_trace(tmp_path / "b.jsonl", seed=7)
+        summary = bisect_artifacts(str(a), str(b))
+        assert summary["diverged"] is False
+        assert summary["pointer"] is None
+
+    def test_explain_bisect_descends_to_the_field(self, tmp_path):
+        from repro.attack import build_ca1
+        from tools.tracediff import bisect_artifacts
+
+        d1 = row_provenance_derivation(build_ca1(1, Fraction(1, 4)))
+        d2 = row_provenance_derivation(build_ca2(3, Fraction(1, 2)))
+        assert d1.fingerprint() != d2.fingerprint()
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_derivation(d1, a)
+        write_derivation(d2, b)
+        summary = bisect_artifacts(str(a), str(b))
+        assert summary["diverged"] is True
+        assert "formula" in summary["pointer"]
+
+    def test_audit_bisect_recomputes_content_chains(self, tmp_path):
+        from tools.tracediff import bisect_artifacts
+
+        maker = TestExplainV2AndAuditDiff()
+        a = maker._audited_sweep(tmp_path, "a")
+        b = maker._audited_sweep(tmp_path, "b")
+        lines = b.read_text().splitlines()
+        edited = []
+        for line in lines:
+            record = json.loads(line)
+            if record.get("type") == "leaf" and record["index"] == 1:
+                record["row"]["post_threshold"] = "1/977"
+            edited.append(json.dumps(record, sort_keys=True))
+        b.write_text("\n".join(edited) + "\n")
+        summary = bisect_artifacts(str(a), str(b))
+        assert summary["diverged"] is True
+        assert summary["pointer"].startswith("leaf[1]")
+
+    def test_bisect_rejects_bench_artifacts(self, tmp_path):
+        from tools.tracediff import bisect_artifacts
+
+        document = {
+            "schema": "repro-bench/1",
+            "results": {},
+            "environment": {},
+        }
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        a.write_text(json.dumps(document))
+        b.write_text(json.dumps(document))
+        with pytest.raises(TraceError):
+            bisect_artifacts(str(a), str(b))
+
+    def test_cli_bisect_exit_codes(self, tmp_path, capsys):
+        a = make_chaos_trace(tmp_path / "a.jsonl", seed=7)
+        b = make_chaos_trace(tmp_path / "b.jsonl", seed=8)
+        assert cli_main(["--bisect", "--fail-on-divergence", str(a), str(b)]) == 1
+        assert "pointer" in capsys.readouterr().out
+        c = make_chaos_trace(tmp_path / "c.jsonl", seed=7)
+        assert cli_main(["--bisect", str(a), str(c)]) == 0

@@ -51,6 +51,19 @@ UNCONSTRAINED_LAYER = max(LAYERS.values()) + 1
 #: survive.
 TOOLS_ALLOWED_REPRO_SUBPACKAGES = frozenset({"errors", "obs", "reporting"})
 
+#: The one sanctioned exception to the read-only surface, per tool.
+#: ``verifyaudit``'s whole job is *replay*: it must rebuild the attack
+#: system a ``repro-audit/1`` leaf names (``attack``), construct the
+#: standard assignments and model (``core``), and re-run
+#: ``audit_derivation`` over the recorded DAG (``logic``) -- independent
+#: recomputation is the verification, not a shortcut around it.  Every
+#: other tool stays artifact-only: an allowance here must name the tool,
+#: the subpackages, and (in review) the reason replay is the tool's
+#: contract rather than a convenience.
+TOOLS_SANCTIONED_REPLAYERS = {
+    "verifyaudit": frozenset({"attack", "core", "logic"}),
+}
+
 #: Root package of the repository tooling, checked against the repro
 #: read-only surface above.
 TOOLS_ROOT = "tools"
@@ -74,6 +87,11 @@ INTRA_LAYERS = {
         # imports only, the measure-kernel totals), so it sits above the
         # recorders it reads.
         "snapshot": 2,
+        # derivstore hash-conses the trees provenance defines
+        # (repro-explain/2 is an encoding of /1, never the other way
+        # round); audit chains derivstore fingerprints into bundles.
+        "derivstore": 2,
+        "audit": 3,
     },
     "logic": {
         "syntax": 0,
@@ -133,10 +151,15 @@ signature."""
     def _check_tools(self, module: Module) -> Iterator[Violation]:
         """Tooling may only touch repro's sanctioned read-only surface."""
         type_checking_nodes = _type_checking_only_nodes(module.tree)
+        replay_allowance = TOOLS_SANCTIONED_REPLAYERS.get(
+            module.subpackage, frozenset()
+        )
         for node in ast.walk(module.tree):
             if id(node) in type_checking_nodes:
                 continue
             for target in _repro_import_targets(node):
+                if target in replay_allowance:
+                    continue
                 if target not in TOOLS_ALLOWED_REPRO_SUBPACKAGES:
                     allowed = ", ".join(sorted(TOOLS_ALLOWED_REPRO_SUBPACKAGES))
                     yield self.violation(
@@ -144,7 +167,8 @@ signature."""
                         f"tools/ imports repro internals ('repro.{target}'); "
                         f"the tooling's sanctioned read-only surface is "
                         f"{{{allowed}}} -- audit artifacts, don't recompute "
-                        "them",
+                        "them (replay allowances are per-tool: "
+                        "TOOLS_SANCTIONED_REPLAYERS)",
                     )
 
     def _check_intra(

@@ -1,7 +1,8 @@
 """tracediff: explain *why* two runs differ, not just that they do.
 
 Compares two observability artifacts -- ``repro-trace/1`` JSONL traces,
-``repro-explain/1`` derivation files, ``repro-bench/2`` benchmark
+``repro-explain/1`` or hash-consed ``repro-explain/2`` derivation files,
+``repro-audit/1`` Merkle audit bundles, ``repro-bench/2`` benchmark
 reports, or ``repro-metrics/1`` snapshot streams (auto-detected) -- and
 reports:
 
@@ -21,10 +22,16 @@ kernel-total deltas are content (worker pids masked -- the telemetry
 layer ships deterministic per-attempt deltas, only their pid labels
 vary), span seconds are timing.  Two runs with the same seeds and fault
 plan must produce zero divergence; two chaos runs with different fault plans diverge, and the
-first diverging record localises where.  Usage::
+first diverging record localises where.  ``--bisect`` skips the
+aggregate summaries and binary-searches straight to the first diverging
+record (rolling hash chains over normalised records, the bundle's own
+Merkle chain for ``repro-audit/1``) or derivation node
+(fingerprint-guided descent that never enters a shared subtree),
+printing a minimal reproduction pointer.  Usage::
 
     PYTHONPATH=src python -m tools.tracediff A.jsonl B.jsonl
     PYTHONPATH=src python -m tools.tracediff --json A B
+    PYTHONPATH=src python -m tools.tracediff --bisect A.audit B.audit
     make trace-diff A=a.jsonl B=b.jsonl
 
 Exit status: 0 on success (divergence or not), 1 with
@@ -32,10 +39,13 @@ Exit status: 0 on success (divergence or not), 1 with
 unreadable or fails schema validation -- the only condition CI fails on.
 """
 
+from .bisect import bisect_artifacts, render_bisect
 from .diff import (
     diff_artifacts,
+    diff_audit,
     diff_bench,
     diff_derivations,
+    diff_explain_dag,
     diff_metrics,
     diff_traces,
     load_artifact,
@@ -43,11 +53,15 @@ from .diff import (
 )
 
 __all__ = [
+    "bisect_artifacts",
     "diff_artifacts",
+    "diff_audit",
     "diff_bench",
     "diff_derivations",
+    "diff_explain_dag",
     "diff_metrics",
     "diff_traces",
     "load_artifact",
+    "render_bisect",
     "render_diff",
 ]

@@ -7,9 +7,10 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.errors import MetricsError, ProvenanceError, TraceError
+from repro.errors import AuditError, MetricsError, ProvenanceError, TraceError
 from repro.reporting import json_ready
 
+from .bisect import bisect_artifacts, render_bisect
 from .diff import diff_artifacts, render_diff
 
 
@@ -18,7 +19,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="tracediff",
         description=(
             "Diff two observability artifacts (repro-trace/1 JSONL, "
-            "repro-explain/1 derivation, repro-bench/2 report, or "
+            "repro-explain/1 or /2 derivation, repro-audit/1 bundle, "
+            "repro-bench/2 report, or "
             "repro-metrics/1 snapshot stream; auto-detected): counter deltas, cache hit-rate shift, "
             "per-span timing ratios, and the first diverging record or "
             "derivation node.  Timing drift is informational; only "
@@ -27,6 +29,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("a", help="baseline artifact (A)")
     parser.add_argument("b", help="candidate artifact (B)")
+    parser.add_argument(
+        "--bisect",
+        action="store_true",
+        help=(
+            "binary-search to the first diverging record or derivation "
+            "node (hash chains for record streams and audit bundles, "
+            "Merkle fingerprints for derivation DAGs) and print a "
+            "minimal reproduction pointer instead of the full diff"
+        ),
+    )
     parser.add_argument(
         "--json",
         action="store_true",
@@ -43,8 +55,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        summary = diff_artifacts(args.a, args.b)
-    except (TraceError, ProvenanceError, MetricsError) as error:
+        if args.bisect:
+            summary = bisect_artifacts(args.a, args.b)
+        else:
+            summary = diff_artifacts(args.a, args.b)
+    except (AuditError, TraceError, ProvenanceError, MetricsError) as error:
         print(f"tracediff: {error}", file=sys.stderr)
         return 2
     except OSError as error:
@@ -53,6 +68,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.json:
             print(json.dumps(json_ready(summary), indent=2))
+        elif args.bisect:
+            print(render_bisect(summary))
         else:
             print(render_diff(summary))
     except BrokenPipeError:

@@ -17,6 +17,8 @@ from fractions import Fraction
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ProvenanceError, TraceError
+from repro.obs.audit import AUDIT_SCHEMA, AuditBundle, read_audit_bundle
+from repro.obs.derivstore import EXPLAIN_SCHEMA_2, decode_derivation
 from repro.obs.provenance import (
     EXPLAIN_SCHEMA,
     Derivation,
@@ -29,8 +31,10 @@ from repro.obs.trace import TRACE_SCHEMA, read_trace
 __all__ = [
     "BENCH_SCHEMA",
     "diff_artifacts",
+    "diff_audit",
     "diff_bench",
     "diff_derivations",
+    "diff_explain_dag",
     "diff_metrics",
     "diff_traces",
     "load_artifact",
@@ -77,7 +81,11 @@ def load_artifact(path: str) -> Tuple[str, Any]:
 
     Returns ``(kind, payload)`` where ``kind`` is ``"trace"`` (payload: a
     record list from :func:`repro.obs.trace.read_trace`), ``"explain"``
-    (payload: a :class:`~repro.obs.provenance.Derivation`), ``"bench"``
+    (payload: a :class:`~repro.obs.provenance.Derivation`, from either
+    ``repro-explain/1`` or a single-root ``repro-explain/2`` document),
+    ``"explain-dag"`` (payload: a multi-root ``repro-explain/2``
+    document, kept in table form), ``"audit"`` (payload: an
+    :class:`~repro.obs.audit.AuditBundle`), ``"bench"``
     (payload: the decoded ``repro-bench/2`` document), or ``"metrics"``
     (payload: a record list from :func:`repro.obs.snapshot.read_snapshots`).
     Raises :class:`~repro.errors.TraceError` or
@@ -94,6 +102,14 @@ def load_artifact(path: str) -> Tuple[str, Any]:
         schema = document.get("schema")
         if schema == EXPLAIN_SCHEMA:
             return "explain", derivation_from_json(document)
+        if schema == EXPLAIN_SCHEMA_2:
+            if "roots" in document:
+                return "explain-dag", document
+            return "explain", decode_derivation(document)
+        if schema == AUDIT_SCHEMA and document.get("type") == "header":
+            # A header-only bundle: an audited sweep that was killed
+            # before its first leaf.  Still a valid (empty) bundle.
+            return "audit", read_audit_bundle(path)
         if schema == BENCH_SCHEMA:
             if not isinstance(document.get("benchmarks"), list):
                 raise TraceError(
@@ -109,6 +125,7 @@ def load_artifact(path: str) -> Tuple[str, Any]:
         raise TraceError(
             f"{path!r}: unrecognised artifact schema {schema!r} "
             f"(expected {TRACE_SCHEMA!r}, {EXPLAIN_SCHEMA!r}, "
+            f"{EXPLAIN_SCHEMA_2!r}, {AUDIT_SCHEMA!r}, "
             f"{BENCH_SCHEMA!r}, or {METRICS_SCHEMA!r})"
         )
     # Multi-line JSONL: the header's schema field says which stream it is.
@@ -119,6 +136,8 @@ def load_artifact(path: str) -> Tuple[str, Any]:
         header = None
     if isinstance(header, dict) and header.get("schema") == METRICS_SCHEMA:
         return "metrics", read_snapshots(text.splitlines())
+    if isinstance(header, dict) and header.get("schema") == AUDIT_SCHEMA:
+        return "audit", read_audit_bundle(path)
     return "trace", read_trace(text.splitlines())
 
 
@@ -312,6 +331,290 @@ def _embedded_derivation(record: Mapping[str, Any]) -> Optional[Derivation]:
         return derivation_from_json(payload)
     except ProvenanceError:
         return None
+
+
+# ----------------------------------------------------------------------
+# Hash-consed DAG diff (repro-explain/2, and audit-bundle node tables)
+# ----------------------------------------------------------------------
+
+#: Node-payload fields compared during fingerprint-guided descent, in
+#: reporting order (most meaningful first; ``children`` is structural).
+_DAG_CONTENT_FIELDS = ("rule", "formula", "point", "holds", "definition", "detail")
+
+
+def dag_divergence(
+    nodes_a: Mapping[str, Mapping[str, Any]],
+    nodes_b: Mapping[str, Mapping[str, Any]],
+    ref_a: str,
+    ref_b: str,
+) -> Tuple[Optional[Dict[str, Any]], int]:
+    """Fingerprint-guided descent to the first diverging DAG node.
+
+    The hash-consed counterpart of :func:`_node_divergence`: because a
+    ``repro-explain/2`` fingerprint commits to its whole subtree, equal
+    child refs prove the subtrees identical without visiting them, and
+    the walk descends only into the leftmost child whose refs differ --
+    one root-to-divergence path instead of a full tree comparison.
+
+    Returns ``(divergence, skipped)`` where ``divergence`` is ``None``
+    when the roots agree and ``skipped`` counts the shared subtrees the
+    descent never had to enter.
+    """
+    skipped = 0
+    path = "root"
+    while True:
+        if ref_a == ref_b:
+            return None, skipped
+        payload_a = nodes_a.get(ref_a)
+        payload_b = nodes_b.get(ref_b)
+        if payload_a is None or payload_b is None:
+            return (
+                {
+                    "path": path,
+                    "field": "nodes",
+                    "a": ref_a if payload_a is None else "resolved",
+                    "b": ref_b if payload_b is None else "resolved",
+                    "note": "dangling fingerprint reference",
+                },
+                skipped,
+            )
+        for field_name in _DAG_CONTENT_FIELDS:
+            value_a = payload_a.get(field_name)
+            value_b = payload_b.get(field_name)
+            if value_a != value_b:
+                return (
+                    {
+                        "path": path,
+                        "field": field_name,
+                        "rule": payload_a.get("rule"),
+                        "a": value_a,
+                        "b": value_b,
+                        "ref_a": ref_a,
+                        "ref_b": ref_b,
+                    },
+                    skipped,
+                )
+        children_a = payload_a.get("children", [])
+        children_b = payload_b.get("children", [])
+        if len(children_a) != len(children_b):
+            return (
+                {
+                    "path": path,
+                    "field": "children",
+                    "rule": payload_a.get("rule"),
+                    "a": len(children_a),
+                    "b": len(children_b),
+                    "ref_a": ref_a,
+                    "ref_b": ref_b,
+                },
+                skipped,
+            )
+        descend: Optional[Tuple[int, str, str]] = None
+        for position, (child_a, child_b) in enumerate(zip(children_a, children_b)):
+            if child_a == child_b:
+                skipped += 1
+            elif descend is None:
+                descend = (position, child_a, child_b)
+        if descend is None:
+            # Same payload under two fingerprints: the refs lie about
+            # the content, which verifyaudit's hash tier would flag.
+            return (
+                {
+                    "path": path,
+                    "field": "fingerprint",
+                    "a": ref_a,
+                    "b": ref_b,
+                    "note": "equal payloads filed under different fingerprints",
+                },
+                skipped,
+            )
+        position, ref_a, ref_b = descend
+        path = f"{path}.children[{position}]"
+
+
+def _dag_root_key(entry: Mapping[str, Any]) -> str:
+    return json.dumps(
+        {
+            "assignment": entry.get("assignment"),
+            "formula": entry.get("formula"),
+            "point": entry.get("point"),
+        },
+        sort_keys=True,
+    )
+
+
+def diff_explain_dag(
+    doc_a: Mapping[str, Any], doc_b: Mapping[str, Any]
+) -> Dict[str, Any]:
+    """Compare two multi-root ``repro-explain/2`` documents (sweep explains).
+
+    Roots align on (assignment, formula, point); a shared root diverges
+    exactly when its fingerprints differ (the Merkle property), and the
+    first diverging root is localised by fingerprint-guided descent --
+    shared subtrees are skipped wholesale, never re-compared.
+    """
+    roots_a = {_dag_root_key(entry): entry for entry in doc_a.get("roots", [])}
+    roots_b = {_dag_root_key(entry): entry for entry in doc_b.get("roots", [])}
+    only_a = sorted(set(roots_a) - set(roots_b))
+    only_b = sorted(set(roots_b) - set(roots_a))
+    diverging = [
+        key
+        for key in sorted(set(roots_a) & set(roots_b))
+        if roots_a[key].get("root") != roots_b[key].get("root")
+    ]
+    summary: Dict[str, Any] = {
+        "kind": "explain-dag",
+        "roots_a": len(roots_a),
+        "roots_b": len(roots_b),
+        "nodes_a": len(doc_a.get("nodes", {})),
+        "nodes_b": len(doc_b.get("nodes", {})),
+        "only_in_a": only_a,
+        "only_in_b": only_b,
+        "diverging_roots": len(diverging),
+        "diverged": bool(diverging or only_a or only_b),
+        "first_divergence": None,
+        "shared_subtrees_skipped": 0,
+    }
+    if diverging:
+        key = diverging[0]
+        divergence, skipped = dag_divergence(
+            doc_a.get("nodes", {}),
+            doc_b.get("nodes", {}),
+            roots_a[key]["root"],
+            roots_b[key]["root"],
+        )
+        if divergence is not None:
+            divergence["root"] = json.loads(key)
+        summary["first_divergence"] = divergence
+        summary["shared_subtrees_skipped"] = skipped
+    elif only_a or only_b:
+        summary["first_divergence"] = {
+            "field": "roots",
+            "root": json.loads((only_a + only_b)[0]),
+            "a": (only_a + only_b)[0] in set(roots_a),
+            "b": (only_a + only_b)[0] in set(roots_b),
+        }
+    return summary
+
+
+# ----------------------------------------------------------------------
+# Audit-bundle diff
+# ----------------------------------------------------------------------
+
+#: Leaf fields compared when two chains part, in reporting order:
+#: content first (what diverged), hashes last (they always differ at
+#: the parting position, so they are the fallback, not the headline).
+_LEAF_FIELDS = ("index", "task", "row", "root_ref", "prev", "leaf_hash", "chain")
+
+
+def leaf_divergence(
+    bundle_a: AuditBundle, bundle_b: AuditBundle, position: int
+) -> Tuple[Dict[str, Any], Optional[Dict[str, Any]]]:
+    """Classify why two bundles' leaves at ``position`` disagree.
+
+    Returns ``(divergence, node_divergence)``: the first differing leaf
+    field, plus -- when the leaves bind different derivation roots -- the
+    first diverging derivation node by fingerprint-guided descent into
+    the two node tables.
+    """
+    leaf_a = bundle_a.leaves[position]
+    leaf_b = bundle_b.leaves[position]
+    divergence: Dict[str, Any] = {"position": position, "field": "chain"}
+    for field_name in _LEAF_FIELDS:
+        value_a = leaf_a.get(field_name)
+        value_b = leaf_b.get(field_name)
+        if value_a != value_b:
+            divergence = {
+                "position": position,
+                "field": field_name,
+                "index_a": leaf_a.get("index"),
+                "index_b": leaf_b.get("index"),
+                "a": value_a,
+                "b": value_b,
+            }
+            break
+    node_divergence: Optional[Dict[str, Any]] = None
+    ref_a = leaf_a.get("root_ref")
+    ref_b = leaf_b.get("root_ref")
+    if ref_a != ref_b and ref_a is not None and ref_b is not None:
+        node_divergence, _skipped = dag_divergence(
+            bundle_a.nodes, bundle_b.nodes, ref_a, ref_b
+        )
+    return divergence, node_divergence
+
+
+def diff_audit(bundle_a: AuditBundle, bundle_b: AuditBundle) -> Dict[str, Any]:
+    """Compare two ``repro-audit/1`` bundles, field for field.
+
+    Every record is content here -- the leaf payloads *and* the recorded
+    hashes (two honest bundles of identical sweeps have identical
+    hashes, and a hash that differs over identical payloads exposes a
+    tampered chain).  The recorded roots are therefore never trusted as
+    a shortcut: a tamperer who edits a row without re-deriving the chain
+    leaves the roots equal, and exactly that bundle must still diverge
+    here.  Integrity *within* one bundle (do the hashes match the
+    payloads?) is ``verifyaudit``'s job, not the diff's.
+    """
+    summary: Dict[str, Any] = {
+        "kind": "audit",
+        "leaves_a": len(bundle_a.leaves),
+        "leaves_b": len(bundle_b.leaves),
+        "nodes_a": len(bundle_a.nodes),
+        "nodes_b": len(bundle_b.nodes),
+        "explain_schema_a": bundle_a.header.get("explain_schema"),
+        "explain_schema_b": bundle_b.header.get("explain_schema"),
+        "root_a": bundle_a.root,
+        "root_b": bundle_b.root,
+        "diverged": False,
+        "first_divergence": None,
+        "derivation_divergence": None,
+    }
+    if bundle_a.header != bundle_b.header:
+        summary["diverged"] = True
+        summary["first_divergence"] = {
+            "position": None,
+            "field": "header",
+            "a": bundle_a.header,
+            "b": bundle_b.header,
+        }
+        return summary
+    limit = min(len(bundle_a.leaves), len(bundle_b.leaves))
+    for position in range(limit):
+        if bundle_a.leaves[position] != bundle_b.leaves[position]:
+            divergence, node_divergence = leaf_divergence(
+                bundle_a, bundle_b, position
+            )
+            summary["diverged"] = True
+            summary["first_divergence"] = divergence
+            summary["derivation_divergence"] = node_divergence
+            return summary
+    if len(bundle_a.leaves) != len(bundle_b.leaves):
+        summary["diverged"] = True
+        summary["first_divergence"] = {
+            "position": limit,
+            "field": "leaves",
+            "a": len(bundle_a.leaves),
+            "b": len(bundle_b.leaves),
+            "note": "one bundle is a strict prefix of the other",
+        }
+        return summary
+    if bundle_a.nodes != bundle_b.nodes:
+        # Identical leaves over differing node tables: an orphaned or
+        # tampered node record that no leaf's root reaches any more.
+        differing = sorted(
+            ref
+            for ref in set(bundle_a.nodes) | set(bundle_b.nodes)
+            if bundle_a.nodes.get(ref) != bundle_b.nodes.get(ref)
+        )
+        summary["diverged"] = True
+        summary["first_divergence"] = {
+            "position": None,
+            "field": "nodes",
+            "refs": differing[:8],
+            "a": len(bundle_a.nodes),
+            "b": len(bundle_b.nodes),
+        }
+    return summary
 
 
 # ----------------------------------------------------------------------
@@ -636,6 +939,10 @@ def diff_artifacts(path_a: str, path_b: str) -> Dict[str, Any]:
         summary = diff_traces(payload_a, payload_b)
     elif kind_a == "explain":
         summary = diff_derivations(payload_a, payload_b)
+    elif kind_a == "explain-dag":
+        summary = diff_explain_dag(payload_a, payload_b)
+    elif kind_a == "audit":
+        summary = diff_audit(payload_a, payload_b)
     elif kind_a == "metrics":
         summary = diff_metrics(payload_a, payload_b)
     else:
@@ -709,6 +1016,38 @@ def render_diff(summary: Mapping[str, Any]) -> str:
             )
         else:
             lines.append("first divergence: none")
+    elif kind == "explain-dag":
+        lines.append(
+            f"roots: {summary['roots_a']} vs {summary['roots_b']} "
+            f"({summary['diverging_roots']} diverging); "
+            f"nodes: {summary['nodes_a']} vs {summary['nodes_b']}"
+        )
+        for side, keys in (("A", summary["only_in_a"]), ("B", summary["only_in_b"])):
+            if keys:
+                lines.append(f"roots only in {side}: {len(keys)}")
+        node = summary.get("first_divergence")
+        if node is not None:
+            lines.append(
+                f"first diverging derivation node: {node.get('path')} "
+                f"[{node.get('field')}] "
+                f"({summary['shared_subtrees_skipped']} shared subtree(s) skipped)"
+            )
+        else:
+            lines.append("first divergence: none")
+    elif kind == "audit":
+        lines.append(
+            f"leaves: {summary['leaves_a']} vs {summary['leaves_b']}; "
+            f"nodes: {summary['nodes_a']} vs {summary['nodes_b']}"
+        )
+        lines.append(f"root A: {summary['root_a']}")
+        lines.append(f"root B: {summary['root_b']}")
+        _render_divergence(summary.get("first_divergence"), lines)
+        node = summary.get("derivation_divergence")
+        if node is not None:
+            lines.append(
+                "first diverging derivation node: "
+                f"{node.get('path')} [{node.get('field')}]"
+            )
     elif kind == "metrics":
         lines.append(
             f"snapshots: {summary['snapshots_a']} vs {summary['snapshots_b']}"

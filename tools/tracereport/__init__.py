@@ -15,23 +15,44 @@ summaries operators actually ask of a sweep:
   and how many iterations they took (``gfp`` events).
 * **Retry histogram** -- attempts-per-task and outcome counts from the
   sweep engine's ``task_attempt`` events.
+* **Audit leaves** -- when the trace carries ``audit_leaf`` events (an
+  audited sweep), how many rows were chained and the last chain value.
 
 Usage::
 
     PYTHONPATH=src python -m tools.tracereport trace.jsonl
     PYTHONPATH=src python -m tools.tracereport --json trace.jsonl
     PYTHONPATH=src python -m tools.tracereport trace.jsonl --metrics m.jsonl
+    PYTHONPATH=src python -m tools.tracereport trace.jsonl --audit s.audit
 
 ``--metrics`` folds a ``repro-metrics/1`` snapshot into the report as a
 worker-merged counters section -- after a pool sweep the snapshot holds
 the per-worker shipped totals (``worker.<pid>.*``) and the exact
-whole-sweep kernel totals.
+whole-sweep kernel totals.  ``--audit`` folds a ``repro-audit/1``
+bundle in as an audit section: leaf/node totals, the chain root, and
+the exact hash-consing dedup ratio (``repro-explain/1`` tree nodes
+over ``/2`` table entries).
 
 Exit status: 0 on success, 2 when the trace is not a valid
-``repro-trace/1`` artifact or the ``--metrics`` file is not a valid
-``repro-metrics/1`` snapshot.
+``repro-trace/1`` artifact, the ``--metrics`` file is not a valid
+``repro-metrics/1`` snapshot, or the ``--audit`` file is not a valid
+``repro-audit/1`` bundle.
 """
 
-from .report import render_metrics, render_report, summarize, summarize_metrics
+from .report import (
+    render_audit,
+    render_metrics,
+    render_report,
+    summarize,
+    summarize_audit,
+    summarize_metrics,
+)
 
-__all__ = ["render_metrics", "render_report", "summarize", "summarize_metrics"]
+__all__ = [
+    "render_audit",
+    "render_metrics",
+    "render_report",
+    "summarize",
+    "summarize_audit",
+    "summarize_metrics",
+]

@@ -7,11 +7,18 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.errors import MetricsError, TraceError
-from repro.obs import read_snapshot, read_trace
+from repro.errors import AuditError, MetricsError, TraceError
+from repro.obs import read_audit_bundle, read_snapshot, read_trace
 from repro.reporting import json_ready
 
-from .report import render_metrics, render_report, summarize, summarize_metrics
+from .report import (
+    render_audit,
+    render_metrics,
+    render_report,
+    summarize,
+    summarize_audit,
+    summarize_metrics,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -29,6 +36,13 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "repro-metrics/1 snapshot to fold in as a worker-merged "
             "counters section"
+        ),
+    )
+    parser.add_argument(
+        "--audit",
+        help=(
+            "repro-audit/1 bundle to fold in as an audit section "
+            "(chain totals plus the hash-consing dedup ratio)"
         ),
     )
     parser.add_argument(
@@ -62,6 +76,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             return 2
         summary["metrics"] = summarize_metrics(snapshot)
+    if args.audit:
+        try:
+            bundle = read_audit_bundle(args.audit)
+        except AuditError as error:
+            print(f"tracereport: {error}", file=sys.stderr)
+            return 2
+        except OSError as error:
+            print(
+                f"tracereport: cannot read {args.audit!r}: {error}", file=sys.stderr
+            )
+            return 2
+        summary["audit"] = summarize_audit(bundle)
     try:
         if args.json:
             print(json.dumps(json_ready(summary), indent=2))
@@ -69,6 +95,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             report = render_report(summary)
             if "metrics" in summary:
                 report += "\n\n" + render_metrics(summary["metrics"])
+            if "audit" in summary:
+                report += "\n\n" + render_audit(summary["audit"])
             print(report)
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; the summary it asked

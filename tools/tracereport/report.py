@@ -24,6 +24,8 @@ def summarize(records: Sequence[Dict]) -> Dict:
     attempts_by_task: Dict[int, int] = {}
     outcome_counts: Dict[str, int] = {}
     last_cache_stats: Optional[Dict] = None
+    audit_leaves = 0
+    last_chain: Optional[str] = None
     events = 0
 
     for record in records:
@@ -59,6 +61,9 @@ def summarize(records: Sequence[Dict]) -> Dict:
                     attempts_by_task[index] = attempts_by_task.get(index, 0) + 1
                 outcome = fields.get("outcome", "?")
                 outcome_counts[outcome] = outcome_counts.get(outcome, 0) + 1
+            elif event_kind == "audit_leaf":
+                audit_leaves += 1
+                last_chain = fields.get("chain")
 
     histogram: Dict[int, int] = {}
     for count in attempts_by_task.values():
@@ -96,7 +101,88 @@ def summarize(records: Sequence[Dict]) -> Dict:
         summary["cache"]["hit_rate"] = (
             Fraction(hits, hits + misses) if hits + misses else None
         )
+    if audit_leaves:
+        summary["audit_leaves"] = {"count": audit_leaves, "chain": last_chain}
     return summary
+
+
+def summarize_audit(bundle) -> Dict:
+    """Fold a ``repro-audit/1`` :class:`~repro.obs.audit.AuditBundle`
+    into the report's audit section.
+
+    Alongside the chain totals, the section quantifies what hash-consing
+    bought: ``tree_nodes`` is what ``repro-explain/1`` would have stored
+    (every subtree occurrence written in full, summed over all leaves),
+    ``nodes`` is what the bundle actually streamed, and ``dedup_ratio``
+    is their exact quotient.
+    """
+    protocols: Dict[str, int] = {}
+    for leaf in bundle.leaves:
+        name = str(leaf.get("task", {}).get("protocol"))
+        protocols[name] = protocols.get(name, 0) + 1
+    # Tree size per subtree by memoised descent: O(table), even though
+    # the unfolded trees can be exponentially larger than the DAG.
+    tree_sizes: Dict[str, int] = {}
+
+    def tree_size(ref: str) -> int:
+        known = tree_sizes.get(ref)
+        if known is not None:
+            return known
+        payload = bundle.nodes.get(ref)
+        size = (
+            1 + sum(tree_size(child) for child in payload.get("children", []))
+            if payload is not None
+            else 0
+        )
+        tree_sizes[ref] = size
+        return size
+
+    tree_nodes = sum(
+        tree_size(leaf["root_ref"])
+        for leaf in bundle.leaves
+        if leaf.get("root_ref") is not None
+    )
+    return {
+        "explain_schema": bundle.header.get("explain_schema"),
+        "leaves": len(bundle.leaves),
+        "distinct_indexes": len(bundle.leaf_indexes()),
+        "nodes": len(bundle.nodes),
+        "tree_nodes": tree_nodes,
+        "dedup_ratio": (
+            Fraction(tree_nodes, len(bundle.nodes)) if bundle.nodes else None
+        ),
+        "root": bundle.root,
+        "protocols": dict(sorted(protocols.items())),
+    }
+
+
+def render_audit(audit: Dict) -> str:
+    """Render a :func:`summarize_audit` result as plain-text tables."""
+    sections: List[str] = [
+        render_table(
+            "Audit bundle",
+            ["leaves", "distinct indexes", "nodes", "tree nodes", "dedup ratio"],
+            [
+                [
+                    audit["leaves"],
+                    audit["distinct_indexes"],
+                    audit["nodes"],
+                    audit["tree_nodes"],
+                    audit["dedup_ratio"] if audit["dedup_ratio"] is not None else "n/a",
+                ]
+            ],
+        )
+    ]
+    if audit["protocols"]:
+        sections.append(
+            render_table(
+                "Audit leaves by protocol",
+                ["protocol", "leaves"],
+                list(audit["protocols"].items()),
+            )
+        )
+    sections.append(f"chain root: {audit['root']}")
+    return "\n\n".join(sections)
 
 
 def summarize_metrics(snapshot: Dict) -> Dict:
@@ -244,6 +330,16 @@ def render_report(summary: Dict) -> str:
                 "Attempt outcomes",
                 ["outcome", "attempts"],
                 list(retries["outcomes"].items()),
+            )
+        )
+
+    audit_leaves = summary.get("audit_leaves")
+    if audit_leaves:
+        sections.append(
+            render_table(
+                "Audit leaves (trace events)",
+                ["leaves", "last chain"],
+                [[audit_leaves["count"], audit_leaves["chain"]]],
             )
         )
 
